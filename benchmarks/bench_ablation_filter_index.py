@@ -1,0 +1,62 @@
+"""Ablation — shared/indexed filter evaluation vs. FioranoMQ's linear scan.
+
+The paper cites filter-sharing optimizations [15] and shows by
+measurement that FioranoMQ implements none.  This ablation runs the same
+saturated workloads with our optimizing dispatcher (identical-filter
+sharing + exact correlation-ID hash index) and quantifies the capacity
+the commercial server leaves on the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed import format_table, run_experiment
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def ablation(measurement_base):
+    rows = []
+    for n, identical in ((40, False), (40, True), (160, False), (160, True)):
+        base = measurement_base.with_(
+            replication_grade=2, n_additional=n, identical_non_matching=identical
+        )
+        linear = run_experiment(base)
+        indexed = run_experiment(base.with_(use_filter_index=True))
+        rows.append(
+            [
+                n,
+                "identical" if identical else "distinct",
+                f"{linear.received_rate_equivalent:.0f}",
+                f"{indexed.received_rate_equivalent:.0f}",
+                f"{indexed.received_rate / linear.received_rate:.1f}x",
+            ]
+        )
+    banner("Ablation: linear filter scan (FioranoMQ) vs shared/indexed evaluation")
+    report(
+        format_table(
+            ["n non-matching", "filter variant", "linear msgs/s",
+             "indexed msgs/s", "speedup"],
+            rows,
+        )
+    )
+    report(
+        "FioranoMQ measures like the 'linear' column (the paper found no gain"
+        " from identical filters); the 'indexed' column is what a [15]-style"
+        " optimizing broker would achieve on the same workload."
+    )
+    return rows
+
+
+def test_index_always_helps_this_workload(ablation):
+    for row in ablation:
+        assert float(row[4].rstrip("x")) > 2.0
+
+
+def test_bench_indexed_run(benchmark, ablation, measurement_base):
+    config = measurement_base.with_(
+        replication_grade=2, n_additional=160, use_filter_index=True
+    )
+    benchmark(run_experiment, config)

@@ -1,0 +1,63 @@
+"""Ablation — message body size vs. throughput (§III-B.1).
+
+The paper's preliminary experiments found "the message size has a
+significant impact on the message throughput" and then fixed the body at
+0 bytes.  This ablation sweeps the body size with a per-byte CPU cost and
+shows the throughput roll-off, plus the 0-byte equivalence with the pure
+Table I model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed import format_table, run_experiment
+
+from conftest import banner, report
+
+PER_BYTE = 2e-8  # 20 ns per payload byte, charged on receive and per copy
+
+
+@pytest.fixture(scope="module")
+def size_sweep(measurement_base):
+    rows = []
+    results = {}
+    for size in (0, 100, 1000, 10_000, 100_000):
+        config = measurement_base.with_(
+            replication_grade=5,
+            n_additional=20,
+            body_size=size,
+            per_byte_cost=PER_BYTE,
+        )
+        result = run_experiment(config)
+        results[size] = result
+        rows.append(
+            [
+                size,
+                f"{result.received_rate_equivalent:.0f}",
+                f"{result.mean_service_time_equivalent * 1e6:.1f}",
+            ]
+        )
+    banner("Ablation: message body size vs throughput (R=5, n_fltr=25)")
+    report(format_table(["body bytes", "received msgs/s", "E[B] (us)"], rows))
+    return results
+
+
+def test_throughput_decreases_with_size(size_sweep):
+    rates = [size_sweep[s].received_rate for s in (0, 1000, 10_000, 100_000)]
+    assert rates == sorted(rates, reverse=True)
+    assert rates[0] > 2 * rates[-1]  # "significant impact"
+
+
+def test_zero_body_is_the_paper_model(size_sweep):
+    from repro.core import CORRELATION_ID_COSTS, mean_service_time
+
+    expected = mean_service_time(CORRELATION_ID_COSTS, 25, 5.0)
+    assert size_sweep[0].mean_service_time_equivalent == pytest.approx(expected, rel=1e-9)
+
+
+def test_bench_sized_run(benchmark, size_sweep, measurement_base):
+    config = measurement_base.with_(
+        replication_grade=5, n_additional=20, body_size=10_000, per_byte_cost=PER_BYTE
+    )
+    benchmark(run_experiment, config)

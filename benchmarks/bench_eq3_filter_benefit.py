@@ -1,0 +1,57 @@
+"""Eq. 3 — when do filters increase the server capacity?
+
+Prints the paper's filter-usefulness thresholds: the largest match
+probability for which 1, 2, 3... filters per consumer still pay off, for
+both filter types (58.7% / 17.4% for correlation-ID, 9.9% for application
+properties).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    filters_increase_capacity,
+    max_match_probability,
+    max_useful_filters,
+)
+from repro.testbed import format_table
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    rows = []
+    for costs, tag in ((CORRELATION_ID_COSTS, "corr. ID"), (APP_PROPERTY_COSTS, "app. prop.")):
+        for n in (1, 2, 3):
+            p_max = max_match_probability(costs, n)
+            rows.append([tag, n, f"{p_max:.1%}" if p_max > 0 else "never helps"])
+    banner("Eq. 3: largest match probability at which n filters still help")
+    report(format_table(["filter type", "filters per consumer", "max p_match"], rows))
+    report(
+        f"max useful filters per consumer: corrID={max_useful_filters(CORRELATION_ID_COSTS)}, "
+        f"appProp={max_useful_filters(APP_PROPERTY_COSTS)}"
+    )
+    return rows
+
+
+def test_eq3_paper_values(thresholds):
+    assert max_match_probability(CORRELATION_ID_COSTS, 1) == pytest.approx(0.587, abs=5e-4)
+    assert max_match_probability(CORRELATION_ID_COSTS, 2) == pytest.approx(0.174, abs=5e-4)
+    assert max_match_probability(APP_PROPERTY_COSTS, 1) == pytest.approx(0.099, abs=1e-3)
+    assert max_useful_filters(CORRELATION_ID_COSTS) == 2
+    assert max_useful_filters(APP_PROPERTY_COSTS) == 1
+
+
+def test_bench_eq3(benchmark, thresholds):
+    def criterion_sweep():
+        return [
+            filters_increase_capacity(CORRELATION_ID_COSTS, n, p / 100)
+            for n in range(0, 5)
+            for p in range(0, 101)
+        ]
+
+    benchmark(criterion_sweep)

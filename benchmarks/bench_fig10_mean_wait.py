@@ -1,0 +1,35 @@
+"""Figure 10 — normalized mean waiting time E[W]/E[B] vs. utilization.
+
+Prints the P-K curves for c_var[B] in {0, 0.2, 0.4} — the paper's
+normalized "lookup table" for the mean waiting time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure10, normalized_mean_wait
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    figure = figure10(rho_grid=np.arange(0.1, 1.0, 0.1))
+    banner("Figure 10: normalized mean waiting time E[W]/E[B]")
+    report(figure.format())
+    return figure
+
+
+def test_fig10_variability_marginal(fig10):
+    """The paper's conclusion: c_var plays only a marginal role."""
+    assert normalized_mean_wait(0.9, 0.4) / normalized_mean_wait(0.9, 0.0) < 1.2
+
+
+def test_fig10_utilization_dominates(fig10):
+    assert normalized_mean_wait(0.95, 0.0) / normalized_mean_wait(0.5, 0.0) > 15
+
+
+def test_bench_fig10(benchmark, fig10):
+    benchmark(figure10)

@@ -1,0 +1,38 @@
+"""Figure 12 — 99% and 99.99% waiting-time quantiles vs. utilization.
+
+Prints Q_p[W]/E[B] over rho for c_var[B] in {0, 0.2, 0.4} and the paper's
+engineering consequence: a 1 s bound at 99.99% needs E[B] <= 20 ms, i.e.
+a capacity of only 45 msgs/s at rho=0.9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import capacity_for_bound, figure12, normalized_quantile
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    figure = figure12(rho_grid=np.arange(0.3, 0.96, 0.05))
+    banner("Figure 12: waiting time quantiles Q_p[W]/E[B]")
+    report(figure.format())
+    return figure
+
+
+def test_fig12_quantile_at_09_around_50(fig12):
+    values = [normalized_quantile(0.9, cv, 0.9999) for cv in (0.0, 0.2, 0.4)]
+    assert all(40 < v < 52 for v in values)
+
+
+def test_fig12_capacity_consequence(fig12):
+    service_bound, capacity = capacity_for_bound(wait_bound=1.0, quantile_factor=50.0)
+    assert service_bound == pytest.approx(0.02)
+    assert capacity == pytest.approx(45.0)
+
+
+def test_bench_fig12(benchmark, fig12):
+    benchmark(figure12, rho_grid=[0.5, 0.7, 0.9])

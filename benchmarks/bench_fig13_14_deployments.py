@@ -1,0 +1,107 @@
+"""Figures 13/14 — the PSR and SSR deployments, validated behaviourally.
+
+Figures 13 and 14 of the paper are architecture schematics (one JMS
+server per publisher / per subscriber), not data plots.  This bench
+builds both deployments *in full* — every constituent server in one
+simulation engine — drives them with open Poisson load, and verifies the
+structural properties the schematics encode: load splitting (PSR),
+multicast fan-in (SSR), per-server utilization, interconnect traffic and
+the ≤ 75 % gigabit side condition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architectures import (
+    GIGABIT,
+    SystemParameters,
+    simulate_psr_deployment,
+    simulate_ssr_deployment,
+)
+from repro.core import CORRELATION_ID_COSTS
+from repro.testbed import format_table
+
+from conftest import banner, report
+
+MESSAGE_BYTES = 200
+
+
+def make_params():
+    return SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=5,
+        subscribers=8,
+        filters_per_subscriber=4,
+        mean_replication=1.0,
+        rho=0.9,
+    )
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    params = make_params()
+    psr = simulate_psr_deployment(params, utilization=0.8, horizon=600.0)
+    ssr = simulate_ssr_deployment(params, utilization=0.8, horizon=600.0)
+    rows = []
+    for result in (psr, ssr):
+        link_utilization = GIGABIT.utilization(
+            result.interconnect_rate * 1000.0, MESSAGE_BYTES  # undo cpu_scale
+        )
+        rows.append(
+            [
+                result.architecture.upper(),
+                result.servers,
+                f"{result.system_received_rate * 1000:.0f}",
+                f"{result.min_utilization:.2f}-{result.max_utilization:.2f}",
+                f"{result.interconnect_rate * 1000:.0f}",
+                f"{link_utilization:.2%}",
+            ]
+        )
+    banner("Figures 13/14: simulated PSR and SSR deployments (n=5, m=8)")
+    report(
+        format_table(
+            ["architecture", "servers", "system msgs/s", "per-server rho",
+             "interconnect msgs/s", "gigabit load"],
+            rows,
+        )
+    )
+    report(
+        "PSR ships only matched copies; SSR multicasts every message to all"
+        " m subscriber-side servers (8x the interconnect traffic here)."
+    )
+    return psr, ssr
+
+
+def test_psr_has_one_server_per_publisher(deployments):
+    psr, _ = deployments
+    assert psr.servers == 5
+
+
+def test_ssr_has_one_server_per_subscriber(deployments):
+    _, ssr = deployments
+    assert ssr.servers == 8
+
+
+def test_all_servers_near_target_load(deployments):
+    for result in deployments:
+        assert result.max_utilization == pytest.approx(0.8, abs=0.06)
+        assert result.utilization_spread < 0.1
+
+
+def test_ssr_interconnect_is_m_fold(deployments):
+    psr, ssr = deployments
+    ratio = (ssr.interconnect_rate / ssr.system_received_rate) / (
+        psr.interconnect_rate / psr.system_received_rate
+    )
+    assert ratio == pytest.approx(8.0, rel=0.05)
+
+
+def test_bench_psr_deployment(benchmark, deployments):
+    params = make_params()
+    benchmark.pedantic(
+        simulate_psr_deployment,
+        kwargs={"params": params, "utilization": 0.8, "horizon": 200.0},
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""Figure 15 — capacity of distributed JMS architectures (PSR vs. SSR).
+
+Prints the system capacity over the number of publishers for subscriber
+counts m in {10, 100, 1000, 10^4} (E[R]=1, 10 filters per subscriber,
+rho=0.9, correlation-ID costs), the Eq. 23 crossover points, and a
+simulation cross-check of one PSR server's utilization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure15, psr_example_per_server_capacity
+from repro.architectures import (
+    SystemParameters,
+    compare,
+    simulate_psr_server,
+)
+from repro.core import CORRELATION_ID_COSTS
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    figure = figure15(publishers=[1, 10, 100, 1000, 10_000])
+    banner("Figure 15: PSR vs SSR system capacity (msgs/s)")
+    report(figure.format())
+    return figure
+
+
+@pytest.fixture(scope="module")
+def psr_simulation():
+    params = SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=10,
+        subscribers=20,
+        filters_per_subscriber=10,
+        mean_replication=1.0,
+        rho=0.9,
+    )
+    result = simulate_psr_server(params, utilization=0.9, horizon=1500.0, cpu_scale=1000.0)
+    report(
+        f"\nPSR per-server simulation (n=10, m=20): utilization "
+        f"{result.utilization:.3f} (target 0.9), mean wait {result.mean_waiting_time:.3f} s"
+    )
+    return result
+
+
+def test_fig15_psr_wins_for_many_publishers(fig15):
+    psr_big = next(s for s in fig15.series if s.label == "PSR m=10")
+    ssr = fig15.series[0]
+    assert psr_big.y[-1] > ssr.y[-1]  # at n = 10^4
+
+
+def test_fig15_ssr_wins_for_few_publishers_many_subscribers(fig15):
+    params = SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=2,
+        subscribers=10_000,
+        filters_per_subscriber=10,
+        mean_replication=1.0,
+        rho=0.9,
+    )
+    assert compare(params).winner == "ssr"
+
+
+def test_fig15_paper_per_server_example(fig15):
+    assert 1.0 < psr_example_per_server_capacity(10_000) < 10.0
+
+
+def test_fig15_simulation_cross_check(psr_simulation):
+    assert psr_simulation.utilization == pytest.approx(0.9, abs=0.05)
+
+
+def test_bench_fig15(benchmark, fig15):
+    benchmark(figure15, publishers=[1, 10, 100, 1000])

@@ -1,0 +1,47 @@
+"""Figure 4 — overall throughput: simulated measurement vs. Eq. 1 model.
+
+Prints the measured and modelled overall throughput over ``n_fltr`` for
+each replication grade (correlation-ID filtering), mirroring the solid
+(measured) and dashed (model) curves of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure4, measure_grid
+from repro.core import FilterType
+
+from conftest import banner, measurement_grid, report
+
+
+@pytest.fixture(scope="module")
+def fig4(measurement_base):
+    grades, subscribers = measurement_grid()
+    figure = figure4(
+        filter_type=FilterType.CORRELATION_ID,
+        replication_grades=grades,
+        additional_subscribers=subscribers,
+        base=measurement_base,
+    )
+    banner("Figure 4: overall throughput vs n_fltr (measured / model, msgs/s)")
+    report(figure.format())
+    return figure
+
+
+def test_fig4_model_agrees_with_measurement(fig4):
+    # The figure note records the largest relative deviation.
+    note = fig4.notes[0]
+    worst = float(note.rstrip("%").split()[-1].rstrip("%")) / 100
+    assert worst < 0.05
+
+
+def test_bench_fig4_single_cell(benchmark, fig4, measurement_base):
+    """Time measuring one (R, n) grid cell including model pairing."""
+    benchmark(
+        measure_grid,
+        FilterType.CORRELATION_ID,
+        [5],
+        [20],
+        measurement_base,
+    )

@@ -1,0 +1,31 @@
+"""Figure 5 — mean message service time E[B] vs. number of filters.
+
+Prints E[B] over the log filter grid for E[R] in {1, 10, 100, 1000} and
+both filter types (the paper's log-log diagram), then times the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure5
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    figure = figure5(filter_grid=[1, 10, 100, 1000, 10_000])
+    banner("Figure 5: mean service time E[B] (seconds) vs n_fltr")
+    report(figure.format())
+    return figure
+
+
+def test_fig5_orders_of_magnitude(fig5):
+    """The service time ranges over several orders of magnitude."""
+    values = [y for series in fig5.series for y in series.y]
+    assert max(values) / min(values) > 1e3
+
+
+def test_bench_fig5(benchmark, fig5):
+    benchmark(figure5)

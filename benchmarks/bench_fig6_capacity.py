@@ -1,0 +1,32 @@
+"""Figure 6 — server capacity at rho = 0.9 vs. number of filters.
+
+Prints the capacity curves for E[R] in {1, 10, 100, 1000} (correlation-ID
+filtering) and the filter-equivalence observations (E[R]=10 ~ 22 filters,
+E[R]=100 ~ 240 filters).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import equivalence_claims, figure6
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    figure = figure6(filter_grid=[1, 10, 100, 1000, 10_000])
+    banner("Figure 6: server capacity lambda_max (msgs/s) at rho=0.9")
+    report(figure.format())
+    return figure
+
+
+def test_fig6_equivalence_claims(fig6):
+    claims = equivalence_claims()
+    assert round(claims[10.0]) == 22
+    assert round(claims[100.0]) == 240
+
+
+def test_bench_fig6(benchmark, fig6):
+    benchmark(figure6)

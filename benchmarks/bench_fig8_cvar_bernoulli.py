@@ -1,0 +1,31 @@
+"""Figure 8 — service-time variability with scaled-Bernoulli replication.
+
+Prints c_var[B] over the filter grid per match probability and filter
+type, and the asymptotic maximum (the paper's "at most 0.65").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure8, max_bernoulli_cvar
+from repro.core import CORRELATION_ID_COSTS
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    figure = figure8(filter_grid=[1, 10, 100, 1000, 10_000])
+    banner("Figure 8: c_var[B], scaled-Bernoulli replication grade")
+    report(figure.format())
+    return figure
+
+
+def test_fig8_paper_maximum(fig8):
+    peak, _ = max_bernoulli_cvar(CORRELATION_ID_COSTS)
+    assert peak == pytest.approx(0.65, abs=0.01)
+
+
+def test_bench_fig8(benchmark, fig8):
+    benchmark(figure8)

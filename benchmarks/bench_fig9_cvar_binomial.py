@@ -1,0 +1,32 @@
+"""Figure 9 — service-time variability with binomial replication.
+
+Prints c_var[B] over the filter grid per match probability; the binomial's
+independent matching keeps variability an order of magnitude below the
+scaled-Bernoulli case (paper reference values ~0.064 / ~0.033).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import binomial_cvar, figure9
+from repro.core import APP_PROPERTY_COSTS, CORRELATION_ID_COSTS
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    figure = figure9(filter_grid=[1, 10, 100, 1000, 10_000])
+    banner("Figure 9: c_var[B], binomial replication grade")
+    report(figure.format())
+    return figure
+
+
+def test_fig9_reference_values(fig9):
+    assert binomial_cvar(CORRELATION_ID_COSTS, 100, 0.3) == pytest.approx(0.064, abs=0.002)
+    assert binomial_cvar(APP_PROPERTY_COSTS, 100, 0.5) == pytest.approx(0.036, abs=0.004)
+
+
+def test_bench_fig9(benchmark, fig9):
+    benchmark(figure9)

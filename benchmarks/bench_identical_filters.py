@@ -1,0 +1,38 @@
+"""Section III-B.2a — identical vs. distinct non-matching filters.
+
+The paper finds no throughput difference between n identical and n
+distinct non-matching filters (FioranoMQ implements no filter-sharing
+optimization).  Our broker scans filters linearly by design, so the two
+variants must measure identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed import run_experiment
+
+from conftest import banner, report
+
+
+@pytest.fixture(scope="module")
+def variants(measurement_base):
+    base = measurement_base.with_(replication_grade=2, n_additional=40)
+    distinct = run_experiment(base.with_(identical_non_matching=False))
+    identical = run_experiment(base.with_(identical_non_matching=True))
+    banner("Identical vs distinct non-matching filters (overall msgs/s)")
+    report(f"distinct  filters (#1..#40): {distinct.overall_rate_equivalent:10.1f}")
+    report(f"identical filters (all #1) : {identical.overall_rate_equivalent:10.1f}")
+    return distinct, identical
+
+
+def test_no_identical_filter_optimization(variants):
+    distinct, identical = variants
+    assert identical.overall_rate == pytest.approx(distinct.overall_rate, rel=1e-6)
+
+
+def test_bench_identical_filter_run(benchmark, variants, measurement_base):
+    config = measurement_base.with_(
+        replication_grade=2, n_additional=40, identical_non_matching=True
+    )
+    benchmark(run_experiment, config)

@@ -1,0 +1,62 @@
+"""§III-B.1 — the minimum number of publishers that saturates the server.
+
+The paper: "a minimum number of 5 publishers must be installed to fully
+load the JMS server".  With a client-side per-message gap sized so one
+publisher reaches ~22% of server capacity, the received throughput grows
+with the publisher count and plateaus once the server saturates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CORRELATION_ID_COSTS, mean_service_time
+from repro.testbed import format_table, run_experiment
+
+from conftest import banner, report
+
+GAP = 4.5 * mean_service_time(CORRELATION_ID_COSTS, 6, 1.0)
+
+
+@pytest.fixture(scope="module")
+def saturation_curve(measurement_base):
+    results = {}
+    rows = []
+    for publishers in (1, 2, 3, 4, 5, 6, 8):
+        config = measurement_base.with_(
+            replication_grade=1,
+            n_additional=5,
+            publishers=publishers,
+            publisher_min_gap=GAP,
+            buffer_capacity=4,
+        )
+        result = run_experiment(config)
+        results[publishers] = result
+        rows.append(
+            [publishers, f"{result.received_rate_equivalent:.0f}", f"{result.utilization:.1%}"]
+        )
+    banner("Publisher saturation: throughput vs number of publishers")
+    report(format_table(["publishers", "received msgs/s", "server CPU"], rows))
+    return results
+
+
+def test_saturation_reached_by_five_publishers(saturation_curve):
+    assert saturation_curve[1].utilization < 0.5
+    assert saturation_curve[5].utilization >= 0.98
+
+
+def test_plateau_after_saturation(saturation_curve):
+    assert saturation_curve[8].received_rate == pytest.approx(
+        saturation_curve[5].received_rate, rel=0.05
+    )
+
+
+def test_bench_throttled_run(benchmark, saturation_curve, measurement_base):
+    config = measurement_base.with_(
+        replication_grade=1,
+        n_additional=5,
+        publishers=5,
+        publisher_min_gap=GAP,
+        buffer_capacity=4,
+    )
+    benchmark(run_experiment, config)

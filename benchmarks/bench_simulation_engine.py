@@ -1,0 +1,48 @@
+"""Microbenchmarks of the discrete-event substrate.
+
+Times raw event throughput of the engine and the M/G/1 station — the
+figures that bound how much virtual measurement the testbed can afford.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import Engine, Exponential, simulate_mg1
+
+from conftest import report
+
+
+def test_bench_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                engine.call_in(1.0, tick)
+
+        engine.call_in(1.0, tick)
+        engine.run()
+        return count
+
+    result = benchmark(run_10k_events)
+    assert result == 10_000
+    rate = 10_000 / benchmark.stats.stats.mean
+    report(f"\nengine: {rate:,.0f} events/s (wall clock)")
+
+
+def test_bench_mg1_station(benchmark):
+    def run_station():
+        return simulate_mg1(
+            arrival_rate=0.8,
+            service=Exponential(rate=1.0),
+            rng=np.random.default_rng(1),
+            horizon=5_000.0,
+        )
+
+    result = benchmark(run_station)
+    assert result.served > 3000

@@ -1,0 +1,47 @@
+"""Table I — cost constants derived from simulated measurements.
+
+Runs the paper's parameter study on the virtual testbed for both filter
+types, fits ``(t_rcv, t_fltr, t_tx)`` by weighted non-negative least
+squares, and prints the fitted constants next to the Table I reference.
+The benchmark times one saturated measurement run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table1, reproduce_table1
+from repro.core import FilterType
+from repro.testbed import run_experiment
+
+from conftest import banner, measurement_grid, report
+
+
+@pytest.fixture(scope="module")
+def table1_rows(measurement_base):
+    grades, subscribers = measurement_grid()
+    rows = reproduce_table1(
+        filter_types=(FilterType.CORRELATION_ID, FilterType.APP_PROPERTY),
+        replication_grades=grades,
+        additional_subscribers=subscribers,
+        base=measurement_base,
+    )
+    banner("Table I: message processing overheads (fitted vs reference)")
+    report(format_table1(rows))
+    for row in rows:
+        report(
+            f"{row.filter_type}: fit over {row.fit.observations} runs, "
+            f"max relative error {row.max_relative_error:.2%}, "
+            f"residual RMS {row.fit.residual_rms:.2e} s"
+        )
+    return rows
+
+def test_table1_constants_recovered(table1_rows):
+    for row in table1_rows:
+        assert row.max_relative_error < 0.10
+
+
+def test_bench_measurement_run(benchmark, table1_rows, measurement_base):
+    """Time one saturated measurement run (the sweep's unit of work)."""
+    config = measurement_base.with_(replication_grade=5, n_additional=20)
+    benchmark(run_experiment, config)

@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module reproduces one table or figure of the paper and
+*prints* the series it regenerates (so the harness output can be compared
+with the paper side by side), then times the computation with
+pytest-benchmark.  Reports are written through :func:`report`, which
+bypasses pytest's capture so the series are always visible.
+
+Environment
+-----------
+Set ``REPRO_FULL=1`` to run the measurement benches on the paper's full
+(R, n) grid with the paper's 100 s windows; the default is a reduced grid
+sized for a quick run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testbed import ExperimentConfig
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Reproduction output accumulated during the run; flushed to the terminal
+#: after the test summary (pytest captures stdout during tests).
+_REPORT_LINES: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue reproduction output for the end-of-run summary."""
+    _REPORT_LINES.extend(text.split("\n"))
+
+
+def banner(title: str) -> None:
+    report("\n" + "=" * 72)
+    report(title)
+    report("=" * 72)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORT_LINES:
+        return
+    terminalreporter.section("paper reproduction output")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def measurement_base() -> ExperimentConfig:
+    """Base config for simulated measurements (full or reduced fidelity)."""
+    if FULL:
+        return ExperimentConfig(run_length=100.0, trim=5.0, cpu_scale=50.0)
+    return ExperimentConfig.calibration_preset()
+
+
+def measurement_grid() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(replication grades, additional subscribers) for the sweep."""
+    if FULL:
+        return (1, 2, 5, 10, 20, 40), (5, 10, 20, 40, 80, 160)
+    return (1, 5, 20), (5, 20, 80)

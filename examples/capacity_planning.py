@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capacity planning with the throughput model (Section IV-A).
+
+Given an application scenario (filter type, installed filters, expected
+replication), this tool prints the predicted service time, the server
+capacity at several utilization budgets, and filter-configuration
+recommendations from the Eq. 3 criterion — the "especially useful in
+practice" use of the paper's formula.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    equivalent_filters,
+    max_match_probability,
+    max_useful_filters,
+    mean_service_time,
+    predict_throughput,
+    server_capacity,
+)
+from repro.testbed import format_table
+
+
+def scenario_table() -> None:
+    print("=== Predicted capacity per application scenario ===")
+    scenarios = [
+        # (label, costs, n_fltr, E[R])
+        ("small fan-out, few filters", CORRELATION_ID_COSTS, 10, 1.0),
+        ("chat rooms", CORRELATION_ID_COSTS, 100, 5.0),
+        ("market data fan-out", CORRELATION_ID_COSTS, 100, 50.0),
+        ("content routing (selectors)", APP_PROPERTY_COSTS, 100, 5.0),
+        ("large subscriber base", CORRELATION_ID_COSTS, 5000, 2.0),
+        ("broadcast, no filters", CORRELATION_ID_COSTS, 0, 1000.0),
+    ]
+    rows = []
+    for label, costs, n_fltr, e_r in scenarios:
+        e_b = mean_service_time(costs, n_fltr, e_r)
+        cap90 = server_capacity(costs, n_fltr, e_r, rho=0.9)
+        overall = predict_throughput(costs, n_fltr, e_r, rho=0.9).overall
+        rows.append(
+            [label, str(costs.filter_type), n_fltr, e_r, f"{e_b * 1e6:.1f}",
+             f"{cap90:.0f}", f"{overall:.0f}"]
+        )
+    print(
+        format_table(
+            ["scenario", "filter type", "n_fltr", "E[R]", "E[B] (us)",
+             "recv msgs/s @90%", "overall msgs/s"],
+            rows,
+        )
+    )
+
+
+def filter_recommendations() -> None:
+    print("\n=== Filter configuration advice (Eq. 3) ===")
+    for costs, tag in ((CORRELATION_ID_COSTS, "correlation-ID"), (APP_PROPERTY_COSTS, "app-property")):
+        print(f"  {tag} filtering:")
+        limit = max_useful_filters(costs)
+        print(f"    at most {limit} filter(s) per consumer can ever pay off")
+        for n in range(1, limit + 1):
+            print(
+                f"    {n} filter(s) help iff the consumer receives less than "
+                f"{max_match_probability(costs, n):.1%} of all messages"
+            )
+
+
+def replication_equivalence() -> None:
+    print("\n=== What does replication cost in filter currency? ===")
+    for e_r in (2.0, 10.0, 100.0):
+        filters = equivalent_filters(CORRELATION_ID_COSTS, e_r)
+        print(
+            f"  E[R]={e_r:5.0f} without filters slows the server like "
+            f"{filters:6.1f} extra correlation-ID filters at E[R]=1"
+        )
+
+
+if __name__ == "__main__":
+    scenario_table()
+    filter_recommendations()
+    replication_equivalence()

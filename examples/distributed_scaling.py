@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Choosing a distributed JMS architecture (Section IV-C).
+
+Given publishers, subscribers and filters, compares the single-server
+baseline with publisher-side (PSR) and subscriber-side (SSR) replication:
+capacity, network traffic and per-server waiting time — and gives the
+Eq. 23 recommendation.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from repro.architectures import (
+    PublisherSideReplication,
+    SingleServer,
+    SubscriberSideReplication,
+    SystemParameters,
+    compare,
+)
+from repro.core import CORRELATION_ID_COSTS, DeterministicReplication
+from repro.testbed import format_table
+
+
+def evaluate(n: int, m: int) -> None:
+    params = SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=n,
+        subscribers=m,
+        filters_per_subscriber=10,
+        replication=DeterministicReplication(1),
+        rho=0.9,
+    )
+    architectures = [
+        SingleServer(params),
+        PublisherSideReplication(params),
+        SubscriberSideReplication(params),
+    ]
+    print(f"\n=== n = {n} publishers, m = {m} subscribers ===")
+    rows = []
+    for arch in architectures:
+        capacity = arch.system_capacity()
+        # Evaluate each architecture at 80% of its own capacity.
+        rate = 0.8 * capacity
+        queue = arch.per_server_queue(rate)
+        rows.append(
+            [
+                arch.name,
+                arch.server_count(),
+                f"{capacity:.0f}",
+                f"{arch.network_traffic(rate):.0f}",
+                f"{queue.mean_wait * 1e3:.2f}",
+                f"{queue.wait_quantile(0.9999) * 1e3:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["architecture", "servers", "capacity msgs/s",
+             "net msgs/s @80%", "E[W] ms", "Q99.99 ms"],
+            rows,
+        )
+    )
+    comparison = compare(params)
+    print(
+        f"  Eq. 23: PSR beats SSR above n = {comparison.crossover_publishers:.1f} "
+        f"publishers -> winner here: {comparison.winner.upper()}"
+    )
+
+
+def paper_warning_case() -> None:
+    print("\n=== The paper's warning: PSR with m = 10^4 subscribers ===")
+    params = SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=1000,
+        subscribers=10_000,
+        filters_per_subscriber=10,
+        replication=DeterministicReplication(1),
+        rho=0.9,
+    )
+    psr = PublisherSideReplication(params)
+    per_server = psr.per_server_capacity()
+    queue = psr.per_server_queue(psr.system_capacity())
+    print(f"  system capacity:      {psr.system_capacity():8.0f} msgs/s (looks great)")
+    print(f"  per-server capacity:  {per_server:8.2f} msgs/s (it is not)")
+    print(f"  per-server mean wait: {queue.mean_wait:8.2f} s")
+    print(f"  per-server Q99.99:    {queue.wait_quantile(0.9999):8.2f} s")
+    print("  -> a large m starves each publisher-side server; waiting times explode.")
+
+
+if __name__ == "__main__":
+    evaluate(n=10, m=100)
+    evaluate(n=1000, m=100)
+    evaluate(n=5, m=10_000)
+    paper_warning_case()

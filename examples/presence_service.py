@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a presence service over JMS.
+
+User devices publish presence updates; users subscribe to the presence of
+their friends (persistent, non-durable — only online users get updates).
+This example sizes such a system with the paper's model and then *runs*
+it on the simulated testbed to confirm the prediction.
+
+Run:  python examples/presence_service.py
+"""
+
+import numpy as np
+
+from repro.broker import Broker, Message, PropertyFilter
+from repro.core import (
+    CORRELATION_ID_COSTS,
+    APP_PROPERTY_COSTS,
+    BinomialReplication,
+    MG1Queue,
+    ServiceTimeModel,
+    filters_increase_capacity,
+    max_match_probability,
+    server_capacity,
+)
+
+USERS = 200
+FRIENDS_PER_USER = 10
+UPDATES_PER_USER_PER_MIN = 2.0
+
+
+def functional_demo() -> None:
+    """A miniature presence service on the real broker."""
+    print("=== Functional demo: 5 users, friend lists on selectors ===")
+    broker = Broker(topics=["presence"])
+    friends = {
+        "alice": ["bob", "carol"],
+        "bob": ["alice"],
+        "carol": ["alice", "dave"],
+        "dave": ["carol", "erin"],
+        "erin": ["dave"],
+    }
+    subscribers = {}
+    for user, friend_list in friends.items():
+        subscriber = broker.add_subscriber(user)
+        selector = " OR ".join(f"user = '{friend}'" for friend in friend_list)
+        broker.subscribe(subscriber, "presence", PropertyFilter(selector))
+        subscribers[user] = subscriber
+
+    # Dave goes online; carol and erin have him in their friend list.
+    broker.publish(
+        Message(topic="presence", properties={"user": "dave", "status": "online"})
+    )
+    for user, subscriber in subscribers.items():
+        update = subscriber.receive()
+        if update:
+            props = update.message.properties
+            print(f"  {user} sees: {props['user']} is {props['status']}")
+
+
+def capacity_plan() -> None:
+    """Size the full system with the paper's model."""
+    print(f"\n=== Capacity plan: {USERS} users, {FRIENDS_PER_USER} friends each ===")
+    n_fltr = USERS  # one property filter per user (their friend list)
+    # A presence update matches the filters of the friends of the sender:
+    mean_replication = float(FRIENDS_PER_USER)
+    p_match = FRIENDS_PER_USER / USERS
+
+    update_rate = USERS * UPDATES_PER_USER_PER_MIN / 60.0
+    capacity = server_capacity(APP_PROPERTY_COSTS, n_fltr, mean_replication, rho=0.9)
+    print(f"  offered load:     {update_rate:8.1f} updates/s")
+    print(f"  server capacity:  {capacity:8.1f} updates/s (rho = 0.9)")
+    print(f"  headroom:         {capacity / update_rate:8.1f}x")
+
+    # Should users install filters at all?  (Eq. 3)
+    helps = filters_increase_capacity(APP_PROPERTY_COSTS, 1, p_match)
+    threshold = max_match_probability(APP_PROPERTY_COSTS, 1)
+    print(
+        f"  friend-filter match probability {p_match:.1%} vs threshold "
+        f"{threshold:.1%}: filters {'increase' if helps else 'decrease'} capacity"
+    )
+
+    # Waiting time at the offered load (M/G/1 with binomial matching):
+    model = ServiceTimeModel(
+        APP_PROPERTY_COSTS, n_fltr, BinomialReplication(n_fltr, p_match)
+    )
+    queue = MG1Queue(update_rate, model.moments)
+    print(f"  utilization at offered load: {queue.utilization:.1%}")
+    print(f"  mean update delay:           {queue.mean_wait * 1e3:.3f} ms")
+    print(f"  99.99% update delay:        {queue.wait_quantile(0.9999) * 1e3:.3f} ms")
+
+
+def simulated_check() -> None:
+    """Run the sized system on the virtual testbed and compare."""
+    from repro.architectures import simulate_server_under_load
+
+    print("\n=== Simulation cross-check (open Poisson load) ===")
+    scale = 200.0  # slow the virtual CPU to keep the run small
+    update_rate = USERS * UPDATES_PER_USER_PER_MIN / 60.0
+    result = simulate_server_under_load(
+        costs=APP_PROPERTY_COSTS,
+        n_fltr=USERS,
+        replication_grade=FRIENDS_PER_USER,
+        arrival_rate=update_rate / scale,
+        horizon=3000.0,
+        seed=7,
+        cpu_scale=scale,
+    )
+    print(f"  simulated utilization: {result.utilization:.1%}")
+    print(f"  simulated mean delay:  {result.mean_waiting_time / scale * 1e3:.3f} ms (unscaled)")
+    print(f"  updates simulated:     {result.messages_received}")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    capacity_plan()
+    simulated_check()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: the broker, the model, and the waiting-time analysis.
+
+Three things in two minutes:
+
+1. run the JMS-style broker in-process (publish/subscribe with filters);
+2. predict a server's capacity for that workload with the paper's model
+   (Eq. 1 / Eq. 2, Table I constants);
+3. compute the message waiting time at a target load (M/G/1, Eqs. 4-20).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.broker import Broker, CorrelationIdFilter, Message, PropertyFilter
+from repro.core import (
+    CORRELATION_ID_COSTS,
+    BinomialReplication,
+    MG1Queue,
+    ServiceTimeModel,
+    server_capacity,
+)
+
+
+def broker_demo() -> None:
+    print("=== 1. An in-process JMS-style broker ===")
+    broker = Broker(topics=["orders"])
+
+    # One subscriber filters on the correlation ID (cheap), one on message
+    # properties via a SQL-92 selector (more expressive, more costly).
+    audit = broker.add_subscriber("audit")
+    broker.subscribe(audit, "orders", CorrelationIdFilter("[1000;1999]"))
+
+    eu_sales = broker.add_subscriber("eu-sales")
+    broker.subscribe(
+        eu_sales, "orders", PropertyFilter("region = 'EU' AND amount > 100")
+    )
+
+    result = broker.publish(
+        Message(
+            topic="orders",
+            correlation_id="1042",
+            properties={"region": "EU", "amount": 250},
+        )
+    )
+    print(f"filters evaluated: {result.filters_evaluated}")
+    print(f"replication grade: {result.replication_grade}")
+    print(f"audit inbox:    {audit.receive().message.correlation_id}")
+    print(f"eu-sales inbox: {eu_sales.receive().message.properties}")
+
+
+def capacity_demo() -> None:
+    print("\n=== 2. Predicting server capacity (Eqs. 1-2) ===")
+    n_fltr = 500  # filters installed on the server
+    mean_replication = 3.0  # average copies per message
+    for rho in (0.9, 1.0):
+        capacity = server_capacity(
+            CORRELATION_ID_COSTS, n_fltr, mean_replication, rho=rho
+        )
+        print(
+            f"  {n_fltr} corr-ID filters, E[R]={mean_replication}: "
+            f"{capacity:8.0f} msgs/s at {rho:.0%} CPU"
+        )
+
+
+def waiting_time_demo() -> None:
+    print("\n=== 3. Message waiting time at 90% load (M/G/1) ===")
+    model = ServiceTimeModel(
+        CORRELATION_ID_COSTS,
+        n_fltr=500,
+        replication=BinomialReplication(n_fltr=500, p_match=3.0 / 500),
+    )
+    queue = MG1Queue.from_utilization(0.9, model.moments)
+    print(f"  mean service time E[B]: {model.mean * 1e3:.2f} ms (c_var {model.cvar:.3f})")
+    print(f"  mean wait E[W]:         {queue.mean_wait * 1e3:.2f} ms")
+    print(f"  99%    of messages wait < {queue.wait_quantile(0.99) * 1e3:.1f} ms")
+    print(f"  99.99% of messages wait < {queue.wait_quantile(0.9999) * 1e3:.1f} ms")
+    print(f"  buffer for 99.99% no-loss: {queue.buffer_for_quantile(0.9999):.0f} messages")
+
+
+if __name__ == "__main__":
+    broker_demo()
+    capacity_demo()
+    waiting_time_demo()

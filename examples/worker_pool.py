@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Beyond the paper: queues, competing consumers and topic hierarchies.
+
+The paper studies the publish/subscribe domain; a complete JMS-style
+broker also offers point-to-point *queues* (each message consumed by
+exactly one worker) and, in modern brokers, hierarchical topics with
+wildcard subscriptions.  This example shows both extensions:
+
+1. a worker pool draining a job queue with selector-based routing and
+   crash-safe redelivery;
+2. wildcard subscriptions over a topic hierarchy.
+
+Run:  python examples/worker_pool.py
+"""
+
+from repro.broker import (
+    Message,
+    PointToPointQueue,
+    PropertyFilter,
+    QueueConsumer,
+    TopicPattern,
+    TopicTrie,
+)
+
+
+def worker_pool_demo() -> None:
+    print("=== 1. Competing consumers on a job queue ===")
+    jobs = PointToPointQueue("render-jobs")
+    workers = [QueueConsumer(f"worker-{i}") for i in range(3)]
+    for worker in workers:
+        jobs.attach(worker)
+
+    for frame in range(9):
+        jobs.send(Message(topic="render-jobs", properties={"frame": frame}))
+
+    for worker in workers:
+        frames = [d.message.properties["frame"] for d in list(worker.inbox)]
+        print(f"  {worker.name} got frames {frames}")
+    print(f"  queue depth after dispatch: {jobs.depth}")
+
+    # Selector-based specialisation: a GPU worker takes only large jobs.
+    gpu_jobs = PointToPointQueue("gpu-jobs")
+    gpu = QueueConsumer("gpu-worker", PropertyFilter("pixels >= 1000000"))
+    cpu = QueueConsumer("cpu-worker", PropertyFilter("pixels < 1000000"))
+    gpu_jobs.attach(gpu)
+    gpu_jobs.attach(cpu)
+    gpu_jobs.send(Message(topic="gpu-jobs", properties={"pixels": 8_000_000}))
+    gpu_jobs.send(Message(topic="gpu-jobs", properties={"pixels": 1000}))
+    print(f"  gpu-worker inbox: {len(gpu.inbox)}, cpu-worker inbox: {len(cpu.inbox)}")
+
+
+def crash_recovery_demo() -> None:
+    print("\n=== 2. Crash-safe redelivery (unacked messages return) ===")
+    jobs = PointToPointQueue("jobs")
+    flaky = QueueConsumer("flaky")
+    jobs.attach(flaky)
+    jobs.send(Message(topic="jobs", properties={"id": 1}))
+    delivery = flaky.receive()  # taken... and the worker crashes
+    print(f"  flaky took job {delivery.message.properties['id']} and died (no ack)")
+    recovered = jobs.detach(flaky)
+    print(f"  queue recovered {recovered} message(s)")
+
+    steady = QueueConsumer("steady")
+    jobs.attach(steady)
+    redelivery = steady.receive()
+    print(
+        f"  steady received job {redelivery.message.properties['id']} "
+        f"(redelivered={redelivery.redelivered})"
+    )
+    steady.ack(redelivery)
+
+
+def hierarchy_demo() -> None:
+    print("\n=== 3. Hierarchical topics with wildcards ===")
+    index: TopicTrie[str] = TopicTrie()
+    index.insert("sports.#", "sports-fan")
+    index.insert("sports.*.news", "news-digest")
+    index.insert("sports.football.scores", "score-ticker")
+    index.insert("#", "audit-log")
+
+    for topic in (
+        "sports.football.news",
+        "sports.football.scores",
+        "sports.tennis.news",
+        "weather.today",
+    ):
+        subscribers = sorted(index.lookup(topic))
+        print(f"  {topic:28s} -> {', '.join(subscribers)}")
+
+    pattern = TopicPattern("sports.*.news")
+    print(f"  pattern {pattern} matches sports.golf.news: "
+          f"{pattern.matches('sports.golf.news')}")
+
+
+if __name__ == "__main__":
+    worker_pool_demo()
+    crash_recovery_demo()
+    hierarchy_demo()

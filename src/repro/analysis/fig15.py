@@ -1,0 +1,104 @@
+"""Figure 15: capacity of PSR vs. SSR distributed architectures.
+
+System capacity over the number of publishers ``n`` (log–log) for
+subscriber counts ``m ∈ {10, 100, 1000, 10⁴}``, with ``E[R] = 1``,
+``n_fltr = 10`` filters per subscriber, ρ = 0.9 and correlation-ID
+filtering.  SSR is a horizontal line (independent of ``n`` and ``m``);
+PSR rises linearly in ``n`` and falls roughly reciprocally in ``m``.
+The crossovers follow Eq. 23.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..architectures import (
+    PublisherSideReplication,
+    SubscriberSideReplication,
+    SystemParameters,
+    crossover_publishers,
+)
+from ..core.params import CORRELATION_ID_COSTS, CostParameters
+from .series import FigureData
+
+__all__ = ["figure15", "psr_example_per_server_capacity", "DEFAULT_SUBSCRIBER_COUNTS"]
+
+DEFAULT_SUBSCRIBER_COUNTS = (10, 100, 1000, 10_000)
+
+
+def _params(
+    n: int, m: int, costs: CostParameters, rho: float, filters_per_subscriber: int
+) -> SystemParameters:
+    return SystemParameters(
+        costs=costs,
+        publishers=n,
+        subscribers=m,
+        filters_per_subscriber=filters_per_subscriber,
+        mean_replication=1.0,
+        rho=rho,
+    )
+
+
+def publisher_grid(low: int = 1, high: int = 10_000, points: int = 33) -> np.ndarray:
+    grid = np.unique(np.round(np.logspace(np.log10(low), np.log10(high), points)))
+    return grid.astype(int)
+
+
+def psr_example_per_server_capacity(
+    m: int = 10_000,
+    costs: CostParameters = CORRELATION_ID_COSTS,
+    rho: float = 0.9,
+    filters_per_subscriber: int = 10,
+) -> float:
+    """Capacity of one publisher-side server at ``m`` subscribers.
+
+    The paper's example: at ``m = 10⁴`` a single PSR server is so slow
+    (the paper quotes ≈ 7 msgs/s; the stated parameters give ≈ 1.3 msgs/s
+    — see EXPERIMENTS.md) that waiting times of seconds arise.
+    """
+    params = _params(8, m, costs, rho, filters_per_subscriber)
+    return PublisherSideReplication(params).per_server_capacity()
+
+
+def figure15(
+    subscriber_counts: Sequence[int] = DEFAULT_SUBSCRIBER_COUNTS,
+    publishers: Sequence[int] | None = None,
+    costs: CostParameters = CORRELATION_ID_COSTS,
+    rho: float = 0.9,
+    filters_per_subscriber: int = 10,
+) -> FigureData:
+    """Compute the Fig. 15 capacity curves."""
+    n_grid = np.asarray(publishers if publishers is not None else publisher_grid())
+    figure = FigureData(
+        figure_id="fig15",
+        title="Distributed JMS capacity: PSR vs SSR",
+        x_label="number of publishers n",
+        y_label="system capacity (msgs/s)",
+    )
+    ssr = SubscriberSideReplication(
+        _params(1, int(subscriber_counts[0]), costs, rho, filters_per_subscriber)
+    )
+    figure.add(
+        "SSR (any n, m)",
+        n_grid.tolist(),
+        [ssr.system_capacity()] * len(n_grid),
+    )
+    for m in subscriber_counts:
+        values = [
+            PublisherSideReplication(
+                _params(int(n), int(m), costs, rho, filters_per_subscriber)
+            ).system_capacity()
+            for n in n_grid
+        ]
+        figure.add(f"PSR m={m}", n_grid.tolist(), values)
+        crossover = crossover_publishers(
+            _params(1, int(m), costs, rho, filters_per_subscriber)
+        )
+        figure.note(f"PSR overtakes SSR at n > {crossover:.1f} for m={m}")
+    figure.note(
+        f"per-server PSR capacity at m=10^4: "
+        f"{psr_example_per_server_capacity(10_000, costs, rho, filters_per_subscriber):.2f} msgs/s"
+    )
+    return figure

@@ -1,0 +1,86 @@
+"""Figure 4: measured vs. modelled throughput on the simulated testbed.
+
+For the paper's ``(R, n)`` grid, the overall message throughput (received
+plus dispatched msgs/s) is *measured* by saturated runs on the virtual
+testbed and *predicted* by Eq. 1 with the Table I constants.  The paper's
+observation — model and measurement agree for all filter counts and
+replication grades — is reproduced here by construction of the CPU model,
+which makes the run a true end-to-end check of the whole broker/testbed
+pipeline (matching, push-back, windowed counting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.capacity import predict_throughput
+from ..core.params import FilterType, costs_for
+from ..testbed import ExperimentConfig, MeasurementResult, run_experiment
+from .series import FigureData
+
+__all__ = ["figure4", "Fig4Point", "measure_grid"]
+
+
+class Fig4Point:
+    """One grid cell: measured and modelled overall throughput."""
+
+    def __init__(self, result: MeasurementResult):
+        config = result.config
+        self.replication_grade = config.replication_grade
+        self.n_fltr = config.n_fltr
+        self.measured_overall = result.overall_rate_equivalent
+        prediction = predict_throughput(
+            costs_for(config.filter_type),
+            config.n_fltr,
+            float(config.replication_grade),
+            rho=result.utilization,
+        )
+        self.model_overall = prediction.overall
+        self.utilization = result.utilization
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.measured_overall - self.model_overall) / self.model_overall
+
+
+def measure_grid(
+    filter_type: FilterType,
+    replication_grades: Sequence[int],
+    additional_subscribers: Sequence[int],
+    base: ExperimentConfig | None = None,
+) -> List[Fig4Point]:
+    """Run the grid and pair each measurement with its model prediction."""
+    if base is None:
+        base = ExperimentConfig(filter_type=filter_type)
+    points = []
+    for r in replication_grades:
+        for n in additional_subscribers:
+            config = base.with_(
+                filter_type=filter_type, replication_grade=r, n_additional=n
+            )
+            points.append(Fig4Point(run_experiment(config)))
+    return points
+
+
+def figure4(
+    filter_type: FilterType = FilterType.CORRELATION_ID,
+    replication_grades: Sequence[int] = (1, 2, 5, 10, 20, 40),
+    additional_subscribers: Sequence[int] = (5, 10, 20, 40, 80, 160),
+    base: ExperimentConfig | None = None,
+) -> FigureData:
+    """Compute measured and model curves of Fig. 4."""
+    figure = FigureData(
+        figure_id="fig4",
+        title=f"Overall throughput, measured vs model ({filter_type})",
+        x_label="number of filters n_fltr = n + R",
+        y_label="overall throughput (msgs/s)",
+    )
+    worst = 0.0
+    for r in replication_grades:
+        points = measure_grid(filter_type, [r], additional_subscribers, base=base)
+        xs = [p.n_fltr for p in points]
+        figure.add(f"measured R={r}", xs, [p.measured_overall for p in points])
+        figure.add(f"model    R={r}", xs, [p.model_overall for p in points])
+        worst = max(worst, max(p.relative_error for p in points))
+    figure.note(f"largest relative deviation model vs measurement: {worst:.3%}")
+    return figure

@@ -1,0 +1,50 @@
+"""Figure 6: server capacity vs. number of filters (ρ = 0.9).
+
+``λ_max = ρ / E[B]`` (Eq. 2) over the filter grid for
+``E[R] ∈ {1, 10, 100, 1000}`` with correlation-ID filtering, plus the
+paper's capacity-equivalence observations: replication ``E[R] = 10`` (100)
+without filters costs as much as ``E[R] = 1`` with ≈ 22 (240) filters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.capacity import equivalent_filters, server_capacity
+from ..core.params import CORRELATION_ID_COSTS, CostParameters
+from .fig5 import DEFAULT_REPLICATION_GRADES, log_filter_grid
+from .series import FigureData
+
+__all__ = ["figure6", "equivalence_claims"]
+
+
+def figure6(
+    costs: CostParameters = CORRELATION_ID_COSTS,
+    replication_grades: Sequence[float] = DEFAULT_REPLICATION_GRADES,
+    filter_grid: Sequence[int] | None = None,
+    rho: float = 0.9,
+) -> FigureData:
+    """Compute the Fig. 6 capacity curves."""
+    grid = np.asarray(filter_grid if filter_grid is not None else log_filter_grid())
+    figure = FigureData(
+        figure_id="fig6",
+        title=f"Server capacity at rho={rho} ({costs.filter_type})",
+        x_label="number of filters n_fltr",
+        y_label="capacity lambda_max (msgs/s)",
+    )
+    for grade in replication_grades:
+        values = [server_capacity(costs, int(n), grade, rho=rho) for n in grid]
+        figure.add(f"E[R]={grade:g}", grid.tolist(), values)
+    for grade, expected in equivalence_claims(costs).items():
+        figure.note(
+            f"E[R]={grade:g} without filters reduces capacity like E[R]=1 with "
+            f"{expected:.1f} filters"
+        )
+    return figure
+
+
+def equivalence_claims(costs: CostParameters = CORRELATION_ID_COSTS) -> dict[float, float]:
+    """The paper's filter-equivalence numbers (≈ 22 and ≈ 240)."""
+    return {grade: equivalent_filters(costs, grade) for grade in (10.0, 100.0)}

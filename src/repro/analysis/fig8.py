@@ -1,0 +1,83 @@
+"""Figure 8: service-time variability under scaled-Bernoulli replication.
+
+``c_var[B]`` vs. ``n_fltr`` for match probabilities ``p_match`` and both
+filter types, with ``R`` scaled-Bernoulli distributed (all filters match
+or none).  The curves converge, for growing ``n_fltr``, to filter-type and
+``p_match``-dependent limits of at most ≈ 0.65.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..core.params import APP_PROPERTY_COSTS, CORRELATION_ID_COSTS, CostParameters
+from ..core.replication import ScaledBernoulliReplication
+from ..core.service_time import ServiceTimeModel
+from .fig5 import log_filter_grid
+from .series import FigureData
+
+__all__ = ["figure8", "bernoulli_cvar_limit", "max_bernoulli_cvar"]
+
+DEFAULT_MATCH_PROBABILITIES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def bernoulli_cvar_limit(costs: CostParameters, p_match: float) -> float:
+    """``lim_{n→∞} c_var[B]`` for scaled-Bernoulli replication.
+
+    With ``R = n·Bernoulli(p)``: ``E[B] → n·(t_fltr + p·t_tx)`` and
+    ``Std[B] = n·t_tx·sqrt(p(1−p))``, so the limit is
+    ``t_tx·sqrt(p(1−p)) / (t_fltr + p·t_tx)``.
+    """
+    if not 0 <= p_match <= 1:
+        raise ValueError(f"p_match must be in [0, 1], got {p_match}")
+    return (
+        costs.t_tx
+        * math.sqrt(p_match * (1 - p_match))
+        / (costs.t_fltr + p_match * costs.t_tx)
+    )
+
+
+def max_bernoulli_cvar(costs: CostParameters) -> tuple[float, float]:
+    """The largest asymptotic ``c_var[B]`` over all ``p_match``.
+
+    The paper observes "at most 0.65" (correlation-ID filtering); returns
+    ``(max_limit, argmax p_match)``.
+    """
+    result = minimize_scalar(
+        lambda p: -bernoulli_cvar_limit(costs, p),
+        bounds=(1e-9, 1 - 1e-9),
+        method="bounded",
+    )
+    return -float(result.fun), float(result.x)
+
+
+def figure8(
+    match_probabilities: Sequence[float] = DEFAULT_MATCH_PROBABILITIES,
+    filter_grid: Sequence[int] | None = None,
+) -> FigureData:
+    """Compute the Fig. 8 variability curves."""
+    grid = np.asarray(filter_grid if filter_grid is not None else log_filter_grid())
+    figure = FigureData(
+        figure_id="fig8",
+        title="c_var[B] with scaled-Bernoulli replication grade",
+        x_label="number of filters n_fltr",
+        y_label="c_var[B]",
+    )
+    for costs, tag in ((CORRELATION_ID_COSTS, "corrID"), (APP_PROPERTY_COSTS, "appProp")):
+        for p in match_probabilities:
+            values = [
+                ServiceTimeModel(
+                    costs, int(n), ScaledBernoulliReplication(int(n), p)
+                ).cvar
+                for n in grid
+            ]
+            figure.add(f"{tag} p={p:g}", grid.tolist(), values)
+        peak, argmax = max_bernoulli_cvar(costs)
+        figure.note(
+            f"{tag}: asymptotic c_var[B] is at most {peak:.3f} (at p_match={argmax:.3f})"
+        )
+    return figure

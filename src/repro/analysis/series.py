@@ -1,0 +1,54 @@
+"""Common containers for reproduced figures and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..testbed.tables import format_series
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve of a figure."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x and y lengths differ ({len(self.x)} vs {len(self.y)})"
+            )
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, ready to print or plot."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        self.series.append(Series(label, list(x), list(y)))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def format(self) -> str:
+        lines = [
+            f"== {self.figure_id}: {self.title} ==",
+            f"   x = {self.x_label}; y = {self.y_label}",
+        ]
+        for series in self.series:
+            lines.append(format_series(series.label, series.x, series.y))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Scenario search for the waiting-time parameter study (Figs. 10–12).
+
+The paper's waiting-time diagrams are parameterised by the service-time
+coefficient of variation ``c_var[B] ∈ {0, 0.2, 0.4}``.  To build a concrete
+service-time model achieving a requested ``c_var[B]`` we search the
+scenario space: pick the number of filters ``n_fltr`` and solve for the
+match probability ``p_match`` of the chosen replication family
+(deterministic replication always yields ``c_var[B] = 0``).
+
+The returned :class:`~repro.core.service_time.ServiceTimeModel` is exactly
+consistent (its analytic moments hit the target) *and* sampleable, so the
+same object feeds both the closed-form M/G/1 analysis and the validating
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from scipy.optimize import brentq, minimize_scalar
+
+from ..core.params import CostParameters
+from ..core.replication import (
+    BinomialReplication,
+    DeterministicReplication,
+    ReplicationModel,
+    ScaledBernoulliReplication,
+)
+from ..core.service_time import ReplicationFamily, ServiceTimeModel
+
+__all__ = ["service_model_for_cvar", "max_cvar_for_filters"]
+
+_N_FLTR_CANDIDATES = (1, 2, 3, 5, 8, 10, 16, 25, 40, 63, 100, 160, 250, 400, 630, 1000)
+
+
+def _make_replication(family: ReplicationFamily, n_fltr: int, p: float) -> ReplicationModel:
+    if family is ReplicationFamily.SCALED_BERNOULLI:
+        return ScaledBernoulliReplication(n_fltr=n_fltr, p_match=p)
+    if family is ReplicationFamily.BINOMIAL:
+        return BinomialReplication(n_fltr=n_fltr, p_match=p)
+    raise ValueError(f"family {family} has no tunable match probability")
+
+
+def _cvar_at(costs: CostParameters, family: ReplicationFamily, n_fltr: int, p: float) -> float:
+    model = ServiceTimeModel(costs, n_fltr, _make_replication(family, n_fltr, p))
+    return model.cvar
+
+
+def max_cvar_for_filters(
+    costs: CostParameters, family: ReplicationFamily, n_fltr: int
+) -> tuple[float, float]:
+    """Maximum achievable ``c_var[B]`` over ``p_match`` and its argmax.
+
+    Returns ``(max_cvar, p_at_max)``.  ``c_var[B](p)`` is 0 at both ends
+    (``p → 0`` leaves the constant part, ``p = 1`` is deterministic for the
+    scaled Bernoulli; for the binomial the variance vanishes at both ends
+    too) and unimodal in between.
+    """
+    result = minimize_scalar(
+        lambda p: -_cvar_at(costs, family, n_fltr, p),
+        bounds=(1e-9, 1 - 1e-9),
+        method="bounded",
+        options={"xatol": 1e-12},
+    )
+    return -float(result.fun), float(result.x)
+
+
+def service_model_for_cvar(
+    costs: CostParameters,
+    target_cvar: float,
+    family: ReplicationFamily = ReplicationFamily.BINOMIAL,
+    n_fltr: Optional[int] = None,
+    prefer_high_match: bool = True,
+) -> ServiceTimeModel:
+    """Find a scenario whose service time has the requested ``c_var[B]``.
+
+    Parameters
+    ----------
+    costs:
+        Cost constants (filter type) of the scenario.
+    target_cvar:
+        Desired coefficient of variation of ``B``; 0 returns a
+        deterministic-replication model.
+    family:
+        Replication family to tune (Bernoulli reaches ≈ 0.65 for
+        correlation-ID costs; the binomial needs few filters for high
+        variability).
+    n_fltr:
+        Fix the filter count; when ``None`` the smallest candidate count
+        that can reach the target is chosen.
+    prefer_high_match:
+        The cvar curve crosses the target twice; take the branch with the
+        larger ``p_match`` (higher replication — the paper's busy-server
+        regime) when True.
+
+    Raises
+    ------
+    ValueError
+        If the target is unreachable for the family/filter count.
+    """
+    if target_cvar < 0:
+        raise ValueError(f"target c_var must be >= 0, got {target_cvar}")
+    if target_cvar == 0:
+        filters = n_fltr if n_fltr is not None else 10
+        return ServiceTimeModel(costs, filters, DeterministicReplication(1))
+
+    candidates = (n_fltr,) if n_fltr is not None else _N_FLTR_CANDIDATES
+    last_error: Optional[str] = None
+    for count in candidates:
+        peak, p_peak = max_cvar_for_filters(costs, family, count)
+        if peak < target_cvar:
+            last_error = (
+                f"max c_var[B] with {count} filters is {peak:.4f} < {target_cvar}"
+            )
+            continue
+        if prefer_high_match:
+            bracket = (p_peak, 1 - 1e-12)
+        else:
+            bracket = (1e-12, p_peak)
+        p_solution = brentq(
+            lambda p: _cvar_at(costs, family, count, p) - target_cvar,
+            *bracket,
+            xtol=1e-15,
+        )
+        model = ServiceTimeModel(
+            costs, count, _make_replication(family, count, float(p_solution))
+        )
+        if math.isclose(model.cvar, target_cvar, rel_tol=1e-6, abs_tol=1e-9):
+            return model
+        last_error = f"solver did not converge at n_fltr={count}"
+    raise ValueError(
+        f"cannot reach c_var[B] = {target_cvar} with family {family.value}: {last_error}"
+    )

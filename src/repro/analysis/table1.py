@@ -1,0 +1,104 @@
+"""Table I: deriving the cost constants from measurements.
+
+Runs the paper's parameter study on the simulated testbed for one filter
+type, fits ``(t_rcv, t_fltr, t_tx)`` by non-negative least squares exactly
+as Section III-B.2b does, and compares the fitted constants with the
+Table I reference values the virtual CPU charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.params import CostParameters, FilterType, costs_for
+from ..testbed import (
+    CalibrationFit,
+    ExperimentConfig,
+    fit_cost_parameters,
+    paper_sweep_configs,
+    run_sweep,
+)
+from ..testbed.tables import format_si, format_table
+
+__all__ = ["Table1Row", "reproduce_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Fitted vs. reference constants for one filter type."""
+
+    filter_type: FilterType
+    fitted: CostParameters
+    reference: CostParameters
+    fit: CalibrationFit
+
+    @property
+    def max_relative_error(self) -> float:
+        pairs = (
+            (self.fitted.t_rcv, self.reference.t_rcv),
+            (self.fitted.t_fltr, self.reference.t_fltr),
+            (self.fitted.t_tx, self.reference.t_tx),
+        )
+        return max(abs(f - r) / r for f, r in pairs)
+
+
+def reproduce_table1(
+    filter_types: Sequence[FilterType] = (FilterType.CORRELATION_ID, FilterType.APP_PROPERTY),
+    replication_grades: Sequence[int] = (1, 2, 5, 10, 20, 40),
+    additional_subscribers: Sequence[int] = (5, 10, 20, 40, 80, 160),
+    base: ExperimentConfig | None = None,
+) -> list[Table1Row]:
+    """Run the measurement sweep and calibration for each filter type."""
+    rows = []
+    for filter_type in filter_types:
+        configs = paper_sweep_configs(
+            filter_type=filter_type,
+            replication_grades=replication_grades,
+            additional_subscribers=additional_subscribers,
+            base=base,
+        )
+        results = run_sweep(configs)
+        for result in results:
+            result.check_side_conditions(min_utilization=0.95)
+        fit = fit_cost_parameters(results, filter_type=filter_type)
+        rows.append(
+            Table1Row(
+                filter_type=filter_type,
+                fitted=fit.costs,
+                reference=costs_for(filter_type),
+                fit=fit,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the reproduced Table I next to the reference constants."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                str(row.filter_type),
+                format_si(row.fitted.t_rcv),
+                format_si(row.reference.t_rcv),
+                format_si(row.fitted.t_fltr),
+                format_si(row.reference.t_fltr),
+                format_si(row.fitted.t_tx),
+                format_si(row.reference.t_tx),
+                f"{row.max_relative_error:.2%}",
+            ]
+        )
+    return format_table(
+        [
+            "overhead type",
+            "t_rcv fit",
+            "t_rcv ref",
+            "t_fltr fit",
+            "t_fltr ref",
+            "t_tx fit",
+            "t_tx ref",
+            "max rel err",
+        ],
+        table_rows,
+    )

@@ -1,0 +1,135 @@
+"""Common definitions for JMS system architectures (Section IV-C).
+
+An *architecture* arranges one or more off-the-shelf JMS servers between
+``n`` publishers and ``m`` subscribers.  Its figures of merit are the
+system capacity (maximum aggregate publish rate at a per-server CPU budget
+ρ), the network traffic it induces, and the per-server load that drives
+the waiting time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.mg1 import MG1Queue
+from ..core.moments import Moments
+from ..core.params import CostParameters
+from ..core.replication import ReplicationModel
+from ..core.service_time import ServiceTimeModel
+
+__all__ = ["SystemParameters", "Architecture"]
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """The environment of the PSR/SSR comparison (Section IV-C.3).
+
+    All nodes have the computation power of the measured testbed machines
+    (``costs``); all publishers share the same rate and replication
+    profile; every subscriber installs ``n_fltr`` different filters.
+    """
+
+    costs: CostParameters
+    publishers: int
+    subscribers: int
+    filters_per_subscriber: int = 10
+    replication: ReplicationModel | None = None
+    mean_replication: float = 1.0
+    rho: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.publishers < 1:
+            raise ValueError(f"need at least one publisher, got {self.publishers}")
+        if self.subscribers < 1:
+            raise ValueError(f"need at least one subscriber, got {self.subscribers}")
+        if self.filters_per_subscriber < 0:
+            raise ValueError(
+                f"filters per subscriber must be >= 0, got {self.filters_per_subscriber}"
+            )
+        if not 0 < self.rho <= 1:
+            raise ValueError(f"rho must be in (0, 1], got {self.rho}")
+        if self.mean_replication < 0:
+            raise ValueError(
+                f"mean replication must be >= 0, got {self.mean_replication}"
+            )
+
+    @property
+    def effective_mean_replication(self) -> float:
+        """``E[R]`` from the replication model when given, else the scalar."""
+        if self.replication is not None:
+            return self.replication.mean
+        return self.mean_replication
+
+
+class Architecture(ABC):
+    """One way to deploy JMS servers between publishers and subscribers."""
+
+    def __init__(self, params: SystemParameters):
+        self.params = params
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier (``single``, ``psr``, ``ssr``)."""
+
+    @abstractmethod
+    def system_capacity(self) -> float:
+        """Maximum aggregate publish rate (msgs/s) at the ρ budget."""
+
+    @abstractmethod
+    def per_server_service_time(self) -> float:
+        """Mean message service time ``E[B]`` at one constituent server."""
+
+    @abstractmethod
+    def per_server_arrival_rate(self, system_rate: float) -> float:
+        """Arrival rate seen by one server when the system carries
+        ``system_rate`` published msgs/s."""
+
+    @abstractmethod
+    def network_traffic(self, system_rate: float) -> float:
+        """Messages per second crossing the interconnect between the
+        publisher side and the subscriber side."""
+
+    @abstractmethod
+    def server_count(self) -> int:
+        """Number of JMS server machines the architecture uses."""
+
+    # ------------------------------------------------------------------
+    def per_server_utilization(self, system_rate: float) -> float:
+        """CPU utilization of one server at ``system_rate``."""
+        return self.per_server_arrival_rate(system_rate) * self.per_server_service_time()
+
+    def per_server_queue(self, system_rate: float) -> MG1Queue:
+        """The M/G/1 model of one constituent server at ``system_rate``.
+
+        Uses the full replication model when the parameters carry one, so
+        waiting-time quantiles include the service-time variability.
+        """
+        service = self._service_moments()
+        return MG1Queue(
+            arrival_rate=self.per_server_arrival_rate(system_rate), service=service
+        )
+
+    def _service_moments(self) -> Moments:
+        params = self.params
+        replication = params.replication
+        if replication is None:
+            from ..core.replication import DeterministicReplication
+
+            if not float(params.mean_replication).is_integer():
+                raise ValueError(
+                    "waiting-time analysis needs a replication model when "
+                    f"E[R]={params.mean_replication} is not an integer"
+                )
+            replication = DeterministicReplication(int(params.mean_replication))
+        model = ServiceTimeModel(
+            costs=params.costs,
+            n_fltr=self._installed_filters_per_server(),
+            replication=replication,
+        )
+        return model.moments
+
+    @abstractmethod
+    def _installed_filters_per_server(self) -> int:
+        """``n_fltr`` as seen by one constituent server."""

@@ -1,0 +1,74 @@
+"""PSR vs. SSR capacity comparison (Section IV-C.3, Eq. 23, Fig. 15).
+
+PSR outperforms SSR when its n-fold replicated capacity beats SSR's single
+bottleneck server, i.e. when
+
+    ``(t_rcv + m·n_fltr·t_fltr + E[R]·t_tx) / (t_rcv + n_fltr·t_fltr +
+    E[R]·t_tx) < n``                                            (Eq. 23)
+
+(the paper prints the inequality with the sides swapped; capacity algebra
+fixes the direction: the left side is the crossover publisher count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import SystemParameters
+from .psr import PublisherSideReplication
+from .ssr import SubscriberSideReplication
+
+__all__ = ["ArchitectureComparison", "compare", "crossover_publishers", "psr_beats_ssr"]
+
+
+def crossover_publishers(params: SystemParameters) -> float:
+    """The publisher count above which PSR outperforms SSR (Eq. 23 LHS).
+
+    Independent of the actual ``params.publishers``; depends on ``m``,
+    ``n_fltr``, ``E[R]`` and the cost constants.
+    """
+    psr = PublisherSideReplication(params)
+    ssr = SubscriberSideReplication(params)
+    return psr.per_server_service_time() / ssr.per_server_service_time()
+
+
+def psr_beats_ssr(params: SystemParameters) -> bool:
+    """Eq. 23: does PSR deliver more system capacity than SSR here?"""
+    return params.publishers > crossover_publishers(params)
+
+
+@dataclass(frozen=True)
+class ArchitectureComparison:
+    """Side-by-side capacities of PSR and SSR for one parameter set."""
+
+    params: SystemParameters
+    psr_capacity: float
+    ssr_capacity: float
+    psr_per_server_capacity: float
+    crossover_publishers: float
+
+    @property
+    def winner(self) -> str:
+        if self.psr_capacity > self.ssr_capacity:
+            return "psr"
+        if self.ssr_capacity > self.psr_capacity:
+            return "ssr"
+        return "tie"
+
+    @property
+    def capacity_ratio(self) -> float:
+        """PSR capacity over SSR capacity (> 1 means PSR wins)."""
+        return self.psr_capacity / self.ssr_capacity
+
+
+def compare(params: SystemParameters) -> ArchitectureComparison:
+    """Evaluate both architectures at ``params``."""
+    psr = PublisherSideReplication(params)
+    ssr = SubscriberSideReplication(params)
+    return ArchitectureComparison(
+        params=params,
+        psr_capacity=psr.system_capacity(),
+        ssr_capacity=ssr.system_capacity(),
+        psr_per_server_capacity=psr.per_server_capacity(),
+        crossover_publishers=crossover_publishers(params),
+    )

@@ -1,0 +1,76 @@
+"""Network-capacity accounting for deployments.
+
+The paper's methodology requires that the network is never the
+bottleneck: the gigabit interconnect must stay below 75 % utilization for
+a run to count (Section III-A.2).  This module models links as bandwidth
+budgets and checks architecture-level traffic against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkLink", "GIGABIT", "FAST_ETHERNET", "deployment_link_check"]
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A full-duplex link with a bandwidth budget.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Usable bit rate in bits per second.
+    max_utilization:
+        The paper's side condition: measurements are valid only while the
+        link stays below this utilization (default 0.75).
+    """
+
+    bandwidth_bps: float
+    max_utilization: float = 0.75
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bps}")
+        if not 0 < self.max_utilization <= 1:
+            raise ValueError(
+                f"max utilization must be in (0, 1], got {self.max_utilization}"
+            )
+
+    def utilization(self, messages_per_second: float, message_bytes: float) -> float:
+        """Link utilization for a message stream."""
+        if messages_per_second < 0 or message_bytes < 0:
+            raise ValueError("traffic must be non-negative")
+        return messages_per_second * message_bytes * 8 / self.bandwidth_bps
+
+    def within_budget(self, messages_per_second: float, message_bytes: float) -> bool:
+        """Does the stream satisfy the paper's ≤ 75 % side condition?"""
+        return self.utilization(messages_per_second, message_bytes) <= self.max_utilization
+
+    def capacity_msgs(self, message_bytes: float) -> float:
+        """Maximum message rate within the utilization budget."""
+        if message_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {message_bytes}")
+        return self.max_utilization * self.bandwidth_bps / (8 * message_bytes)
+
+
+#: The testbed's switch fabric (production machines).
+GIGABIT = NetworkLink(bandwidth_bps=1e9, name="gigabit")
+#: The control machine's interface.
+FAST_ETHERNET = NetworkLink(bandwidth_bps=1e8, name="fast-ethernet")
+
+
+def deployment_link_check(
+    architecture, system_rate: float, message_bytes: float, link: NetworkLink = GIGABIT
+) -> tuple[float, bool]:
+    """Check an architecture's interconnect traffic against a link.
+
+    Returns ``(utilization, within_budget)`` for the publisher→subscriber
+    interconnect at ``system_rate`` published msgs/s.  SSR multicasts
+    every message to all subscriber-side servers, so it saturates the
+    network orders of magnitude earlier than PSR (Section IV-C.2).
+    """
+    traffic = architecture.network_traffic(system_rate)
+    utilization = link.utilization(traffic, message_bytes)
+    return utilization, utilization <= link.max_utilization

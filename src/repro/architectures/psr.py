@@ -1,0 +1,63 @@
+"""Publisher-side JMS server replication (PSR, Section IV-C.1).
+
+Every publisher gets its own local JMS server; every subscriber registers
+its ``n_fltr`` filters at *all* ``n`` publisher-side servers.  Messages
+are filtered at the source, so only matched copies cross the network
+(``Σ λ_i · E[R_i]``), but each server pays the filter bill for the whole
+subscriber population: ``m · n_fltr`` installed filters.
+
+System capacity (Eq. 21, uniform publishers):
+
+    ``λ_max^PSR = ρ · n · (t_rcv + m · n_fltr · t_fltr + E[R] · t_tx)⁻¹``
+
+PSR scales with the number of publishers and degrades with the number of
+subscribers.
+"""
+
+from __future__ import annotations
+
+from .base import Architecture, SystemParameters
+
+__all__ = ["PublisherSideReplication"]
+
+
+class PublisherSideReplication(Architecture):
+    """PSR: one JMS server per publisher."""
+
+    @property
+    def name(self) -> str:
+        return "psr"
+
+    def server_count(self) -> int:
+        return self.params.publishers
+
+    def _installed_filters_per_server(self) -> int:
+        return self.params.subscribers * self.params.filters_per_subscriber
+
+    def per_server_service_time(self) -> float:
+        params = self.params
+        return (
+            params.costs.t_rcv
+            + self._installed_filters_per_server() * params.costs.t_fltr
+            + params.effective_mean_replication * params.costs.t_tx
+        )
+
+    def per_server_capacity(self) -> float:
+        """Capacity of one publisher-side server (Eq. 2 at its filter load)."""
+        return self.params.rho / self.per_server_service_time()
+
+    def system_capacity(self) -> float:
+        """Eq. 21: the n-fold multiple of the weakest per-server capacity.
+
+        With uniform publishers every server has the same capacity, so the
+        minimum equals the common value.
+        """
+        return self.params.publishers * self.per_server_capacity()
+
+    def per_server_arrival_rate(self, system_rate: float) -> float:
+        # The system rate splits evenly across the n publisher-side servers.
+        return system_rate / self.params.publishers
+
+    def network_traffic(self, system_rate: float) -> float:
+        """Only filtered (matched) copies travel: ``Σ λ_i · E[R_i]``."""
+        return system_rate * self.params.effective_mean_replication

@@ -1,0 +1,45 @@
+"""The baseline: one central JMS server.
+
+All ``n`` publishers and all ``m`` subscribers connect to a single server,
+which therefore carries every filter (``m · n_fltr``) and every message.
+Its capacity is Eq. 2 applied to that configuration — the reference point
+both distributed architectures try to beat.
+"""
+
+from __future__ import annotations
+
+from .base import Architecture, SystemParameters
+
+__all__ = ["SingleServer"]
+
+
+class SingleServer(Architecture):
+    """One central server between all publishers and subscribers."""
+
+    @property
+    def name(self) -> str:
+        return "single"
+
+    def server_count(self) -> int:
+        return 1
+
+    def _installed_filters_per_server(self) -> int:
+        return self.params.subscribers * self.params.filters_per_subscriber
+
+    def per_server_service_time(self) -> float:
+        params = self.params
+        return (
+            params.costs.t_rcv
+            + self._installed_filters_per_server() * params.costs.t_fltr
+            + params.effective_mean_replication * params.costs.t_tx
+        )
+
+    def system_capacity(self) -> float:
+        return self.params.rho / self.per_server_service_time()
+
+    def per_server_arrival_rate(self, system_rate: float) -> float:
+        return system_rate
+
+    def network_traffic(self, system_rate: float) -> float:
+        # Publisher→server plus server→subscriber copies.
+        return system_rate * (1.0 + self.params.effective_mean_replication)

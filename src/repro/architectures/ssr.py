@@ -1,0 +1,59 @@
+"""Subscriber-side JMS server replication (SSR, Section IV-C.2).
+
+Every subscriber gets its own local JMS server; every publisher multicasts
+each message to all ``m`` of them.  Each server holds only its own
+subscriber's ``n_fltr`` filters, but receives the *full* aggregate message
+stream ``λ = Σ λ_i``, and the network carries ``m · λ`` messages.
+
+System capacity (Eq. 22):
+
+    ``λ_max^SSR = ρ · (t_rcv + n_fltr · t_fltr + E[R] · t_tx)⁻¹``
+
+— independent of both ``n`` and ``m``: SSR scales with subscribers (each
+brings its own server) but not with publishers (every server sees every
+message).
+"""
+
+from __future__ import annotations
+
+from .base import Architecture, SystemParameters
+
+__all__ = ["SubscriberSideReplication"]
+
+
+class SubscriberSideReplication(Architecture):
+    """SSR: one JMS server per subscriber."""
+
+    @property
+    def name(self) -> str:
+        return "ssr"
+
+    def server_count(self) -> int:
+        return self.params.subscribers
+
+    def _installed_filters_per_server(self) -> int:
+        return self.params.filters_per_subscriber
+
+    def per_server_service_time(self) -> float:
+        params = self.params
+        return (
+            params.costs.t_rcv
+            + self._installed_filters_per_server() * params.costs.t_fltr
+            + params.effective_mean_replication * params.costs.t_tx
+        )
+
+    def per_server_capacity(self) -> float:
+        return self.params.rho / self.per_server_service_time()
+
+    def system_capacity(self) -> float:
+        """Eq. 22: the bottleneck is any single subscriber-side server,
+        since each receives the whole publish stream."""
+        return self.per_server_capacity()
+
+    def per_server_arrival_rate(self, system_rate: float) -> float:
+        # Every subscriber-side server receives every published message.
+        return system_rate
+
+    def network_traffic(self, system_rate: float) -> float:
+        """Every message is multicast to all m subscriber-side servers."""
+        return system_rate * self.params.subscribers

@@ -1,0 +1,66 @@
+"""JMS-style publish/subscribe broker — the paper's system under test.
+
+This package is a from-scratch stand-in for the FioranoMQ 7.5 server: a
+message model with headers/properties/body (Fig. 2), topics, a SQL-92
+message-selector language, correlation-ID and application-property
+filters, durable and non-durable subscriptions, in-order delivery, and
+publisher push-back flow control.  Filter evaluation is a strict linear
+scan per message, matching the measured (un-optimized) FioranoMQ
+behaviour.
+"""
+
+from .dispatch import DispatchPlan, plan_dispatch
+from .filter_index import FilterIndex
+from .hierarchy import TopicPattern, TopicTrie, split_topic
+from .queues import PointToPointQueue, QueueConsumer, QueueDelivery, QueueManager
+from .errors import (
+    FlowControlError,
+    InvalidDestinationError,
+    InvalidSelectorError,
+    JMSError,
+    MessageFormatError,
+    SubscriptionError,
+)
+from .filters import CorrelationIdFilter, MatchAllFilter, MessageFilter, PropertyFilter
+from .flow_control import FlowController
+from .message import DeliveredMessage, DeliveryMode, Message
+from .selector import Selector
+from .server import Broker, PublishResult
+from .stats import BrokerStats
+from .subscriptions import Subscriber, Subscription
+from .topics import Topic, TopicRegistry
+
+__all__ = [
+    "Broker",
+    "BrokerStats",
+    "CorrelationIdFilter",
+    "DeliveredMessage",
+    "DeliveryMode",
+    "DispatchPlan",
+    "FilterIndex",
+    "FlowControlError",
+    "FlowController",
+    "PointToPointQueue",
+    "QueueConsumer",
+    "QueueDelivery",
+    "QueueManager",
+    "TopicPattern",
+    "TopicTrie",
+    "split_topic",
+    "InvalidDestinationError",
+    "InvalidSelectorError",
+    "JMSError",
+    "MatchAllFilter",
+    "Message",
+    "MessageFilter",
+    "MessageFormatError",
+    "PropertyFilter",
+    "PublishResult",
+    "Selector",
+    "Subscriber",
+    "Subscription",
+    "SubscriptionError",
+    "Topic",
+    "TopicRegistry",
+    "plan_dispatch",
+]

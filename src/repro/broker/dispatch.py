@@ -1,0 +1,69 @@
+"""Filter evaluation and dispatch planning.
+
+For every received message the server checks the filter of **every**
+subscription on the message's topic, one after another.  The paper verifies
+that FioranoMQ gains nothing from identical filters, i.e. it performs no
+filter-sharing optimization — so the evaluation here is deliberately a
+plain linear scan, and the returned plan reports exactly how many
+non-trivial filters were evaluated (each costs ``t_fltr`` in the CPU
+model) and how many copies will be sent (each costs ``t_tx``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .message import Message
+from .subscriptions import Subscription
+
+__all__ = ["DispatchPlan", "plan_dispatch"]
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """The outcome of matching one message against a topic's subscriptions.
+
+    Attributes
+    ----------
+    message:
+        The message being dispatched.
+    matches:
+        Subscriptions whose filter accepted the message, in subscription
+        order (delivery is in-order per the persistent mode).
+    filters_evaluated:
+        Number of non-trivial filter evaluations performed; drives the
+        ``n_fltr · t_fltr`` CPU charge.
+    """
+
+    message: Message
+    matches: tuple[Subscription, ...]
+    filters_evaluated: int
+
+    @property
+    def replication_grade(self) -> int:
+        """``R`` — the number of copies that will be sent."""
+        return len(self.matches)
+
+
+def plan_dispatch(message: Message, subscriptions: Sequence[Subscription]) -> DispatchPlan:
+    """Linearly evaluate every subscription's filter against ``message``.
+
+    Match-all subscriptions (no filter installed) receive the message
+    without a filter evaluation; all other filters are evaluated
+    unconditionally, matching the measured FioranoMQ behaviour.
+    """
+    matches: List[Subscription] = []
+    filters_evaluated = 0
+    for subscription in subscriptions:
+        if subscription.filter.is_trivial:
+            matches.append(subscription)
+            continue
+        filters_evaluated += 1
+        if subscription.matches(message):
+            matches.append(subscription)
+    return DispatchPlan(
+        message=message,
+        matches=tuple(matches),
+        filters_evaluated=filters_evaluated,
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy of the JMS-style broker."""
+
+from __future__ import annotations
+
+__all__ = [
+    "JMSError",
+    "InvalidSelectorError",
+    "InvalidDestinationError",
+    "MessageFormatError",
+    "SubscriptionError",
+    "FlowControlError",
+]
+
+
+class JMSError(Exception):
+    """Base class for all broker errors."""
+
+
+class InvalidSelectorError(JMSError):
+    """A message selector failed to lex, parse or type-check.
+
+    Mirrors ``javax.jms.InvalidSelectorException``: the position and a
+    human-readable reason are embedded in the message.
+    """
+
+    def __init__(self, reason: str, position: int | None = None):
+        self.reason = reason
+        self.position = position
+        location = f" at position {position}" if position is not None else ""
+        super().__init__(f"invalid selector{location}: {reason}")
+
+
+class InvalidDestinationError(JMSError):
+    """Operation addressed a topic that does not exist."""
+
+
+class MessageFormatError(JMSError):
+    """A message header or property has an unsupported type or value."""
+
+
+class SubscriptionError(JMSError):
+    """Invalid subscription operation (duplicate id, unknown subscriber…)."""
+
+
+class FlowControlError(JMSError):
+    """Violation of the publisher push-back protocol."""

@@ -1,0 +1,96 @@
+"""Optimized filter evaluation — the ablation FioranoMQ does not have.
+
+The paper verifies that FioranoMQ evaluates every installed filter per
+message: identical filters cost the same as distinct ones, so the server
+implements none of the sharing optimizations of the literature it cites
+([15]).  This module implements exactly such an optimization, as an
+*ablation*: the measurement harness can swap it in to quantify what the
+commercial server leaves on the table.
+
+Two optimizations:
+
+1. **Identical-filter sharing** — equal filters are evaluated once per
+   message and the verdict fans out to all their subscriptions.
+2. **Exact correlation-ID hash index** — exact-match correlation-ID
+   filters are resolved by one dictionary lookup for the whole group
+   (counted as a single filter evaluation); range/prefix filters and
+   property selectors still evaluate per distinct filter.
+
+The returned plan reports ``filters_evaluated`` as the number of
+evaluations *actually performed*, so the virtual CPU charges the reduced
+bill.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from .dispatch import DispatchPlan
+from .filters import CorrelationIdFilter, MessageFilter
+from .message import Message
+from .subscriptions import Subscription
+
+__all__ = ["FilterIndex"]
+
+
+def _is_exact_correlation(filter_: MessageFilter) -> bool:
+    return (
+        isinstance(filter_, CorrelationIdFilter)
+        and filter_._low is None  # noqa: SLF001 - sibling-module access
+        and filter_._prefix is None  # noqa: SLF001
+    )
+
+
+class FilterIndex:
+    """A shared-evaluation index over a topic's subscriptions.
+
+    Build once per topic configuration; ``plan`` evaluates a message.
+    Rebuilding after subscription changes is the caller's concern (the
+    testbed configures subscriptions up front).
+    """
+
+    def __init__(self, subscriptions: Sequence[Subscription]):
+        #: subscriptions without filter work (match-all).
+        self._trivial: List[Subscription] = []
+        #: exact correlation-ID value -> subscriptions.
+        self._exact_cid: Dict[str, List[Subscription]] = {}
+        #: distinct non-indexable filters -> their subscriptions.
+        self._shared: "OrderedDict[MessageFilter, List[Subscription]]" = OrderedDict()
+        self._order: Dict[int, int] = {}
+        for position, subscription in enumerate(subscriptions):
+            self._order[subscription.subscription_id] = position
+            filter_ = subscription.filter
+            if filter_.is_trivial:
+                self._trivial.append(subscription)
+            elif _is_exact_correlation(filter_):
+                assert isinstance(filter_, CorrelationIdFilter)
+                self._exact_cid.setdefault(filter_.spec, []).append(subscription)
+            else:
+                self._shared.setdefault(filter_, []).append(subscription)
+
+    @property
+    def distinct_filters(self) -> int:
+        """Distinct filters the index may evaluate per message."""
+        return len(self._shared) + (1 if self._exact_cid else 0)
+
+    def plan(self, message: Message) -> DispatchPlan:
+        """Match ``message`` using shared evaluation and hash lookups."""
+        matches: List[Subscription] = list(self._trivial)
+        evaluations = 0
+        if self._exact_cid:
+            # One hash probe resolves every exact correlation-ID filter.
+            evaluations += 1
+            cid = message.correlation_id
+            if cid is not None:
+                matches.extend(self._exact_cid.get(cid, ()))
+        for filter_, subscribers in self._shared.items():
+            evaluations += 1
+            if filter_.matches(message):
+                matches.extend(subscribers)
+        matches.sort(key=lambda s: self._order[s.subscription_id])
+        return DispatchPlan(
+            message=message,
+            matches=tuple(matches),
+            filters_evaluated=evaluations,
+        )

@@ -1,0 +1,194 @@
+"""Hierarchical topics with wildcard subscriptions.
+
+An extension beyond the paper's flat topics: topic names form a
+dot-separated hierarchy (``sports.football.bundesliga``) and
+subscriptions may use wildcards, as most modern brokers allow:
+
+- ``*`` matches exactly one level (``sports.*.news``);
+- ``#`` matches zero or more trailing levels (``sports.#``; only valid as
+  the final segment).
+
+Matching is resolved by a trie so a lookup costs O(topic depth), not
+O(number of patterns) — this is *routing* structure, not per-message
+filter evaluation, which is why the paper treats topic selection as the
+cheapest mechanism.  :class:`TopicTrie` maps patterns to arbitrary
+payloads (the broker attaches subscription buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Iterator, List, Tuple, TypeVar
+
+from .errors import InvalidDestinationError
+
+__all__ = ["TopicPattern", "TopicTrie", "split_topic"]
+
+T = TypeVar("T")
+
+_SINGLE = "*"
+_MULTI = "#"
+
+
+def split_topic(name: str) -> List[str]:
+    """Split and validate a concrete topic name."""
+    if not name or not name.strip():
+        raise InvalidDestinationError("topic name must be non-empty")
+    segments = name.split(".")
+    for segment in segments:
+        if not segment:
+            raise InvalidDestinationError(f"empty segment in topic {name!r}")
+        if segment in (_SINGLE, _MULTI):
+            raise InvalidDestinationError(
+                f"wildcard {segment!r} not allowed in a concrete topic name {name!r}"
+            )
+    return segments
+
+
+@dataclass(frozen=True)
+class TopicPattern:
+    """A subscription pattern over the topic hierarchy.
+
+    Example
+    -------
+    >>> TopicPattern("sports.*.news").matches("sports.football.news")
+    True
+    >>> TopicPattern("sports.#").matches("sports")
+    True
+    """
+
+    text: str
+    segments: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.text or not self.text.strip():
+            raise InvalidDestinationError("topic pattern must be non-empty")
+        segments = tuple(self.text.split("."))
+        for index, segment in enumerate(segments):
+            if not segment:
+                raise InvalidDestinationError(f"empty segment in pattern {self.text!r}")
+            if segment == _MULTI and index != len(segments) - 1:
+                raise InvalidDestinationError(
+                    f"'#' must be the final segment in {self.text!r}"
+                )
+        object.__setattr__(self, "segments", segments)
+
+    @property
+    def is_concrete(self) -> bool:
+        return _SINGLE not in self.segments and _MULTI not in self.segments
+
+    def matches(self, topic: str) -> bool:
+        """Does the pattern cover the concrete ``topic``?"""
+        levels = split_topic(topic)
+        return self._match(list(self.segments), levels)
+
+    @staticmethod
+    def _match(pattern: List[str], levels: List[str]) -> bool:
+        i = 0
+        for i, segment in enumerate(pattern):
+            if segment == _MULTI:
+                return True  # '#' swallows the rest (including nothing)
+            if i >= len(levels):
+                return False
+            if segment != _SINGLE and segment != levels[i]:
+                return False
+        return len(pattern) == len(levels)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("children", "single", "multi_payloads", "payloads")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode[T]"] = {}
+        self.single: "_TrieNode[T] | None" = None
+        self.multi_payloads: List[T] = []
+        self.payloads: List[T] = []
+
+
+class TopicTrie(Generic[T]):
+    """Pattern → payload index with O(depth) wildcard lookups."""
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, pattern: TopicPattern | str, payload: T) -> TopicPattern:
+        """Register ``payload`` under ``pattern``; returns the pattern."""
+        if isinstance(pattern, str):
+            pattern = TopicPattern(pattern)
+        node = self._root
+        for segment in pattern.segments:
+            if segment == _MULTI:
+                node.multi_payloads.append(payload)
+                self._size += 1
+                return pattern
+            if segment == _SINGLE:
+                if node.single is None:
+                    node.single = _TrieNode()
+                node = node.single
+            else:
+                node = node.children.setdefault(segment, _TrieNode())
+        node.payloads.append(payload)
+        self._size += 1
+        return pattern
+
+    def remove(self, pattern: TopicPattern | str, payload: T) -> None:
+        """Remove one registration (raises ``ValueError`` if absent)."""
+        if isinstance(pattern, str):
+            pattern = TopicPattern(pattern)
+        node = self._root
+        for segment in pattern.segments:
+            if segment == _MULTI:
+                node.multi_payloads.remove(payload)
+                self._size -= 1
+                return
+            if segment == _SINGLE:
+                if node.single is None:
+                    raise ValueError(f"pattern {pattern} not registered")
+                node = node.single
+            else:
+                if segment not in node.children:
+                    raise ValueError(f"pattern {pattern} not registered")
+                node = node.children[segment]
+        node.payloads.remove(payload)
+        self._size -= 1
+
+    def lookup(self, topic: str) -> List[T]:
+        """All payloads whose pattern covers the concrete ``topic``.
+
+        Results follow trie discovery order; duplicates appear once per
+        matching registration.
+        """
+        levels = split_topic(topic)
+        found: List[T] = []
+        self._collect(self._root, levels, 0, found)
+        return found
+
+    def _collect(self, node: _TrieNode[T], levels: List[str], depth: int, out: List[T]) -> None:
+        out.extend(node.multi_payloads)  # '#' at this level matches any rest
+        if depth == len(levels):
+            out.extend(node.payloads)
+            return
+        segment = levels[depth]
+        child = node.children.get(segment)
+        if child is not None:
+            self._collect(child, levels, depth + 1, out)
+        if node.single is not None:
+            self._collect(node.single, levels, depth + 1, out)
+
+    def patterns(self) -> Iterator[T]:  # pragma: no cover - debugging aid
+        """Iterate over all payloads (order unspecified)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield from node.multi_payloads
+            yield from node.payloads
+            stack.extend(node.children.values())
+            if node.single is not None:
+                stack.append(node.single)

@@ -1,0 +1,189 @@
+"""Point-to-point queues — the other JMS messaging domain.
+
+The paper studies the publish/subscribe domain; JMS also defines *queues*
+with competing consumers: each message is delivered to exactly one
+consumer.  This extension completes the broker as a JMS-style system and
+lets the testbed model worker pools.
+
+Semantics implemented:
+
+- FIFO per queue, persistent by default;
+- competing consumers with round-robin dispatch among the consumers
+  whose selector matches (a consumer's selector may reject a message);
+- messages with no eligible consumer wait in the queue until one
+  subscribes (or the message expires);
+- acknowledgement: a consumer must ``ack`` a delivery; un-acked messages
+  are redelivered (marked ``redelivered``) when the consumer detaches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .errors import InvalidDestinationError, SubscriptionError
+from .filters import MatchAllFilter, MessageFilter
+from .message import Message
+
+__all__ = ["QueueConsumer", "QueueDelivery", "PointToPointQueue", "QueueManager"]
+
+_consumer_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class QueueDelivery:
+    """One message handed to one consumer, awaiting acknowledgement."""
+
+    message: Message
+    consumer_id: int
+    redelivered: bool = False
+
+
+class QueueConsumer:
+    """A competing consumer attached to a queue."""
+
+    def __init__(self, name: str, selector: Optional[MessageFilter] = None):
+        if not name:
+            raise SubscriptionError("consumer name must be non-empty")
+        self.name = name
+        self.selector: MessageFilter = selector if selector is not None else MatchAllFilter()
+        self.consumer_id = next(_consumer_ids)
+        self.inbox: Deque[QueueDelivery] = deque()
+        #: Deliveries handed out but not yet acknowledged.
+        self.unacked: Dict[int, QueueDelivery] = {}
+        self.attached = False
+
+    def receive(self) -> Optional[QueueDelivery]:
+        """Take the next delivery (it stays unacked until ``ack``)."""
+        if not self.inbox:
+            return None
+        delivery = self.inbox.popleft()
+        self.unacked[delivery.message.message_id] = delivery
+        return delivery
+
+    def ack(self, delivery: QueueDelivery) -> None:
+        """Acknowledge a delivery, completing it."""
+        if delivery.message.message_id not in self.unacked:
+            raise SubscriptionError(
+                f"consumer {self.name!r} has no unacked message "
+                f"{delivery.message.message_id}"
+            )
+        del self.unacked[delivery.message.message_id]
+
+
+class PointToPointQueue:
+    """A FIFO queue with competing, selector-aware consumers."""
+
+    def __init__(self, name: str):
+        if not name or not name.strip():
+            raise InvalidDestinationError("queue name must be non-empty")
+        self.name = name
+        #: (message, is_redelivery) pairs awaiting an eligible consumer.
+        self._backlog: Deque[tuple[Message, bool]] = deque()
+        self._consumers: List[QueueConsumer] = []
+        self._next_consumer = 0
+        self.enqueued = 0
+        self.delivered = 0
+        self.expired = 0
+        self.redelivered = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._backlog)
+
+    @property
+    def consumers(self) -> List[QueueConsumer]:
+        return list(self._consumers)
+
+    def attach(self, consumer: QueueConsumer) -> None:
+        """Add a competing consumer and drain any waiting backlog to it."""
+        if consumer.attached:
+            raise SubscriptionError(f"consumer {consumer.name!r} already attached")
+        consumer.attached = True
+        self._consumers.append(consumer)
+        self._drain()
+
+    def detach(self, consumer: QueueConsumer) -> int:
+        """Remove a consumer; its unacked messages return for redelivery.
+
+        Returns the number of messages recovered.
+        """
+        if consumer not in self._consumers:
+            raise SubscriptionError(f"consumer {consumer.name!r} not attached")
+        self._consumers.remove(consumer)
+        consumer.attached = False
+        recovered = list(consumer.unacked.values()) + list(consumer.inbox)
+        consumer.unacked.clear()
+        consumer.inbox.clear()
+        # Recovered messages go to the front, oldest first, flagged.
+        for delivery in sorted(recovered, key=lambda d: d.message.message_id, reverse=True):
+            self._backlog.appendleft((delivery.message, True))
+            self.redelivered += 1
+        self._next_consumer = 0
+        self._drain()
+        return len(recovered)
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message, now: float = 0.0) -> bool:
+        """Enqueue one message; returns True if it was delivered at once."""
+        if message.expired(now):
+            self.expired += 1
+            return False
+        self.enqueued += 1
+        self._backlog.append((message, False))
+        before = self.delivered
+        self._drain()
+        return self.delivered > before
+
+    def _eligible(self, message: Message) -> List[QueueConsumer]:
+        return [c for c in self._consumers if c.selector.matches(message)]
+
+    def _drain(self) -> None:
+        """Hand backlog messages to consumers, round-robin among eligible."""
+        if not self._consumers:
+            return
+        progressed = True
+        while self._backlog and progressed:
+            progressed = False
+            message, redelivered = self._backlog[0]
+            eligible = self._eligible(message)
+            if not eligible:
+                return  # head-of-line waits for a matching consumer
+            consumer = eligible[self._next_consumer % len(eligible)]
+            self._next_consumer += 1
+            self._backlog.popleft()
+            consumer.inbox.append(
+                QueueDelivery(message, consumer.consumer_id, redelivered=redelivered)
+            )
+            self.delivered += 1
+            progressed = True
+
+
+@dataclass
+class QueueManager:
+    """Registry of point-to-point queues (the queue-domain counterpart of
+    the topic registry)."""
+
+    _queues: Dict[str, PointToPointQueue] = field(default_factory=dict)
+
+    def create(self, name: str) -> PointToPointQueue:
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = PointToPointQueue(name)
+            self._queues[name] = queue
+        return queue
+
+    def get(self, name: str) -> PointToPointQueue:
+        queue = self._queues.get(name)
+        if queue is None:
+            raise InvalidDestinationError(f"unknown queue {name!r}")
+        return queue
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queues
+
+    def __len__(self) -> int:
+        return len(self._queues)

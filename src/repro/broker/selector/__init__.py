@@ -1,0 +1,93 @@
+"""JMS message-selector language: lexer, parser, AST and evaluator.
+
+The public entry point is :class:`Selector`:
+
+>>> from repro.broker.selector import Selector
+>>> from repro.broker import Message
+>>> selector = Selector("region = 'EU' AND price BETWEEN 10 AND 20")
+>>> selector.matches(Message(topic="t", properties={"region": "EU", "price": 15}))
+True
+>>> sorted(selector.identifiers)
+['price', 'region']
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, FrozenSet
+
+from .ast import (
+    Between,
+    Binary,
+    Expr,
+    Identifier,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+    iter_identifiers,
+)
+from .evaluator import UNKNOWN, evaluate, matches
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+
+__all__ = [
+    "Selector",
+    "parse",
+    "tokenize",
+    "evaluate",
+    "matches",
+    "UNKNOWN",
+    "Expr",
+    "Literal",
+    "Identifier",
+    "Unary",
+    "Binary",
+    "Between",
+    "InList",
+    "Like",
+    "IsNull",
+    "Token",
+    "TokenType",
+    "iter_identifiers",
+]
+
+
+class Selector:
+    """A compiled message selector.
+
+    Parsing happens once at construction (raising
+    :class:`~repro.broker.errors.InvalidSelectorError` eagerly, as a JMS
+    provider must when the subscription is created); matching is then a
+    pure AST walk per message.
+    """
+
+    __slots__ = ("text", "ast", "identifiers")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.ast = _parse_cached(text)
+        self.identifiers: FrozenSet[str] = frozenset(iter_identifiers(self.ast))
+
+    def matches(self, message: Any) -> bool:
+        """True iff the selector evaluates to TRUE for ``message``."""
+        return evaluate(self.ast, message) is True
+
+    def evaluate(self, message: Any):
+        """Raw three-valued result (True / False / UNKNOWN)."""
+        return evaluate(self.ast, message)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Selector) and self.ast == other.ast
+
+    def __hash__(self) -> int:
+        return hash(self.ast)
+
+    def __repr__(self) -> str:
+        return f"Selector({self.text!r})"
+
+
+@lru_cache(maxsize=4096)
+def _parse_cached(text: str) -> Expr:
+    return parse(text)

@@ -1,0 +1,207 @@
+"""Lexer for the JMS message-selector language.
+
+The selector syntax is the SQL-92 conditional-expression subset mandated by
+the JMS specification: identifiers, string/numeric/boolean literals, the
+comparison operators ``= <> < <= > >=``, arithmetic ``+ - * /``, and the
+keywords ``AND OR NOT BETWEEN IN LIKE ESCAPE IS NULL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import InvalidSelectorError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    # operators
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    # keywords
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    BETWEEN = "BETWEEN"
+    IN = "IN"
+    LIKE = "LIKE"
+    ESCAPE = "ESCAPE"
+    IS = "IS"
+    NULL = "NULL"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    EOF = "eof"
+
+
+_KEYWORDS = {
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "between": TokenType.BETWEEN,
+    "in": TokenType.IN,
+    "like": TokenType.LIKE,
+    "escape": TokenType.ESCAPE,
+    "is": TokenType.IS,
+    "null": TokenType.NULL,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error reporting)."""
+
+    type: TokenType
+    value: object
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_$"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$."
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`InvalidSelectorError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            token, i = _scan_string(text, i)
+            yield token
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            token, i = _scan_number(text, i)
+            yield token
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_part(text[i]):
+                i += 1
+            word = text[start:i]
+            keyword = _KEYWORDS.get(word.lower())
+            if keyword is TokenType.TRUE:
+                yield Token(TokenType.TRUE, True, start)
+            elif keyword is TokenType.FALSE:
+                yield Token(TokenType.FALSE, False, start)
+            elif keyword is not None:
+                yield Token(keyword, word.upper(), start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        if ch == "<":
+            if i + 1 < n and text[i + 1] == ">":
+                yield Token(TokenType.NE, "<>", i)
+                i += 2
+            elif i + 1 < n and text[i + 1] == "=":
+                yield Token(TokenType.LE, "<=", i)
+                i += 2
+            else:
+                yield Token(TokenType.LT, "<", i)
+                i += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token(TokenType.GE, ">=", i)
+                i += 2
+            else:
+                yield Token(TokenType.GT, ">", i)
+                i += 1
+            continue
+        simple = {
+            "=": TokenType.EQ,
+            "+": TokenType.PLUS,
+            "-": TokenType.MINUS,
+            "*": TokenType.STAR,
+            "/": TokenType.SLASH,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+        }.get(ch)
+        if simple is not None:
+            yield Token(simple, ch, i)
+            i += 1
+            continue
+        raise InvalidSelectorError(f"unexpected character {ch!r}", position=i)
+    yield Token(TokenType.EOF, None, n)
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    """Scan a single-quoted SQL string; ``''`` is an escaped quote."""
+    i = start + 1
+    n = len(text)
+    parts: List[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise InvalidSelectorError("unterminated string literal", position=start)
+
+
+def _scan_number(text: str, start: int) -> tuple[Token, int]:
+    """Scan an exact (int) or approximate (float) numeric literal."""
+    i = start
+    n = len(text)
+    is_float = False
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == ".":
+        is_float = True
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        mark = i
+        i += 1
+        if i < n and text[i] in "+-":
+            i += 1
+        if i < n and text[i].isdigit():
+            is_float = True
+            while i < n and text[i].isdigit():
+                i += 1
+        else:
+            i = mark  # 'E' belongs to a following identifier, not the number
+    literal = text[start:i]
+    try:
+        value: object = float(literal) if is_float else int(literal)
+    except ValueError:  # pragma: no cover - the scanner should prevent this
+        raise InvalidSelectorError(f"malformed number {literal!r}", position=start)
+    return Token(TokenType.NUMBER, value, start), i

@@ -1,0 +1,227 @@
+"""Recursive-descent parser for the JMS selector grammar.
+
+Grammar (standard SQL-92 conditional expressions, lowest precedence first)::
+
+    expression      := or_expr
+    or_expr         := and_expr (OR and_expr)*
+    and_expr        := not_expr (AND not_expr)*
+    not_expr        := NOT not_expr | predicate
+    predicate       := additive [ comparison | between | in | like | is-null ]
+    comparison      := ('=' | '<>' | '<' | '<=' | '>' | '>=') additive
+    between         := [NOT] BETWEEN additive AND additive
+    in              := [NOT] IN '(' string (',' string)* ')'
+    like            := [NOT] LIKE string [ESCAPE string]
+    is-null         := IS [NOT] NULL
+    additive        := multiplicative (('+' | '-') multiplicative)*
+    multiplicative  := unary (('*' | '/') unary)*
+    unary           := ('+' | '-') unary | primary
+    primary         := literal | identifier | '(' expression ')'
+
+JMS restricts the left-hand side of ``IN``, ``LIKE`` and ``IS NULL`` to an
+identifier; we enforce that and raise :class:`InvalidSelectorError`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import InvalidSelectorError
+from .ast import Between, Binary, Expr, Identifier, InList, IsNull, Like, Literal, Unary
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+_COMPARISON_OPS = {
+    TokenType.EQ: "=",
+    TokenType.NE: "<>",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+
+def parse(text: str) -> Expr:
+    """Parse selector ``text`` into an AST; empty selectors are invalid."""
+    if not text or not text.strip():
+        raise InvalidSelectorError("empty selector")
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expression()
+    parser.expect(TokenType.EOF)
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def match(self, *types: TokenType) -> Token | None:
+        if self.current.type in types:
+            return self.advance()
+        return None
+
+    def expect(self, type_: TokenType) -> Token:
+        if self.current.type is not type_:
+            raise InvalidSelectorError(
+                f"expected {type_.value!r}, found {self._describe(self.current)}",
+                position=self.current.position,
+            )
+        return self.advance()
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.type is TokenType.EOF:
+            return "end of selector"
+        return repr(token.value)
+
+    # -- grammar --------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self.match(TokenType.OR):
+            left = Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self.match(TokenType.AND):
+            left = Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self.match(TokenType.NOT):
+            return Unary("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._additive()
+        token = self.current
+        if token.type in _COMPARISON_OPS:
+            self.advance()
+            return Binary(_COMPARISON_OPS[token.type], left, self._additive())
+        negated = False
+        if token.type is TokenType.NOT:
+            # lookahead: NOT BETWEEN / NOT IN / NOT LIKE
+            next_type = self._tokens[self._index + 1].type
+            if next_type in (TokenType.BETWEEN, TokenType.IN, TokenType.LIKE):
+                self.advance()
+                negated = True
+                token = self.current
+        if token.type is TokenType.BETWEEN:
+            self.advance()
+            low = self._additive()
+            self.expect(TokenType.AND)
+            high = self._additive()
+            return Between(left, low, high, negated=negated)
+        if token.type is TokenType.IN:
+            self.advance()
+            return self._in_list(left, negated)
+        if token.type is TokenType.LIKE:
+            self.advance()
+            return self._like(left, negated)
+        if token.type is TokenType.IS:
+            self.advance()
+            is_not = self.match(TokenType.NOT) is not None
+            self.expect(TokenType.NULL)
+            self._require_identifier(left, "IS NULL")
+            return IsNull(left, negated=is_not)
+        if negated:  # pragma: no cover - unreachable due to lookahead
+            raise InvalidSelectorError("dangling NOT", position=token.position)
+        return left
+
+    def _in_list(self, left: Expr, negated: bool) -> Expr:
+        self._require_identifier(left, "IN")
+        self.expect(TokenType.LPAREN)
+        values = [self._string_literal("IN list")]
+        while self.match(TokenType.COMMA):
+            values.append(self._string_literal("IN list"))
+        self.expect(TokenType.RPAREN)
+        return InList(left, tuple(values), negated=negated)
+
+    def _like(self, left: Expr, negated: bool) -> Expr:
+        self._require_identifier(left, "LIKE")
+        pattern = self._string_literal("LIKE pattern")
+        escape = None
+        if self.match(TokenType.ESCAPE):
+            escape = self._string_literal("ESCAPE")
+            if len(escape) != 1:
+                raise InvalidSelectorError(
+                    f"ESCAPE must be a single character, got {escape!r}",
+                    position=self.current.position,
+                )
+        return Like(left, pattern, escape=escape, negated=negated)
+
+    def _string_literal(self, context: str) -> str:
+        token = self.current
+        if token.type is not TokenType.STRING:
+            raise InvalidSelectorError(
+                f"{context} requires a string literal, found {self._describe(token)}",
+                position=token.position,
+            )
+        self.advance()
+        assert isinstance(token.value, str)
+        return token.value
+
+    @staticmethod
+    def _require_identifier(expr: Expr, construct: str) -> None:
+        if not isinstance(expr, Identifier):
+            raise InvalidSelectorError(
+                f"the left-hand side of {construct} must be an identifier"
+            )
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self.match(TokenType.PLUS, TokenType.MINUS)
+            if token is None:
+                return left
+            op = "+" if token.type is TokenType.PLUS else "-"
+            left = Binary(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.match(TokenType.STAR, TokenType.SLASH)
+            if token is None:
+                return left
+            op = "*" if token.type is TokenType.STAR else "/"
+            left = Binary(op, left, self._unary())
+
+    def _unary(self) -> Expr:
+        token = self.match(TokenType.PLUS, TokenType.MINUS)
+        if token is not None:
+            op = "+" if token.type is TokenType.PLUS else "-"
+            return Unary(op, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.type in (TokenType.NUMBER, TokenType.STRING, TokenType.TRUE, TokenType.FALSE):
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.IDENT:
+            self.advance()
+            assert isinstance(token.value, str)
+            return Identifier(token.value)
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(TokenType.RPAREN)
+            return expr
+        raise InvalidSelectorError(
+            f"unexpected {self._describe(token)}", position=token.position
+        )

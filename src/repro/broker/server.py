@@ -1,0 +1,246 @@
+"""The broker core: topic routing, filter matching, delivery.
+
+:class:`Broker` is a synchronous, engine-agnostic JMS-style server "brain".
+It performs the real matching work — every installed filter is evaluated
+against every message, copies are delivered to subscriber inboxes, durable
+subscribers get retention — and reports per-message operation counts
+(filters evaluated, copies sent) so a CPU cost model can charge virtual
+time for them.  The simulated measurement server in
+:mod:`repro.testbed.simserver` wraps it into the event engine; the
+examples use it directly as an in-process pub/sub library.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .dispatch import DispatchPlan, plan_dispatch
+from .errors import SubscriptionError
+from .filters import MatchAllFilter, MessageFilter
+from .message import DeliveredMessage, Message
+from .stats import BrokerStats
+from .subscriptions import Subscriber, Subscription
+from .topics import TopicRegistry
+
+__all__ = ["Broker", "PublishResult"]
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of one ``publish`` call.
+
+    Carries the operation counts the CPU model needs: ``filters_evaluated``
+    non-trivial filter checks and ``copies_delivered + copies_retained +
+    copies_dropped`` matches (the replication grade ``R``).
+    """
+
+    message: Message
+    filters_evaluated: int
+    copies_delivered: int
+    copies_retained: int
+    copies_dropped: int
+    expired: bool = False
+
+    @property
+    def replication_grade(self) -> int:
+        return self.copies_delivered + self.copies_retained + self.copies_dropped
+
+
+class Broker:
+    """An in-process JMS-style publish/subscribe server.
+
+    Example
+    -------
+    >>> from repro.broker import Broker, Message, PropertyFilter
+    >>> broker = Broker(topics=["presence"])
+    >>> alice = broker.add_subscriber("alice")
+    >>> _ = broker.subscribe(alice, "presence", PropertyFilter("user = 'bob'"))
+    >>> result = broker.publish(Message(topic="presence", properties={"user": "bob"}))
+    >>> result.replication_grade
+    1
+    >>> alice.receive().message.properties["user"]
+    'bob'
+    """
+
+    def __init__(self, topics: Sequence[str] = (), freeze_topics: bool = False):
+        self.topics = TopicRegistry()
+        for name in topics:
+            self.topics.create(name)
+        if freeze_topics:
+            self.topics.freeze()
+        self._subscriptions: Dict[str, "OrderedDict[int, Subscription]"] = {}
+        self._subscribers: Dict[str, Subscriber] = {}
+        self.stats = BrokerStats()
+        #: Per-topic dispatch planners; ``None`` means the FioranoMQ-style
+        #: linear scan.  Installed by :meth:`install_filter_index`.
+        self._indices: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Subscriber management
+    # ------------------------------------------------------------------
+    def add_subscriber(self, subscriber_id: str, on_message=None) -> Subscriber:
+        """Register a consumer endpoint."""
+        if subscriber_id in self._subscribers:
+            raise SubscriptionError(f"duplicate subscriber id {subscriber_id!r}")
+        subscriber = Subscriber(subscriber_id, on_message=on_message)
+        self._subscribers[subscriber_id] = subscriber
+        return subscriber
+
+    def get_subscriber(self, subscriber_id: str) -> Subscriber:
+        try:
+            return self._subscribers[subscriber_id]
+        except KeyError:
+            raise SubscriptionError(f"unknown subscriber {subscriber_id!r}") from None
+
+    def subscribe(
+        self,
+        subscriber: Subscriber | str,
+        topic_name: str,
+        message_filter: Optional[MessageFilter] = None,
+        durable: bool = False,
+    ) -> Subscription:
+        """Install a subscription (and its single filter) on a topic.
+
+        Filters are dynamic: unlike topics they may be installed while the
+        server runs.
+        """
+        if isinstance(subscriber, str):
+            subscriber = self.get_subscriber(subscriber)
+        elif subscriber.subscriber_id not in self._subscribers:
+            raise SubscriptionError(
+                f"subscriber {subscriber.subscriber_id!r} is not registered"
+            )
+        topic = self.topics.get(topic_name)
+        subscription = Subscription(
+            subscriber=subscriber,
+            topic=topic,
+            filter=message_filter if message_filter is not None else MatchAllFilter(),
+            durable=durable,
+        )
+        bucket = self._subscriptions.setdefault(topic.name, OrderedDict())
+        bucket[subscription.subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        bucket = self._subscriptions.get(subscription.topic.name, {})
+        if subscription.subscription_id not in bucket:
+            raise SubscriptionError(f"subscription {subscription.subscription_id} not installed")
+        del bucket[subscription.subscription_id]
+
+    def subscriptions(self, topic_name: str) -> List[Subscription]:
+        """The topic's subscriptions in installation order."""
+        return list(self._subscriptions.get(topic_name, {}).values())
+
+    def filter_count(self, topic_name: str) -> int:
+        """Number of non-trivial filters installed on a topic (``n_fltr``)."""
+        return sum(
+            1
+            for s in self._subscriptions.get(topic_name, {}).values()
+            if not s.filter.is_trivial
+        )
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle (durable vs. non-durable semantics)
+    # ------------------------------------------------------------------
+    def disconnect(self, subscriber: Subscriber | str) -> None:
+        """Take a subscriber offline; durable subscriptions start retaining."""
+        if isinstance(subscriber, str):
+            subscriber = self.get_subscriber(subscriber)
+        subscriber.connected = False
+
+    def reconnect(self, subscriber: Subscriber | str) -> int:
+        """Bring a subscriber back online, replaying retained messages.
+
+        Returns the number of replayed (durable) messages.
+        """
+        if isinstance(subscriber, str):
+            subscriber = self.get_subscriber(subscriber)
+        subscriber.connected = True
+        replayed = 0
+        for bucket in self._subscriptions.values():
+            for subscription in bucket.values():
+                if subscription.subscriber is subscriber and subscription.durable:
+                    for message in subscription.replay_retained():
+                        subscriber.deliver(DeliveredMessage(message, subscriber.subscriber_id))
+                        self.stats.dispatched += 1
+                        replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, message: Message, now: float = 0.0) -> PublishResult:
+        """Route one message: filter matching plus delivery.
+
+        Raises :class:`~repro.broker.errors.InvalidDestinationError` when
+        the topic does not exist.  Expired messages are counted and not
+        dispatched (they still incur the receive work).
+        """
+        self.topics.get(message.topic)
+        self.stats.record_receive(message.topic)
+        if message.expired(now):
+            self.stats.expired += 1
+            return PublishResult(message, 0, 0, 0, 0, expired=True)
+        plan = self._plan(message)
+        delivered = retained = dropped = 0
+        for subscription in plan.matches:
+            if subscription.active:
+                subscription.subscriber.deliver(message.copy_for(subscription.subscriber.subscriber_id))
+                delivered += 1
+            elif subscription.durable:
+                subscription.retain(message)
+                retained += 1
+                self.stats.retained += 1
+            else:
+                dropped += 1
+                self.stats.dropped_offline += 1
+        self.stats.record_dispatch(
+            message.topic, copies=delivered + retained, filters_evaluated=plan.filters_evaluated
+        )
+        return PublishResult(
+            message=message,
+            filters_evaluated=plan.filters_evaluated,
+            copies_delivered=delivered,
+            copies_retained=retained,
+            copies_dropped=dropped,
+        )
+
+    def dry_run(self, message: Message) -> DispatchPlan:
+        """Match without delivering (used by tests and what-if tools)."""
+        self.topics.get(message.topic)
+        return self._plan(message)
+
+    def _plan(self, message: Message) -> DispatchPlan:
+        index = self._indices.get(message.topic)
+        if index is not None:
+            return index.plan(message)  # type: ignore[attr-defined]
+        return plan_dispatch(message, self.subscriptions(message.topic))
+
+    # ------------------------------------------------------------------
+    # Ablation: shared filter evaluation (what FioranoMQ does NOT do)
+    # ------------------------------------------------------------------
+    def install_filter_index(self) -> None:
+        """Switch every topic to shared/indexed filter evaluation.
+
+        The measured FioranoMQ behaviour is the per-subscription linear
+        scan; installing the index models a server with identical-filter
+        sharing and an exact correlation-ID hash index (the [15]-style
+        optimization).  Rebuild after subscription changes by calling
+        this again.
+        """
+        from .filter_index import FilterIndex
+
+        self._indices = {
+            topic.name: FilterIndex(self.subscriptions(topic.name))
+            for topic in self.topics
+        }
+
+    def remove_filter_index(self) -> None:
+        """Return to the FioranoMQ-style linear scan."""
+        self._indices = {}
+
+    @property
+    def uses_filter_index(self) -> bool:
+        return bool(self._indices)

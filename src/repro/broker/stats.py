@@ -1,0 +1,72 @@
+"""Broker-side statistics.
+
+Tracks the quantities the paper measures: received messages, dispatched
+copies, filter evaluations, plus bookkeeping for expired and dropped
+messages.  The testbed reads these through windowed counters; this class
+is the broker's own unconditional ledger.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["BrokerStats"]
+
+
+@dataclass
+class BrokerStats:
+    """Running totals over the broker's lifetime."""
+
+    received: int = 0
+    dispatched: int = 0
+    filters_evaluated: int = 0
+    expired: int = 0
+    #: Copies not delivered because a non-durable subscriber was offline.
+    dropped_offline: int = 0
+    #: Messages retained for offline durable subscribers.
+    retained: int = 0
+    per_topic_received: Counter = field(default_factory=Counter)
+    per_topic_dispatched: Counter = field(default_factory=Counter)
+
+    @property
+    def overall(self) -> int:
+        """Received plus dispatched — the paper's overall throughput count."""
+        return self.received + self.dispatched
+
+    @property
+    def mean_replication_grade(self) -> float:
+        """Empirical ``E[R]`` over all received messages."""
+        if self.received == 0:
+            return 0.0
+        return self.dispatched / self.received
+
+    @property
+    def mean_filters_per_message(self) -> float:
+        """Empirical ``n_fltr`` actually evaluated per message."""
+        if self.received == 0:
+            return 0.0
+        return self.filters_evaluated / self.received
+
+    def record_receive(self, topic: str) -> None:
+        self.received += 1
+        self.per_topic_received[topic] += 1
+
+    def record_dispatch(self, topic: str, copies: int, filters_evaluated: int) -> None:
+        self.dispatched += copies
+        self.filters_evaluated += filters_evaluated
+        self.per_topic_dispatched[topic] += copies
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict view (for logging and result tables)."""
+        return {
+            "received": self.received,
+            "dispatched": self.dispatched,
+            "overall": self.overall,
+            "filters_evaluated": self.filters_evaluated,
+            "expired": self.expired,
+            "dropped_offline": self.dropped_offline,
+            "retained": self.retained,
+            "mean_replication_grade": self.mean_replication_grade,
+        }

@@ -1,0 +1,104 @@
+"""Subscribers and subscriptions.
+
+Each subscriber holds exactly one subscription with exactly one filter (the
+JMS rule the paper relies on: "Each subscriber has only a single filter").
+Non-durable subscribers receive messages only while connected; durable
+subscribers additionally drain messages retained while they were offline
+(Section II-A).  The paper measures the persistent *non-durable* mode, but
+the broker implements both so the mode comparison is testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from .errors import SubscriptionError
+from .filters import MatchAllFilter, MessageFilter
+from .message import DeliveredMessage, Message
+from .topics import Topic
+
+__all__ = ["Subscriber", "Subscription"]
+
+_subscription_ids = itertools.count(1)
+
+
+class Subscriber:
+    """A message consumer endpoint.
+
+    Messages dispatched to a connected subscriber land in :attr:`inbox`
+    (and trigger ``on_message`` when set).  The inbox models the consumer's
+    receive queue; the paper's subscriber machines drain it fast enough
+    that the server stays the bottleneck.
+    """
+
+    def __init__(self, subscriber_id: str, on_message: Optional[Callable[[DeliveredMessage], None]] = None):
+        if not subscriber_id:
+            raise SubscriptionError("subscriber id must be non-empty")
+        self.subscriber_id = subscriber_id
+        self.on_message = on_message
+        self.inbox: Deque[DeliveredMessage] = deque()
+        self.connected = True
+        self.received_count = 0
+
+    def deliver(self, delivery: DeliveredMessage) -> None:
+        """Called by the broker when a copy is dispatched to this subscriber."""
+        self.received_count += 1
+        self.inbox.append(delivery)
+        if self.on_message is not None:
+            self.on_message(delivery)
+
+    def receive(self) -> Optional[DeliveredMessage]:
+        """Pop the oldest delivery, or ``None`` when the inbox is empty."""
+        return self.inbox.popleft() if self.inbox else None
+
+    def drain(self) -> List[DeliveredMessage]:
+        """Remove and return everything in the inbox."""
+        items = list(self.inbox)
+        self.inbox.clear()
+        return items
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"Subscriber({self.subscriber_id!r}, {state}, inbox={len(self.inbox)})"
+
+
+@dataclass
+class Subscription:
+    """The binding of one subscriber to one topic through one filter."""
+
+    subscriber: Subscriber
+    topic: Topic
+    filter: MessageFilter = field(default_factory=MatchAllFilter)
+    durable: bool = False
+    subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
+    #: Messages retained for a disconnected durable subscriber.
+    retained: Deque[Message] = field(default_factory=deque)
+
+    @property
+    def active(self) -> bool:
+        """Is the subscriber currently online?"""
+        return self.subscriber.connected
+
+    def matches(self, message: Message) -> bool:
+        return self.filter.matches(message)
+
+    def retain(self, message: Message) -> None:
+        if not self.durable:
+            raise SubscriptionError("only durable subscriptions retain messages")
+        self.retained.append(message)
+
+    def replay_retained(self) -> List[Message]:
+        """Hand back retained messages (on reconnect) and clear the store."""
+        items = list(self.retained)
+        self.retained.clear()
+        return items
+
+    def __repr__(self) -> str:
+        kind = "durable" if self.durable else "non-durable"
+        return (
+            f"Subscription(#{self.subscription_id}, {self.subscriber.subscriber_id!r}"
+            f" on {self.topic.name!r}, {kind}, {self.filter!r})"
+        )

@@ -1,0 +1,71 @@
+"""Topics: the coarse, static message-selection mechanism (Section II-A).
+
+Topics partition the server into logical sub-servers.  They "need to be
+configured on the JMS server before system start", so the registry is
+created up front and :meth:`TopicRegistry.freeze` can lock it; filters, in
+contrast, come and go dynamically with subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from .errors import InvalidDestinationError
+
+__all__ = ["Topic", "TopicRegistry"]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A named destination."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise InvalidDestinationError("topic name must be non-empty")
+
+
+@dataclass
+class TopicRegistry:
+    """The server's static topic configuration."""
+
+    _topics: Dict[str, Topic] = field(default_factory=dict)
+    _frozen: bool = False
+
+    def create(self, name: str) -> Topic:
+        """Create (or return the existing) topic ``name``."""
+        if self._frozen and name not in self._topics:
+            raise InvalidDestinationError(
+                f"topic registry is frozen; cannot create {name!r} at runtime"
+            )
+        topic = self._topics.get(name)
+        if topic is None:
+            topic = Topic(name)
+            self._topics[name] = topic
+        return topic
+
+    def get(self, name: str) -> Topic:
+        """Look up ``name``; raises :class:`InvalidDestinationError` if absent."""
+        topic = self._topics.get(name)
+        if topic is None:
+            raise InvalidDestinationError(f"unknown topic {name!r}")
+        return topic
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics
+
+    def __iter__(self) -> Iterator[Topic]:
+        return iter(self._topics.values())
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def freeze(self) -> None:
+        """Disallow further topic creation (server has started)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro report [--measurements]
+    python -m repro figure {fig5,fig6,fig8,fig9,fig10,fig11,fig12,fig15}
+    python -m repro capacity --filters 500 --replication 3 [--type app] [--rho 0.9]
+    python -m repro wait --filters 500 --replication 3 --p-match 0.006 [--rho 0.9]
+
+``report`` checks every numeric paper claim; ``figure`` prints the series
+of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
+user scenario (the practical use the paper advertises).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis import (
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure15,
+    format_report,
+    reproduction_report,
+)
+from .core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    BinomialReplication,
+    CostParameters,
+    MG1Queue,
+    ServiceTimeModel,
+    predict_throughput,
+    server_capacity,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES: Dict[str, Callable] = {
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig15": figure15,
+}
+
+
+def _costs(kind: str) -> CostParameters:
+    return APP_PROPERTY_COSTS if kind == "app" else CORRELATION_ID_COSTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the FioranoMQ JMS waiting-time analysis (ICDCS 2006).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="check every numeric paper claim")
+    report.add_argument(
+        "--measurements",
+        action="store_true",
+        help="include the (slower) simulated-measurement claims (Table I)",
+    )
+
+    figure = commands.add_parser("figure", help="print one reproduced figure's series")
+    figure.add_argument("figure_id", choices=sorted(_FIGURES))
+
+    def add_scenario_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--filters", type=int, required=True, help="installed filters n_fltr")
+        sub.add_argument(
+            "--replication", type=float, required=True, help="mean replication grade E[R]"
+        )
+        sub.add_argument(
+            "--type", choices=("corr", "app"), default="corr", help="filter mechanism"
+        )
+        sub.add_argument("--rho", type=float, default=0.9, help="CPU utilization budget")
+
+    capacity = commands.add_parser("capacity", help="predict server capacity (Eqs. 1-2)")
+    add_scenario_arguments(capacity)
+
+    wait = commands.add_parser("wait", help="waiting-time summary at a load (Eqs. 4-20)")
+    add_scenario_arguments(wait)
+    wait.add_argument(
+        "--p-match",
+        type=float,
+        default=None,
+        help="per-filter match probability (default: replication / filters)",
+    )
+    return parser
+
+
+def _run_capacity(args: argparse.Namespace) -> int:
+    costs = _costs(args.type)
+    capacity = server_capacity(costs, args.filters, args.replication, rho=args.rho)
+    prediction = predict_throughput(costs, args.filters, args.replication, rho=args.rho)
+    print(f"scenario: {args.filters} {costs.filter_type} filters, E[R]={args.replication:g}")
+    print(f"capacity at rho={args.rho:g}: {capacity:.1f} received msgs/s")
+    print(f"dispatched: {prediction.dispatched:.1f} msgs/s; overall: {prediction.overall:.1f} msgs/s")
+    return 0
+
+
+def _run_wait(args: argparse.Namespace) -> int:
+    costs = _costs(args.type)
+    if args.filters <= 0:
+        raise SystemExit("wait analysis needs at least one filter")
+    p_match = (
+        args.p_match if args.p_match is not None else args.replication / args.filters
+    )
+    if not 0 <= p_match <= 1:
+        raise SystemExit(f"match probability {p_match:g} outside [0, 1]")
+    model = ServiceTimeModel(
+        costs, args.filters, BinomialReplication(args.filters, p_match)
+    )
+    queue = MG1Queue.from_utilization(args.rho, model.moments)
+    summary = queue.describe()
+    print(f"scenario: {args.filters} {costs.filter_type} filters, p_match={p_match:g}")
+    print(f"E[B] = {summary['mean_service_time'] * 1e3:.3f} ms (c_var {summary['service_cvar']:.3f})")
+    print(f"rho = {summary['utilization']:.2f} -> lambda = {summary['arrival_rate']:.1f} msgs/s")
+    print(f"E[W] = {summary['mean_wait'] * 1e3:.3f} ms")
+    print(f"Q99[W] = {summary['wait_q99'] * 1e3:.3f} ms")
+    print(f"Q99.99[W] = {summary['wait_q9999'] * 1e3:.3f} ms")
+    print(f"mean queue length = {summary['mean_queue_length']:.2f} messages")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        checks = reproduction_report(include_measurements=args.measurements)
+        print(format_report(checks))
+        return 0 if all(c.passed for c in checks) else 1
+    if args.command == "figure":
+        print(_FIGURES[args.figure_id]().format())
+        return 0
+    if args.command == "capacity":
+        return _run_capacity(args)
+    if args.command == "wait":
+        return _run_wait(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,141 @@
+"""Server capacity and filter-benefit analysis (Section IV-A).
+
+Capacity is the maximum supportable *received* message rate at a CPU
+utilization budget ρ:
+
+    ``λ_max = ρ / E[B]``                                           (Eq. 2)
+
+and a consumer's filters increase capacity iff the per-message filter cost
+is less than the transmission cost they save:
+
+    ``n_fltr^q · t_fltr < (1 − p_match^q) · t_tx``                 (Eq. 3)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import CostParameters
+from .service_time import ServiceTimeModel
+
+__all__ = [
+    "server_capacity",
+    "saturated_throughput",
+    "ThroughputPrediction",
+    "predict_throughput",
+    "filters_increase_capacity",
+    "max_match_probability",
+    "max_useful_filters",
+    "equivalent_filters",
+]
+
+
+def mean_service_time(costs: CostParameters, n_fltr: int, mean_replication: float) -> float:
+    """``E[B]`` by Eq. 1 for a mean replication grade."""
+    if n_fltr < 0:
+        raise ValueError(f"n_fltr must be non-negative, got {n_fltr}")
+    if mean_replication < 0:
+        raise ValueError(f"mean replication must be non-negative, got {mean_replication}")
+    return costs.t_rcv + n_fltr * costs.t_fltr + mean_replication * costs.t_tx
+
+
+def server_capacity(
+    costs: CostParameters, n_fltr: int, mean_replication: float, rho: float = 0.9
+) -> float:
+    """Maximum received-message rate at utilization budget ``rho`` (Eq. 2)."""
+    if not 0 < rho <= 1:
+        raise ValueError(f"rho must be in (0, 1], got {rho}")
+    return rho / mean_service_time(costs, n_fltr, mean_replication)
+
+
+def saturated_throughput(costs: CostParameters, n_fltr: int, mean_replication: float) -> float:
+    """Received throughput of a fully loaded server (ρ = 1), msgs/s."""
+    return server_capacity(costs, n_fltr, mean_replication, rho=1.0)
+
+
+@dataclass(frozen=True)
+class ThroughputPrediction:
+    """Predicted steady-state throughputs of a saturated server.
+
+    Matches the paper's measurement quantities (Section III-A.2): received
+    throughput (messages accepted per second), dispatched throughput
+    (copies forwarded per second) and their sum, the *overall* throughput
+    plotted in Fig. 4.
+    """
+
+    received: float
+    dispatched: float
+
+    @property
+    def overall(self) -> float:
+        return self.received + self.dispatched
+
+
+def predict_throughput(
+    costs: CostParameters, n_fltr: int, mean_replication: float, rho: float = 1.0
+) -> ThroughputPrediction:
+    """Predict received/dispatched/overall throughput at utilization ``rho``."""
+    received = server_capacity(costs, n_fltr, mean_replication, rho=rho)
+    return ThroughputPrediction(received=received, dispatched=received * mean_replication)
+
+
+# ----------------------------------------------------------------------
+# Filter-benefit criterion (Eq. 3)
+# ----------------------------------------------------------------------
+def filters_increase_capacity(
+    costs: CostParameters, n_consumer_filters: int, p_match: float
+) -> bool:
+    """Eq. 3: do a consumer's filters raise the server capacity?
+
+    ``n_consumer_filters`` is the number of filters the consumer installs
+    and ``p_match`` the probability that the consumer receives a message
+    (i.e. that any of its filters matches).
+    """
+    if n_consumer_filters < 0:
+        raise ValueError(f"filter count must be non-negative, got {n_consumer_filters}")
+    if not 0 <= p_match <= 1:
+        raise ValueError(f"p_match must be in [0, 1], got {p_match}")
+    return n_consumer_filters * costs.t_fltr < (1 - p_match) * costs.t_tx
+
+
+def max_match_probability(costs: CostParameters, n_consumer_filters: int) -> float:
+    """Largest ``p_match`` for which ``n_consumer_filters`` filters help.
+
+    Solving Eq. 3 for the match probability.  The paper's examples: one or
+    two correlation-ID filters help below 58.7 % / 17.4 %; one application
+    property filter below 9.9 %.  Negative values mean the filters never
+    help (clamped to 0 would hide that, so the raw value is returned).
+    """
+    if n_consumer_filters < 0:
+        raise ValueError(f"filter count must be non-negative, got {n_consumer_filters}")
+    if costs.t_tx == 0:
+        return -math.inf if n_consumer_filters > 0 else 1.0
+    return 1.0 - n_consumer_filters * costs.t_fltr / costs.t_tx
+
+
+def max_useful_filters(costs: CostParameters) -> int:
+    """Most filters per consumer that can ever increase capacity.
+
+    The largest ``n`` with ``n · t_fltr < t_tx`` (Eq. 3 at ``p_match = 0``):
+    2 for correlation-ID filtering, 1 for application property filtering.
+    """
+    if costs.t_fltr == 0:
+        raise ValueError("t_fltr = 0 makes every filter free")
+    ratio = costs.t_tx / costs.t_fltr
+    n = math.ceil(ratio) - 1  # strict inequality
+    return max(0, n)
+
+
+def equivalent_filters(costs: CostParameters, mean_replication: float) -> float:
+    """Filters with ``E[R] = 1`` costing the same as replication ``E[R]``.
+
+    The paper observes (Fig. 6) that ``E[R] = 10`` without filters reduces
+    capacity like ``E[R] = 1`` with 22 filters, and ``E[R] = 100`` like 240
+    filters.  The exchange rate is ``(E[R] − 1) · t_tx / t_fltr``.
+    """
+    if mean_replication < 1:
+        raise ValueError(f"mean replication must be >= 1, got {mean_replication}")
+    if costs.t_fltr == 0:
+        raise ValueError("t_fltr = 0 makes the comparison degenerate")
+    return (mean_replication - 1) * costs.t_tx / costs.t_fltr

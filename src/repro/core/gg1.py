@@ -1,0 +1,110 @@
+"""G/G/1 waiting-time approximation (extension beyond the paper).
+
+The paper assumes Poisson arrivals "since technical processes are often
+triggered by human beings" (Section IV-B.1).  This module adds the
+standard Kingman/Marchal heavy-traffic approximation for *general*
+renewal arrivals, so the sensitivity of the waiting-time results to the
+Poisson assumption can be quantified:
+
+    ``E[W] ≈ (ρ / (1 − ρ)) · ((c_a² + c_s²) / 2) · E[B]``   (Kingman)
+
+For Poisson arrivals (``c_a² = 1``) the formula coincides with the
+Pollaczek–Khinchine mean (Eq. 4), so :class:`~repro.core.mg1.MG1Queue`
+remains the exact reference for the paper's setting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .moments import Moments
+
+__all__ = ["kingman_mean_wait", "GG1Approximation"]
+
+
+def kingman_mean_wait(
+    arrival_rate: float,
+    arrival_scv: float,
+    service: Moments,
+) -> float:
+    """Kingman's heavy-traffic mean waiting time.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Renewal arrival rate λ (1 / mean interarrival time).
+    arrival_scv:
+        Squared coefficient of variation ``c_a²`` of the interarrival
+        times (1 for Poisson, < 1 for smooth, > 1 for bursty arrivals).
+    service:
+        Service-time moments; only mean and variance are used.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    if arrival_scv < 0:
+        raise ValueError(f"arrival SCV must be non-negative, got {arrival_scv}")
+    rho = arrival_rate * service.m1
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho:.4f} >= 1")
+    service_scv = service.cvar**2
+    return (
+        rho / (1 - rho) * (arrival_scv + service_scv) / 2 * service.m1
+    )
+
+
+@dataclass(frozen=True)
+class GG1Approximation:
+    """A G/G/1 queue under the Kingman approximation.
+
+    Exposes the same mean-wait interface as :class:`MG1Queue` so studies
+    can swap arrival assumptions; quantiles are *not* provided here —
+    beyond two moments of the arrival process they would require the full
+    interarrival law.
+    """
+
+    arrival_rate: float
+    arrival_scv: float
+    service: Moments
+
+    def __post_init__(self) -> None:
+        if self.utilization >= 1:
+            raise ValueError(f"unstable queue: rho = {self.utilization:.4f} >= 1")
+        if self.arrival_scv < 0:
+            raise ValueError(f"arrival SCV must be non-negative, got {self.arrival_scv}")
+
+    @classmethod
+    def from_utilization(
+        cls, rho: float, arrival_scv: float, service: Moments
+    ) -> "GG1Approximation":
+        if not 0 < rho < 1:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        return cls(arrival_rate=rho / service.m1, arrival_scv=arrival_scv, service=service)
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate * self.service.m1
+
+    @property
+    def mean_wait(self) -> float:
+        return kingman_mean_wait(self.arrival_rate, self.arrival_scv, self.service)
+
+    @property
+    def normalized_mean_wait(self) -> float:
+        return self.mean_wait / self.service.m1
+
+    @property
+    def poisson_ratio(self) -> float:
+        """Mean wait relative to the Poisson (paper) assumption.
+
+        ``(c_a² + c_s²) / (1 + c_s²)`` — how much the paper's M/G/1
+        result under- or over-estimates the wait for this arrival
+        burstiness.
+        """
+        service_scv = self.service.cvar**2
+        return (self.arrival_scv + service_scv) / (1 + service_scv)
+
+    def mean_wait_error_vs_md1_bound(self) -> float:
+        """Distance to the deterministic-arrival lower bound (c_a² = 0)."""
+        smooth = kingman_mean_wait(self.arrival_rate, 0.0, self.service)
+        return self.mean_wait - smooth

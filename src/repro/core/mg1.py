@@ -1,0 +1,227 @@
+"""M/G/1-∞ waiting-time analysis (Section IV-B).
+
+The JMS server is modelled as a single FIFO queue with Poisson arrivals of
+rate λ and generally distributed service time ``B`` (Fig. 7).  From the
+first three raw moments of ``B`` this module computes:
+
+- the first two moments of the waiting time ``W`` (Pollaczek–Khinchine,
+  Eqs. 4–5);
+- the waiting probability ``p_w = ρ`` and the moments of the *conditional*
+  wait ``W₁`` of delayed messages (Eq. 19);
+- the Gamma-approximated distribution of ``W`` (Eq. 20) with its CCDF and
+  quantiles (Figs. 11–12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .gamma_fit import FittedGamma
+from .moments import Moments
+
+__all__ = ["MG1Queue", "mm1_mean_wait"]
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Textbook M/M/1 mean waiting time ``ρ / (μ − λ)`` (used in tests)."""
+    if service_rate <= arrival_rate:
+        raise ValueError("M/M/1 requires λ < μ")
+    rho = arrival_rate / service_rate
+    return rho / (service_rate - arrival_rate)
+
+
+@dataclass(frozen=True)
+class MG1Queue:
+    """An M/G/1-∞ queue defined by λ and the service-time moments.
+
+    Example
+    -------
+    >>> from repro.core import Moments, MG1Queue
+    >>> queue = MG1Queue.from_utilization(0.9, Moments(1.0, 2.0, 6.0))
+    >>> round(queue.mean_wait, 1)  # M/M/1 with E[B]=1 at rho=0.9
+    9.0
+    """
+
+    arrival_rate: float
+    service: Moments
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.service.m1 <= 0:
+            raise ValueError("service time must have a positive mean")
+        if self.utilization >= 1:
+            raise ValueError(
+                f"unstable queue: utilization {self.utilization:.4f} >= 1 "
+                f"(λ={self.arrival_rate}, E[B]={self.service.m1})"
+            )
+
+    @classmethod
+    def from_utilization(cls, rho: float, service: Moments) -> "MG1Queue":
+        """Construct from a target utilization ``ρ = λ·E[B]`` (Eq. 6)."""
+        if not 0 <= rho < 1:
+            raise ValueError(f"utilization must be in [0, 1), got {rho}")
+        return cls(arrival_rate=rho / service.m1, service=service)
+
+    # ------------------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Server utilization ``ρ = λ·E[B]`` (Eq. 6)."""
+        return self.arrival_rate * self.service.m1
+
+    @property
+    def wait_probability(self) -> float:
+        """Probability that an arriving message must wait, ``p_w = ρ``."""
+        return self.utilization
+
+    @cached_property
+    def mean_wait(self) -> float:
+        """``E[W] = λ·E[B²] / (2·(1−ρ))`` (Eq. 4)."""
+        rho = self.utilization
+        if rho == 0:
+            return 0.0
+        return self.arrival_rate * self.service.m2 / (2 * (1 - rho))
+
+    @cached_property
+    def wait_moment2(self) -> float:
+        """``E[W²] = 2·E[W]² + λ·E[B³] / (3·(1−ρ))`` (Eq. 5)."""
+        rho = self.utilization
+        if rho == 0:
+            return 0.0
+        return 2 * self.mean_wait**2 + self.arrival_rate * self.service.m3 / (3 * (1 - rho))
+
+    @property
+    def wait_std(self) -> float:
+        return math.sqrt(max(0.0, self.wait_moment2 - self.mean_wait**2))
+
+    @property
+    def normalized_mean_wait(self) -> float:
+        """``E[W] / E[B]`` — the y-axis of the paper's Fig. 10."""
+        return self.mean_wait / self.service.m1
+
+    @cached_property
+    def mean_sojourn(self) -> float:
+        """Mean time in system ``E[W] + E[B]``."""
+        return self.mean_wait + self.service.m1
+
+    @cached_property
+    def mean_queue_length(self) -> float:
+        """Mean number waiting (Little's law, ``λ·E[W]``)."""
+        return self.arrival_rate * self.mean_wait
+
+    @cached_property
+    def mean_system_size(self) -> float:
+        """Mean number in system (Little's law on the sojourn time)."""
+        return self.arrival_rate * self.mean_sojourn
+
+    # ------------------------------------------------------------------
+    # Conditional wait of delayed messages and the Gamma approximation
+    # ------------------------------------------------------------------
+    @property
+    def delayed_mean_wait(self) -> float:
+        """``E[W₁] = E[W]/ρ`` (Eq. 19)."""
+        rho = self.utilization
+        if rho == 0:
+            return 0.0
+        return self.mean_wait / rho
+
+    @property
+    def delayed_wait_moment2(self) -> float:
+        """``E[W₁²] = E[W²]/ρ`` (Eq. 19)."""
+        rho = self.utilization
+        if rho == 0:
+            return 0.0
+        return self.wait_moment2 / rho
+
+    @cached_property
+    def delayed_wait_gamma(self) -> FittedGamma:
+        """Gamma fit of the conditional waiting time ``W₁``."""
+        return FittedGamma.from_first_two(self.delayed_mean_wait, self.delayed_wait_moment2)
+
+    def wait_cdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """``P(W ≤ t) = (1−ρ) + ρ·P(W₁ ≤ t)`` (Eq. 20)."""
+        rho = self.utilization
+        t = np.asarray(t, dtype=float)
+        if rho == 0:
+            out = np.where(t >= 0, 1.0, 0.0)
+            return out if out.ndim else float(out)
+        conditional = np.asarray(self.delayed_wait_gamma.cdf(t))
+        out = np.where(t < 0, 0.0, (1 - rho) + rho * conditional)
+        return out if out.ndim else float(out)
+
+    def wait_ccdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """``P(W > t)`` — the curves of the paper's Fig. 11."""
+        rho = self.utilization
+        t = np.asarray(t, dtype=float)
+        if rho == 0:
+            out = np.where(t >= 0, 0.0, 1.0)
+            return out if out.ndim else float(out)
+        conditional = np.asarray(self.delayed_wait_gamma.ccdf(t))
+        out = np.where(t < 0, 1.0, rho * conditional)
+        return out if out.ndim else float(out)
+
+    def wait_quantile(self, p: float) -> float:
+        """``Q_p[W]``: smallest ``t`` with ``P(W ≤ t) ≥ p`` (Section IV-B.5).
+
+        For ``p ≤ 1 − ρ`` the quantile is 0 (the message does not wait).
+        """
+        if not 0 <= p < 1:
+            raise ValueError(f"quantile level must be in [0, 1), got {p}")
+        rho = self.utilization
+        if p <= 1 - rho or rho == 0:
+            return 0.0
+        conditional_level = (p - (1 - rho)) / rho
+        return self.delayed_wait_gamma.ppf(conditional_level)
+
+    def normalized_wait_quantile(self, p: float) -> float:
+        """``Q_p[W] / E[B]`` — the y-axis of the paper's Fig. 12."""
+        return self.wait_quantile(p) / self.service.m1
+
+    # ------------------------------------------------------------------
+    # Busy-period structure (standard M/G/1 results; used for capacity
+    # planning beyond the paper's figures)
+    # ------------------------------------------------------------------
+    @property
+    def idle_probability(self) -> float:
+        """Probability an arriving message starts service immediately."""
+        return 1 - self.utilization
+
+    @property
+    def mean_busy_period(self) -> float:
+        """Mean length of a server busy period, ``E[B] / (1 − ρ)``."""
+        return self.service.m1 / (1 - self.utilization)
+
+    @property
+    def mean_messages_per_busy_period(self) -> float:
+        """Mean messages served per busy period, ``1 / (1 − ρ)``."""
+        return 1.0 / (1 - self.utilization)
+
+    def describe(self) -> dict:
+        """A plain-dict summary of the queue (logging / result tables)."""
+        return {
+            "arrival_rate": self.arrival_rate,
+            "utilization": self.utilization,
+            "mean_service_time": self.service.m1,
+            "service_cvar": self.service.cvar,
+            "mean_wait": self.mean_wait,
+            "wait_std": self.wait_std,
+            "mean_sojourn": self.mean_sojourn,
+            "mean_queue_length": self.mean_queue_length,
+            "wait_q99": self.wait_quantile(0.99),
+            "wait_q9999": self.wait_quantile(0.9999),
+            "mean_busy_period": self.mean_busy_period,
+        }
+
+    # ------------------------------------------------------------------
+    def buffer_for_quantile(self, p: float) -> float:
+        """Buffer size (in messages) so overflow is rarer than ``1 − p``.
+
+        The paper notes the 99.99 % waiting-time quantile estimates the
+        required buffer space: a message waiting ``Q_p[W]`` sees at most
+        ``λ·Q_p[W]`` newer arrivals queued behind plus itself.
+        """
+        return self.arrival_rate * self.wait_quantile(p) + 1.0

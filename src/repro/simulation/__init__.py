@@ -1,0 +1,72 @@
+"""Discrete-event simulation substrate.
+
+Provides the virtual-time engine, generator-based processes, seeded random
+streams, sampling distributions with exact moments, measurement
+instrumentation (windowed counters, sample statistics, utilization
+tracking), a G/G/1 queueing station for M/G/1 cross-validation, and the
+virtual CPU cost model that stands in for the paper's 3.2 GHz server.
+"""
+
+from .cpu import CostBreakdown, CpuCostModel
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    Gamma,
+    Hyperexponential,
+    Lognormal,
+    Uniform,
+)
+from .engine import Engine, SimulationError
+from .events import Interrupt, ScheduledEvent, Signal
+from .metrics import (
+    BusyTracker,
+    MeasurementWindow,
+    SampleStats,
+    TimeWeightedStat,
+    WindowedCounter,
+)
+from .priority_queueing import (
+    PriorityClassSpec,
+    PriorityStation,
+    simulate_priority_mg1,
+)
+from .process import Process
+from .queueing import QueueingResults, QueueingStation, simulate_gg1, simulate_mg1
+from .rng import RandomStreams, stable_hash
+
+__all__ = [
+    "BusyTracker",
+    "CostBreakdown",
+    "CpuCostModel",
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Engine",
+    "Erlang",
+    "Exponential",
+    "Gamma",
+    "Hyperexponential",
+    "Interrupt",
+    "Lognormal",
+    "MeasurementWindow",
+    "PriorityClassSpec",
+    "PriorityStation",
+    "Process",
+    "QueueingResults",
+    "QueueingStation",
+    "RandomStreams",
+    "SampleStats",
+    "ScheduledEvent",
+    "Signal",
+    "SimulationError",
+    "TimeWeightedStat",
+    "Uniform",
+    "WindowedCounter",
+    "simulate_gg1",
+    "simulate_mg1",
+    "simulate_priority_mg1",
+    "stable_hash",
+]

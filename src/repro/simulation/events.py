@@ -1,0 +1,111 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine (:mod:`repro.simulation.engine`) maintains a priority queue of
+:class:`ScheduledEvent` instances ordered by virtual firing time.  Processes
+synchronise on :class:`Signal` objects, which behave like one-shot condition
+variables carrying an optional payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["ScheduledEvent", "Signal", "Interrupt"]
+
+
+#: Monotone tie-breaker so that events scheduled for the same virtual time
+#: fire in FIFO order.  A shared counter keeps ordering deterministic across
+#: all engines in a process (each event draws the next ticket).
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a virtual point in time.
+
+    Instances are ordered by ``(time, seq)`` which makes the engine's heap
+    deterministic: ties in virtual time are broken by scheduling order.
+    """
+
+    time: float
+    seq: int = field(compare=True)
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    @classmethod
+    def create(cls, time: float, callback: Callable[[], None]) -> "ScheduledEvent":
+        return cls(time=time, seq=next(_sequence), callback=callback)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Interrupt(Exception):
+    """Raised inside a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`repro.simulation.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Signal:
+    """A one-shot event processes can wait on.
+
+    A signal starts *pending*.  Calling :meth:`fire` triggers it exactly once
+    with an optional value; all waiting callbacks run immediately (in FIFO
+    order) and late waiters are invoked synchronously because the value is
+    already available.  Firing twice is an error — it almost always indicates
+    a race in the model.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError(f"signal {self.name!r} has not fired yet")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        if self._fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; runs now if already fired."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._waiters.append(callback)
+
+    def remove_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Deregister a pending waiter (no-op if absent or already fired)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"fired={self._fired}"
+        return f"Signal({self.name!r}, {state}, waiters={len(self._waiters)})"

@@ -1,0 +1,148 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator models an active
+entity (a publisher thread, the broker's dispatch loop, a queueing-station
+server) and communicates with the engine by *yielding*:
+
+``yield 1.5``
+    sleep 1.5 virtual seconds;
+``yield signal``
+    wait until the :class:`~repro.simulation.events.Signal` fires; the fired
+    value is the result of the ``yield`` expression;
+``yield None``
+    yield control and resume immediately (a zero-delay reschedule).
+
+Processes can be interrupted; the waiting ``yield`` then raises
+:class:`~repro.simulation.events.Interrupt` inside the generator.
+
+Example
+-------
+>>> from repro.simulation import Engine, Process
+>>> eng = Engine()
+>>> log = []
+>>> def worker():
+...     log.append(("start", eng.now))
+...     yield 2.0
+...     log.append(("done", eng.now))
+>>> _ = Process(eng, worker(), name="worker")
+>>> final_time = eng.run()
+>>> log
+[('start', 0.0), ('done', 2.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import Engine
+from .events import Interrupt, ScheduledEvent, Signal
+
+__all__ = ["Process"]
+
+_Yield = Any  # float | Signal | None
+
+
+class Process:
+    """Drive a generator as a simulation process.
+
+    Parameters
+    ----------
+    engine:
+        The engine supplying virtual time.
+    generator:
+        The generator to drive.  It is started on the next engine step
+        (zero-delay), not synchronously, so processes created at the same
+        instant start in creation order.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator[_Yield, Any, Any], name: str = "process"):
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self.alive = True
+        #: Signal fired with the generator's return value when it finishes.
+        self.completed = Signal(name=f"{name}.completed")
+        self._pending_event: Optional[ScheduledEvent] = None
+        self._waiting_signal: Optional[Signal] = None
+        self._waiter = None
+        self._pending_event = engine.call_in(0.0, lambda: self._advance(None))
+
+    # ------------------------------------------------------------------
+    def _advance(self, value: Any, exc: Optional[BaseException] = None) -> None:
+        """Resume the generator with ``value`` (or throw ``exc`` into it)."""
+        self._pending_event = None
+        self._waiting_signal = None
+        self._waiter = None
+        try:
+            if exc is not None:
+                yielded = self._generator.throw(exc)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # An un-caught interrupt terminates the process quietly.
+            self._finish(None)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: _Yield) -> None:
+        if yielded is None:
+            self._pending_event = self._engine.call_in(0.0, lambda: self._advance(None))
+        elif isinstance(yielded, Signal):
+            self._waiting_signal = yielded
+            self._waiter = lambda value: self._advance(value)
+            yielded.add_waiter(self._waiter)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise RuntimeError(f"process {self.name!r} yielded negative delay {yielded}")
+            self._pending_event = self._engine.call_in(float(yielded), lambda: self._advance(None))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}; "
+                "expected float delay, Signal, or None"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self._generator.close()
+        self.completed.fire(value)
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Abort the process's current wait, raising ``Interrupt`` inside it.
+
+        Interrupting a finished process is a no-op.
+        """
+        if not self.alive:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_signal is not None and self._waiter is not None:
+            self._waiting_signal.remove_waiter(self._waiter)
+            self._waiting_signal = None
+            self._waiter = None
+        self._engine.call_in(0.0, lambda: self._resume_with_interrupt(cause))
+
+    def _resume_with_interrupt(self, cause: Any) -> None:
+        if not self.alive:
+            return
+        self._advance(None, exc=Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without raising inside the generator."""
+        if not self.alive:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+        if self._waiting_signal is not None and self._waiter is not None:
+            self._waiting_signal.remove_waiter(self._waiter)
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,49 @@
+"""Measurement harness — the simulated five-machine testbed.
+
+Reproduces the paper's methodology (Section III-A): saturated publishers,
+a dedicated single-CPU server, trimmed measurement windows, utilization
+side-condition checks, and the least-squares calibration that derives the
+Table I cost constants from throughput measurements.
+"""
+
+from .calibration import CalibrationFit, fit_cost_parameters
+from .experiment import (
+    PAPER_ADDITIONAL_SUBSCRIBERS,
+    PAPER_REPLICATION_GRADES,
+    ExperimentConfig,
+    MeasurementResult,
+)
+from .publishers import PoissonPublisher, SaturatedPublisher
+from .runner import paper_sweep_configs, run_experiment, run_sweep
+from .scenario import (
+    MATCH_VALUE,
+    TOPIC_NAME,
+    FilterScenario,
+    build_filter_scenario,
+    make_test_message,
+)
+from .simserver import SimulatedJMSServer
+from .tables import format_series, format_si, format_table
+
+__all__ = [
+    "CalibrationFit",
+    "ExperimentConfig",
+    "FilterScenario",
+    "MATCH_VALUE",
+    "MeasurementResult",
+    "PAPER_ADDITIONAL_SUBSCRIBERS",
+    "PAPER_REPLICATION_GRADES",
+    "PoissonPublisher",
+    "SaturatedPublisher",
+    "SimulatedJMSServer",
+    "TOPIC_NAME",
+    "build_filter_scenario",
+    "fit_cost_parameters",
+    "format_series",
+    "format_si",
+    "format_table",
+    "make_test_message",
+    "paper_sweep_configs",
+    "run_experiment",
+    "run_sweep",
+]

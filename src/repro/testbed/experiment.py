@@ -1,0 +1,168 @@
+"""Experiment configuration and results.
+
+One :class:`ExperimentConfig` describes one cell of the paper's parameter
+study (Section III-B.2a); :class:`MeasurementResult` carries the measured
+throughputs and side-condition checks (utilization ≥ 98 % for saturated
+runs, no loss, narrow repeatability).
+
+CPU scaling
+-----------
+The real testbed pushes tens of thousands of messages per second for 100
+seconds — hundreds of times more matching work than a Python test run
+should do.  ``cpu_scale`` slows the virtual CPU by a constant factor: all
+three Table I constants are multiplied by it, which divides the message
+*count* without changing the model structure (Eq. 1 is linear in the
+constants).  Results report both raw virtual rates and paper-equivalent
+rates (multiplied back by ``cpu_scale``); the calibration divides its
+fitted constants by ``cpu_scale`` before comparing with Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.params import CostParameters, FilterType, costs_for
+
+__all__ = ["ExperimentConfig", "MeasurementResult"]
+
+#: The paper's replication grades and additional-subscriber counts.
+PAPER_REPLICATION_GRADES = (1, 2, 5, 10, 20, 40)
+PAPER_ADDITIONAL_SUBSCRIBERS = (5, 10, 20, 40, 80, 160)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One measurement run of the filter/replication parameter study."""
+
+    filter_type: FilterType = FilterType.CORRELATION_ID
+    replication_grade: int = 1
+    n_additional: int = 5
+    identical_non_matching: bool = False
+    publishers: int = 5
+    run_length: float = 100.0
+    trim: float = 5.0
+    cpu_scale: float = 1000.0
+    jitter_cvar: float = 0.0
+    buffer_capacity: int = 64
+    seed: int = 1
+    costs: Optional[CostParameters] = None
+    #: Message body size in bytes (the paper's default is 0: all
+    #: information lives in the headers).
+    body_size: int = 0
+    #: CPU seconds per payload byte (message-size ablation; unscaled —
+    #: ``cpu_scale`` is applied like to the Table I constants).
+    per_byte_cost: float = 0.0
+    #: Client-side per-message processing time of each publisher, in
+    #: *unscaled* seconds; models the finding that at least 5 publishers
+    #: are needed to saturate the server.  0 = infinitely fast clients.
+    publisher_min_gap: float = 0.0
+    #: Ablation: shared/indexed filter evaluation instead of the
+    #: FioranoMQ-style linear scan.
+    use_filter_index: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replication_grade < 0:
+            raise ValueError(f"replication grade must be >= 0, got {self.replication_grade}")
+        if self.n_additional < 0:
+            raise ValueError(f"n_additional must be >= 0, got {self.n_additional}")
+        if self.publishers < 1:
+            raise ValueError(f"need at least one publisher, got {self.publishers}")
+        if self.run_length <= 2 * self.trim:
+            raise ValueError(
+                f"run length {self.run_length} leaves no window after trimming {self.trim}"
+            )
+        if self.cpu_scale <= 0:
+            raise ValueError(f"cpu_scale must be positive, got {self.cpu_scale}")
+        if self.body_size < 0:
+            raise ValueError(f"body_size must be non-negative, got {self.body_size}")
+        if self.per_byte_cost < 0:
+            raise ValueError(f"per_byte_cost must be non-negative, got {self.per_byte_cost}")
+        if self.publisher_min_gap < 0:
+            raise ValueError(
+                f"publisher_min_gap must be non-negative, got {self.publisher_min_gap}"
+            )
+
+    @property
+    def n_fltr(self) -> int:
+        """Total installed filters ``n + R``."""
+        return self.n_additional + self.replication_grade
+
+    @property
+    def effective_costs(self) -> CostParameters:
+        """The (scaled) cost constants the virtual CPU charges."""
+        base = self.costs if self.costs is not None else costs_for(self.filter_type)
+        return base.scaled(self.cpu_scale) if self.cpu_scale != 1.0 else base
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def quick(cls, **changes) -> "ExperimentConfig":
+        """A fast-running configuration for unit tests (short window)."""
+        base = cls(run_length=10.0, trim=1.0, cpu_scale=2000.0)
+        return base.with_(**changes) if changes else base
+
+    @classmethod
+    def calibration_preset(cls, **changes) -> "ExperimentConfig":
+        """Enough messages per cell to identify the small ``t_rcv``
+        intercept (hundreds to thousands of messages per run)."""
+        base = cls(run_length=20.0, trim=2.0, cpu_scale=100.0)
+        return base.with_(**changes) if changes else base
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """Throughput measurement of one run (rates in virtual msgs/s)."""
+
+    config: ExperimentConfig
+    received_rate: float
+    dispatched_rate: float
+    utilization: float
+    messages_received: int
+    copies_dispatched: int
+    mean_service_time: float
+    mean_waiting_time: float
+    push_back_blocks: int
+    queue_depth_at_end: int = 0
+
+    @property
+    def overall_rate(self) -> float:
+        """Received plus dispatched rate — the y-axis of Fig. 4."""
+        return self.received_rate + self.dispatched_rate
+
+    @property
+    def measured_replication_grade(self) -> float:
+        if self.messages_received == 0:
+            return 0.0
+        return self.copies_dispatched / self.messages_received
+
+    # -- paper-equivalent views (undo the CPU slowdown) -----------------
+    @property
+    def received_rate_equivalent(self) -> float:
+        return self.received_rate * self.config.cpu_scale
+
+    @property
+    def dispatched_rate_equivalent(self) -> float:
+        return self.dispatched_rate * self.config.cpu_scale
+
+    @property
+    def overall_rate_equivalent(self) -> float:
+        return self.overall_rate * self.config.cpu_scale
+
+    @property
+    def mean_service_time_equivalent(self) -> float:
+        return self.mean_service_time / self.config.cpu_scale
+
+    def check_side_conditions(self, min_utilization: float = 0.98) -> None:
+        """Enforce the paper's validity rules for saturated runs.
+
+        A fully loaded server must show ≥ 98 % CPU utilization; raises
+        ``RuntimeError`` otherwise (mirroring the paper's run rejection).
+        """
+        if self.utilization < min_utilization:
+            raise RuntimeError(
+                f"server not saturated: utilization {self.utilization:.3f} < "
+                f"{min_utilization} (config {self.config})"
+            )

@@ -1,0 +1,133 @@
+"""Scenario builders replicating the paper's experiment setup (§III-B.2a).
+
+The parameter-study layout: five publishers send messages carrying
+correlation ID ``#0`` (or application property ``key = '#0'``) in a
+saturated way; ``R`` subscribers filter for attribute ``#0`` (and therefore
+match every message) while ``n`` additional subscribers filter for other
+attributes (``#1 … #n``, or all for ``#1`` in the *identical filters*
+variant) and never match.  Altogether ``n_fltr = n + R`` filters are
+installed and every message has replication grade exactly ``R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..broker import (
+    Broker,
+    CorrelationIdFilter,
+    MatchAllFilter,
+    Message,
+    MessageFilter,
+    PropertyFilter,
+)
+from ..core.params import FilterType
+
+__all__ = ["FilterScenario", "build_filter_scenario", "TOPIC_NAME", "MATCH_VALUE"]
+
+TOPIC_NAME = "measurement"
+MATCH_VALUE = "#0"
+_PROPERTY_KEY = "attribute"
+
+
+def _matching_filter(filter_type: FilterType) -> MessageFilter:
+    if filter_type is FilterType.CORRELATION_ID:
+        return CorrelationIdFilter(MATCH_VALUE)
+    return PropertyFilter(f"{_PROPERTY_KEY} = '{MATCH_VALUE}'")
+
+
+def _non_matching_filter(filter_type: FilterType, index: int, identical: bool) -> MessageFilter:
+    value = "#1" if identical else f"#{index + 1}"
+    if filter_type is FilterType.CORRELATION_ID:
+        return CorrelationIdFilter(value)
+    return PropertyFilter(f"{_PROPERTY_KEY} = '{value}'")
+
+
+def make_test_message(filter_type: FilterType, body_size: int = 0) -> Message:
+    """A message that matches exactly the ``#0`` filters.
+
+    The paper's default body size is 0 bytes — all information is in the
+    headers.
+    """
+    if filter_type is FilterType.CORRELATION_ID:
+        return Message(topic=TOPIC_NAME, correlation_id=MATCH_VALUE, body=b"\0" * body_size)
+    return Message(
+        topic=TOPIC_NAME,
+        properties={_PROPERTY_KEY: MATCH_VALUE},
+        body=b"\0" * body_size,
+    )
+
+
+@dataclass
+class FilterScenario:
+    """A configured broker plus the knobs of one measurement run."""
+
+    broker: Broker
+    filter_type: FilterType
+    replication_grade: int
+    n_additional: int
+    identical_non_matching: bool
+
+    @property
+    def n_fltr(self) -> int:
+        """Total installed filters, ``n + R``."""
+        return self.n_additional + self.replication_grade
+
+    def make_message(self, body_size: int = 0) -> Message:
+        return make_test_message(self.filter_type, body_size=body_size)
+
+
+def build_filter_scenario(
+    filter_type: FilterType,
+    replication_grade: int,
+    n_additional: int,
+    identical_non_matching: bool = False,
+    plain_subscribers: int = 0,
+) -> FilterScenario:
+    """Assemble the broker for one parameter-study cell.
+
+    Parameters
+    ----------
+    filter_type:
+        Correlation-ID or application-property filtering.
+    replication_grade:
+        ``R`` — subscribers whose filter matches every test message.
+    n_additional:
+        ``n`` — subscribers whose filter never matches.
+    identical_non_matching:
+        When True, all ``n`` non-matching subscribers filter for the same
+        value ``#1`` (the paper's identical-filters experiment); otherwise
+        they filter for distinct values ``#1 … #n``.
+    plain_subscribers:
+        Extra subscribers *without* filters (replication-only experiments);
+        they receive every message but cost no filter work.
+    """
+    if replication_grade < 0 or n_additional < 0 or plain_subscribers < 0:
+        raise ValueError("subscriber counts must be non-negative")
+    broker = Broker(topics=[TOPIC_NAME], freeze_topics=True)
+    subscriptions: List = []
+    for i in range(replication_grade):
+        subscriber = broker.add_subscriber(f"match-{i}")
+        subscriptions.append(
+            broker.subscribe(subscriber, TOPIC_NAME, _matching_filter(filter_type))
+        )
+    for i in range(n_additional):
+        subscriber = broker.add_subscriber(f"other-{i}")
+        subscriptions.append(
+            broker.subscribe(
+                subscriber,
+                TOPIC_NAME,
+                _non_matching_filter(filter_type, i, identical_non_matching),
+            )
+        )
+    for i in range(plain_subscribers):
+        subscriber = broker.add_subscriber(f"plain-{i}")
+        subscriptions.append(broker.subscribe(subscriber, TOPIC_NAME, MatchAllFilter()))
+    return FilterScenario(
+        broker=broker,
+        filter_type=filter_type,
+        replication_grade=replication_grade,
+        n_additional=n_additional,
+        identical_non_matching=identical_non_matching,
+    )

@@ -1,0 +1,142 @@
+"""The simulated JMS server machine.
+
+Combines the broker brain (:class:`repro.broker.Broker`), the virtual CPU
+(:class:`repro.simulation.cpu.CpuCostModel`) and publisher push-back
+(:class:`repro.broker.flow_control.FlowController`) into one single-CPU
+server attached to a simulation engine — the stand-in for the paper's
+3.2 GHz FioranoMQ machine.
+
+Message lifecycle:
+
+1. a publisher asks for an ingress credit (push-back blocks it when the
+   server buffer is full);
+2. the accepted message joins the FIFO ingress queue (*received* counted
+   here, like the publisher-side send counter of the paper);
+3. the CPU serves messages sequentially; each message is charged
+   ``t_rcv + n_checked · t_fltr + R · t_tx`` of virtual time, after which
+   the copies appear in the subscriber inboxes (*dispatched* counted here)
+   and the credit is released.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..broker import Broker, FlowController, Message, PublishResult
+from ..simulation import (
+    BusyTracker,
+    CpuCostModel,
+    Engine,
+    MeasurementWindow,
+    SampleStats,
+    WindowedCounter,
+)
+
+__all__ = ["SimulatedJMSServer"]
+
+
+class SimulatedJMSServer:
+    """A single-CPU JMS server in virtual time.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    broker:
+        The broker with topics and subscriptions already configured.
+    cpu:
+        The CPU cost model (Table I constants, optionally jittered).
+    window:
+        Measurement window for the throughput counters.
+    buffer_capacity:
+        Ingress buffer size; publishers block (push-back) when it is full.
+        The paper observed no loss, so the buffer never drops.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        broker: Broker,
+        cpu: CpuCostModel,
+        window: MeasurementWindow,
+        buffer_capacity: int = 64,
+    ):
+        self.engine = engine
+        self.broker = broker
+        self.cpu = cpu
+        self.window = window
+        self.flow = FlowController(buffer_capacity)
+        self.received = WindowedCounter(window, name="received")
+        self.dispatched = WindowedCounter(window, name="dispatched")
+        self.busy = BusyTracker(window=window)
+        self.service_times = SampleStats(name="service-time", window=window)
+        self.waiting_times = SampleStats(name="waiting-time", window=window)
+        self._queue: Deque[tuple[Message, float]] = deque()
+        self._serving = False
+
+    # ------------------------------------------------------------------
+    # Publisher-facing API
+    # ------------------------------------------------------------------
+    def submit(self, message: Message, on_accept: Optional[Callable[[], None]] = None) -> None:
+        """Offer a message; ``on_accept`` fires when a credit is granted.
+
+        Saturated publishers pass a continuation that publishes their next
+        message; Poisson publishers pass ``None`` (open arrivals, large
+        buffer, no loss — the M/G/1-∞ assumption).
+        """
+
+        def granted() -> None:
+            self._accept(message)
+            if on_accept is not None:
+                on_accept()
+
+        self.flow.acquire(granted)
+
+    def _accept(self, message: Message) -> None:
+        now = self.engine.now
+        message.timestamp = now
+        self.received.record(now)
+        self._queue.append((message, now))
+        if not self._serving:
+            self._start_service()
+
+    # ------------------------------------------------------------------
+    # CPU service loop
+    # ------------------------------------------------------------------
+    def _start_service(self) -> None:
+        now = self.engine.now
+        message, arrival_time = self._queue.popleft()
+        self.waiting_times.record(now - arrival_time, time=arrival_time)
+        self._serving = True
+        self.busy.busy(now)
+        result = self.broker.publish(message, now=now)
+        cost = self.cpu.message_cost(
+            filters_evaluated=result.filters_evaluated,
+            copies_sent=result.replication_grade,
+            payload_bytes=len(message.body),
+        )
+        self.service_times.record(cost.total, time=now)
+        self.engine.call_in(cost.total, lambda: self._finish_service(result))
+
+    def _finish_service(self, result: PublishResult) -> None:
+        now = self.engine.now
+        self.dispatched.record(now, count=result.replication_grade)
+        # Keep _serving True while releasing: the credit hand-off may
+        # synchronously admit a blocked publisher's message, which must
+        # queue rather than start a second, concurrent service.
+        self.flow.release()
+        if self._queue:
+            self._start_service()
+        else:
+            self._serving = False
+            self.busy.idle(now)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, until: Optional[float] = None) -> float:
+        """Windowed CPU utilization — the simulated ``sar`` reading."""
+        return self.busy.utilization(until if until is not None else self.engine.now)

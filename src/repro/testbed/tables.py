@@ -1,0 +1,49 @@
+"""Plain-text result tables for the benchmark harness.
+
+The benches print the same rows/series the paper reports; these helpers
+format them consistently (fixed-width columns, engineering notation for
+the cost constants).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_si", "format_series"]
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Engineering-style format, e.g. ``8.52e-07`` → ``'8.52e-07'``."""
+    return f"{value:.{digits - 1}e}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append([_cell(value) for value in row])
+    widths = [max(len(row[i]) for row in materialized) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(materialized):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render one figure series as ``name: (x, y) (x, y) …`` rows."""
+    pairs = "  ".join(f"({_cell(float(x))}, {_cell(float(y))})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

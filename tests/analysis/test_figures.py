@@ -1,0 +1,237 @@
+"""Tests for the per-figure series generators (paper claims included)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bernoulli_cvar_limit,
+    binomial_cvar,
+    capacity_for_bound,
+    equivalence_claims,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure15,
+    max_bernoulli_cvar,
+    normalized_mean_wait,
+    normalized_quantile,
+    psr_example_per_server_capacity,
+    wait_ccdf_curve,
+)
+from repro.core import APP_PROPERTY_COSTS, CORRELATION_ID_COSTS, ReplicationFamily
+
+
+class TestFig5:
+    def test_series_structure(self):
+        fig = figure5(filter_grid=[1, 10, 100, 1000])
+        # 4 replication grades x 2 filter types.
+        assert len(fig.series) == 8
+        assert all(len(s.x) == 4 for s in fig.series)
+
+    def test_service_time_monotone_in_filters(self):
+        fig = figure5(filter_grid=[1, 10, 100, 1000])
+        for series in fig.series:
+            assert list(series.y) == sorted(series.y)
+
+    def test_linear_regime_for_many_filters(self):
+        """For large n_fltr the slope is t_fltr per filter."""
+        fig = figure5(replication_grades=(1.0,), filter_grid=[1000, 10_000])
+        corr = fig.series[0]
+        slope = (corr.y[1] - corr.y[0]) / (corr.x[1] - corr.x[0])
+        assert slope == pytest.approx(CORRELATION_ID_COSTS.t_fltr, rel=1e-6)
+
+    def test_replication_dominates_for_few_filters(self):
+        fig = figure5(filter_grid=[1])
+        by_label = {s.label: s.y[0] for s in fig.series}
+        assert by_label["corrID E[R]=1000"] > 100 * by_label["corrID E[R]=1"]
+
+
+class TestFig6:
+    def test_capacity_decreasing(self):
+        fig = figure6(filter_grid=[1, 10, 100, 1000])
+        for series in fig.series:
+            assert list(series.y) == sorted(series.y, reverse=True)
+
+    def test_equivalence_claims_in_notes(self):
+        claims = equivalence_claims()
+        assert claims[10.0] == pytest.approx(21.8, abs=0.1)
+        assert claims[100.0] == pytest.approx(239.7, abs=0.2)
+        fig = figure6(filter_grid=[1, 10])
+        assert any("21.8" in note for note in fig.notes)
+
+    def test_capacity_equivalence_visible_in_series(self):
+        """Capacity with E[R]=10, no extra filters == E[R]=1 with ~22."""
+        grid = [22]
+        fig = figure6(replication_grades=(1.0,), filter_grid=grid)
+        cap_22_filters = fig.series[0].y[0]
+        cap_repl_10 = figure6(replication_grades=(10.0,), filter_grid=[0]).series[0].y[0]
+        assert cap_22_filters == pytest.approx(cap_repl_10, rel=0.01)
+
+
+class TestFig8:
+    def test_limit_formula(self):
+        limit = bernoulli_cvar_limit(CORRELATION_ID_COSTS, 0.5)
+        t, f = CORRELATION_ID_COSTS.t_tx, CORRELATION_ID_COSTS.t_fltr
+        assert limit == pytest.approx(t * 0.5 / (f + 0.5 * t))
+
+    def test_paper_claim_max_065(self):
+        peak, _ = max_bernoulli_cvar(CORRELATION_ID_COSTS)
+        assert peak == pytest.approx(0.654, abs=0.002)
+
+    def test_app_property_limit_lower(self):
+        corr, _ = max_bernoulli_cvar(CORRELATION_ID_COSTS)
+        app, _ = max_bernoulli_cvar(APP_PROPERTY_COSTS)
+        assert app < corr
+
+    def test_curves_converge_to_limit(self):
+        fig = figure8(match_probabilities=(0.5,), filter_grid=[10_000])
+        corr_series = fig.series[0]
+        assert corr_series.y[-1] == pytest.approx(
+            bernoulli_cvar_limit(CORRELATION_ID_COSTS, 0.5), rel=0.01
+        )
+
+    def test_degenerate_probabilities_zero_variability(self):
+        assert bernoulli_cvar_limit(CORRELATION_ID_COSTS, 0.0) == 0.0
+        assert bernoulli_cvar_limit(CORRELATION_ID_COSTS, 1.0) == 0.0
+
+
+class TestFig9:
+    def test_binomial_below_bernoulli_everywhere(self):
+        from repro.analysis import figure8
+
+        grid = [5, 50, 500]
+        bern = figure8(match_probabilities=(0.3,), filter_grid=grid).series[0]
+        bino = figure9(match_probabilities=(0.3,), filter_grid=grid).series[0]
+        assert all(b <= s for b, s in zip(bino.y, bern.y))
+
+    def test_paper_reference_values(self):
+        """The paper's 0.064 / 0.033 plateau values."""
+        assert binomial_cvar(CORRELATION_ID_COSTS, 100, 0.3) == pytest.approx(0.064, abs=0.002)
+        assert binomial_cvar(APP_PROPERTY_COSTS, 100, 0.5) == pytest.approx(0.036, abs=0.004)
+
+    def test_notes_report_reference_points(self):
+        fig = figure9(filter_grid=[10, 100])
+        assert any("0.064" in note for note in fig.notes)
+
+
+class TestFig10:
+    def test_pk_normalized_formula(self):
+        assert normalized_mean_wait(0.9, 0.0) == pytest.approx(4.5)
+        assert normalized_mean_wait(0.9, 0.4) == pytest.approx(4.5 * 1.16)
+
+    def test_divergence_near_one(self):
+        assert normalized_mean_wait(0.99, 0.0) > 40
+
+    def test_variability_plays_marginal_role(self):
+        """Paper conclusion: utilization dominates; cvar adds <= 16%."""
+        for rho in (0.5, 0.8, 0.95):
+            ratio = normalized_mean_wait(rho, 0.4) / normalized_mean_wait(rho, 0.0)
+            assert ratio == pytest.approx(1.16, rel=1e-9)
+
+    def test_figure_series(self):
+        fig = figure10(rho_grid=np.linspace(0.1, 0.9, 9))
+        assert len(fig.series) == 3
+        for series in fig.series:
+            assert list(series.y) == sorted(series.y)  # increasing in rho
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_mean_wait(1.0, 0.2)
+        with pytest.raises(ValueError):
+            normalized_mean_wait(0.5, -0.1)
+
+
+class TestFig11:
+    def test_ccdf_starts_at_rho(self):
+        curve = wait_ccdf_curve(0.9, 0.2, [0.0])
+        assert curve[0] == pytest.approx(0.9)
+
+    def test_ccdf_decreasing(self):
+        times = list(np.linspace(0, 60, 31))
+        curve = wait_ccdf_curve(0.9, 0.4, times)
+        assert curve == sorted(curve, reverse=True)
+
+    def test_higher_cvar_shifts_right(self):
+        """Curves shift to larger waiting times with increasing c_var."""
+        times = [20.0, 40.0]
+        low = wait_ccdf_curve(0.9, 0.0, times, ReplicationFamily.DETERMINISTIC)
+        high = wait_ccdf_curve(0.9, 0.4, times)
+        assert all(h > l for h, l in zip(high, low))
+
+    def test_bernoulli_binomial_nearly_coincide(self):
+        """The paper: the two families are indistinguishable given equal
+        first two moments."""
+        times = list(np.linspace(0, 50, 26))
+        bern = wait_ccdf_curve(0.9, 0.2, times, ReplicationFamily.SCALED_BERNOULLI)
+        bino = wait_ccdf_curve(0.9, 0.2, times, ReplicationFamily.BINOMIAL)
+        for b, c in zip(bern, bino):
+            assert b == pytest.approx(c, abs=0.01)
+
+    def test_figure_structure(self):
+        fig = figure11(normalized_times=np.linspace(0, 20, 5))
+        # cvar 0 -> 1 curve; cvar 0.2, 0.4 -> 2 curves each.
+        assert len(fig.series) == 5
+
+
+class TestFig12:
+    def test_quantiles_increase_with_rho(self):
+        q_low = normalized_quantile(0.5, 0.2, 0.99)
+        q_high = normalized_quantile(0.9, 0.2, 0.99)
+        assert q_high > q_low
+
+    def test_9999_above_99(self):
+        assert normalized_quantile(0.9, 0.2, 0.9999) > normalized_quantile(0.9, 0.2, 0.99)
+
+    def test_paper_50_eb_claim(self):
+        """99.99% quantile at rho=0.9 ~ 50 E[B] (we compute 43-51)."""
+        for cvar in (0.0, 0.2, 0.4):
+            q = normalized_quantile(0.9, cvar, 0.9999)
+            assert 40.0 < q < 52.0
+
+    def test_capacity_for_bound_example(self):
+        """1 s bound at 99.99% => E[B] <= 20 ms => capacity 45 msgs/s."""
+        service_bound, capacity = capacity_for_bound()
+        assert service_bound == pytest.approx(0.020)
+        assert capacity == pytest.approx(45.0)
+
+    def test_utilization_dominates_variability(self):
+        spread_rho = normalized_quantile(0.9, 0.2, 0.99) / normalized_quantile(0.5, 0.2, 0.99)
+        spread_cvar = normalized_quantile(0.9, 0.4, 0.99) / normalized_quantile(0.9, 0.0, 0.99)
+        assert spread_rho > spread_cvar
+
+    def test_figure_structure(self):
+        fig = figure12(rho_grid=[0.5, 0.7, 0.9])
+        assert len(fig.series) == 6  # 2 quantiles x 3 cvars
+        assert any("45 msgs/s" in note for note in fig.notes)
+
+
+class TestFig15:
+    def test_ssr_horizontal(self):
+        fig = figure15(publishers=[1, 10, 100])
+        ssr = fig.series[0]
+        assert len(set(ssr.y)) == 1
+
+    def test_psr_linear_in_n(self):
+        fig = figure15(subscriber_counts=(100,), publishers=[1, 10, 100])
+        psr = next(s for s in fig.series if s.label == "PSR m=100")
+        assert psr.y[1] == pytest.approx(10 * psr.y[0], rel=1e-9)
+        assert psr.y[2] == pytest.approx(100 * psr.y[0], rel=1e-9)
+
+    def test_psr_decreases_with_m(self):
+        fig = figure15(subscriber_counts=(10, 10_000), publishers=[100])
+        psr_small = next(s for s in fig.series if s.label == "PSR m=10")
+        psr_large = next(s for s in fig.series if s.label == "PSR m=10000")
+        assert psr_small.y[0] > psr_large.y[0]
+
+    def test_crossovers_reported(self):
+        fig = figure15(publishers=[1, 10])
+        assert sum("overtakes" in note for note in fig.notes) == 4
+
+    def test_paper_per_server_example(self):
+        """m = 10^4: per-server PSR capacity in the single-digit msgs/s."""
+        value = psr_example_per_server_capacity()
+        assert 1.0 < value < 10.0

@@ -1,0 +1,51 @@
+"""Tests for the figure-series containers and M/G/1 summary extras."""
+
+import pytest
+
+from repro.analysis import FigureData, Series
+from repro.core import MG1Queue, Moments
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Series("s", [1, 2, 3], [1.0])
+
+    def test_figure_add_and_format(self):
+        figure = FigureData("figX", "Title", "x", "y")
+        figure.add("curve", [1, 2], [3.0, 4.0])
+        figure.note("a note")
+        text = figure.format()
+        assert "== figX: Title ==" in text
+        assert "curve:" in text
+        assert "note: a note" in text
+
+    def test_format_lists_all_series(self):
+        figure = FigureData("f", "t", "x", "y")
+        for i in range(3):
+            figure.add(f"s{i}", [1], [float(i)])
+        text = figure.format()
+        assert all(f"s{i}:" in text for i in range(3))
+
+
+class TestMG1Describe:
+    def make_queue(self, rho=0.8):
+        return MG1Queue.from_utilization(rho, Moments(1.0, 2.0, 6.0))
+
+    def test_describe_keys_and_consistency(self):
+        queue = self.make_queue()
+        summary = queue.describe()
+        assert summary["utilization"] == pytest.approx(0.8)
+        assert summary["mean_wait"] == pytest.approx(queue.mean_wait)
+        assert summary["wait_q9999"] > summary["wait_q99"] > 0
+
+    def test_busy_period(self):
+        queue = self.make_queue(rho=0.8)
+        assert queue.mean_busy_period == pytest.approx(1.0 / 0.2)
+        assert queue.mean_messages_per_busy_period == pytest.approx(5.0)
+        assert queue.idle_probability == pytest.approx(0.2)
+
+    def test_busy_period_diverges_near_saturation(self):
+        low = self.make_queue(rho=0.5).mean_busy_period
+        high = self.make_queue(rho=0.99).mean_busy_period
+        assert high > 20 * low

@@ -1,0 +1,87 @@
+"""Tests for the c_var scenario solver behind Figs. 10-12."""
+
+import pytest
+
+from repro.analysis import max_cvar_for_filters, service_model_for_cvar
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    DeterministicReplication,
+    ReplicationFamily,
+)
+
+
+class TestSolver:
+    @pytest.mark.parametrize("target", [0.1, 0.2, 0.4, 0.6])
+    def test_bernoulli_reaches_target(self, target):
+        model = service_model_for_cvar(
+            CORRELATION_ID_COSTS, target, family=ReplicationFamily.SCALED_BERNOULLI
+        )
+        assert model.cvar == pytest.approx(target, rel=1e-6)
+
+    @pytest.mark.parametrize("target", [0.1, 0.2, 0.4])
+    def test_binomial_reaches_target(self, target):
+        model = service_model_for_cvar(
+            CORRELATION_ID_COSTS, target, family=ReplicationFamily.BINOMIAL
+        )
+        assert model.cvar == pytest.approx(target, rel=1e-6)
+
+    def test_zero_cvar_is_deterministic(self):
+        model = service_model_for_cvar(CORRELATION_ID_COSTS, 0.0)
+        assert isinstance(model.replication, DeterministicReplication)
+        assert model.cvar == 0.0
+
+    def test_app_property_costs_supported(self):
+        model = service_model_for_cvar(
+            APP_PROPERTY_COSTS, 0.2, family=ReplicationFamily.SCALED_BERNOULLI
+        )
+        assert model.cvar == pytest.approx(0.2, rel=1e-6)
+
+    def test_fixed_filter_count(self):
+        model = service_model_for_cvar(
+            CORRELATION_ID_COSTS,
+            0.3,
+            family=ReplicationFamily.SCALED_BERNOULLI,
+            n_fltr=100,
+        )
+        assert model.n_fltr == 100
+        assert model.cvar == pytest.approx(0.3, rel=1e-6)
+
+    def test_unreachable_target_raises(self):
+        # The scaled Bernoulli tops out around 0.65 for correlation-ID costs.
+        with pytest.raises(ValueError, match="cannot reach"):
+            service_model_for_cvar(
+                CORRELATION_ID_COSTS, 0.9, family=ReplicationFamily.SCALED_BERNOULLI
+            )
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            service_model_for_cvar(CORRELATION_ID_COSTS, -0.1)
+
+    def test_low_match_branch(self):
+        high = service_model_for_cvar(
+            CORRELATION_ID_COSTS, 0.2, family=ReplicationFamily.SCALED_BERNOULLI,
+            n_fltr=100, prefer_high_match=True,
+        )
+        low = service_model_for_cvar(
+            CORRELATION_ID_COSTS, 0.2, family=ReplicationFamily.SCALED_BERNOULLI,
+            n_fltr=100, prefer_high_match=False,
+        )
+        assert low.replication.p_match < high.replication.p_match
+        assert low.cvar == pytest.approx(high.cvar, rel=1e-6)
+
+
+class TestMaxCvar:
+    def test_peak_is_interior(self):
+        peak, p_at = max_cvar_for_filters(
+            CORRELATION_ID_COSTS, ReplicationFamily.SCALED_BERNOULLI, 100
+        )
+        assert 0 < p_at < 1
+        assert peak > 0.4
+
+    def test_bernoulli_peak_approaches_paper_limit(self):
+        """The paper: c_var[B] is at most ~0.65 (correlation-ID)."""
+        peak, _ = max_cvar_for_filters(
+            CORRELATION_ID_COSTS, ReplicationFamily.SCALED_BERNOULLI, 1000
+        )
+        assert peak == pytest.approx(0.65, abs=0.01)

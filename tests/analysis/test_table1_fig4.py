@@ -1,0 +1,63 @@
+"""Reduced-grid reproduction tests for Table I and Fig. 4."""
+
+import pytest
+
+from repro.analysis import figure4, format_table1, measure_grid, reproduce_table1
+from repro.core import FilterType
+from repro.testbed import ExperimentConfig
+
+BASE = ExperimentConfig.calibration_preset()
+
+
+class TestTable1:
+    def test_calibration_recovers_constants_reduced_grid(self):
+        rows = reproduce_table1(
+            filter_types=(FilterType.CORRELATION_ID,),
+            replication_grades=(1, 5, 20),
+            additional_subscribers=(5, 20, 80),
+            base=BASE,
+        )
+        assert len(rows) == 1
+        assert rows[0].max_relative_error < 0.10
+
+    def test_format_table1(self):
+        rows = reproduce_table1(
+            filter_types=(FilterType.CORRELATION_ID,),
+            replication_grades=(1, 5),
+            additional_subscribers=(5, 20, 80),
+            base=BASE,
+        )
+        text = format_table1(rows)
+        assert "t_rcv" in text
+        assert "correlation_id" in text
+
+
+class TestFig4:
+    def test_measured_matches_model(self):
+        points = measure_grid(
+            FilterType.CORRELATION_ID,
+            replication_grades=[1, 10],
+            additional_subscribers=[5, 40],
+            base=BASE,
+        )
+        assert len(points) == 4
+        for point in points:
+            assert point.relative_error < 0.05
+
+    def test_figure_contains_measured_and_model_series(self):
+        fig = figure4(
+            replication_grades=(1,),
+            additional_subscribers=(5, 20),
+            base=BASE,
+        )
+        labels = [s.label for s in fig.series]
+        assert any(label.startswith("measured") for label in labels)
+        assert any(label.startswith("model") for label in labels)
+        assert fig.notes
+
+    def test_overall_throughput_shape_vs_replication(self):
+        """Higher R raises overall throughput at fixed few filters
+        (Fig. 4's visible ordering)."""
+        low = measure_grid(FilterType.CORRELATION_ID, [1], [5], base=BASE)[0]
+        high = measure_grid(FilterType.CORRELATION_ID, [20], [5], base=BASE)[0]
+        assert high.measured_overall > low.measured_overall

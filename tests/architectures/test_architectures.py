@@ -1,0 +1,189 @@
+"""Tests for the distributed architectures (Eqs. 21-23, Fig. 15)."""
+
+import pytest
+
+from repro.architectures import (
+    PublisherSideReplication,
+    SingleServer,
+    SubscriberSideReplication,
+    SystemParameters,
+    compare,
+    crossover_publishers,
+    psr_beats_ssr,
+)
+from repro.core import (
+    CORRELATION_ID_COSTS,
+    BinomialReplication,
+    MG1Queue,
+    mean_service_time,
+)
+
+
+def params(n=100, m=100, n_fltr=10, e_r=1.0, rho=0.9, replication=None):
+    return SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=n,
+        subscribers=m,
+        filters_per_subscriber=n_fltr,
+        mean_replication=e_r,
+        replication=replication,
+        rho=rho,
+    )
+
+
+class TestPSR:
+    def test_equation_21(self):
+        p = params(n=50, m=200)
+        psr = PublisherSideReplication(p)
+        e_b = mean_service_time(CORRELATION_ID_COSTS, 200 * 10, 1.0)
+        assert psr.system_capacity() == pytest.approx(50 * 0.9 / e_b)
+
+    def test_scales_linearly_with_publishers(self):
+        cap_10 = PublisherSideReplication(params(n=10)).system_capacity()
+        cap_100 = PublisherSideReplication(params(n=100)).system_capacity()
+        assert cap_100 == pytest.approx(10 * cap_10)
+
+    def test_degrades_with_subscribers(self):
+        few = PublisherSideReplication(params(m=10)).system_capacity()
+        many = PublisherSideReplication(params(m=1000)).system_capacity()
+        assert few > many
+
+    def test_per_server_arrival_splits_evenly(self):
+        psr = PublisherSideReplication(params(n=10))
+        assert psr.per_server_arrival_rate(1000.0) == pytest.approx(100.0)
+
+    def test_network_traffic_is_filtered(self):
+        """PSR only ships matched copies: traffic = rate * E[R]."""
+        psr = PublisherSideReplication(params(e_r=3.0))
+        assert psr.network_traffic(100.0) == pytest.approx(300.0)
+
+    def test_server_count(self):
+        assert PublisherSideReplication(params(n=7)).server_count() == 7
+
+    def test_paper_example_m_10000(self):
+        """At m=10^4 a single PSR server is down to ~1.3 msgs/s with the
+        stated parameters (the paper quotes ~7; same order, see
+        EXPERIMENTS.md) — slow enough for multi-second waits."""
+        psr = PublisherSideReplication(params(n=100, m=10_000))
+        per_server = psr.per_server_capacity()
+        assert 1.0 < per_server < 10.0
+        queue = psr.per_server_queue(psr.system_capacity())
+        assert queue.mean_wait > 0.5  # seconds — waiting becomes an issue
+
+
+class TestSSR:
+    def test_equation_22(self):
+        p = params(n=50, m=200)
+        ssr = SubscriberSideReplication(p)
+        e_b = mean_service_time(CORRELATION_ID_COSTS, 10, 1.0)
+        assert ssr.system_capacity() == pytest.approx(0.9 / e_b)
+
+    def test_independent_of_n_and_m(self):
+        caps = {
+            SubscriberSideReplication(params(n=n, m=m)).system_capacity()
+            for n in (1, 10, 1000)
+            for m in (10, 100, 10_000)
+        }
+        assert len({round(c, 9) for c in caps}) == 1
+
+    def test_every_server_sees_full_stream(self):
+        ssr = SubscriberSideReplication(params(m=10))
+        assert ssr.per_server_arrival_rate(500.0) == 500.0
+
+    def test_network_traffic_multicast(self):
+        """SSR multicasts every message to all m subscriber servers."""
+        ssr = SubscriberSideReplication(params(m=100))
+        assert ssr.network_traffic(50.0) == pytest.approx(5000.0)
+
+    def test_server_count(self):
+        assert SubscriberSideReplication(params(m=42)).server_count() == 42
+
+
+class TestSingleServer:
+    def test_carries_all_filters(self):
+        single = SingleServer(params(m=100, n_fltr=10))
+        e_b = mean_service_time(CORRELATION_ID_COSTS, 1000, 1.0)
+        assert single.system_capacity() == pytest.approx(0.9 / e_b)
+
+    def test_single_matches_psr_with_one_publisher(self):
+        p = params(n=1, m=50)
+        assert SingleServer(p).system_capacity() == pytest.approx(
+            PublisherSideReplication(p).system_capacity()
+        )
+
+    def test_network_traffic(self):
+        single = SingleServer(params(e_r=2.0))
+        assert single.network_traffic(10.0) == pytest.approx(30.0)
+
+
+class TestComparisonEq23:
+    def test_crossover_formula(self):
+        p = params(n=100, m=50)
+        expected = mean_service_time(CORRELATION_ID_COSTS, 50 * 10, 1.0) / mean_service_time(
+            CORRELATION_ID_COSTS, 10, 1.0
+        )
+        assert crossover_publishers(p) == pytest.approx(expected)
+
+    def test_capacities_equal_at_crossover(self):
+        p = params(m=100)
+        n_star = crossover_publishers(p)
+        p_at = params(n=max(1, round(n_star)), m=100)
+        comparison = compare(p_at)
+        # Near the crossover the ratio is close to 1.
+        assert comparison.capacity_ratio == pytest.approx(1.0, rel=0.02)
+
+    def test_psr_wins_many_publishers_few_subscribers(self):
+        assert psr_beats_ssr(params(n=10_000, m=10))
+
+    def test_ssr_wins_few_publishers_many_subscribers(self):
+        assert not psr_beats_ssr(params(n=2, m=10_000))
+
+    def test_compare_winner_labels(self):
+        assert compare(params(n=10_000, m=10)).winner == "psr"
+        assert compare(params(n=2, m=10_000)).winner == "ssr"
+
+    def test_crossover_grows_with_subscribers(self):
+        """More subscribers push the PSR break-even point higher."""
+        assert crossover_publishers(params(m=1000)) > crossover_publishers(params(m=10))
+
+
+class TestWaitingTimeIntegration:
+    def test_per_server_queue_uses_replication_model(self):
+        p = params(replication=BinomialReplication(10, 0.1))
+        psr = PublisherSideReplication(p)
+        queue = psr.per_server_queue(psr.system_capacity())
+        assert isinstance(queue, MG1Queue)
+        assert queue.utilization == pytest.approx(0.9)
+
+    def test_fractional_mean_replication_needs_model(self):
+        p = params(e_r=1.5)
+        with pytest.raises(ValueError, match="replication model"):
+            PublisherSideReplication(p).per_server_queue(1.0)
+
+    def test_utilization_at_capacity_equals_rho(self):
+        p = params()
+        for arch in (
+            SingleServer(p),
+            PublisherSideReplication(p),
+            SubscriberSideReplication(p),
+        ):
+            assert arch.per_server_utilization(arch.system_capacity()) == pytest.approx(p.rho)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            params(n=0)
+        with pytest.raises(ValueError):
+            params(m=0)
+        with pytest.raises(ValueError):
+            params(rho=1.5)
+        with pytest.raises(ValueError):
+            params(e_r=-1.0)
+        with pytest.raises(ValueError):
+            SystemParameters(
+                costs=CORRELATION_ID_COSTS,
+                publishers=1,
+                subscribers=1,
+                filters_per_subscriber=-1,
+            )

@@ -1,0 +1,118 @@
+"""Tests for whole-deployment simulation and network accounting."""
+
+import pytest
+
+from repro.architectures import (
+    FAST_ETHERNET,
+    GIGABIT,
+    NetworkLink,
+    PublisherSideReplication,
+    SubscriberSideReplication,
+    SystemParameters,
+    deployment_link_check,
+    simulate_psr_deployment,
+    simulate_ssr_deployment,
+)
+from repro.core import CORRELATION_ID_COSTS
+
+
+def params(n=4, m=6, n_fltr=3, e_r=1.0):
+    return SystemParameters(
+        costs=CORRELATION_ID_COSTS,
+        publishers=n,
+        subscribers=m,
+        filters_per_subscriber=n_fltr,
+        mean_replication=e_r,
+        rho=0.9,
+    )
+
+
+class TestNetworkLink:
+    def test_utilization(self):
+        link = NetworkLink(bandwidth_bps=1e6)
+        # 1000 msgs/s * 100 bytes * 8 = 0.8 Mbit/s on a 1 Mbit/s link.
+        assert link.utilization(1000, 100) == pytest.approx(0.8)
+
+    def test_within_budget_uses_75_percent_rule(self):
+        link = NetworkLink(bandwidth_bps=1e6)
+        assert link.within_budget(900, 100)  # 72%
+        assert not link.within_budget(1000, 100)  # 80%
+
+    def test_capacity_msgs(self):
+        link = NetworkLink(bandwidth_bps=1e9)
+        capacity = link.capacity_msgs(message_bytes=125)
+        assert capacity == pytest.approx(0.75 * 1e9 / (8 * 125))
+
+    def test_presets(self):
+        assert GIGABIT.bandwidth_bps == 1e9
+        assert FAST_ETHERNET.bandwidth_bps == 1e8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_bps=1e6, max_utilization=0.0)
+        with pytest.raises(ValueError):
+            GIGABIT.utilization(-1, 10)
+        with pytest.raises(ValueError):
+            GIGABIT.capacity_msgs(0)
+
+    def test_ssr_saturates_network_before_psr(self):
+        """SSR multicasts to all m servers; its interconnect budget is m
+        times smaller than PSR's (Section IV-C.2)."""
+        p = params(n=10, m=100)
+        psr, ssr = PublisherSideReplication(p), SubscriberSideReplication(p)
+        rate = 1000.0
+        psr_util, _ = deployment_link_check(psr, rate, message_bytes=200)
+        ssr_util, _ = deployment_link_check(ssr, rate, message_bytes=200)
+        assert ssr_util == pytest.approx(100 * psr_util)
+
+
+class TestPSRDeployment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_psr_deployment(params(), utilization=0.8, horizon=800.0)
+
+    def test_every_server_at_target_utilization(self, result):
+        assert len(result.per_server_utilization) == 4
+        for utilization in result.per_server_utilization:
+            assert utilization == pytest.approx(0.8, abs=0.05)
+
+    def test_system_rate_is_n_fold(self, result):
+        p = params()
+        psr = PublisherSideReplication(p)
+        expected = 4 * 0.8 / (psr.per_server_service_time() * 1000.0)
+        assert result.system_received_rate == pytest.approx(expected, rel=0.05)
+
+    def test_interconnect_carries_only_matched_copies(self, result):
+        assert result.interconnect_rate == pytest.approx(
+            result.system_received_rate * 1.0, rel=1e-9
+        )
+
+    def test_balanced_load(self, result):
+        assert result.utilization_spread < 0.1
+
+
+class TestSSRDeployment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_ssr_deployment(params(), utilization=0.8, horizon=800.0)
+
+    def test_one_server_per_subscriber(self, result):
+        assert result.servers == 6
+        assert len(result.per_server_utilization) == 6
+
+    def test_system_rate_counts_each_message_once(self, result):
+        p = params()
+        ssr = SubscriberSideReplication(p)
+        expected = 0.8 / (ssr.per_server_service_time() * 1000.0)
+        assert result.system_received_rate == pytest.approx(expected, rel=0.05)
+
+    def test_interconnect_multicast(self, result):
+        assert result.interconnect_rate == pytest.approx(
+            result.system_received_rate * 6, rel=1e-9
+        )
+
+    def test_fractional_replication_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            simulate_ssr_deployment(params(e_r=1.5), horizon=10.0)

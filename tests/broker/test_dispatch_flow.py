@@ -1,0 +1,106 @@
+"""Tests for dispatch planning and publisher push-back flow control."""
+
+import pytest
+
+from repro.broker import (
+    CorrelationIdFilter,
+    FlowControlError,
+    FlowController,
+    MatchAllFilter,
+    Message,
+    Subscriber,
+    Topic,
+    plan_dispatch,
+)
+from repro.broker.subscriptions import Subscription
+
+
+def subscription(filter_, name="s"):
+    return Subscription(subscriber=Subscriber(name), topic=Topic("t"), filter=filter_)
+
+
+class TestDispatchPlanning:
+    def test_counts_only_non_trivial_filters(self):
+        """Match-all subscribers receive without filter cost."""
+        subs = [
+            subscription(MatchAllFilter(), "plain"),
+            subscription(CorrelationIdFilter("#0"), "match"),
+            subscription(CorrelationIdFilter("#1"), "other"),
+        ]
+        plan = plan_dispatch(Message(topic="t", correlation_id="#0"), subs)
+        assert plan.filters_evaluated == 2
+        assert plan.replication_grade == 2  # plain + matching filter
+
+    def test_every_filter_evaluated_linear_scan(self):
+        """FioranoMQ evaluates every installed filter, even identical ones."""
+        subs = [subscription(CorrelationIdFilter("#1"), f"s{i}") for i in range(10)]
+        plan = plan_dispatch(Message(topic="t", correlation_id="#0"), subs)
+        assert plan.filters_evaluated == 10
+        assert plan.replication_grade == 0
+
+    def test_replication_grade_equals_matches(self):
+        subs = [subscription(CorrelationIdFilter("#0"), f"m{i}") for i in range(4)]
+        subs += [subscription(CorrelationIdFilter("#9"), f"n{i}") for i in range(3)]
+        plan = plan_dispatch(Message(topic="t", correlation_id="#0"), subs)
+        assert plan.replication_grade == 4
+        assert plan.filters_evaluated == 7
+
+    def test_matches_preserve_subscription_order(self):
+        subs = [subscription(CorrelationIdFilter("#0"), f"m{i}") for i in range(5)]
+        plan = plan_dispatch(Message(topic="t", correlation_id="#0"), subs)
+        names = [s.subscriber.subscriber_id for s in plan.matches]
+        assert names == [f"m{i}" for i in range(5)]
+
+    def test_empty_subscription_list(self):
+        plan = plan_dispatch(Message(topic="t"), [])
+        assert plan.replication_grade == 0
+        assert plan.filters_evaluated == 0
+
+
+class TestFlowController:
+    def test_try_acquire_until_capacity(self):
+        flow = FlowController(capacity=2)
+        assert flow.try_acquire()
+        assert flow.try_acquire()
+        assert not flow.try_acquire()
+        assert flow.in_flight == 2
+        assert flow.available == 0
+
+    def test_release_frees_credit(self):
+        flow = FlowController(capacity=1)
+        assert flow.try_acquire()
+        flow.release()
+        assert flow.in_flight == 0
+        assert flow.try_acquire()
+
+    def test_blocked_acquire_granted_on_release_fifo(self):
+        flow = FlowController(capacity=1)
+        order = []
+        flow.acquire(lambda: order.append("first"))
+        flow.acquire(lambda: order.append("second"))
+        flow.acquire(lambda: order.append("third"))
+        assert order == ["first"]
+        assert flow.waiting == 2
+        assert flow.blocked_count == 2
+        flow.release()
+        assert order == ["first", "second"]
+        flow.release()
+        assert order == ["first", "second", "third"]
+        # Credit transferred to waiters: still one in flight.
+        assert flow.in_flight == 1
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(FlowControlError):
+            FlowController(capacity=1).release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(FlowControlError):
+            FlowController(capacity=0)
+
+    def test_push_back_counts_blocks(self):
+        """The blocked count is the paper's push-back signal."""
+        flow = FlowController(capacity=1)
+        flow.acquire(lambda: None)
+        assert flow.blocked_count == 0
+        flow.acquire(lambda: None)
+        assert flow.blocked_count == 1

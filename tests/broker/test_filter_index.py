@@ -1,0 +1,127 @@
+"""Tests for the shared/indexed filter evaluation ablation."""
+
+import pytest
+
+from repro.broker import (
+    Broker,
+    CorrelationIdFilter,
+    FilterIndex,
+    MatchAllFilter,
+    Message,
+    PropertyFilter,
+)
+
+
+def build_subscriptions(broker, specs):
+    for i, spec in enumerate(specs):
+        sub = broker.add_subscriber(f"s{i}")
+        broker.subscribe(sub, "t", spec)
+    return broker.subscriptions("t")
+
+
+class TestFilterIndexPlans:
+    def test_same_matches_as_linear_scan(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [
+                CorrelationIdFilter("#0"),
+                CorrelationIdFilter("#1"),
+                CorrelationIdFilter("[5;9]"),
+                PropertyFilter("a = 1"),
+                MatchAllFilter(),
+            ],
+        )
+        index = FilterIndex(subs)
+        for message in (
+            Message(topic="t", correlation_id="#0"),
+            Message(topic="t", correlation_id="7"),
+            Message(topic="t", correlation_id="zzz", properties={"a": 1}),
+            Message(topic="t"),
+        ):
+            linear = broker.dry_run(message)
+            indexed = index.plan(message)
+            assert [s.subscription_id for s in indexed.matches] == [
+                s.subscription_id for s in linear.matches
+            ]
+
+    def test_identical_filters_evaluated_once(self):
+        """The optimization FioranoMQ lacks: n identical filters cost 1."""
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(broker, [PropertyFilter("a = 1")] * 50)
+        index = FilterIndex(subs)
+        plan = index.plan(Message(topic="t", properties={"a": 1}))
+        assert plan.filters_evaluated == 1
+        assert plan.replication_grade == 50
+
+    def test_exact_correlation_ids_collapse_to_one_probe(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker, [CorrelationIdFilter(f"#{i}") for i in range(100)]
+        )
+        index = FilterIndex(subs)
+        plan = index.plan(Message(topic="t", correlation_id="#42"))
+        assert plan.filters_evaluated == 1
+        assert plan.replication_grade == 1
+
+    def test_range_filters_still_evaluated_per_distinct_filter(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [CorrelationIdFilter("[0;9]"), CorrelationIdFilter("[10;19]"),
+             CorrelationIdFilter("#5")],
+        )
+        index = FilterIndex(subs)
+        plan = index.plan(Message(topic="t", correlation_id="5"))
+        # 1 hash probe (exact group) + 2 range filters.
+        assert plan.filters_evaluated == 3
+        assert plan.replication_grade == 1  # the [0;9] range matches "5"
+
+    def test_match_all_costs_nothing(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(broker, [MatchAllFilter(), MatchAllFilter()])
+        index = FilterIndex(subs)
+        plan = index.plan(Message(topic="t"))
+        assert plan.filters_evaluated == 0
+        assert plan.replication_grade == 2
+
+    def test_delivery_order_preserved(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [MatchAllFilter(), CorrelationIdFilter("#0"), PropertyFilter("a = 1")],
+        )
+        index = FilterIndex(subs)
+        plan = index.plan(Message(topic="t", correlation_id="#0", properties={"a": 1}))
+        ids = [s.subscriber.subscriber_id for s in plan.matches]
+        assert ids == ["s0", "s1", "s2"]
+
+    def test_distinct_filters_count(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [CorrelationIdFilter("#0"), CorrelationIdFilter("#1"),
+             PropertyFilter("a = 1"), PropertyFilter("a = 1")],
+        )
+        index = FilterIndex(subs)
+        assert index.distinct_filters == 2  # cid group + one shared selector
+
+
+class TestBrokerIntegration:
+    def test_install_and_remove(self):
+        broker = Broker(topics=["t"])
+        build_subscriptions(broker, [CorrelationIdFilter(f"#{i}") for i in range(10)])
+        message = Message(topic="t", correlation_id="#3")
+
+        linear = broker.publish(message)
+        assert linear.filters_evaluated == 10
+
+        broker.install_filter_index()
+        assert broker.uses_filter_index
+        indexed = broker.publish(Message(topic="t", correlation_id="#3"))
+        assert indexed.filters_evaluated == 1
+        assert indexed.replication_grade == linear.replication_grade
+
+        broker.remove_filter_index()
+        again = broker.publish(Message(topic="t", correlation_id="#3"))
+        assert again.filters_evaluated == 10

@@ -1,0 +1,117 @@
+"""Tests for correlation-ID, property and match-all filters."""
+
+import pytest
+
+from repro.broker import (
+    CorrelationIdFilter,
+    InvalidSelectorError,
+    MatchAllFilter,
+    Message,
+    PropertyFilter,
+    Selector,
+)
+from repro.core import FilterType
+
+
+def cid_msg(cid):
+    return Message(topic="t", correlation_id=cid)
+
+
+class TestCorrelationIdFilter:
+    def test_exact_match(self):
+        f = CorrelationIdFilter("#0")
+        assert f.matches(cid_msg("#0"))
+        assert not f.matches(cid_msg("#1"))
+
+    def test_message_without_correlation_id(self):
+        assert not CorrelationIdFilter("#0").matches(Message(topic="t"))
+
+    def test_range_wildcard_paper_example(self):
+        """The paper's wildcard example: ranges like [7;13]."""
+        f = CorrelationIdFilter("[7;13]")
+        assert f.matches(cid_msg("7"))
+        assert f.matches(cid_msg("10"))
+        assert f.matches(cid_msg("13"))
+        assert not f.matches(cid_msg("14"))
+        assert not f.matches(cid_msg("6"))
+
+    def test_range_with_negative_bounds(self):
+        f = CorrelationIdFilter("[-5;-1]")
+        assert f.matches(cid_msg("-3"))
+        assert not f.matches(cid_msg("0"))
+
+    def test_range_rejects_non_numeric_ids(self):
+        assert not CorrelationIdFilter("[1;9]").matches(cid_msg("abc"))
+
+    def test_range_with_spaces(self):
+        assert CorrelationIdFilter("[ 1 ; 9 ]").matches(cid_msg("5"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(InvalidSelectorError):
+            CorrelationIdFilter("[9;1]")
+
+    def test_prefix_wildcard(self):
+        f = CorrelationIdFilter("sensor-*")
+        assert f.matches(cid_msg("sensor-42"))
+        assert f.matches(cid_msg("sensor-"))
+        assert not f.matches(cid_msg("actuator-42"))
+
+    def test_lone_star_is_exact(self):
+        # "*" alone (length 1) is an exact-match spec, not a wildcard.
+        f = CorrelationIdFilter("*")
+        assert f.matches(cid_msg("*"))
+        assert not f.matches(cid_msg("x"))
+
+    def test_invalid_spec(self):
+        with pytest.raises(InvalidSelectorError):
+            CorrelationIdFilter("")
+
+    def test_cost_category(self):
+        f = CorrelationIdFilter("#0")
+        assert f.filter_type is FilterType.CORRELATION_ID
+        assert not f.is_trivial
+
+    def test_equality_and_hash(self):
+        assert CorrelationIdFilter("#0") == CorrelationIdFilter("#0")
+        assert CorrelationIdFilter("#0") != CorrelationIdFilter("#1")
+        assert hash(CorrelationIdFilter("a")) == hash(CorrelationIdFilter("a"))
+
+
+class TestPropertyFilter:
+    def test_selector_matching(self):
+        f = PropertyFilter("region = 'EU' AND level >= 3")
+        assert f.matches(Message(topic="t", properties={"region": "EU", "level": 5}))
+        assert not f.matches(Message(topic="t", properties={"region": "US", "level": 5}))
+
+    def test_accepts_prebuilt_selector(self):
+        f = PropertyFilter(Selector("a = 1"))
+        assert f.matches(Message(topic="t", properties={"a": 1}))
+
+    def test_invalid_selector_rejected_eagerly(self):
+        with pytest.raises(InvalidSelectorError):
+            PropertyFilter("a = ")
+
+    def test_cost_category(self):
+        f = PropertyFilter("a = 1")
+        assert f.filter_type is FilterType.APP_PROPERTY
+        assert not f.is_trivial
+
+    def test_equality(self):
+        assert PropertyFilter("a = 1") == PropertyFilter("a = 1")
+        assert PropertyFilter("a = 1") != PropertyFilter("a = 2")
+
+
+class TestMatchAllFilter:
+    def test_matches_everything(self):
+        f = MatchAllFilter()
+        assert f.matches(Message(topic="t"))
+        assert f.matches(cid_msg("anything"))
+
+    def test_is_trivial_no_cost(self):
+        """Subscribers without filters cost no t_fltr work."""
+        f = MatchAllFilter()
+        assert f.is_trivial
+        assert f.filter_type is None
+
+    def test_equality(self):
+        assert MatchAllFilter() == MatchAllFilter()

@@ -1,0 +1,141 @@
+"""Tests for hierarchical topics and wildcard subscriptions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import InvalidDestinationError, TopicPattern, TopicTrie, split_topic
+
+
+class TestSplitTopic:
+    def test_basic(self):
+        assert split_topic("sports.football.news") == ["sports", "football", "news"]
+
+    def test_single_level(self):
+        assert split_topic("root") == ["root"]
+
+    @pytest.mark.parametrize("bad", ["", "  ", "a..b", ".a", "a.", "a.*.b", "a.#"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(InvalidDestinationError):
+            split_topic(bad)
+
+
+class TestTopicPattern:
+    def test_concrete_pattern(self):
+        pattern = TopicPattern("sports.football")
+        assert pattern.is_concrete
+        assert pattern.matches("sports.football")
+        assert not pattern.matches("sports.tennis")
+        assert not pattern.matches("sports.football.news")
+
+    def test_single_level_wildcard(self):
+        pattern = TopicPattern("sports.*.news")
+        assert pattern.matches("sports.football.news")
+        assert pattern.matches("sports.tennis.news")
+        assert not pattern.matches("sports.news")
+        assert not pattern.matches("sports.football.scores")
+        assert not pattern.matches("sports.football.news.extra")
+
+    def test_multi_level_wildcard(self):
+        pattern = TopicPattern("sports.#")
+        assert pattern.matches("sports")
+        assert pattern.matches("sports.football")
+        assert pattern.matches("sports.football.news.today")
+        assert not pattern.matches("weather")
+
+    def test_root_multi_wildcard(self):
+        assert TopicPattern("#").matches("anything.at.all")
+
+    def test_hash_must_be_final(self):
+        with pytest.raises(InvalidDestinationError):
+            TopicPattern("sports.#.news")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(InvalidDestinationError):
+            TopicPattern("sports..news")
+
+    def test_star_alone_matches_one_level(self):
+        pattern = TopicPattern("*")
+        assert pattern.matches("sports")
+        assert not pattern.matches("sports.football")
+
+
+class TestTopicTrie:
+    def test_exact_lookup(self):
+        trie = TopicTrie()
+        trie.insert("a.b", "x")
+        assert trie.lookup("a.b") == ["x"]
+        assert trie.lookup("a.c") == []
+        assert trie.lookup("a") == []
+
+    def test_wildcard_lookup(self):
+        trie = TopicTrie()
+        trie.insert("sports.*", "one-level")
+        trie.insert("sports.#", "subtree")
+        trie.insert("sports.football", "exact")
+        found = trie.lookup("sports.football")
+        assert sorted(found) == ["exact", "one-level", "subtree"]
+        assert trie.lookup("sports.football.news") == ["subtree"]
+        assert trie.lookup("sports") == ["subtree"]
+
+    def test_multiple_payloads_per_pattern(self):
+        trie = TopicTrie()
+        trie.insert("a.b", 1)
+        trie.insert("a.b", 2)
+        assert sorted(trie.lookup("a.b")) == [1, 2]
+        assert len(trie) == 2
+
+    def test_remove(self):
+        trie = TopicTrie()
+        trie.insert("a.*", "w")
+        trie.remove("a.*", "w")
+        assert trie.lookup("a.b") == []
+        assert len(trie) == 0
+
+    def test_remove_missing_raises(self):
+        trie = TopicTrie()
+        with pytest.raises(ValueError):
+            trie.remove("a.b", "ghost")
+        trie.insert("a.b", "x")
+        with pytest.raises(ValueError):
+            trie.remove("a.c", "x")
+
+    def test_hash_at_root(self):
+        trie = TopicTrie()
+        trie.insert("#", "everything")
+        assert trie.lookup("x") == ["everything"]
+        assert trie.lookup("x.y.z") == ["everything"]
+
+    def test_deep_hierarchy(self):
+        trie = TopicTrie()
+        trie.insert("a.b.c.d.e", 1)
+        trie.insert("a.*.c.*.e", 2)
+        trie.insert("a.#", 3)
+        assert sorted(trie.lookup("a.b.c.d.e")) == [1, 2, 3]
+        assert sorted(trie.lookup("a.x.c.y.e")) == [2, 3]
+
+    @given(
+        levels=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=2), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=100)
+    def test_property_trie_agrees_with_pattern_match(self, levels):
+        """Trie lookup must agree with direct pattern matching."""
+        topic = ".".join(levels)
+        patterns = [
+            "a.b",
+            "*.b",
+            "a.*",
+            "a.#",
+            "#",
+            "*",
+            "a.b.c",
+            "*.*",
+            "b.#",
+        ]
+        trie = TopicTrie()
+        for pattern in patterns:
+            trie.insert(pattern, pattern)
+        found = set(trie.lookup(topic))
+        expected = {p for p in patterns if TopicPattern(p).matches(topic)}
+        assert found == expected

@@ -1,0 +1,136 @@
+"""Tests for the JMS message model."""
+
+import pytest
+
+from repro.broker import DeliveryMode, Message, MessageFormatError
+from repro.broker.message import validate_property_name
+
+
+class TestConstruction:
+    def test_minimal_message(self):
+        msg = Message(topic="t")
+        assert msg.topic == "t"
+        assert msg.correlation_id is None
+        assert msg.body == b""
+        assert msg.delivery_mode is DeliveryMode.PERSISTENT
+
+    def test_message_ids_are_unique_and_increasing(self):
+        a, b = Message(topic="t"), Message(topic="t")
+        assert b.message_id > a.message_id
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="")
+
+    def test_priority_range(self):
+        Message(topic="t", priority=0)
+        Message(topic="t", priority=9)
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", priority=10)
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", priority=-1)
+
+    def test_correlation_id_length_limit(self):
+        """Correlation IDs are 'ordinary 128 byte strings' (Section II-A)."""
+        Message(topic="t", correlation_id="x" * 128)
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", correlation_id="x" * 129)
+
+    def test_correlation_id_length_counts_bytes_not_chars(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", correlation_id="é" * 70)  # 140 bytes
+
+    def test_correlation_id_must_be_string(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", correlation_id=7)  # type: ignore[arg-type]
+
+    def test_body_must_be_bytes(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", body="text")  # type: ignore[arg-type]
+
+
+class TestProperties:
+    def test_allowed_types(self):
+        msg = Message(
+            topic="t",
+            properties={"b": True, "i": 3, "f": 2.5, "s": "x"},
+        )
+        assert msg.properties == {"b": True, "i": 3, "f": 2.5, "s": "x"}
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(MessageFormatError, match="unsupported type"):
+            Message(topic="t", properties={"x": [1, 2]})  # type: ignore[dict-item]
+
+    def test_reserved_word_rejected(self):
+        with pytest.raises(MessageFormatError, match="reserved"):
+            Message(topic="t", properties={"and": 1})
+
+    def test_jms_prefix_rejected_but_jmsx_allowed(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", properties={"JMSFoo": 1})
+        Message(topic="t", properties={"JMSXGroupID": "g"})
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", properties={"1abc": 1})
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", properties={"a-b": 1})
+        with pytest.raises(MessageFormatError):
+            Message(topic="t", properties={"": 1})
+
+    def test_validate_property_name_passthrough(self):
+        assert validate_property_name("_x$1") == "_x$1"
+
+
+class TestHeaderAccess:
+    def test_header_fields(self):
+        msg = Message(topic="news", correlation_id="c1", priority=7)
+        assert msg.header("JMSDestination") == "news"
+        assert msg.header("JMSCorrelationID") == "c1"
+        assert msg.header("JMSPriority") == 7
+        assert msg.header("JMSDeliveryMode") == "persistent"
+
+    def test_unknown_header_raises(self):
+        with pytest.raises(KeyError):
+            Message(topic="t").header("JMSUnknown")
+
+    def test_lookup_resolves_header_then_property(self):
+        msg = Message(topic="t", correlation_id="c", properties={"region": "EU"})
+        assert msg.lookup("JMSCorrelationID") == "c"
+        assert msg.lookup("region") == "EU"
+        assert msg.lookup("missing") is None
+
+
+class TestExpiration:
+    def test_no_expiration_never_expires(self):
+        assert not Message(topic="t").expired(1e12)
+
+    def test_expiry_boundary(self):
+        msg = Message(topic="t", expiration=10.0)
+        assert not msg.expired(9.999)
+        assert msg.expired(10.0)
+
+
+class TestSize:
+    def test_zero_body_default(self):
+        """The paper's default message body size is 0 bytes."""
+        msg = Message(topic="t")
+        assert len(msg.body) == 0
+        assert msg.size >= 64  # headers always count
+
+    def test_size_grows_with_parts(self):
+        base = Message(topic="t").size
+        with_cid = Message(topic="t", correlation_id="abcd").size
+        with_body = Message(topic="t", body=b"x" * 100).size
+        with_props = Message(topic="t", properties={"key": "value"}).size
+        assert with_cid == base + 4
+        assert with_body == base + 100
+        assert with_props > base
+
+
+class TestDelivery:
+    def test_copy_for_addresses_subscriber(self):
+        msg = Message(topic="t")
+        delivery = msg.copy_for("alice")
+        assert delivery.message is msg
+        assert delivery.subscriber_id == "alice"

@@ -1,0 +1,85 @@
+"""Model-based chaos test for point-to-point queues (hypothesis).
+
+The invariant under any interleaving of sends, receives, acks, consumer
+attach/detach (crashes): **every message is delivered exactly once to an
+acknowledged consumer, or is still in flight** — never lost, never
+acknowledged twice.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.broker import Message, PointToPointQueue, QueueConsumer
+
+
+class QueueChaosMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = PointToPointQueue("chaos")
+        self.consumers = []
+        self.next_consumer_id = 0
+        self.sent_ids = set()
+        self.acked_ids = set()
+
+    # ------------------------------------------------------------------
+    @rule()
+    def send(self):
+        message = Message(topic="chaos")
+        self.sent_ids.add(message.message_id)
+        self.queue.send(message)
+
+    @rule()
+    def attach_consumer(self):
+        if len(self.consumers) >= 4:
+            return
+        consumer = QueueConsumer(f"c{self.next_consumer_id}")
+        self.next_consumer_id += 1
+        self.queue.attach(consumer)
+        self.consumers.append(consumer)
+
+    @precondition(lambda self: self.consumers)
+    @rule(data=st.data())
+    def receive_and_ack(self, data):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        delivery = consumer.receive()
+        if delivery is not None:
+            consumer.ack(delivery)
+            assert delivery.message.message_id not in self.acked_ids, "double delivery"
+            self.acked_ids.add(delivery.message.message_id)
+
+    @precondition(lambda self: self.consumers)
+    @rule(data=st.data())
+    def receive_without_ack(self, data):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        consumer.receive()  # taken, never acked — may crash later
+
+    @precondition(lambda self: self.consumers)
+    @rule(data=st.data())
+    def crash_consumer(self, data):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        self.consumers.remove(consumer)
+        self.queue.detach(consumer)  # unacked + inbox return to the queue
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_message_lost_or_duplicated(self):
+        in_backlog = self.queue.depth
+        in_inboxes = sum(len(c.inbox) for c in self.consumers)
+        unacked = sum(len(c.unacked) for c in self.consumers)
+        accounted = len(self.acked_ids) + in_backlog + in_inboxes + unacked
+        assert accounted == len(self.sent_ids), (
+            f"sent {len(self.sent_ids)} but accounted {accounted} "
+            f"(acked={len(self.acked_ids)}, backlog={in_backlog}, "
+            f"inbox={in_inboxes}, unacked={unacked})"
+        )
+
+    @invariant()
+    def acked_subset_of_sent(self):
+        assert self.acked_ids <= self.sent_ids
+
+
+TestQueueChaos = QueueChaosMachine.TestCase
+TestQueueChaos.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

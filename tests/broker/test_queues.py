@@ -1,0 +1,171 @@
+"""Tests for point-to-point queues (competing consumers)."""
+
+import pytest
+
+from repro.broker import (
+    InvalidDestinationError,
+    Message,
+    PointToPointQueue,
+    PropertyFilter,
+    QueueConsumer,
+    QueueManager,
+    SubscriptionError,
+)
+
+
+def msg(**properties):
+    return Message(topic="q", properties=properties)
+
+
+class TestBasicDelivery:
+    def test_exactly_one_consumer_gets_each_message(self):
+        queue = PointToPointQueue("work")
+        a, b = QueueConsumer("a"), QueueConsumer("b")
+        queue.attach(a)
+        queue.attach(b)
+        for _ in range(10):
+            queue.send(msg())
+        assert len(a.inbox) + len(b.inbox) == 10
+        assert queue.depth == 0
+
+    def test_round_robin_balance(self):
+        queue = PointToPointQueue("work")
+        a, b = QueueConsumer("a"), QueueConsumer("b")
+        queue.attach(a)
+        queue.attach(b)
+        for _ in range(10):
+            queue.send(msg())
+        assert len(a.inbox) == 5
+        assert len(b.inbox) == 5
+
+    def test_fifo_order_per_consumer_stream(self):
+        queue = PointToPointQueue("work")
+        a = QueueConsumer("a")
+        queue.attach(a)
+        ids = [queue.send(msg()) for _ in range(3)]
+        received = [a.receive().message.message_id for _ in range(3)]
+        assert received == sorted(received)
+
+    def test_backlog_waits_for_consumer(self):
+        queue = PointToPointQueue("work")
+        queue.send(msg())
+        queue.send(msg())
+        assert queue.depth == 2
+        a = QueueConsumer("a")
+        queue.attach(a)
+        assert queue.depth == 0
+        assert len(a.inbox) == 2
+
+    def test_send_reports_immediate_delivery(self):
+        queue = PointToPointQueue("work")
+        assert not queue.send(msg())
+        queue.attach(QueueConsumer("a"))
+        assert queue.send(msg())
+
+
+class TestSelectors:
+    def test_selector_routing(self):
+        queue = PointToPointQueue("work")
+        eu = QueueConsumer("eu", PropertyFilter("region = 'EU'"))
+        us = QueueConsumer("us", PropertyFilter("region = 'US'"))
+        queue.attach(eu)
+        queue.attach(us)
+        queue.send(msg(region="EU"))
+        queue.send(msg(region="US"))
+        queue.send(msg(region="EU"))
+        assert len(eu.inbox) == 2
+        assert len(us.inbox) == 1
+
+    def test_head_of_line_blocks_until_matching_consumer(self):
+        """A message with no eligible consumer waits at the head."""
+        queue = PointToPointQueue("work")
+        us = QueueConsumer("us", PropertyFilter("region = 'US'"))
+        queue.attach(us)
+        queue.send(msg(region="EU"))
+        queue.send(msg(region="US"))  # behind the unmatched head
+        assert queue.depth == 2
+        assert len(us.inbox) == 0
+        eu = QueueConsumer("eu", PropertyFilter("region = 'EU'"))
+        queue.attach(eu)
+        assert len(eu.inbox) == 1
+        assert len(us.inbox) == 1
+
+
+class TestAcknowledgement:
+    def test_receive_then_ack(self):
+        queue = PointToPointQueue("work")
+        a = QueueConsumer("a")
+        queue.attach(a)
+        queue.send(msg())
+        delivery = a.receive()
+        assert delivery is not None
+        assert a.unacked
+        a.ack(delivery)
+        assert not a.unacked
+
+    def test_double_ack_rejected(self):
+        queue = PointToPointQueue("work")
+        a = QueueConsumer("a")
+        queue.attach(a)
+        queue.send(msg())
+        delivery = a.receive()
+        a.ack(delivery)
+        with pytest.raises(SubscriptionError):
+            a.ack(delivery)
+
+    def test_detach_redelivers_unacked(self):
+        queue = PointToPointQueue("work")
+        a, b = QueueConsumer("a"), QueueConsumer("b")
+        queue.attach(a)
+        queue.send(msg())
+        queue.send(msg())
+        a.receive()  # taken but never acked
+        recovered = queue.detach(a)
+        assert recovered == 2  # 1 unacked + 1 still in inbox
+        queue.attach(b)
+        first = b.receive()
+        assert first.redelivered
+        assert queue.redelivered == 2
+
+    def test_detach_unattached_raises(self):
+        queue = PointToPointQueue("work")
+        with pytest.raises(SubscriptionError):
+            queue.detach(QueueConsumer("ghost"))
+
+    def test_double_attach_rejected(self):
+        queue = PointToPointQueue("work")
+        a = QueueConsumer("a")
+        queue.attach(a)
+        with pytest.raises(SubscriptionError):
+            queue.attach(a)
+
+
+class TestExpiration:
+    def test_expired_message_dropped(self):
+        queue = PointToPointQueue("work")
+        queue.attach(QueueConsumer("a"))
+        delivered = queue.send(Message(topic="q", expiration=1.0), now=2.0)
+        assert not delivered
+        assert queue.expired == 1
+        assert queue.enqueued == 0
+
+
+class TestQueueManager:
+    def test_create_and_get(self):
+        manager = QueueManager()
+        queue = manager.create("jobs")
+        assert manager.get("jobs") is queue
+        assert "jobs" in manager
+        assert len(manager) == 1
+
+    def test_unknown_queue(self):
+        with pytest.raises(InvalidDestinationError):
+            QueueManager().get("nope")
+
+    def test_invalid_name(self):
+        with pytest.raises(InvalidDestinationError):
+            PointToPointQueue("")
+
+    def test_empty_consumer_name(self):
+        with pytest.raises(SubscriptionError):
+            QueueConsumer("")

@@ -1,0 +1,196 @@
+"""Tests for selector evaluation (SQL three-valued semantics)."""
+
+import pytest
+
+from repro.broker import Message, Selector
+from repro.broker.selector import UNKNOWN, evaluate, parse
+
+
+def msg(**properties):
+    return Message(topic="t", properties=properties)
+
+
+def ev(selector, message):
+    return evaluate(parse(selector), message)
+
+
+class TestComparisons:
+    def test_numeric_equality(self):
+        assert ev("a = 5", msg(a=5)) is True
+        assert ev("a = 5", msg(a=6)) is False
+
+    def test_int_float_promotion(self):
+        assert ev("a = 5.0", msg(a=5)) is True
+        assert ev("a < 5.5", msg(a=5)) is True
+
+    def test_string_equality_only(self):
+        assert ev("s = 'x'", msg(s="x")) is True
+        assert ev("s <> 'y'", msg(s="x")) is True
+        # Ordering comparisons on strings are not valid JMS selectors.
+        assert ev("s < 'y'", msg(s="x")) is UNKNOWN
+
+    def test_boolean_equality_only(self):
+        assert ev("b = TRUE", msg(b=True)) is True
+        assert ev("b <> TRUE", msg(b=False)) is True
+        assert ev("b > FALSE", msg(b=True)) is UNKNOWN
+
+    def test_incompatible_types_unknown(self):
+        assert ev("a = 'x'", msg(a=5)) is UNKNOWN
+        assert ev("a = 5", msg(a="5")) is UNKNOWN
+        assert ev("a = TRUE", msg(a=1)) is UNKNOWN
+
+    def test_ordering_operators(self):
+        m = msg(a=10)
+        assert ev("a >= 10", m) is True
+        assert ev("a > 10", m) is False
+        assert ev("a <= 10", m) is True
+        assert ev("a < 10", m) is False
+
+
+class TestNullSemantics:
+    def test_missing_property_is_unknown(self):
+        assert ev("missing = 1", msg()) is UNKNOWN
+
+    def test_unknown_does_not_match(self):
+        assert not Selector("missing = 1").matches(msg())
+
+    def test_not_unknown_is_unknown(self):
+        assert ev("NOT missing = 1", msg()) is UNKNOWN
+        assert not Selector("NOT missing = 1").matches(msg())
+
+    def test_kleene_and(self):
+        assert ev("missing = 1 AND a = 1", msg(a=2)) is False  # F wins
+        assert ev("missing = 1 AND a = 1", msg(a=1)) is UNKNOWN
+
+    def test_kleene_or(self):
+        assert ev("missing = 1 OR a = 1", msg(a=1)) is True  # T wins
+        assert ev("missing = 1 OR a = 1", msg(a=2)) is UNKNOWN
+
+    def test_is_null(self):
+        assert ev("p IS NULL", msg()) is True
+        assert ev("p IS NULL", msg(p=1)) is False
+        assert ev("p IS NOT NULL", msg(p=1)) is True
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        m = msg(a=7, b=2)
+        assert ev("a + b = 9", m) is True
+        assert ev("a - b = 5", m) is True
+        assert ev("a * b = 14", m) is True
+        assert ev("a / b = 3.5", m) is True
+
+    def test_exact_integer_division(self):
+        assert ev("a / b = 3", msg(a=6, b=2)) is True
+
+    def test_division_by_zero_is_unknown(self):
+        assert ev("a / b = 1", msg(a=1, b=0)) is UNKNOWN
+
+    def test_arithmetic_on_strings_unknown(self):
+        assert ev("s + 1 = 2", msg(s="1")) is UNKNOWN
+
+    def test_unary_minus(self):
+        assert ev("-a = -3", msg(a=3)) is True
+        assert ev("+a = 3", msg(a=3)) is True
+
+    def test_null_poisons_arithmetic(self):
+        assert ev("missing + 1 = 2", msg()) is UNKNOWN
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        assert ev("a BETWEEN 1 AND 3", msg(a=1)) is True
+        assert ev("a BETWEEN 1 AND 3", msg(a=3)) is True
+        assert ev("a BETWEEN 1 AND 3", msg(a=4)) is False
+
+    def test_negated(self):
+        assert ev("a NOT BETWEEN 1 AND 3", msg(a=4)) is True
+        assert ev("a NOT BETWEEN 1 AND 3", msg(a=2)) is False
+
+    def test_null_operand_unknown(self):
+        assert ev("missing BETWEEN 1 AND 3", msg()) is UNKNOWN
+
+    def test_non_numeric_unknown(self):
+        assert ev("s BETWEEN 1 AND 3", msg(s="2")) is UNKNOWN
+
+
+class TestInList:
+    def test_membership(self):
+        assert ev("r IN ('EU', 'US')", msg(r="EU")) is True
+        assert ev("r IN ('EU', 'US')", msg(r="APAC")) is False
+
+    def test_negated(self):
+        assert ev("r NOT IN ('EU')", msg(r="US")) is True
+
+    def test_null_unknown(self):
+        assert ev("r IN ('EU')", msg()) is UNKNOWN
+
+    def test_non_string_value_unknown(self):
+        assert ev("r IN ('1')", msg(r=1)) is UNKNOWN
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert ev("s LIKE 'ab%'", msg(s="abcdef")) is True
+        assert ev("s LIKE 'ab%'", msg(s="xabc")) is False
+        assert ev("s LIKE '%cd%'", msg(s="abcdef")) is True
+
+    def test_underscore_wildcard(self):
+        assert ev("s LIKE 'a_c'", msg(s="abc")) is True
+        assert ev("s LIKE 'a_c'", msg(s="abbc")) is False
+
+    def test_escape_character(self):
+        assert ev("s LIKE '50!%' ESCAPE '!'", msg(s="50%")) is True
+        assert ev("s LIKE '50!%' ESCAPE '!'", msg(s="50x")) is False
+
+    def test_regex_metacharacters_are_literal(self):
+        assert ev("s LIKE 'a.c'", msg(s="a.c")) is True
+        assert ev("s LIKE 'a.c'", msg(s="abc")) is False
+        assert ev("s LIKE 'a(b)c'", msg(s="a(b)c")) is True
+
+    def test_negated(self):
+        assert ev("s NOT LIKE 'a%'", msg(s="xyz")) is True
+
+    def test_null_and_non_string_unknown(self):
+        assert ev("s LIKE 'a%'", msg()) is UNKNOWN
+        assert ev("s LIKE '1%'", msg(s=1)) is UNKNOWN
+
+    def test_empty_pattern(self):
+        assert ev("s LIKE ''", msg(s="")) is True
+        assert ev("s LIKE ''", msg(s="x")) is False
+
+
+class TestHeaderFieldSelectors:
+    def test_correlation_id_in_selector(self):
+        m = Message(topic="t", correlation_id="order-7")
+        assert Selector("JMSCorrelationID = 'order-7'").matches(m)
+        assert Selector("JMSCorrelationID LIKE 'order-%'").matches(m)
+
+    def test_priority_in_selector(self):
+        m = Message(topic="t", priority=8)
+        assert Selector("JMSPriority >= 5").matches(m)
+
+
+class TestCompoundSelectors:
+    def test_paper_style_and_filter(self):
+        """Complex AND filters over several properties (Section II-A)."""
+        selector = Selector("type = 'presence' AND status = 'online' AND zone BETWEEN 1 AND 5")
+        assert selector.matches(msg(type="presence", status="online", zone=3))
+        assert not selector.matches(msg(type="presence", status="offline", zone=3))
+
+    def test_paper_style_or_filter(self):
+        selector = Selector("region = 'EU' OR region = 'US'")
+        assert selector.matches(msg(region="US"))
+        assert not selector.matches(msg(region="CN"))
+
+    def test_identifiers_collected(self):
+        selector = Selector("a = 1 AND b LIKE 'x%' OR c IS NULL")
+        assert selector.identifiers == {"a", "b", "c"}
+
+    def test_selector_equality_and_hash(self):
+        assert Selector("a = 1") == Selector("a = 1")
+        assert hash(Selector("a = 1")) == hash(Selector("a = 1"))
+        assert Selector("a = 1") != Selector("a = 2")
+
+    def test_boolean_property_shortcut(self):
+        assert Selector("enabled = TRUE").matches(msg(enabled=True))

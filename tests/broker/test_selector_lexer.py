@@ -1,0 +1,124 @@
+"""Tests for the selector lexer."""
+
+import pytest
+
+from repro.broker.errors import InvalidSelectorError
+from repro.broker.selector import Token, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_identifiers_and_eof(self):
+        tokens = tokenize("price")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "price"
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_all_operators(self):
+        assert types("= <> < <= > >= + - * / ( ) ,")[:-1] == [
+            TokenType.EQ,
+            TokenType.NE,
+            TokenType.LT,
+            TokenType.LE,
+            TokenType.GT,
+            TokenType.GE,
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        for text in ("AND", "and", "And"):
+            assert types(text)[0] is TokenType.AND
+
+    def test_true_false_become_booleans(self):
+        assert values("TRUE FALSE true") == [True, False, True]
+
+    def test_identifier_with_dollar_underscore_dot(self):
+        assert values("$a _b a.b") == ["$a", "_b", "a.b"]
+
+    def test_keyword_prefix_identifiers_stay_identifiers(self):
+        # 'android' starts with 'and' but is an identifier.
+        tokens = tokenize("android")
+        assert tokens[0].type is TokenType.IDENT
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a = 1")
+        assert [t.position for t in tokens[:-1]] == [0, 2, 4]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_quote_escape(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_empty_string(self):
+        assert values("''") == [""]
+
+    def test_unterminated_string(self):
+        with pytest.raises(InvalidSelectorError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_string_keeps_case_and_spaces(self):
+        assert values("'A b C'") == ["A b C"]
+
+
+class TestNumbers:
+    def test_integers(self):
+        assert values("0 42 123456") == [0, 42, 123456]
+        assert all(isinstance(v, int) for v in values("0 42"))
+
+    def test_floats(self):
+        assert values("1.5 0.25") == [1.5, 0.25]
+        assert values(".5")[0] == 0.5
+
+    def test_exponent(self):
+        assert values("1e3 2.5E-2") == [1000.0, 0.025]
+
+    def test_exponent_without_digits_is_identifier_suffix(self):
+        # "1e" lexes as number 1 followed by identifier 'e'.
+        tokens = tokenize("1e")
+        assert tokens[0].value == 1
+        assert tokens[1].value == "e"
+
+    def test_number_then_keyword(self):
+        # BETWEEN 5 AND 10 — '5' must not swallow 'AND'.
+        toks = types("5 AND 10")
+        assert toks[:3] == [TokenType.NUMBER, TokenType.AND, TokenType.NUMBER]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(InvalidSelectorError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab @")
+        except InvalidSelectorError as err:
+            assert err.position == 3
+        else:  # pragma: no cover
+            pytest.fail("expected InvalidSelectorError")
+
+
+class TestWhitespace:
+    def test_whitespace_insensitive(self):
+        assert types("a=1") == types("a = 1") == types(" a =\t1 ")
+
+    def test_empty_input_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF

@@ -1,0 +1,157 @@
+"""Tests for the selector parser (grammar, precedence, errors)."""
+
+import pytest
+
+from repro.broker.errors import InvalidSelectorError
+from repro.broker.selector import (
+    Between,
+    Binary,
+    Identifier,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+    parse,
+)
+
+
+class TestPrecedence:
+    def test_or_binds_loosest(self):
+        ast = parse("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(ast, Binary) and ast.op == "OR"
+        assert isinstance(ast.right, Binary) and ast.right.op == "AND"
+
+    def test_parentheses_override(self):
+        ast = parse("(a = 1 OR b = 2) AND c = 3")
+        assert ast.op == "AND"
+        assert ast.left.op == "OR"
+
+    def test_not_binds_tighter_than_and(self):
+        ast = parse("NOT a = 1 AND b = 2")
+        assert ast.op == "AND"
+        assert isinstance(ast.left, Unary) and ast.left.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        ast = parse("a + b * c = 7")
+        assert ast.op == "="
+        left = ast.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_unary_minus(self):
+        ast = parse("a = -1")
+        assert isinstance(ast.right, Unary) and ast.right.op == "-"
+
+    def test_chained_and_left_associative(self):
+        ast = parse("a = 1 AND b = 2 AND c = 3")
+        assert ast.op == "AND"
+        assert ast.left.op == "AND"
+
+
+class TestPredicates:
+    def test_between(self):
+        ast = parse("price BETWEEN 10 AND 20")
+        assert isinstance(ast, Between) and not ast.negated
+        assert isinstance(ast.operand, Identifier)
+
+    def test_not_between(self):
+        ast = parse("price NOT BETWEEN 10 AND 20")
+        assert isinstance(ast, Between) and ast.negated
+
+    def test_between_with_arithmetic_bounds(self):
+        ast = parse("x BETWEEN 1 + 2 AND 3 * 4")
+        assert isinstance(ast, Between)
+        assert isinstance(ast.low, Binary) and ast.low.op == "+"
+
+    def test_in_list(self):
+        ast = parse("region IN ('EU', 'US')")
+        assert isinstance(ast, InList)
+        assert ast.values == ("EU", "US")
+
+    def test_not_in(self):
+        ast = parse("region NOT IN ('EU')")
+        assert isinstance(ast, InList) and ast.negated
+
+    def test_like(self):
+        ast = parse("name LIKE 'a%'")
+        assert isinstance(ast, Like)
+        assert ast.pattern == "a%" and ast.escape is None
+
+    def test_like_with_escape(self):
+        ast = parse(r"name LIKE '50!%' ESCAPE '!'")
+        assert ast.escape == "!"
+
+    def test_not_like(self):
+        assert parse("name NOT LIKE 'x'").negated
+
+    def test_is_null(self):
+        ast = parse("prop IS NULL")
+        assert isinstance(ast, IsNull) and not ast.negated
+
+    def test_is_not_null(self):
+        assert parse("prop IS NOT NULL").negated
+
+    def test_plain_boolean_identifier(self):
+        ast = parse("enabled")
+        assert isinstance(ast, Identifier)
+
+    def test_boolean_literal_expression(self):
+        ast = parse("TRUE OR FALSE")
+        assert isinstance(ast.left, Literal) and ast.left.value is True
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "selector",
+        [
+            "",
+            "   ",
+            "a =",
+            "= 1",
+            "a = 1 AND",
+            "(a = 1",
+            "a BETWEEN 1",
+            "a BETWEEN 1 AND",
+            "a IN (1, 2)",  # IN requires string literals
+            "a IN ()",
+            "1 IN ('x')",  # IN requires an identifier LHS
+            "a LIKE 5",  # LIKE requires string pattern
+            "'lit' LIKE 'x'",  # LIKE requires identifier LHS
+            "a LIKE 'x' ESCAPE 'ab'",  # ESCAPE must be single char
+            "1 IS NULL",  # IS NULL requires identifier
+            "a = 1 extra",
+            "a NOT 1",
+        ],
+    )
+    def test_invalid_selectors_rejected(self, selector):
+        with pytest.raises(InvalidSelectorError):
+            parse(selector)
+
+    def test_error_message_mentions_expectation(self):
+        with pytest.raises(InvalidSelectorError, match="expected"):
+            parse("(a = 1 AND b = 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "selector",
+        [
+            "a = 1",
+            "a <> 'x'",
+            "a < 1 OR b >= 2.5",
+            "NOT (a = 1)",
+            "price BETWEEN 10 AND 20",
+            "region IN ('EU', 'US', 'APAC')",
+            "name LIKE '%x_' ESCAPE '\\'",
+            "p IS NOT NULL",
+            "a + b * c - d / e = 0",
+            "-a = +b",
+            "flag = TRUE AND other = FALSE",
+            "s = 'it''s'",
+        ],
+    )
+    def test_unparse_reparse_fixed_point(self, selector):
+        """str(ast) must parse back to an identical AST."""
+        ast = parse(selector)
+        assert parse(str(ast)) == ast

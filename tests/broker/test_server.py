@@ -1,0 +1,205 @@
+"""Tests for the broker core: routing, delivery modes, stats."""
+
+import pytest
+
+from repro.broker import (
+    Broker,
+    CorrelationIdFilter,
+    InvalidDestinationError,
+    Message,
+    PropertyFilter,
+    SubscriptionError,
+)
+
+
+def make_broker(topics=("t",)):
+    return Broker(topics=topics)
+
+
+class TestPublishSubscribe:
+    def test_basic_delivery(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t")
+        result = broker.publish(Message(topic="t"))
+        assert result.copies_delivered == 1
+        assert alice.receive().message.topic == "t"
+
+    def test_filtered_delivery(self):
+        broker = make_broker()
+        eu = broker.add_subscriber("eu")
+        us = broker.add_subscriber("us")
+        broker.subscribe(eu, "t", PropertyFilter("region = 'EU'"))
+        broker.subscribe(us, "t", PropertyFilter("region = 'US'"))
+        broker.publish(Message(topic="t", properties={"region": "EU"}))
+        assert eu.received_count == 1
+        assert us.received_count == 0
+
+    def test_replication_grade_counts_all_matches(self):
+        broker = make_broker()
+        for i in range(5):
+            sub = broker.add_subscriber(f"s{i}")
+            broker.subscribe(sub, "t", CorrelationIdFilter("#0"))
+        result = broker.publish(Message(topic="t", correlation_id="#0"))
+        assert result.replication_grade == 5
+        assert result.filters_evaluated == 5
+
+    def test_topic_isolation(self):
+        """Topics virtually separate the server into logical sub-servers."""
+        broker = make_broker(topics=("a", "b"))
+        sub_a = broker.add_subscriber("sa")
+        broker.subscribe(sub_a, "a")
+        broker.publish(Message(topic="b"))
+        assert sub_a.received_count == 0
+
+    def test_unknown_topic_rejected(self):
+        broker = make_broker()
+        with pytest.raises(InvalidDestinationError):
+            broker.publish(Message(topic="nope"))
+        with pytest.raises(InvalidDestinationError):
+            broker.subscribe(broker.add_subscriber("s"), "nope")
+
+    def test_subscribe_by_id(self):
+        broker = make_broker()
+        broker.add_subscriber("alice")
+        broker.subscribe("alice", "t")
+        broker.publish(Message(topic="t"))
+        assert broker.get_subscriber("alice").received_count == 1
+
+    def test_duplicate_subscriber_id_rejected(self):
+        broker = make_broker()
+        broker.add_subscriber("alice")
+        with pytest.raises(SubscriptionError):
+            broker.add_subscriber("alice")
+
+    def test_unregistered_subscriber_rejected(self):
+        broker = make_broker()
+        from repro.broker import Subscriber
+
+        with pytest.raises(SubscriptionError):
+            broker.subscribe(Subscriber("ghost"), "t")
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        subscription = broker.subscribe(alice, "t")
+        broker.unsubscribe(subscription)
+        broker.publish(Message(topic="t"))
+        assert alice.received_count == 0
+        with pytest.raises(SubscriptionError):
+            broker.unsubscribe(subscription)
+
+    def test_in_order_delivery(self):
+        """Persistent mode: messages are delivered in order."""
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t")
+        ids = []
+        for i in range(10):
+            ids.append(broker.publish(Message(topic="t")).message.message_id)
+        received = [alice.receive().message.message_id for _ in range(10)]
+        assert received == ids
+
+    def test_filter_count_excludes_trivial(self):
+        broker = make_broker()
+        a = broker.add_subscriber("a")
+        b = broker.add_subscriber("b")
+        broker.subscribe(a, "t")  # match-all
+        broker.subscribe(b, "t", CorrelationIdFilter("#0"))
+        assert broker.filter_count("t") == 1
+
+
+class TestDurableSemantics:
+    def test_non_durable_drops_offline(self):
+        """Non-durable mode: only currently-online subscribers get messages."""
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t", durable=False)
+        broker.disconnect(alice)
+        result = broker.publish(Message(topic="t"))
+        assert result.copies_dropped == 1
+        assert result.copies_delivered == 0
+        broker.reconnect(alice)
+        assert alice.received_count == 0
+        assert broker.stats.dropped_offline == 1
+
+    def test_durable_retains_and_replays(self):
+        """Durable mode: messages reach subscribers that were offline."""
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t", durable=True)
+        broker.disconnect(alice)
+        result = broker.publish(Message(topic="t"))
+        assert result.copies_retained == 1
+        replayed = broker.reconnect(alice)
+        assert replayed == 1
+        assert alice.received_count == 1
+
+    def test_durable_online_delivers_directly(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t", durable=True)
+        result = broker.publish(Message(topic="t"))
+        assert result.copies_delivered == 1
+        assert result.copies_retained == 0
+
+
+class TestExpiration:
+    def test_expired_message_not_dispatched(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t")
+        result = broker.publish(Message(topic="t", expiration=5.0), now=6.0)
+        assert result.expired
+        assert result.replication_grade == 0
+        assert alice.received_count == 0
+        assert broker.stats.expired == 1
+
+    def test_fresh_message_dispatched(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t")
+        result = broker.publish(Message(topic="t", expiration=5.0), now=4.0)
+        assert not result.expired
+        assert alice.received_count == 1
+
+
+class TestStats:
+    def test_counters(self):
+        broker = make_broker()
+        for i in range(3):
+            sub = broker.add_subscriber(f"s{i}")
+            broker.subscribe(sub, "t", CorrelationIdFilter("#0"))
+        for _ in range(4):
+            broker.publish(Message(topic="t", correlation_id="#0"))
+        stats = broker.stats
+        assert stats.received == 4
+        assert stats.dispatched == 12
+        assert stats.overall == 16
+        assert stats.filters_evaluated == 12
+        assert stats.mean_replication_grade == pytest.approx(3.0)
+        assert stats.mean_filters_per_message == pytest.approx(3.0)
+
+    def test_per_topic_counts(self):
+        broker = make_broker(topics=("a", "b"))
+        broker.publish(Message(topic="a"))
+        broker.publish(Message(topic="a"))
+        broker.publish(Message(topic="b"))
+        assert broker.stats.per_topic_received["a"] == 2
+        assert broker.stats.per_topic_received["b"] == 1
+
+    def test_snapshot_keys(self):
+        broker = make_broker()
+        snapshot = broker.stats.snapshot()
+        assert {"received", "dispatched", "overall", "mean_replication_grade"} <= set(snapshot)
+
+
+class TestDryRun:
+    def test_dry_run_does_not_deliver(self):
+        broker = make_broker()
+        alice = broker.add_subscriber("alice")
+        broker.subscribe(alice, "t")
+        plan = broker.dry_run(Message(topic="t"))
+        assert plan.replication_grade == 1
+        assert alice.received_count == 0
+        assert broker.stats.received == 0

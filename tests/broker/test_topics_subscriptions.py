@@ -1,0 +1,117 @@
+"""Tests for topics, subscribers and subscriptions."""
+
+import pytest
+
+from repro.broker import (
+    InvalidDestinationError,
+    Message,
+    Subscriber,
+    SubscriptionError,
+    Topic,
+    TopicRegistry,
+)
+from repro.broker.subscriptions import Subscription
+
+
+class TestTopicRegistry:
+    def test_create_and_get(self):
+        registry = TopicRegistry()
+        topic = registry.create("news")
+        assert registry.get("news") is topic
+        assert "news" in registry
+        assert len(registry) == 1
+
+    def test_create_is_idempotent(self):
+        registry = TopicRegistry()
+        assert registry.create("a") is registry.create("a")
+
+    def test_unknown_topic_raises(self):
+        with pytest.raises(InvalidDestinationError, match="unknown topic"):
+            TopicRegistry().get("nope")
+
+    def test_freeze_blocks_new_topics(self):
+        """Topics are configured before server start (Section II-A)."""
+        registry = TopicRegistry()
+        registry.create("configured")
+        registry.freeze()
+        assert registry.frozen
+        with pytest.raises(InvalidDestinationError, match="frozen"):
+            registry.create("late")
+        # Existing topics still resolvable after freeze.
+        assert registry.create("configured").name == "configured"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidDestinationError):
+            Topic("")
+        with pytest.raises(InvalidDestinationError):
+            Topic("   ")
+
+    def test_iteration(self):
+        registry = TopicRegistry()
+        registry.create("a")
+        registry.create("b")
+        assert sorted(t.name for t in registry) == ["a", "b"]
+
+
+class TestSubscriber:
+    def test_inbox_fifo(self):
+        sub = Subscriber("s1")
+        m1, m2 = Message(topic="t"), Message(topic="t")
+        sub.deliver(m1.copy_for("s1"))
+        sub.deliver(m2.copy_for("s1"))
+        assert sub.receive().message is m1
+        assert sub.receive().message is m2
+        assert sub.receive() is None
+
+    def test_received_count(self):
+        sub = Subscriber("s1")
+        for _ in range(3):
+            sub.deliver(Message(topic="t").copy_for("s1"))
+        assert sub.received_count == 3
+
+    def test_drain(self):
+        sub = Subscriber("s1")
+        sub.deliver(Message(topic="t").copy_for("s1"))
+        sub.deliver(Message(topic="t").copy_for("s1"))
+        drained = sub.drain()
+        assert len(drained) == 2
+        assert not sub.inbox
+
+    def test_callback_invoked(self):
+        seen = []
+        sub = Subscriber("s1", on_message=seen.append)
+        delivery = Message(topic="t").copy_for("s1")
+        sub.deliver(delivery)
+        assert seen == [delivery]
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(SubscriptionError):
+            Subscriber("")
+
+
+class TestSubscription:
+    def test_retain_requires_durable(self):
+        sub = Subscription(subscriber=Subscriber("s"), topic=Topic("t"))
+        with pytest.raises(SubscriptionError):
+            sub.retain(Message(topic="t"))
+
+    def test_durable_retention_and_replay(self):
+        sub = Subscription(subscriber=Subscriber("s"), topic=Topic("t"), durable=True)
+        m1, m2 = Message(topic="t"), Message(topic="t")
+        sub.retain(m1)
+        sub.retain(m2)
+        replayed = sub.replay_retained()
+        assert replayed == [m1, m2]
+        assert sub.replay_retained() == []
+
+    def test_active_follows_subscriber_connection(self):
+        subscriber = Subscriber("s")
+        sub = Subscription(subscriber=subscriber, topic=Topic("t"))
+        assert sub.active
+        subscriber.connected = False
+        assert not sub.active
+
+    def test_unique_ids(self):
+        a = Subscription(subscriber=Subscriber("a"), topic=Topic("t"))
+        b = Subscription(subscriber=Subscriber("b"), topic=Topic("t"))
+        assert a.subscription_id != b.subscription_id

@@ -1,0 +1,116 @@
+"""Tests for server capacity and the filter-benefit criterion (Eqs. 2-3)."""
+
+import pytest
+
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    equivalent_filters,
+    filters_increase_capacity,
+    max_match_probability,
+    max_useful_filters,
+    mean_service_time,
+    predict_throughput,
+    saturated_throughput,
+    server_capacity,
+)
+
+
+class TestCapacityEq2:
+    def test_capacity_is_rho_over_service_time(self):
+        e_b = mean_service_time(CORRELATION_ID_COSTS, 100, 5.0)
+        assert server_capacity(CORRELATION_ID_COSTS, 100, 5.0, rho=0.9) == pytest.approx(0.9 / e_b)
+
+    def test_capacity_decreases_with_filters(self):
+        caps = [server_capacity(CORRELATION_ID_COSTS, n, 1.0) for n in (0, 10, 100, 1000)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_capacity_decreases_with_replication(self):
+        caps = [server_capacity(CORRELATION_ID_COSTS, 10, r) for r in (1.0, 10.0, 100.0)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_saturated_throughput_is_rho_1(self):
+        assert saturated_throughput(CORRELATION_ID_COSTS, 10, 1.0) == pytest.approx(
+            server_capacity(CORRELATION_ID_COSTS, 10, 1.0, rho=1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            server_capacity(CORRELATION_ID_COSTS, 10, 1.0, rho=0.0)
+        with pytest.raises(ValueError):
+            server_capacity(CORRELATION_ID_COSTS, 10, 1.0, rho=1.5)
+        with pytest.raises(ValueError):
+            mean_service_time(CORRELATION_ID_COSTS, -1, 1.0)
+        with pytest.raises(ValueError):
+            mean_service_time(CORRELATION_ID_COSTS, 1, -1.0)
+
+
+class TestThroughputPrediction:
+    def test_overall_is_received_plus_dispatched(self):
+        pred = predict_throughput(CORRELATION_ID_COSTS, 25, 5.0)
+        assert pred.dispatched == pytest.approx(5 * pred.received)
+        assert pred.overall == pytest.approx(6 * pred.received)
+
+    def test_zero_replication(self):
+        pred = predict_throughput(CORRELATION_ID_COSTS, 25, 0.0)
+        assert pred.dispatched == 0.0
+        assert pred.overall == pred.received
+
+
+class TestFilterBenefitEq3:
+    def test_paper_thresholds_correlation_id(self):
+        """One/two correlation-ID filters help below 58.7% / 17.4% match."""
+        assert max_match_probability(CORRELATION_ID_COSTS, 1) == pytest.approx(0.587, abs=5e-4)
+        assert max_match_probability(CORRELATION_ID_COSTS, 2) == pytest.approx(0.174, abs=5e-4)
+
+    def test_paper_threshold_app_property(self):
+        """One application-property filter helps below 9.9% match."""
+        assert max_match_probability(APP_PROPERTY_COSTS, 1) == pytest.approx(0.099, abs=1e-3)
+
+    def test_three_corr_filters_never_help(self):
+        assert max_match_probability(CORRELATION_ID_COSTS, 3) < 0
+        assert not filters_increase_capacity(CORRELATION_ID_COSTS, 3, 0.0)
+
+    def test_two_app_filters_never_help(self):
+        assert max_match_probability(APP_PROPERTY_COSTS, 2) < 0
+        assert not filters_increase_capacity(APP_PROPERTY_COSTS, 2, 0.0)
+
+    def test_max_useful_filters(self):
+        assert max_useful_filters(CORRELATION_ID_COSTS) == 2
+        assert max_useful_filters(APP_PROPERTY_COSTS) == 1
+
+    def test_benefit_boundary(self):
+        threshold = max_match_probability(CORRELATION_ID_COSTS, 1)
+        assert filters_increase_capacity(CORRELATION_ID_COSTS, 1, threshold - 0.01)
+        assert not filters_increase_capacity(CORRELATION_ID_COSTS, 1, threshold + 0.01)
+
+    def test_zero_filters_trivially_no_gain(self):
+        # n=0 filters: inequality 0 < (1-p) t_tx holds unless p = 1.
+        assert filters_increase_capacity(CORRELATION_ID_COSTS, 0, 0.5)
+        assert not filters_increase_capacity(CORRELATION_ID_COSTS, 0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filters_increase_capacity(CORRELATION_ID_COSTS, -1, 0.5)
+        with pytest.raises(ValueError):
+            filters_increase_capacity(CORRELATION_ID_COSTS, 1, 1.5)
+        with pytest.raises(ValueError):
+            max_match_probability(CORRELATION_ID_COSTS, -2)
+
+
+class TestEquivalence:
+    def test_paper_equivalence_claims(self):
+        """E[R]=10 (100) equals ~22 (~240) filters at E[R]=1 (Fig. 6)."""
+        assert equivalent_filters(CORRELATION_ID_COSTS, 10.0) == pytest.approx(21.8, abs=0.1)
+        assert equivalent_filters(CORRELATION_ID_COSTS, 100.0) == pytest.approx(239.7, abs=0.2)
+
+    def test_equivalence_exactness(self):
+        """The equivalent configuration has exactly the same capacity."""
+        n_eq = equivalent_filters(CORRELATION_ID_COSTS, 10.0)
+        cap_repl = server_capacity(CORRELATION_ID_COSTS, 0, 10.0)
+        e_b_filters = mean_service_time(CORRELATION_ID_COSTS, 0, 1.0) + n_eq * CORRELATION_ID_COSTS.t_fltr
+        assert cap_repl == pytest.approx(0.9 / e_b_filters)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equivalent_filters(CORRELATION_ID_COSTS, 0.5)

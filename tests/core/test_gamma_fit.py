@@ -1,0 +1,118 @@
+"""Tests for the two-moment Gamma fit (Section IV-B.4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FittedGamma, Moments
+
+
+class TestFitting:
+    def test_from_mean_cvar_parameters(self):
+        fit = FittedGamma.from_mean_cvar(mean=2.0, cvar=0.5)
+        assert fit.shape == pytest.approx(4.0)  # 1/cvar^2
+        assert fit.scale == pytest.approx(0.5)  # mean/shape
+        assert fit.mean == pytest.approx(2.0)
+        assert fit.cvar == pytest.approx(0.5)
+
+    def test_exponential_case(self):
+        """cvar = 1 must give shape 1 — an exponential distribution."""
+        fit = FittedGamma.from_mean_cvar(mean=3.0, cvar=1.0)
+        assert fit.shape == pytest.approx(1.0)
+        assert fit.ccdf(3.0) == pytest.approx(math.exp(-1.0), rel=1e-9)
+
+    def test_from_first_two_moments(self):
+        # Exponential mean 2: m1=2, m2=8.
+        fit = FittedGamma.from_first_two(2.0, 8.0)
+        assert fit.mean == pytest.approx(2.0)
+        assert fit.cvar == pytest.approx(1.0)
+
+    def test_from_moments_object(self):
+        fit = FittedGamma.from_moments(Moments(1.0, 2.0, 6.0))
+        assert fit.shape == pytest.approx(1.0)
+
+    def test_degenerate_zero_cvar(self):
+        fit = FittedGamma.from_mean_cvar(mean=5.0, cvar=0.0)
+        assert fit.degenerate
+        assert fit.mean == 5.0
+        assert fit.cvar == 0.0
+
+    def test_degenerate_zero_mean(self):
+        fit = FittedGamma.from_mean_cvar(mean=0.0, cvar=0.3)
+        assert fit.degenerate
+        assert fit.mean == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FittedGamma.from_mean_cvar(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            FittedGamma.from_mean_cvar(1.0, -0.5)
+        with pytest.raises(ValueError):
+            FittedGamma(shape=-1.0, scale=1.0)
+
+
+class TestDistributionFunctions:
+    def test_cdf_ccdf_complement(self):
+        fit = FittedGamma.from_mean_cvar(2.0, 0.4)
+        ts = np.linspace(0, 10, 21)
+        assert np.allclose(np.asarray(fit.cdf(ts)) + np.asarray(fit.ccdf(ts)), 1.0)
+
+    def test_cdf_at_zero_and_infinity(self):
+        fit = FittedGamma.from_mean_cvar(1.0, 0.7)
+        assert fit.cdf(0.0) == 0.0
+        assert fit.cdf(1e6) == pytest.approx(1.0)
+
+    def test_negative_argument(self):
+        fit = FittedGamma.from_mean_cvar(1.0, 0.7)
+        assert fit.cdf(-1.0) == 0.0
+        assert fit.ccdf(-1.0) == 1.0
+
+    def test_ppf_inverts_cdf(self):
+        fit = FittedGamma.from_mean_cvar(3.0, 0.6)
+        for p in (0.01, 0.5, 0.99, 0.9999):
+            assert fit.cdf(fit.ppf(p)) == pytest.approx(p, rel=1e-9)
+
+    def test_ppf_edges(self):
+        fit = FittedGamma.from_mean_cvar(3.0, 0.6)
+        assert fit.ppf(0.0) == 0.0
+        assert fit.ppf(1.0) == math.inf
+        with pytest.raises(ValueError):
+            fit.ppf(1.5)
+
+    def test_degenerate_step_function(self):
+        fit = FittedGamma.from_mean_cvar(5.0, 0.0)
+        assert fit.cdf(4.999) == 0.0
+        assert fit.cdf(5.0) == 1.0
+        assert fit.ccdf(5.0) == 0.0
+        assert fit.ppf(0.37) == 5.0
+
+    def test_sampling_matches_moments(self):
+        fit = FittedGamma.from_mean_cvar(2.0, 0.5)
+        rng = np.random.default_rng(11)
+        samples = fit.sample(rng, size=100_000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.02)
+        assert samples.std() / samples.mean() == pytest.approx(0.5, rel=0.03)
+
+    def test_degenerate_sampling(self):
+        fit = FittedGamma.from_mean_cvar(4.0, 0.0)
+        rng = np.random.default_rng(0)
+        assert fit.sample(rng) == 4.0
+        assert (fit.sample(rng, size=5) == 4.0).all()
+
+    @given(
+        mean=st.floats(min_value=1e-3, max_value=1e3),
+        cvar=st.floats(min_value=0.01, max_value=3.0),
+    )
+    @settings(max_examples=60)
+    def test_property_fit_recovers_mean_and_cvar(self, mean, cvar):
+        fit = FittedGamma.from_mean_cvar(mean, cvar)
+        assert fit.mean == pytest.approx(mean, rel=1e-9)
+        assert fit.cvar == pytest.approx(cvar, rel=1e-9)
+
+    @given(p=st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=40)
+    def test_property_ppf_monotone(self, p):
+        fit = FittedGamma.from_mean_cvar(1.0, 0.8)
+        assert fit.ppf(p) <= fit.ppf(min(0.9999, p + 0.0005))

@@ -1,0 +1,76 @@
+"""Tests for the G/G/1 Kingman approximation extension."""
+
+import pytest
+
+from repro.core import GG1Approximation, MG1Queue, Moments, kingman_mean_wait
+
+
+def exponential_moments(mean: float) -> Moments:
+    return Moments(mean, 2 * mean**2, 6 * mean**3)
+
+
+class TestKingman:
+    def test_poisson_case_matches_pk_mean(self):
+        """With c_a^2 = 1 Kingman coincides with Pollaczek-Khinchine."""
+        service = exponential_moments(1.0)
+        for rho in (0.3, 0.7, 0.9):
+            exact = MG1Queue.from_utilization(rho, service).mean_wait
+            approx = kingman_mean_wait(rho / service.m1, 1.0, service)
+            assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_poisson_case_md1(self):
+        service = Moments.deterministic(1.0)
+        rho = 0.8
+        exact = MG1Queue.from_utilization(rho, service).mean_wait
+        approx = kingman_mean_wait(rho, 1.0, service)
+        assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_wait_scales_with_arrival_scv(self):
+        service = exponential_moments(1.0)
+        smooth = kingman_mean_wait(0.8, 0.25, service)
+        poisson = kingman_mean_wait(0.8, 1.0, service)
+        bursty = kingman_mean_wait(0.8, 4.0, service)
+        assert smooth < poisson < bursty
+        # Linear in (ca^2 + cs^2):
+        assert bursty / poisson == pytest.approx((4 + 1) / (1 + 1))
+
+    def test_deterministic_everything_waits_zero(self):
+        assert kingman_mean_wait(0.5, 0.0, Moments.deterministic(1.0)) == 0.0
+
+    def test_validation(self):
+        service = exponential_moments(1.0)
+        with pytest.raises(ValueError):
+            kingman_mean_wait(0.0, 1.0, service)
+        with pytest.raises(ValueError):
+            kingman_mean_wait(0.5, -1.0, service)
+        with pytest.raises(ValueError, match="unstable"):
+            kingman_mean_wait(1.5, 1.0, service)
+
+
+class TestGG1Approximation:
+    def test_from_utilization(self):
+        queue = GG1Approximation.from_utilization(0.8, 2.0, exponential_moments(0.5))
+        assert queue.utilization == pytest.approx(0.8)
+        assert queue.arrival_rate == pytest.approx(1.6)
+
+    def test_poisson_ratio(self):
+        service = exponential_moments(1.0)  # cs^2 = 1
+        queue = GG1Approximation.from_utilization(0.8, 4.0, service)
+        assert queue.poisson_ratio == pytest.approx(2.5)
+        poisson = GG1Approximation.from_utilization(0.8, 1.0, service)
+        assert poisson.poisson_ratio == pytest.approx(1.0)
+
+    def test_normalized_wait(self):
+        service = exponential_moments(2.0)
+        queue = GG1Approximation.from_utilization(0.9, 1.0, service)
+        assert queue.normalized_mean_wait == pytest.approx(queue.mean_wait / 2.0)
+
+    def test_error_vs_smooth_bound(self):
+        queue = GG1Approximation.from_utilization(0.8, 4.0, exponential_moments(1.0))
+        assert queue.mean_wait_error_vs_md1_bound() > 0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            GG1Approximation(arrival_rate=2.0, arrival_scv=1.0, service=exponential_moments(1.0))
+        with pytest.raises(ValueError):
+            GG1Approximation.from_utilization(1.0, 1.0, exponential_moments(1.0))

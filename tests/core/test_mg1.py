@@ -1,0 +1,218 @@
+"""Tests for the M/G/1 waiting-time analysis (Eqs. 4-5, 19-20)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MG1Queue, Moments, mm1_mean_wait
+
+
+def exponential_moments(mean: float) -> Moments:
+    return Moments(mean, 2 * mean**2, 6 * mean**3)
+
+
+def deterministic_moments(value: float) -> Moments:
+    return Moments.deterministic(value)
+
+
+class TestPollaczekKhinchine:
+    def test_mm1_special_case(self):
+        """For exponential service the P-K formula reduces to M/M/1."""
+        lam, mu = 0.8, 1.0
+        queue = MG1Queue(lam, exponential_moments(1.0 / mu))
+        assert queue.mean_wait == pytest.approx(mm1_mean_wait(lam, mu))
+
+    def test_md1_is_half_of_mm1(self):
+        """Deterministic service halves the mean wait (classic result)."""
+        lam = 0.7
+        md1 = MG1Queue(lam, deterministic_moments(1.0))
+        mm1 = MG1Queue(lam, exponential_moments(1.0))
+        assert md1.mean_wait == pytest.approx(mm1.mean_wait / 2)
+
+    def test_zero_load(self):
+        queue = MG1Queue(0.0, exponential_moments(1.0))
+        assert queue.mean_wait == 0.0
+        assert queue.wait_moment2 == 0.0
+        assert queue.wait_probability == 0.0
+
+    def test_utilization(self):
+        queue = MG1Queue(0.45, exponential_moments(2.0))
+        assert queue.utilization == pytest.approx(0.9)
+        assert queue.wait_probability == pytest.approx(0.9)
+
+    def test_instability_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MG1Queue(1.1, exponential_moments(1.0))
+        with pytest.raises(ValueError, match="unstable"):
+            MG1Queue(1.0, exponential_moments(1.0))
+
+    def test_second_moment_mm1(self):
+        """M/M/1 waiting time: E[W^2] = 2 rho (2 - rho) / (mu^2 (1-rho)^2)...
+
+        Cross-check against the known LST-derived closed form
+        E[W^2] = 2*rho*E[B^2]/(2(1-rho))^... use the direct identity
+        E[W^2] = 2 E[W]^2 + lam*E[B^3]/(3(1-rho)) with exponential moments.
+        """
+        lam = 0.5
+        queue = MG1Queue(lam, exponential_moments(1.0))
+        rho = lam
+        expected = 2 * queue.mean_wait**2 + lam * 6.0 / (3 * (1 - rho))
+        assert queue.wait_moment2 == pytest.approx(expected)
+
+    def test_littles_law_accessors(self):
+        queue = MG1Queue(0.6, exponential_moments(1.0))
+        assert queue.mean_queue_length == pytest.approx(0.6 * queue.mean_wait)
+        assert queue.mean_system_size == pytest.approx(0.6 * queue.mean_sojourn)
+        assert queue.mean_sojourn == pytest.approx(queue.mean_wait + 1.0)
+
+    def test_from_utilization(self):
+        service = exponential_moments(0.01)
+        queue = MG1Queue.from_utilization(0.9, service)
+        assert queue.utilization == pytest.approx(0.9)
+        assert queue.arrival_rate == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            MG1Queue.from_utilization(1.0, service)
+
+    def test_normalized_mean_wait_pk_identity(self):
+        """E[W]/E[B] = rho (1 + cvar^2) / (2 (1 - rho)) (Fig. 10 formula)."""
+        service = exponential_moments(0.25)
+        queue = MG1Queue.from_utilization(0.8, service)
+        expected = 0.8 * (1 + 1.0) / (2 * 0.2)
+        assert queue.normalized_mean_wait == pytest.approx(expected)
+
+    @given(rho=st.floats(min_value=0.01, max_value=0.98))
+    @settings(max_examples=50)
+    def test_property_mean_wait_increases_with_load(self, rho):
+        service = exponential_moments(1.0)
+        lower = MG1Queue.from_utilization(rho * 0.9, service)
+        higher = MG1Queue.from_utilization(rho, service)
+        assert higher.mean_wait >= lower.mean_wait
+
+
+class TestConditionalWait:
+    def test_delayed_moments_eq19(self):
+        queue = MG1Queue(0.8, exponential_moments(1.0))
+        assert queue.delayed_mean_wait == pytest.approx(queue.mean_wait / 0.8)
+        assert queue.delayed_wait_moment2 == pytest.approx(queue.wait_moment2 / 0.8)
+
+    def test_mm1_conditional_wait_is_exponential(self):
+        """For M/M/1 the conditional wait W1 is exponential: cvar = 1."""
+        queue = MG1Queue(0.8, exponential_moments(1.0))
+        gamma = queue.delayed_wait_gamma
+        assert gamma.cvar == pytest.approx(1.0, rel=1e-9)
+        assert gamma.shape == pytest.approx(1.0, rel=1e-9)
+
+
+class TestWaitDistribution:
+    def test_cdf_has_atom_at_zero(self):
+        """P(W <= 0) = 1 - rho: the arriving message finds the server idle."""
+        queue = MG1Queue(0.75, exponential_moments(1.0))
+        assert queue.wait_cdf(0.0) == pytest.approx(0.25)
+        assert queue.wait_ccdf(0.0) == pytest.approx(0.75)
+
+    def test_mm1_wait_ccdf_closed_form(self):
+        """M/M/1: P(W > t) = rho * exp(-(mu - lam) t) — the Gamma
+        approximation must be exact here."""
+        lam, mu = 0.8, 1.0
+        queue = MG1Queue(lam, exponential_moments(1.0 / mu))
+        for t in (0.5, 1.0, 5.0, 20.0):
+            expected = lam / mu * math.exp(-(mu - lam) * t)
+            assert queue.wait_ccdf(t) == pytest.approx(expected, rel=1e-9)
+
+    def test_cdf_ccdf_complement(self):
+        queue = MG1Queue(0.3, exponential_moments(2.0))
+        ts = np.linspace(0, 50, 23)
+        total = np.asarray(queue.wait_cdf(ts)) + np.asarray(queue.wait_ccdf(ts))
+        assert np.allclose(total, 1.0)
+
+    def test_cdf_monotone(self):
+        queue = MG1Queue(0.9, exponential_moments(1.0))
+        ts = np.linspace(0, 100, 200)
+        cdf = np.asarray(queue.wait_cdf(ts))
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_negative_time(self):
+        queue = MG1Queue(0.5, exponential_moments(1.0))
+        assert queue.wait_cdf(-1.0) == 0.0
+        assert queue.wait_ccdf(-1.0) == 1.0
+
+    def test_zero_load_distribution(self):
+        queue = MG1Queue(0.0, exponential_moments(1.0))
+        assert queue.wait_cdf(0.0) == 1.0
+        assert queue.wait_ccdf(10.0) == 0.0
+
+
+class TestQuantiles:
+    def test_below_idle_probability_quantile_is_zero(self):
+        queue = MG1Queue(0.5, exponential_moments(1.0))
+        assert queue.wait_quantile(0.3) == 0.0
+        assert queue.wait_quantile(0.5) == 0.0
+
+    def test_mm1_quantile_closed_form(self):
+        """Invert P(W <= t) = 1 - rho e^{-(mu-lam)t} for M/M/1."""
+        lam, mu = 0.8, 1.0
+        queue = MG1Queue(lam, exponential_moments(1.0))
+        for p in (0.9, 0.99, 0.9999):
+            expected = -math.log((1 - p) / lam) / (mu - lam)
+            assert queue.wait_quantile(p) == pytest.approx(expected, rel=1e-9)
+
+    def test_quantile_consistent_with_cdf(self):
+        queue = MG1Queue(0.85, exponential_moments(0.5))
+        for p in (0.9, 0.99, 0.9999):
+            t = queue.wait_quantile(p)
+            assert queue.wait_cdf(t) == pytest.approx(p, rel=1e-6)
+
+    def test_9999_exceeds_99(self):
+        queue = MG1Queue(0.9, exponential_moments(1.0))
+        assert queue.wait_quantile(0.9999) > queue.wait_quantile(0.99)
+
+    def test_paper_bound_50_service_times(self):
+        """At rho = 0.9 the 99.99% quantile stays around 50 E[B]
+        (Section IV-B.5: "a waiting time of 50 E[B] is not exceeded with
+        a probability of 99.99%").  Our exact computation gives 43.4,
+        45.2 and 50.7 E[B] for c_var 0, 0.2 and 0.4."""
+        for cvar, bound in ((0.0, 44.0), (0.2, 46.0), (0.4, 51.5)):
+            mean = 1.0
+            m2 = (1 + cvar**2) * mean**2
+            if cvar == 0:
+                m3 = 1.0
+            else:
+                shape = 1 / cvar**2
+                scale = mean / shape
+                m3 = scale**3 * shape * (shape + 1) * (shape + 2)
+            queue = MG1Queue.from_utilization(0.9, Moments(mean, m2, m3))
+            assert queue.normalized_wait_quantile(0.9999) < bound
+
+    def test_invalid_levels(self):
+        queue = MG1Queue(0.5, exponential_moments(1.0))
+        with pytest.raises(ValueError):
+            queue.wait_quantile(1.0)
+        with pytest.raises(ValueError):
+            queue.wait_quantile(-0.1)
+
+    @given(rho=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40)
+    def test_property_quantiles_monotone_in_load(self, rho):
+        service = exponential_moments(1.0)
+        q_low = MG1Queue.from_utilization(rho * 0.8, service).wait_quantile(0.99)
+        q_high = MG1Queue.from_utilization(rho, service).wait_quantile(0.99)
+        assert q_high >= q_low
+
+
+class TestBufferSizing:
+    def test_buffer_grows_with_quantile(self):
+        queue = MG1Queue(0.9, exponential_moments(1.0))
+        assert queue.buffer_for_quantile(0.9999) > queue.buffer_for_quantile(0.99)
+        assert queue.buffer_for_quantile(0.99) >= 1.0
+
+
+class TestValidation:
+    def test_negative_rate(self):
+        with pytest.raises(ValueError):
+            MG1Queue(-0.1, exponential_moments(1.0))
+
+    def test_zero_mean_service(self):
+        with pytest.raises(ValueError):
+            MG1Queue(0.5, Moments(0.0, 0.0, 0.0))

@@ -1,0 +1,64 @@
+"""Tests for the Table I cost constants."""
+
+import pytest
+
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    CostParameters,
+    FilterType,
+    costs_for,
+)
+
+
+class TestTableIValues:
+    def test_correlation_id_constants(self):
+        assert CORRELATION_ID_COSTS.t_rcv == pytest.approx(8.52e-7)
+        assert CORRELATION_ID_COSTS.t_fltr == pytest.approx(7.02e-6)
+        assert CORRELATION_ID_COSTS.t_tx == pytest.approx(1.70e-5)
+
+    def test_app_property_constants(self):
+        assert APP_PROPERTY_COSTS.t_rcv == pytest.approx(4.10e-6)
+        assert APP_PROPERTY_COSTS.t_fltr == pytest.approx(1.46e-5)
+        assert APP_PROPERTY_COSTS.t_tx == pytest.approx(1.62e-5)
+
+    def test_filter_types_stamped(self):
+        assert CORRELATION_ID_COSTS.filter_type is FilterType.CORRELATION_ID
+        assert APP_PROPERTY_COSTS.filter_type is FilterType.APP_PROPERTY
+
+    def test_app_property_filtering_is_more_expensive(self):
+        # The paper: property-filter throughput is about half the
+        # correlation-ID throughput because filtering costs more.
+        assert APP_PROPERTY_COSTS.t_fltr > CORRELATION_ID_COSTS.t_fltr
+        assert APP_PROPERTY_COSTS.t_rcv > CORRELATION_ID_COSTS.t_rcv
+
+
+class TestCostsFor:
+    def test_lookup(self):
+        assert costs_for(FilterType.CORRELATION_ID) is CORRELATION_ID_COSTS
+        assert costs_for(FilterType.APP_PROPERTY) is APP_PROPERTY_COSTS
+
+    def test_rejects_non_filter_type(self):
+        with pytest.raises(ValueError):
+            costs_for("correlation_id")  # type: ignore[arg-type]
+
+
+class TestCostParameters:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="t_rcv"):
+            CostParameters(-1e-9, 1e-6, 1e-6, FilterType.CORRELATION_ID)
+
+    def test_scaled_multiplies_all_three(self):
+        scaled = CORRELATION_ID_COSTS.scaled(1000.0)
+        assert scaled.t_rcv == pytest.approx(8.52e-4)
+        assert scaled.t_fltr == pytest.approx(7.02e-3)
+        assert scaled.t_tx == pytest.approx(1.70e-2)
+        assert scaled.filter_type is FilterType.CORRELATION_ID
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CORRELATION_ID_COSTS.scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CORRELATION_ID_COSTS.t_rcv = 1.0  # type: ignore[misc]

@@ -1,0 +1,136 @@
+"""Tests for the non-preemptive priority M/G/1 extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import MG1Queue, Moments, PriorityClass, PriorityMG1
+from repro.simulation import Exponential, PriorityClassSpec, simulate_priority_mg1
+
+
+def exp_moments(mean: float) -> Moments:
+    return Moments(mean, 2 * mean**2, 6 * mean**3)
+
+
+class TestCobhamFormula:
+    def test_single_class_reduces_to_pk(self):
+        """One class: Cobham = Pollaczek-Khinchine."""
+        service = exp_moments(1.0)
+        queue = PriorityMG1([PriorityClass("all", 0.8, service)])
+        reference = MG1Queue(0.8, service)
+        assert queue.mean_wait("all") == pytest.approx(reference.mean_wait)
+
+    def test_high_priority_waits_less(self):
+        service = exp_moments(1.0)
+        queue = PriorityMG1(
+            [PriorityClass("hi", 0.3, service), PriorityClass("lo", 0.5, service)]
+        )
+        assert queue.mean_wait("hi") < queue.mean_wait("lo")
+
+    def test_two_class_closed_form(self):
+        """Check against hand-computed Cobham values."""
+        service = exp_moments(1.0)  # E[B^2] = 2
+        queue = PriorityMG1(
+            [PriorityClass("hi", 0.3, service), PriorityClass("lo", 0.5, service)]
+        )
+        residual = (0.3 * 2 + 0.5 * 2) / 2  # R = 0.8
+        assert queue.mean_residual_work == pytest.approx(residual)
+        assert queue.mean_wait("hi") == pytest.approx(residual / (1 - 0.3))
+        assert queue.mean_wait("lo") == pytest.approx(
+            residual / ((1 - 0.3) * (1 - 0.8))
+        )
+
+    def test_conservation_law(self):
+        """Kleinrock conservation: sum rho_k E[W_k] equals the FCFS value."""
+        service_a = exp_moments(0.5)
+        service_b = exp_moments(2.0)
+        queue = PriorityMG1(
+            [PriorityClass("a", 0.4, service_a), PriorityClass("b", 0.2, service_b)]
+        )
+        weighted, fcfs = queue.conservation_check()
+        assert weighted == pytest.approx(fcfs, rel=1e-12)
+
+    def test_same_service_overall_wait_equals_fcfs(self):
+        service = exp_moments(1.0)
+        queue = PriorityMG1(
+            [PriorityClass("hi", 0.3, service), PriorityClass("lo", 0.5, service)]
+        )
+        fcfs = MG1Queue(0.8, service).mean_wait
+        # With identical service distributions the rate-weighted and
+        # load-weighted averages coincide -> overall wait equals FCFS.
+        assert queue.overall_mean_wait() == pytest.approx(fcfs)
+
+    def test_mean_sojourn(self):
+        service = exp_moments(1.0)
+        queue = PriorityMG1([PriorityClass("x", 0.5, service)])
+        assert queue.mean_sojourn("x") == pytest.approx(queue.mean_wait("x") + 1.0)
+
+    def test_three_classes_monotone(self):
+        service = exp_moments(1.0)
+        queue = PriorityMG1(
+            [
+                PriorityClass("p0", 0.2, service),
+                PriorityClass("p1", 0.3, service),
+                PriorityClass("p2", 0.3, service),
+            ]
+        )
+        waits = [queue.mean_wait(f"p{i}") for i in range(3)]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_describe_rows(self):
+        queue = PriorityMG1([PriorityClass("x", 0.5, exp_moments(1.0))])
+        rows = queue.describe()
+        assert rows[0]["class"] == "x"
+        assert rows[0]["load"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        service = exp_moments(1.0)
+        with pytest.raises(ValueError, match="unstable"):
+            PriorityMG1([PriorityClass("x", 1.2, service)])
+        with pytest.raises(ValueError, match="duplicate"):
+            PriorityMG1(
+                [PriorityClass("x", 0.2, service), PriorityClass("x", 0.2, service)]
+            )
+        with pytest.raises(ValueError):
+            PriorityMG1([])
+        with pytest.raises(KeyError):
+            PriorityMG1([PriorityClass("x", 0.2, service)]).mean_wait("y")
+
+
+class TestSimulationValidation:
+    def test_simulated_waits_match_cobham(self):
+        classes = [
+            PriorityClassSpec("hi", 0.3, Exponential(rate=1.0)),
+            PriorityClassSpec("lo", 0.5, Exponential(rate=1.0)),
+        ]
+        simulated = simulate_priority_mg1(
+            classes, np.random.default_rng(17), horizon=120_000.0
+        )
+        analytic = PriorityMG1(
+            [
+                PriorityClass("hi", 0.3, exp_moments(1.0)),
+                PriorityClass("lo", 0.5, exp_moments(1.0)),
+            ]
+        )
+        assert simulated["hi"] == pytest.approx(analytic.mean_wait("hi"), rel=0.08)
+        assert simulated["lo"] == pytest.approx(analytic.mean_wait("lo"), rel=0.08)
+
+    def test_non_preemption_visible(self):
+        """Even the top class waits for residual service (W_hi > 0)."""
+        classes = [
+            PriorityClassSpec("hi", 0.05, Exponential(rate=1.0)),
+            PriorityClassSpec("lo", 0.7, Exponential(rate=1.0)),
+        ]
+        simulated = simulate_priority_mg1(
+            classes, np.random.default_rng(3), horizon=50_000.0
+        )
+        assert simulated["hi"] > 0.3  # residual work of the bulk class
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_priority_mg1([], np.random.default_rng(0), 10.0)
+        with pytest.raises(ValueError):
+            simulate_priority_mg1(
+                [PriorityClassSpec("x", 0.1, Exponential(1.0))],
+                np.random.default_rng(0),
+                0.0,
+            )

@@ -1,0 +1,191 @@
+"""Tests for the service-time model (Eqs. 1, 7-10) and its inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    APP_PROPERTY_COSTS,
+    CORRELATION_ID_COSTS,
+    BinomialReplication,
+    DeterministicReplication,
+    Moments,
+    ReplicationFamily,
+    ScaledBernoulliReplication,
+    ServiceTimeModel,
+    service_moments_from_target,
+)
+
+
+class TestEquationOne:
+    def test_mean_formula(self):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n_fltr=100, replication=DeterministicReplication(10)
+        )
+        expected = 8.52e-7 + 100 * 7.02e-6 + 10 * 1.70e-5
+        assert model.mean == pytest.approx(expected)
+
+    def test_deterministic_part(self):
+        model = ServiceTimeModel(
+            APP_PROPERTY_COSTS, n_fltr=50, replication=DeterministicReplication(0)
+        )
+        assert model.deterministic_part == pytest.approx(4.10e-6 + 50 * 1.46e-5)
+        assert model.mean == pytest.approx(model.deterministic_part)
+
+    def test_zero_filters(self):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n_fltr=0, replication=DeterministicReplication(1)
+        )
+        assert model.mean == pytest.approx(8.52e-7 + 1.70e-5)
+
+    def test_deterministic_replication_zero_cvar(self):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n_fltr=20, replication=DeterministicReplication(5)
+        )
+        assert model.cvar == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_negative_filters(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(CORRELATION_ID_COSTS, -1, DeterministicReplication(1))
+
+
+class TestMomentsVsSampling:
+    @pytest.mark.parametrize(
+        "replication",
+        [
+            DeterministicReplication(4),
+            ScaledBernoulliReplication(10, 0.3),
+            BinomialReplication(10, 0.3),
+        ],
+        ids=["deterministic", "bernoulli", "binomial"],
+    )
+    def test_analytic_moments_match_empirical(self, replication):
+        model = ServiceTimeModel(CORRELATION_ID_COSTS, n_fltr=10, replication=replication)
+        samples = model.sample_many(np.random.default_rng(3), 100_000)
+        assert samples.mean() == pytest.approx(model.moments.m1, rel=0.01)
+        assert (samples**2).mean() == pytest.approx(model.moments.m2, rel=0.02)
+        assert (samples**3).mean() == pytest.approx(model.moments.m3, rel=0.03)
+
+    def test_single_sample_structure(self):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n_fltr=5, replication=DeterministicReplication(2)
+        )
+        value = model.sample(np.random.default_rng(0))
+        assert value == pytest.approx(model.deterministic_part + 2 * 1.70e-5)
+
+
+class TestWithMeanReplication:
+    def test_integer_mean_uses_deterministic(self):
+        model = ServiceTimeModel.with_mean_replication(CORRELATION_ID_COSTS, 10, 3.0)
+        assert isinstance(model.replication, DeterministicReplication)
+        assert model.replication.mean == 3.0
+
+    def test_fractional_mean_uses_two_point(self):
+        model = ServiceTimeModel.with_mean_replication(CORRELATION_ID_COSTS, 10, 2.5)
+        assert model.replication.mean == pytest.approx(2.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel.with_mean_replication(CORRELATION_ID_COSTS, 10, -1.0)
+
+
+class TestTargetInversion:
+    @pytest.mark.parametrize(
+        # The binomial is underdispersed (Var[R] < E[R]), so it cannot
+        # reach as high a c_var at this mean as the scaled Bernoulli.
+        ("family", "target_cvar"),
+        [
+            (ReplicationFamily.SCALED_BERNOULLI, 0.3),
+            (ReplicationFamily.BINOMIAL, 0.2),
+        ],
+        ids=["bernoulli", "binomial"],
+    )
+    def test_hits_mean_and_cvar(self, family, target_cvar):
+        target_mean = 2e-4
+        moments = service_moments_from_target(
+            CORRELATION_ID_COSTS, n_fltr=5, mean_b=target_mean, cvar_b=target_cvar, family=family
+        )
+        assert moments.mean == pytest.approx(target_mean)
+        assert moments.cvar == pytest.approx(target_cvar, rel=1e-9)
+
+    def test_binomial_overdispersed_target_rejected(self):
+        with pytest.raises(ValueError, match="binomial"):
+            service_moments_from_target(
+                CORRELATION_ID_COSTS,
+                n_fltr=5,
+                mean_b=2e-4,
+                cvar_b=0.3,
+                family=ReplicationFamily.BINOMIAL,
+            )
+
+    def test_deterministic_family_requires_zero_cvar(self):
+        moments = service_moments_from_target(
+            CORRELATION_ID_COSTS,
+            n_fltr=5,
+            mean_b=1e-4,
+            cvar_b=0.0,
+            family=ReplicationFamily.DETERMINISTIC,
+        )
+        assert moments.variance == pytest.approx(0.0, abs=1e-20)
+        with pytest.raises(ValueError):
+            service_moments_from_target(
+                CORRELATION_ID_COSTS,
+                n_fltr=5,
+                mean_b=1e-4,
+                cvar_b=0.2,
+                family=ReplicationFamily.DETERMINISTIC,
+            )
+
+    def test_third_moment_families_differ(self):
+        """Bernoulli and binomial share two moments but differ in the third."""
+        kwargs = dict(mean_b=3e-4, cvar_b=0.35)
+        bern = service_moments_from_target(
+            CORRELATION_ID_COSTS, 5, family=ReplicationFamily.SCALED_BERNOULLI, **kwargs
+        )
+        assert bern.m3 > 0
+
+    def test_consistency_with_explicit_model(self):
+        """Inverting the moments of a real model reproduces those moments."""
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, 8, ScaledBernoulliReplication(8, 0.4)
+        )
+        rebuilt = service_moments_from_target(
+            CORRELATION_ID_COSTS,
+            8,
+            model.mean,
+            model.cvar,
+            family=ReplicationFamily.SCALED_BERNOULLI,
+        )
+        assert rebuilt.m1 == pytest.approx(model.moments.m1)
+        assert rebuilt.m2 == pytest.approx(model.moments.m2)
+        assert rebuilt.m3 == pytest.approx(model.moments.m3, rel=1e-6)
+
+    def test_binomial_consistency_roundtrip(self):
+        model = ServiceTimeModel(CORRELATION_ID_COSTS, 3, BinomialReplication(3, 0.6))
+        rebuilt = service_moments_from_target(
+            CORRELATION_ID_COSTS, 3, model.mean, model.cvar, family=ReplicationFamily.BINOMIAL
+        )
+        assert rebuilt.m3 == pytest.approx(model.moments.m3, rel=1e-6)
+
+    def test_unreachable_targets_raise(self):
+        with pytest.raises(ValueError, match="below the deterministic part"):
+            service_moments_from_target(CORRELATION_ID_COSTS, 1000, 1e-6, 0.1)
+        with pytest.raises(ValueError):
+            service_moments_from_target(CORRELATION_ID_COSTS, 5, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            service_moments_from_target(CORRELATION_ID_COSTS, 5, 1e-4, -0.5)
+
+    @given(
+        n=st.integers(min_value=0, max_value=100),
+        p=st.floats(min_value=0.01, max_value=0.99),
+        size=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60)
+    def test_property_model_moments_always_consistent(self, n, p, size):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n, BinomialReplication(size, p)
+        )
+        m = model.moments
+        assert m.m1 > 0
+        assert m.m2 >= m.m1**2 * (1 - 1e-12)
+        assert isinstance(m, Moments)

@@ -1,0 +1,58 @@
+"""Tests for the virtual CPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CORRELATION_ID_COSTS
+from repro.simulation import CpuCostModel
+
+
+class TestDeterministicCharging:
+    def test_breakdown_matches_table1(self):
+        cpu = CpuCostModel(CORRELATION_ID_COSTS)
+        cost = cpu.message_cost(filters_evaluated=100, copies_sent=5)
+        assert cost.receive == pytest.approx(8.52e-7)
+        assert cost.filtering == pytest.approx(100 * 7.02e-6)
+        assert cost.transmit == pytest.approx(5 * 1.70e-5)
+        assert cost.total == pytest.approx(8.52e-7 + 7.02e-4 + 8.5e-5)
+
+    def test_total_equals_equation_one(self):
+        cpu = CpuCostModel(CORRELATION_ID_COSTS)
+        cost = cpu.message_cost(25, 5)
+        assert cost.total == pytest.approx(cpu.expected_service_time(25, 5.0))
+
+    def test_zero_operations(self):
+        cpu = CpuCostModel(CORRELATION_ID_COSTS)
+        cost = cpu.message_cost(0, 0)
+        assert cost.total == pytest.approx(8.52e-7)
+
+    def test_negative_counts_rejected(self):
+        cpu = CpuCostModel(CORRELATION_ID_COSTS)
+        with pytest.raises(ValueError):
+            cpu.message_cost(-1, 0)
+        with pytest.raises(ValueError):
+            cpu.message_cost(0, -1)
+
+
+class TestJitter:
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            CpuCostModel(CORRELATION_ID_COSTS, jitter_cvar=0.05)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            CpuCostModel(CORRELATION_ID_COSTS, jitter_cvar=-0.1)
+
+    def test_jitter_has_unit_mean(self):
+        cpu = CpuCostModel(
+            CORRELATION_ID_COSTS, jitter_cvar=0.05, rng=np.random.default_rng(1)
+        )
+        totals = np.array([cpu.message_cost(10, 2).total for _ in range(20_000)])
+        clean = CpuCostModel(CORRELATION_ID_COSTS).message_cost(10, 2).total
+        assert totals.mean() == pytest.approx(clean, rel=0.01)
+        assert totals.std() > 0
+
+    def test_jitter_is_reproducible_with_seed(self):
+        a = CpuCostModel(CORRELATION_ID_COSTS, 0.05, np.random.default_rng(9))
+        b = CpuCostModel(CORRELATION_ID_COSTS, 0.05, np.random.default_rng(9))
+        assert a.message_cost(5, 1).total == b.message_cost(5, 1).total

@@ -1,0 +1,198 @@
+"""Tests for the discrete-event engine and event primitives."""
+
+import math
+
+import pytest
+
+from repro.simulation import Engine, Signal, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(3.0, lambda: seen.append("c"))
+        engine.call_at(1.0, lambda: seen.append("a"))
+        engine.call_at(2.0, lambda: seen.append("b"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        engine = Engine()
+        seen = []
+        for i in range(10):
+            engine.call_at(1.0, lambda i=i: seen.append(i))
+        engine.run()
+        assert seen == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        times = []
+        engine.call_at(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+        assert engine.now == 5.0
+
+    def test_call_in_relative(self):
+        engine = Engine(start_time=10.0)
+        times = []
+        engine.call_in(2.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [12.5]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine(start_time=5.0)
+        with pytest.raises(SimulationError, match="past"):
+            engine.call_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            Engine().call_in(-1.0, lambda: None)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError, match="NaN"):
+            Engine().call_at(math.nan, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        seen = []
+
+        def chain():
+            seen.append(engine.now)
+            if engine.now < 3.0:
+                engine.call_in(1.0, chain)
+
+        engine.call_in(1.0, chain)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = Engine()
+        seen = []
+        event = engine.call_at(1.0, lambda: seen.append("x"))
+        event.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_one_of_many(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(1.0, lambda: seen.append("keep"))
+        victim = engine.call_at(1.0, lambda: seen.append("cancel"))
+        victim.cancel()
+        engine.run()
+        assert seen == ["keep"]
+
+    def test_drain_cancels_batch(self):
+        engine = Engine()
+        seen = []
+        events = [engine.call_at(1.0, lambda: seen.append(1)) for _ in range(5)]
+        engine.drain(events)
+        engine.run()
+        assert seen == []
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_even_without_events(self):
+        engine = Engine()
+        engine.call_at(1.0, lambda: None)
+        final = engine.run(until=10.0)
+        assert final == 10.0
+        assert engine.now == 10.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(5.0, lambda: seen.append("early"))
+        engine.call_at(15.0, lambda: seen.append("late"))
+        engine.run(until=10.0)
+        assert seen == ["early"]
+        assert engine.pending_events == 1
+
+    def test_stop_mid_run(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(1.0, lambda: (seen.append("a"), engine.stop()))
+        engine.call_at(2.0, lambda: seen.append("b"))
+        engine.run()
+        assert seen == ["a"]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Engine().step()
+
+    def test_peek(self):
+        engine = Engine()
+        assert engine.peek() == math.inf
+        event = engine.call_at(4.0, lambda: None)
+        assert engine.peek() == 4.0
+        event.cancel()
+        assert engine.peek() == math.inf
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.call_at(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def bad():
+            engine.run()
+
+        engine.call_at(1.0, bad)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            engine.run()
+
+
+class TestTimeoutSignal:
+    def test_fires_with_value(self):
+        engine = Engine()
+        signal = engine.timeout_signal(2.0, value="done")
+        results = []
+        signal.add_waiter(results.append)
+        engine.run()
+        assert results == ["done"]
+        assert signal.fired
+
+
+class TestSignal:
+    def test_fire_delivers_to_waiters_in_order(self):
+        signal = Signal("s")
+        seen = []
+        signal.add_waiter(lambda v: seen.append(("a", v)))
+        signal.add_waiter(lambda v: seen.append(("b", v)))
+        signal.fire(42)
+        assert seen == [("a", 42), ("b", 42)]
+
+    def test_late_waiter_called_immediately(self):
+        signal = Signal()
+        signal.fire("v")
+        seen = []
+        signal.add_waiter(seen.append)
+        assert seen == ["v"]
+
+    def test_double_fire_rejected(self):
+        signal = Signal("x")
+        signal.fire()
+        with pytest.raises(RuntimeError, match="twice"):
+            signal.fire()
+
+    def test_value_before_fire_rejected(self):
+        with pytest.raises(RuntimeError):
+            Signal("x").value
+
+    def test_remove_waiter(self):
+        signal = Signal()
+        seen = []
+        waiter = seen.append
+        signal.add_waiter(waiter)
+        signal.remove_waiter(waiter)
+        signal.fire(1)
+        assert seen == []
+
+    def test_remove_missing_waiter_is_noop(self):
+        Signal().remove_waiter(lambda v: None)

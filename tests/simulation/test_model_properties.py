@@ -1,0 +1,130 @@
+"""Model-based property tests of the simulation substrate (hypothesis)."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.broker import FlowControlError, FlowController
+from repro.simulation import Engine
+
+
+class TestEngineOrderingProperty:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_callbacks_observe_monotone_time(self, delays):
+        """Virtual time never goes backwards, whatever the schedule."""
+        engine = Engine()
+        observed = []
+        for delay in delays:
+            engine.call_in(delay, lambda: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30
+        ),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_fire(self, delays, cancel_mask):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.call_in(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        cancelled = {
+            i
+            for i, (event, cancel) in enumerate(zip(events, cancel_mask))
+            if cancel and not event.cancelled and event.cancel() is None and cancel
+        }
+        engine.run()
+        assert set(fired).isdisjoint(cancelled)
+        assert set(fired) | cancelled == set(range(len(delays)))
+
+    @given(
+        nested=st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_boundary(self, nested):
+        """Events beyond `until` stay queued; the clock lands on `until`."""
+        engine = Engine()
+        horizon = 3.0
+        fired = []
+        for delay in nested:
+            engine.call_in(delay, lambda d=delay: fired.append(d))
+        engine.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        assert engine.now == max(horizon, 0.0)
+
+
+class FlowControllerMachine(RuleBasedStateMachine):
+    """Model-based test: the credit pool never exceeds capacity and all
+    blocked acquirers are eventually granted exactly once, FIFO."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 3
+        self.flow = FlowController(self.capacity)
+        self.granted = []
+        self.pending = deque()
+        self.next_ticket = 0
+        self.outstanding = 0  # credits held (granted - released)
+
+    @rule()
+    def acquire(self):
+        ticket = self.next_ticket
+        self.next_ticket += 1
+        immediate_room = self.flow.in_flight < self.capacity
+        self.flow.acquire(lambda t=ticket: self._grant(t))
+        if immediate_room:
+            assert self.granted and self.granted[-1] == ticket
+        else:
+            self.pending.append(ticket)
+
+    def _grant(self, ticket):
+        self.granted.append(ticket)
+        self.outstanding += 1
+        if self.pending and self.pending[0] == ticket:
+            self.pending.popleft()
+
+    @precondition(lambda self: self.outstanding > 0)
+    @rule()
+    def release(self):
+        self.flow.release()
+        self.outstanding -= 1
+
+    @rule()
+    def release_without_credit_fails(self):
+        if self.outstanding == 0:
+            with pytest.raises(FlowControlError):
+                self.flow.release()
+
+    @invariant()
+    def never_exceeds_capacity(self):
+        assert 0 <= self.flow.in_flight <= self.capacity
+
+    @invariant()
+    def grants_are_fifo(self):
+        assert self.granted == sorted(self.granted)
+
+    @invariant()
+    def waiting_count_consistent(self):
+        assert self.flow.waiting == len(self.pending)
+
+
+TestFlowControllerModel = FlowControllerMachine.TestCase
+TestFlowControllerModel.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

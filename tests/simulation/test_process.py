@@ -1,0 +1,209 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.simulation import Engine, Interrupt, Process, Signal
+
+
+class TestBasicExecution:
+    def test_sleep_advances_time(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            log.append(engine.now)
+            yield 2.0
+            log.append(engine.now)
+            yield 3.0
+            log.append(engine.now)
+
+        Process(engine, worker())
+        engine.run()
+        assert log == [0.0, 2.0, 5.0]
+
+    def test_completion_signal_carries_return_value(self):
+        engine = Engine()
+
+        def worker():
+            yield 1.0
+            return "result"
+
+        process = Process(engine, worker())
+        engine.run()
+        assert not process.alive
+        assert process.completed.fired
+        assert process.completed.value == "result"
+
+    def test_yield_none_reschedules_immediately(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            log.append(("first", engine.now))
+            yield None
+            log.append(("second", engine.now))
+
+        Process(engine, worker())
+        engine.run()
+        assert log == [("first", 0.0), ("second", 0.0)]
+
+    def test_processes_start_in_creation_order(self):
+        engine = Engine()
+        log = []
+
+        def worker(name):
+            log.append(name)
+            yield 0.0
+
+        Process(engine, worker("a"))
+        Process(engine, worker("b"))
+        engine.run()
+        assert log[:2] == ["a", "b"]
+
+    def test_wait_on_signal_receives_value(self):
+        engine = Engine()
+        signal = Signal("data")
+        received = []
+
+        def consumer():
+            value = yield signal
+            received.append((value, engine.now))
+
+        def producer():
+            yield 4.0
+            signal.fire("payload")
+
+        Process(engine, consumer())
+        Process(engine, producer())
+        engine.run()
+        assert received == [("payload", 4.0)]
+
+    def test_wait_on_already_fired_signal(self):
+        engine = Engine()
+        signal = Signal()
+        signal.fire("early")
+        results = []
+
+        def worker():
+            value = yield signal
+            results.append(value)
+
+        Process(engine, worker())
+        engine.run()
+        assert results == ["early"]
+
+    def test_invalid_yield_type_raises(self):
+        engine = Engine()
+
+        def worker():
+            yield "nonsense"
+
+        Process(engine, worker())
+        with pytest.raises(TypeError, match="unsupported"):
+            engine.run()
+
+    def test_negative_delay_raises(self):
+        engine = Engine()
+
+        def worker():
+            yield -1.0
+
+        Process(engine, worker())
+        with pytest.raises(RuntimeError, match="negative"):
+            engine.run()
+
+
+class TestInterruption:
+    def test_interrupt_raises_inside_generator(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            try:
+                yield 100.0
+                log.append("not reached")
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause, engine.now))
+
+        process = Process(engine, worker())
+        engine.call_at(5.0, lambda: process.interrupt("timeout"))
+        engine.run()
+        assert log == [("interrupted", "timeout", 5.0)]
+
+    def test_interrupt_while_waiting_on_signal(self):
+        engine = Engine()
+        signal = Signal()
+        log = []
+
+        def worker():
+            try:
+                yield signal
+            except Interrupt:
+                log.append("interrupted")
+
+        process = Process(engine, worker())
+        engine.call_at(1.0, lambda: process.interrupt())
+        engine.run()
+        assert log == ["interrupted"]
+        # Firing the signal later must not resume the dead process.
+        signal.fire("late")
+        assert log == ["interrupted"]
+
+    def test_uncaught_interrupt_terminates_quietly(self):
+        engine = Engine()
+
+        def worker():
+            yield 100.0
+
+        process = Process(engine, worker())
+        engine.call_at(1.0, lambda: process.interrupt())
+        engine.run()
+        assert not process.alive
+
+    def test_interrupt_finished_process_is_noop(self):
+        engine = Engine()
+
+        def worker():
+            yield 1.0
+
+        process = Process(engine, worker())
+        engine.run()
+        process.interrupt()  # must not raise
+        assert not process.alive
+
+    def test_process_can_continue_after_interrupt(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            try:
+                yield 100.0
+            except Interrupt:
+                pass
+            yield 2.0
+            log.append(engine.now)
+
+        process = Process(engine, worker())
+        engine.call_at(1.0, lambda: process.interrupt())
+        engine.run()
+        assert log == [3.0]
+
+
+class TestKill:
+    def test_kill_stops_without_exception(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            try:
+                yield 100.0
+                log.append("body")
+            finally:
+                log.append("cleanup")
+
+        process = Process(engine, worker())
+        engine.call_at(1.0, process.kill)
+        engine.run()
+        assert not process.alive
+        assert log == ["cleanup"]
+        assert process.completed.fired

@@ -1,0 +1,138 @@
+"""Tests for the G/G/1 queueing station and the M/G/1 simulation helper."""
+
+import numpy as np
+import pytest
+
+from repro.core import MG1Queue, Moments, mm1_mean_wait
+from repro.simulation import (
+    Deterministic,
+    Engine,
+    Exponential,
+    MeasurementWindow,
+    QueueingStation,
+    simulate_mg1,
+)
+
+
+class TestStationMechanics:
+    def test_single_customer_no_wait(self):
+        engine = Engine()
+        station = QueueingStation(
+            engine, Deterministic(2.0), np.random.default_rng(0), name="s"
+        )
+        engine.call_at(1.0, station.arrive)
+        engine.run()
+        assert station.served == 1
+        assert station.waits.values().tolist() == [0.0]
+        assert engine.now == 3.0
+
+    def test_fifo_waiting_times_deterministic(self):
+        engine = Engine()
+        station = QueueingStation(engine, Deterministic(5.0), np.random.default_rng(0))
+        engine.call_at(0.0, station.arrive)
+        engine.call_at(1.0, station.arrive)
+        engine.call_at(2.0, station.arrive)
+        engine.run()
+        # Service completions at 5, 10, 15; waits 0, 4, 8.
+        assert station.waits.values().tolist() == [0.0, 4.0, 8.0]
+        assert station.served == 3
+
+    def test_busy_tracker_counts_service_periods(self):
+        engine = Engine()
+        station = QueueingStation(engine, Deterministic(2.0), np.random.default_rng(0))
+        engine.call_at(0.0, station.arrive)
+        engine.call_at(10.0, station.arrive)
+        engine.run()
+        assert station.busy.utilization(20.0) == pytest.approx(4.0 / 20.0)
+
+    def test_delayed_stats_exclude_zero_waits(self):
+        engine = Engine()
+        station = QueueingStation(engine, Deterministic(3.0), np.random.default_rng(0))
+        engine.call_at(0.0, station.arrive)   # no wait
+        engine.call_at(1.0, station.arrive)   # waits 2
+        engine.run()
+        assert station.waits.count == 2
+        assert station.delayed.count == 1
+        assert station.delayed.values().tolist() == [2.0]
+
+    def test_callable_service_sampler(self):
+        engine = Engine()
+        station = QueueingStation(engine, lambda rng: 1.5, np.random.default_rng(0))
+        engine.call_at(0.0, station.arrive)
+        engine.run()
+        assert engine.now == 1.5
+
+    def test_invalid_service_time_raises(self):
+        engine = Engine()
+        station = QueueingStation(engine, lambda rng: -1.0, np.random.default_rng(0))
+        engine.call_at(0.0, station.arrive)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_windowed_wait_recording(self):
+        window = MeasurementWindow(10.0, 20.0)
+        engine = Engine()
+        station = QueueingStation(
+            engine, Deterministic(1.0), np.random.default_rng(0), window=window
+        )
+        engine.call_at(0.0, station.arrive)   # arrival outside window
+        engine.call_at(15.0, station.arrive)  # inside
+        engine.run()
+        assert station.waits.count == 1
+
+
+class TestMG1Validation:
+    """Simulated waiting times must match Pollaczek-Khinchine (Eq. 4)."""
+
+    def test_mm1_mean_wait(self):
+        result = simulate_mg1(
+            arrival_rate=0.7,
+            service=Exponential(rate=1.0),
+            rng=np.random.default_rng(404),
+            horizon=100_000.0,
+        )
+        assert result.mean_wait == pytest.approx(mm1_mean_wait(0.7, 1.0), rel=0.05)
+        assert result.utilization == pytest.approx(0.7, abs=0.01)
+        assert result.wait_probability == pytest.approx(0.7, abs=0.02)
+
+    def test_md1_mean_wait(self):
+        """Deterministic service: E[W] = rho/(2(1-rho)) * E[B]."""
+        result = simulate_mg1(
+            arrival_rate=0.8,
+            service=Deterministic(1.0),
+            rng=np.random.default_rng(11),
+            horizon=100_000.0,
+        )
+        expected = 0.8 / (2 * 0.2)
+        assert result.mean_wait == pytest.approx(expected, rel=0.05)
+
+    def test_quantiles_match_gamma_approximation(self):
+        service = Exponential(rate=1.0)
+        result = simulate_mg1(
+            arrival_rate=0.8,
+            service=service,
+            rng=np.random.default_rng(7),
+            horizon=200_000.0,
+        )
+        queue = MG1Queue(0.8, Moments(1.0, 2.0, 6.0))
+        assert result.wait_quantile_99 == pytest.approx(queue.wait_quantile(0.99), rel=0.05)
+
+    def test_queue_length_littles_law(self):
+        result = simulate_mg1(
+            arrival_rate=0.6,
+            service=Exponential(rate=1.0),
+            rng=np.random.default_rng(3),
+            horizon=50_000.0,
+        )
+        assert result.mean_queue_length == pytest.approx(
+            0.6 * result.mean_wait, rel=0.05
+        )
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_mg1(0.0, Exponential(1.0), rng, 10.0)
+        with pytest.raises(ValueError):
+            simulate_mg1(0.5, Exponential(1.0), rng, 0.0)
+        with pytest.raises(ValueError):
+            simulate_mg1(0.5, Exponential(1.0), rng, 10.0, warmup_fraction=0.5)

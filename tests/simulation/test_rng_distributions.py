@@ -1,0 +1,198 @@
+"""Tests for RNG streams and sampling distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Gamma,
+    Hyperexponential,
+    Lognormal,
+    RandomStreams,
+    Uniform,
+    stable_hash,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_streams(self):
+        a = RandomStreams(seed=42).stream("x").random(5)
+        b = RandomStreams(seed=42).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(seed=42)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_stream_cached(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        """The variance-reduction discipline: new components must not
+        shift the random sequences of existing ones."""
+        solo = RandomStreams(seed=9)
+        first_only = solo.stream("pub-0").random(10)
+
+        multi = RandomStreams(seed=9)
+        multi.stream("pub-1").random(10)  # an extra component
+        first_with_extra = multi.stream("pub-0").random(10)
+        assert (first_only == first_with_extra).all()
+
+    def test_spawn_derives_independent_family(self):
+        parent = RandomStreams(seed=5)
+        child_a = parent.spawn("server-a")
+        child_b = parent.spawn("server-b")
+        assert child_a.seed != child_b.seed
+        assert (
+            child_a.stream("x").random(3) != child_b.stream("x").random(3)
+        ).any()
+
+    def test_spawn_deterministic(self):
+        assert RandomStreams(7).spawn("s").seed == RandomStreams(7).spawn("s").seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=-1)
+
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("publisher-0") == stable_hash("publisher-0")
+        assert stable_hash("a") != stable_hash("b")
+
+
+RNG = np.random.default_rng(2024)
+
+DISTRIBUTIONS = [
+    Deterministic(2.5),
+    Exponential(rate=4.0),
+    Uniform(1.0, 3.0),
+    Gamma(shape=2.5, scale=0.4),
+    Erlang(k=3, rate=2.0),
+    Lognormal(mu=-1.0, sigma=0.5),
+    Hyperexponential(rates=[1.0, 10.0], probabilities=[0.3, 0.7]),
+    Empirical([1.0, 2.0, 2.0, 5.0]),
+]
+
+
+class TestDistributionMoments:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_analytic_moments_match_empirical(self, dist):
+        rng = np.random.default_rng(99)
+        samples = dist.sample_many(rng, 200_000)
+        assert samples.mean() == pytest.approx(dist.moment(1), rel=0.02)
+        assert (samples**2).mean() == pytest.approx(dist.moment(2), rel=0.04)
+        assert (samples**3).mean() == pytest.approx(dist.moment(3), rel=0.12)
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_samples_non_negative(self, dist):
+        rng = np.random.default_rng(5)
+        assert (dist.sample_many(rng, 1000) >= 0).all()
+
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_moment_order_validation(self, dist):
+        with pytest.raises(ValueError):
+            dist.moment(4)
+        with pytest.raises(ValueError):
+            dist.moment(0)
+
+    def test_exponential_moments_closed_form(self):
+        d = Exponential(rate=2.0)
+        assert d.moment(1) == pytest.approx(0.5)
+        assert d.moment(2) == pytest.approx(0.5)
+        assert d.moment(3) == pytest.approx(0.75)
+        assert d.cvar == pytest.approx(1.0)
+
+    def test_deterministic_cvar_zero(self):
+        assert Deterministic(3.0).cvar == 0.0
+        assert Deterministic(0.0).cvar == 0.0
+
+    def test_erlang_cvar(self):
+        assert Erlang(k=4, rate=1.0).cvar == pytest.approx(0.5)
+
+    def test_uniform_moments(self):
+        d = Uniform(0.0, 2.0)
+        assert d.moment(1) == pytest.approx(1.0)
+        assert d.moment(2) == pytest.approx(4.0 / 3.0)
+        assert d.moment(3) == pytest.approx(2.0)
+
+    def test_degenerate_uniform(self):
+        d = Uniform(2.0, 2.0)
+        assert d.moment(2) == pytest.approx(4.0)
+
+    def test_hyperexponential_high_variability(self):
+        d = Hyperexponential(rates=[0.1, 10.0], probabilities=[0.1, 0.9])
+        assert d.cvar > 1.0
+
+    def test_lognormal_moment_formula(self):
+        d = Lognormal(mu=0.0, sigma=1.0)
+        assert d.moment(1) == pytest.approx(np.exp(0.5))
+        assert d.moment(2) == pytest.approx(np.exp(2.0))
+
+
+class TestValidation:
+    def test_exponential_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=0.0)
+
+    def test_uniform_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+    def test_gamma_parameters(self):
+        with pytest.raises(ValueError):
+            Gamma(shape=0.0, scale=1.0)
+
+    def test_erlang_integer_k(self):
+        with pytest.raises(ValueError):
+            Erlang(k=0, rate=1.0)
+        with pytest.raises(ValueError):
+            Erlang(k=1, rate=0.0)
+
+    def test_hyperexponential_probabilities(self):
+        with pytest.raises(ValueError):
+            Hyperexponential(rates=[1.0], probabilities=[0.5])
+        with pytest.raises(ValueError):
+            Hyperexponential(rates=[1.0, -1.0], probabilities=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            Hyperexponential(rates=[], probabilities=[])
+
+    def test_empirical_validation(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([-1.0])
+
+    def test_deterministic_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+    def test_lognormal_sigma(self):
+        with pytest.raises(ValueError):
+            Lognormal(mu=0.0, sigma=-0.1)
+
+
+class TestMomentConsistencyProperty:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=50)
+    def test_exponential_jensen(self, rate):
+        d = Exponential(rate)
+        assert d.moment(2) >= d.moment(1) ** 2
+
+    @given(
+        shape=st.floats(min_value=0.05, max_value=50.0),
+        scale=st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=50)
+    def test_gamma_cvar_formula(self, shape, scale):
+        d = Gamma(shape, scale)
+        assert d.cvar == pytest.approx(1.0 / np.sqrt(shape), rel=1e-9)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestReport:
+    def test_report_exit_code_zero_when_all_pass(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+        assert "FAIL" not in out
+
+
+class TestFigure:
+    @pytest.mark.parametrize("figure_id", ["fig5", "fig6", "fig8", "fig9", "fig10", "fig12", "fig15"])
+    def test_figures_print_series(self, capsys, figure_id):
+        assert main(["figure", figure_id]) == 0
+        out = capsys.readouterr().out
+        assert f"== {figure_id}:" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestCapacity:
+    def test_capacity_output(self, capsys):
+        assert main(["capacity", "--filters", "500", "--replication", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity at rho=0.9" in out
+        assert "correlation_id" in out
+
+    def test_app_property_variant(self, capsys):
+        assert (
+            main(["capacity", "--filters", "100", "--replication", "1", "--type", "app"])
+            == 0
+        )
+        assert "app_property" in capsys.readouterr().out
+
+    def test_capacity_value_matches_library(self, capsys):
+        from repro.core import CORRELATION_ID_COSTS, server_capacity
+
+        main(["capacity", "--filters", "100", "--replication", "5", "--rho", "0.5"])
+        out = capsys.readouterr().out
+        expected = server_capacity(CORRELATION_ID_COSTS, 100, 5.0, rho=0.5)
+        assert f"{expected:.1f}" in out
+
+
+class TestWait:
+    def test_wait_output(self, capsys):
+        assert main(["wait", "--filters", "500", "--replication", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "E[W]" in out
+        assert "Q99.99[W]" in out
+
+    def test_explicit_match_probability(self, capsys):
+        assert (
+            main(["wait", "--filters", "100", "--replication", "2", "--p-match", "0.02"])
+            == 0
+        )
+        assert "p_match=0.02" in capsys.readouterr().out
+
+    def test_invalid_match_probability_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["wait", "--filters", "10", "--replication", "2", "--p-match", "1.5"])
+
+    def test_zero_filters_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["wait", "--filters", "0", "--replication", "1"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for command in ("report", "figure", "capacity", "wait"):
+            assert command in out

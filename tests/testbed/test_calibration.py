@@ -1,0 +1,66 @@
+"""Tests for the Table I calibration fit."""
+
+import pytest
+
+from repro.core import APP_PROPERTY_COSTS, CORRELATION_ID_COSTS, FilterType
+from repro.testbed import ExperimentConfig, fit_cost_parameters, run_sweep
+
+QUICK = ExperimentConfig.quick()
+CALIBRATION = ExperimentConfig.calibration_preset()
+
+
+def small_sweep(filter_type=FilterType.CORRELATION_ID, jitter=0.0):
+    configs = [
+        CALIBRATION.with_(
+            filter_type=filter_type, replication_grade=r, n_additional=n, jitter_cvar=jitter
+        )
+        for r in (1, 5, 20)
+        for n in (5, 20, 80)
+    ]
+    return run_sweep(configs)
+
+
+class TestFit:
+    def test_recovers_correlation_id_constants(self):
+        fit = fit_cost_parameters(small_sweep())
+        assert fit.within_tolerance(CORRELATION_ID_COSTS, rel_tol=0.10)
+        assert fit.observations == 9
+
+    def test_recovers_app_property_constants(self):
+        fit = fit_cost_parameters(small_sweep(FilterType.APP_PROPERTY))
+        assert fit.within_tolerance(APP_PROPERTY_COSTS, rel_tol=0.10)
+
+    def test_fit_with_cpu_jitter(self):
+        """Small measurement noise must not break the fit (the paper's
+        runs 'hardly differ')."""
+        fit = fit_cost_parameters(small_sweep(jitter=0.02))
+        assert fit.within_tolerance(CORRELATION_ID_COSTS, rel_tol=0.15)
+
+    def test_residuals_reported(self):
+        fit = fit_cost_parameters(small_sweep())
+        assert fit.residual_rms >= 0.0
+        assert fit.relative_error_max < 0.1
+
+    def test_filter_type_stamped(self):
+        fit = fit_cost_parameters(small_sweep())
+        assert fit.costs.filter_type is FilterType.CORRELATION_ID
+
+
+class TestFitValidation:
+    def test_too_few_observations(self):
+        results = small_sweep()[:2]
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_cost_parameters(results)
+
+    def test_mixed_filter_types_rejected(self):
+        mixed = small_sweep()[:3] + small_sweep(FilterType.APP_PROPERTY)[:3]
+        with pytest.raises(ValueError, match="mixed filter types"):
+            fit_cost_parameters(mixed)
+
+    def test_mixed_scales_rejected(self):
+        a = run_sweep([QUICK.with_(replication_grade=1, n_additional=5)])
+        b = run_sweep(
+            [QUICK.with_(replication_grade=1, n_additional=5, cpu_scale=500.0)]
+        )
+        with pytest.raises(ValueError, match="mixed cpu_scale"):
+            fit_cost_parameters(a + b + a)

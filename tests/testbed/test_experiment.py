@@ -1,0 +1,89 @@
+"""Tests for experiment configuration and results."""
+
+import pytest
+
+from repro.core import CORRELATION_ID_COSTS, FilterType
+from repro.testbed import ExperimentConfig, MeasurementResult
+
+
+class TestExperimentConfig:
+    def test_defaults_follow_paper(self):
+        config = ExperimentConfig()
+        assert config.publishers == 5  # "a minimum number of 5 publishers"
+        assert config.run_length == 100.0
+        assert config.trim == 5.0
+
+    def test_n_fltr(self):
+        config = ExperimentConfig(replication_grade=10, n_additional=80)
+        assert config.n_fltr == 90
+
+    def test_effective_costs_scaled(self):
+        config = ExperimentConfig(cpu_scale=1000.0)
+        assert config.effective_costs.t_fltr == pytest.approx(7.02e-3)
+
+    def test_effective_costs_unscaled(self):
+        config = ExperimentConfig(cpu_scale=1.0)
+        assert config.effective_costs == CORRELATION_ID_COSTS
+
+    def test_custom_costs_override(self):
+        custom = CORRELATION_ID_COSTS.scaled(2.0)
+        config = ExperimentConfig(costs=custom, cpu_scale=1.0)
+        assert config.effective_costs == custom
+
+    def test_with_creates_modified_copy(self):
+        base = ExperimentConfig()
+        changed = base.with_(replication_grade=7)
+        assert changed.replication_grade == 7
+        assert base.replication_grade == 1
+
+    def test_quick_preset(self):
+        config = ExperimentConfig.quick(n_additional=3)
+        assert config.run_length < 100.0
+        assert config.n_additional == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replication_grade": -1},
+            {"n_additional": -1},
+            {"publishers": 0},
+            {"run_length": 8.0, "trim": 4.0},
+            {"cpu_scale": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+
+class TestMeasurementResult:
+    def make_result(self, utilization=0.99):
+        config = ExperimentConfig(cpu_scale=100.0)
+        return MeasurementResult(
+            config=config,
+            received_rate=10.0,
+            dispatched_rate=20.0,
+            utilization=utilization,
+            messages_received=900,
+            copies_dispatched=1800,
+            mean_service_time=0.099,
+            mean_waiting_time=0.5,
+            push_back_blocks=5,
+        )
+
+    def test_overall_rate(self):
+        assert self.make_result().overall_rate == 30.0
+
+    def test_equivalent_rates_undo_scaling(self):
+        result = self.make_result()
+        assert result.received_rate_equivalent == pytest.approx(1000.0)
+        assert result.overall_rate_equivalent == pytest.approx(3000.0)
+        assert result.mean_service_time_equivalent == pytest.approx(0.00099)
+
+    def test_measured_replication_grade(self):
+        assert self.make_result().measured_replication_grade == pytest.approx(2.0)
+
+    def test_side_condition_check(self):
+        self.make_result(utilization=0.99).check_side_conditions()
+        with pytest.raises(RuntimeError, match="not saturated"):
+            self.make_result(utilization=0.90).check_side_conditions()

@@ -1,0 +1,115 @@
+"""Tests for the testbed extensions: publisher limits, message size,
+and the filter-index ablation."""
+
+import pytest
+
+from repro.core import CORRELATION_ID_COSTS, mean_service_time
+from repro.testbed import ExperimentConfig, run_experiment
+
+QUICK = ExperimentConfig.quick()
+
+
+class TestPublisherSaturation:
+    """The paper: at least 5 publishers are needed to fully load the
+    server.  With a client-side per-message gap, few publishers cannot
+    saturate."""
+
+    # Choose the gap so one publisher reaches ~25% of server capacity.
+    E_B = mean_service_time(CORRELATION_ID_COSTS, 6, 1.0)
+    GAP = 4 * E_B
+
+    def config(self, publishers):
+        # A small ingress buffer keeps the received-counter transient
+        # (buffer filling up) negligible within the short test window.
+        return QUICK.with_(
+            replication_grade=1,
+            n_additional=5,
+            publishers=publishers,
+            publisher_min_gap=self.GAP,
+            buffer_capacity=4,
+        )
+
+    def test_single_publisher_cannot_saturate(self):
+        result = run_experiment(self.config(1))
+        assert result.utilization < 0.5
+
+    def test_throughput_grows_with_publishers_then_plateaus(self):
+        rates = [run_experiment(self.config(n)).received_rate for n in (1, 2, 5, 8)]
+        assert rates[0] < rates[1] < rates[2]
+        # Beyond saturation, more publishers gain (almost) nothing.
+        assert rates[3] == pytest.approx(rates[2], rel=0.05)
+
+    def test_five_publishers_saturate(self):
+        result = run_experiment(self.config(5))
+        assert result.utilization >= 0.98
+
+    def test_unthrottled_single_publisher_saturates(self):
+        """Without a client-side limit even one publisher saturates."""
+        result = run_experiment(
+            QUICK.with_(replication_grade=1, n_additional=5, publishers=1)
+        )
+        assert result.utilization >= 0.98
+
+
+class TestMessageSize:
+    """§III-B.1: the message size has a significant impact on throughput."""
+
+    PER_BYTE = 2e-8  # 20 ns per payload byte
+
+    def config(self, body_size):
+        return QUICK.with_(
+            replication_grade=5,
+            n_additional=5,
+            body_size=body_size,
+            per_byte_cost=self.PER_BYTE,
+        )
+
+    def test_throughput_decreases_with_body_size(self):
+        rates = [
+            run_experiment(self.config(size)).received_rate
+            for size in (0, 1000, 10_000)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_zero_byte_body_matches_base_model(self):
+        with_bytes = run_experiment(self.config(0))
+        plain = run_experiment(QUICK.with_(replication_grade=5, n_additional=5))
+        assert with_bytes.received_rate == pytest.approx(plain.received_rate, rel=1e-9)
+
+    def test_size_cost_follows_extended_model(self):
+        size = 5000
+        result = run_experiment(self.config(size))
+        byte_cost = self.PER_BYTE * size
+        expected = (
+            CORRELATION_ID_COSTS.t_rcv
+            + byte_cost
+            + 10 * CORRELATION_ID_COSTS.t_fltr
+            + 5 * (CORRELATION_ID_COSTS.t_tx + byte_cost)
+        )
+        assert result.mean_service_time_equivalent == pytest.approx(expected, rel=1e-9)
+
+
+class TestFilterIndexAblation:
+    """What FioranoMQ would gain from [15]-style filter sharing."""
+
+    def test_identical_filters_much_faster_with_index(self):
+        base = QUICK.with_(replication_grade=2, n_additional=80, identical_non_matching=True)
+        linear = run_experiment(base)
+        indexed = run_experiment(base.with_(use_filter_index=True))
+        # 80 identical filters + 2 matching -> a couple of shared
+        # evaluations instead of 82.
+        assert indexed.received_rate > 3 * linear.received_rate
+
+    def test_distinct_exact_ids_collapse_to_hash_probe(self):
+        base = QUICK.with_(replication_grade=2, n_additional=80)
+        linear = run_experiment(base)
+        indexed = run_experiment(base.with_(use_filter_index=True))
+        assert indexed.received_rate > 3 * linear.received_rate
+
+    def test_replication_unchanged_by_index(self):
+        base = QUICK.with_(replication_grade=7, n_additional=20)
+        linear = run_experiment(base)
+        indexed = run_experiment(base.with_(use_filter_index=True))
+        assert indexed.measured_replication_grade == pytest.approx(
+            linear.measured_replication_grade
+        )

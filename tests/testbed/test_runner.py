@@ -1,0 +1,108 @@
+"""Tests for the measurement runner — the simulated Section III study."""
+
+import pytest
+
+from repro.core import FilterType, costs_for, predict_throughput
+from repro.testbed import ExperimentConfig, paper_sweep_configs, run_experiment, run_sweep
+
+QUICK = ExperimentConfig.quick()
+
+
+class TestSaturatedRuns:
+    def test_server_is_saturated(self):
+        """Saturated publishers must drive the CPU to ~100% (paper: >=98%)."""
+        result = run_experiment(QUICK.with_(replication_grade=2, n_additional=5))
+        assert result.utilization >= 0.98
+        result.check_side_conditions()
+
+    def test_throughput_matches_equation_one(self):
+        config = QUICK.with_(replication_grade=5, n_additional=20)
+        result = run_experiment(config)
+        prediction = predict_throughput(
+            costs_for(config.filter_type), config.n_fltr, 5.0, rho=result.utilization
+        )
+        assert result.received_rate_equivalent == pytest.approx(prediction.received, rel=0.06)
+        assert result.overall_rate_equivalent == pytest.approx(prediction.overall, rel=0.06)
+
+    def test_measured_replication_grade_exact(self):
+        result = run_experiment(QUICK.with_(replication_grade=10, n_additional=5))
+        assert result.measured_replication_grade == pytest.approx(10.0)
+
+    def test_push_back_engaged(self):
+        """Saturated publishers must hit the push-back mechanism."""
+        result = run_experiment(QUICK.with_(replication_grade=1, n_additional=5))
+        assert result.push_back_blocks > 0
+
+    def test_mean_service_time_matches_model(self):
+        config = QUICK.with_(replication_grade=2, n_additional=10)
+        result = run_experiment(config)
+        expected = config.effective_costs.t_rcv + config.n_fltr * config.effective_costs.t_fltr + 2 * config.effective_costs.t_tx
+        assert result.mean_service_time == pytest.approx(expected, rel=1e-9)
+
+    def test_deterministic_given_seed(self):
+        config = QUICK.with_(replication_grade=3, n_additional=5)
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.messages_received == b.messages_received
+        assert a.received_rate == b.received_rate
+
+
+class TestPaperObservations:
+    def test_more_filters_lower_throughput(self):
+        """An increasing number of filters reduces the throughput."""
+        rates = []
+        for n in (5, 20, 80):
+            result = run_experiment(QUICK.with_(replication_grade=1, n_additional=n))
+            rates.append(result.received_rate)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_higher_replication_raises_overall_throughput_for_few_filters(self):
+        """Increasing R increases the overall system throughput to a
+        certain extent (Section III-B.2a)."""
+        low = run_experiment(QUICK.with_(replication_grade=1, n_additional=5))
+        high = run_experiment(QUICK.with_(replication_grade=20, n_additional=5))
+        assert high.overall_rate > low.overall_rate
+
+    def test_identical_and_distinct_filters_same_throughput(self):
+        """FioranoMQ gains nothing from identical filters (Section III-B.2a):
+        the same result for identical and distinct non-matching filters."""
+        distinct = run_experiment(
+            QUICK.with_(replication_grade=2, n_additional=40, identical_non_matching=False)
+        )
+        identical = run_experiment(
+            QUICK.with_(replication_grade=2, n_additional=40, identical_non_matching=True)
+        )
+        assert identical.received_rate == pytest.approx(distinct.received_rate, rel=1e-6)
+
+    def test_app_property_filtering_roughly_halves_throughput(self):
+        """Property filtering achieves about 50% of the correlation-ID
+        throughput (Section III-B.2a)."""
+        corr = run_experiment(
+            QUICK.with_(filter_type=FilterType.CORRELATION_ID, replication_grade=5, n_additional=40)
+        )
+        prop = run_experiment(
+            QUICK.with_(filter_type=FilterType.APP_PROPERTY, replication_grade=5, n_additional=40)
+        )
+        ratio = prop.overall_rate / corr.overall_rate
+        assert 0.4 < ratio < 0.65
+
+
+class TestSweeps:
+    def test_paper_sweep_configs_grid(self):
+        configs = paper_sweep_configs(
+            replication_grades=(1, 2), additional_subscribers=(5, 10), base=QUICK
+        )
+        assert len(configs) == 4
+        assert {(c.replication_grade, c.n_additional) for c in configs} == {
+            (1, 5),
+            (1, 10),
+            (2, 5),
+            (2, 10),
+        }
+
+    def test_run_sweep_preserves_order(self):
+        configs = paper_sweep_configs(
+            replication_grades=(1,), additional_subscribers=(5, 10), base=QUICK
+        )
+        results = run_sweep(configs)
+        assert [r.config.n_additional for r in results] == [5, 10]

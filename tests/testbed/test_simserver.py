@@ -1,0 +1,97 @@
+"""Tests for the simulated JMS server machine."""
+
+import pytest
+
+from repro.broker import Broker, Message
+from repro.core import CORRELATION_ID_COSTS
+from repro.simulation import CpuCostModel, Engine, MeasurementWindow
+from repro.testbed import SimulatedJMSServer
+from repro.testbed.tables import format_series, format_si, format_table
+
+
+def make_server(buffer_capacity=4, subscribers=1):
+    engine = Engine()
+    broker = Broker(topics=["t"])
+    for i in range(subscribers):
+        sub = broker.add_subscriber(f"s{i}")
+        broker.subscribe(sub, "t")
+    cpu = CpuCostModel(CORRELATION_ID_COSTS.scaled(1e5))  # ~0.1 s per message
+    server = SimulatedJMSServer(
+        engine=engine,
+        broker=broker,
+        cpu=cpu,
+        window=MeasurementWindow(0.0, 1e9),
+        buffer_capacity=buffer_capacity,
+    )
+    return engine, server
+
+
+class TestServiceSerialisation:
+    def test_one_message_processed(self):
+        engine, server = make_server()
+        server.submit(Message(topic="t"))
+        engine.run()
+        assert server.received.total == 1
+        assert server.dispatched.total == 1
+        assert server.queue_depth == 0
+
+    def test_no_concurrent_service_under_push_back(self):
+        """Regression: releasing a credit mid-completion must not start a
+        second concurrent service.  With strictly serial service, N
+        messages of fixed cost c finish at exactly N*c."""
+        engine, server = make_server(buffer_capacity=2)
+        sent = 0
+
+        def send_next():
+            nonlocal sent
+            if sent < 10:
+                sent += 1
+                server.submit(Message(topic="t"), on_accept=send_next)
+
+        send_next()
+        engine.run()
+        per_message = CORRELATION_ID_COSTS.scaled(1e5).t_rcv + CORRELATION_ID_COSTS.scaled(1e5).t_tx
+        assert server.dispatched.total == 10
+        assert engine.now == pytest.approx(10 * per_message)
+
+    def test_utilization_continuous_while_backlogged(self):
+        engine, server = make_server(buffer_capacity=8)
+        for _ in range(5):
+            server.submit(Message(topic="t"))
+        engine.run()
+        # Server busy from 0 until the last completion.
+        assert server.busy.utilization(engine.now) == pytest.approx(1.0)
+
+    def test_queue_bounded_by_buffer_capacity(self):
+        engine, server = make_server(buffer_capacity=3)
+        for _ in range(10):
+            server.submit(Message(topic="t"))
+        # Only 3 credits: 1 in service + 2 queued; 7 submissions blocked.
+        assert server.queue_depth <= 3
+        assert server.flow.blocked_count == 7
+
+    def test_waiting_times_recorded(self):
+        engine, server = make_server(buffer_capacity=4)
+        for _ in range(3):
+            server.submit(Message(topic="t"))
+        engine.run()
+        waits = server.waiting_times.values()
+        assert waits[0] == 0.0
+        assert waits[1] > 0.0
+        assert waits[2] > waits[1]
+
+
+class TestFormattingHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1].replace(" ", "-") or "-" in lines[1]
+
+    def test_format_si(self):
+        assert format_si(8.52e-7) == "8.52e-07"
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 1.0])
+        assert out.startswith("s:")
+        assert "(1, 0.5)" in out
