@@ -23,9 +23,10 @@ from .errors import (
 )
 from .filters import CorrelationIdFilter, MatchAllFilter, MessageFilter, PropertyFilter
 from .flow_control import FlowController
+from .lint import DeploymentAudit, TopicAudit, audit_broker, audit_selectors, render_audit
 from .message import DeliveredMessage, DeliveryMode, Message
-from .selector import Selector
-from .server import Broker, PublishResult
+from .selector import Selector, SelectorAnalysis, analyze
+from .server import SELECTOR_POLICIES, Broker, PublishResult
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import Topic, TopicRegistry
@@ -56,11 +57,19 @@ __all__ = [
     "MessageFormatError",
     "PropertyFilter",
     "PublishResult",
+    "SELECTOR_POLICIES",
     "Selector",
+    "SelectorAnalysis",
     "Subscriber",
     "Subscription",
     "SubscriptionError",
     "Topic",
+    "TopicAudit",
     "TopicRegistry",
+    "DeploymentAudit",
+    "analyze",
+    "audit_broker",
+    "audit_selectors",
     "plan_dispatch",
+    "render_audit",
 ]

@@ -7,7 +7,7 @@ implements none of the sharing optimizations of the literature it cites
 *ablation*: the measurement harness can swap it in to quantify what the
 commercial server leaves on the table.
 
-Two optimizations:
+Three optimizations:
 
 1. **Identical-filter sharing** — equal filters are evaluated once per
    message and the verdict fans out to all their subscriptions.
@@ -15,10 +15,18 @@ Two optimizations:
    filters are resolved by one dictionary lookup for the whole group
    (counted as a single filter evaluation); range/prefix filters and
    property selectors still evaluate per distinct filter.
+3. **Canonical sharing** (``canonicalize=True``) — property filters are
+   grouped by the *canonical form* of their selector
+   (:func:`repro.broker.selector.analysis.simplify`), so textually
+   different but semantically equal selectors (``x = '1'``, ``'1' = x``,
+   ``NOT (x <> '1')``…) share one evaluation.  Statically dead selectors
+   (never match) are dropped from the hot path entirely and tautological
+   selectors join the no-evaluation match-all bucket.
 
 The returned plan reports ``filters_evaluated`` as the number of
 evaluations *actually performed*, so the virtual CPU charges the reduced
-bill.
+bill.  Because canonicalization is behavior-preserving, dispatch results
+are identical with and without it — only the bill shrinks.
 """
 
 from __future__ import annotations
@@ -27,19 +35,16 @@ from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 from .dispatch import DispatchPlan
-from .filters import CorrelationIdFilter, MessageFilter
+from .filters import CorrelationIdFilter, MessageFilter, PropertyFilter
 from .message import Message
+from .selector.analysis import always_matches, never_matches
 from .subscriptions import Subscription
 
 __all__ = ["FilterIndex"]
 
 
 def _is_exact_correlation(filter_: MessageFilter) -> bool:
-    return (
-        isinstance(filter_, CorrelationIdFilter)
-        and filter_._low is None  # noqa: SLF001 - sibling-module access
-        and filter_._prefix is None  # noqa: SLF001
-    )
+    return isinstance(filter_, CorrelationIdFilter) and filter_.is_exact
 
 
 class FilterIndex:
@@ -48,16 +53,26 @@ class FilterIndex:
     Build once per topic configuration; ``plan`` evaluates a message.
     Rebuilding after subscription changes is the caller's concern (the
     testbed configures subscriptions up front).
+
+    With ``canonicalize=True`` the index additionally shares evaluation
+    across semantically equivalent property selectors and prunes filters
+    the static analyzer proves dead or trivial.
     """
 
-    def __init__(self, subscriptions: Sequence[Subscription]):
-        #: subscriptions without filter work (match-all).
+    def __init__(self, subscriptions: Sequence[Subscription], *, canonicalize: bool = False):
+        self.canonicalize = canonicalize
+        #: subscriptions without filter work (match-all, incl. tautologies).
         self._trivial: List[Subscription] = []
         #: exact correlation-ID value -> subscriptions.
         self._exact_cid: Dict[str, List[Subscription]] = {}
-        #: distinct non-indexable filters -> their subscriptions.
-        self._shared: "OrderedDict[MessageFilter, List[Subscription]]" = OrderedDict()
+        #: share key -> (evaluated filter, its subscriptions).
+        self._shared: "OrderedDict[object, Tuple[MessageFilter, List[Subscription]]]" = (
+            OrderedDict()
+        )
         self._order: Dict[int, int] = {}
+        #: subscriptions whose selector can never match (canonical mode).
+        self.dead_subscriptions: Tuple[Subscription, ...] = ()
+        dead: List[Subscription] = []
         for position, subscription in enumerate(subscriptions):
             self._order[subscription.subscription_id] = position
             filter_ = subscription.filter
@@ -66,8 +81,20 @@ class FilterIndex:
             elif _is_exact_correlation(filter_):
                 assert isinstance(filter_, CorrelationIdFilter)
                 self._exact_cid.setdefault(filter_.spec, []).append(subscription)
+            elif canonicalize and isinstance(filter_, PropertyFilter):
+                canonical = filter_.selector.canonical
+                if never_matches(canonical):
+                    dead.append(subscription)  # provably zero deliveries
+                elif always_matches(canonical):
+                    self._trivial.append(subscription)
+                else:
+                    key = ("selector", filter_.canonical_key)
+                    entry = self._shared.setdefault(key, (filter_, []))
+                    entry[1].append(subscription)
             else:
-                self._shared.setdefault(filter_, []).append(subscription)
+                entry = self._shared.setdefault(filter_, (filter_, []))
+                entry[1].append(subscription)
+        self.dead_subscriptions = tuple(dead)
 
     @property
     def distinct_filters(self) -> int:
@@ -84,7 +111,7 @@ class FilterIndex:
             cid = message.correlation_id
             if cid is not None:
                 matches.extend(self._exact_cid.get(cid, ()))
-        for filter_, subscribers in self._shared.items():
+        for filter_, subscribers in self._shared.values():
             evaluations += 1
             if filter_.matches(message):
                 matches.extend(subscribers)

@@ -102,6 +102,26 @@ class CorrelationIdFilter(MessageFilter):
             self._low = self._high = None
             self._prefix = None
 
+    @property
+    def low(self) -> Optional[int]:
+        """Inclusive lower bound of a ``[low;high]`` range spec, else None."""
+        return self._low
+
+    @property
+    def high(self) -> Optional[int]:
+        """Inclusive upper bound of a ``[low;high]`` range spec, else None."""
+        return self._high
+
+    @property
+    def prefix(self) -> Optional[str]:
+        """The prefix of a trailing-``*`` wildcard spec, else None."""
+        return self._prefix
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the spec is a plain string (no range, no wildcard)."""
+        return self._low is None and self._prefix is None
+
     def matches(self, message: Message) -> bool:
         cid = message.correlation_id
         if cid is None:
@@ -149,6 +169,13 @@ class PropertyFilter(MessageFilter):
     @property
     def filter_type(self) -> Optional[FilterType]:
         return FilterType.APP_PROPERTY
+
+    @property
+    def canonical_key(self) -> str:
+        """Canonical-form text of the selector: equal for semantically
+        equivalent filters, so the filter index can share one evaluation
+        across textually different subscriptions."""
+        return self.selector.canonical_text
 
     def __repr__(self) -> str:
         return f"PropertyFilter({self.selector.text!r})"

@@ -9,6 +9,14 @@ The public entry point is :class:`Selector`:
 True
 >>> sorted(selector.identifiers)
 ['price', 'region']
+
+The static analyzer (:mod:`repro.broker.selector.analysis`) adds a
+canonical normal form — semantically equal selectors share it:
+
+>>> Selector("'EU' = region").canonical_text
+"(region = 'EU')"
+>>> Selector("NOT (region <> 'EU')").canonical_text
+"(region = 'EU')"
 """
 
 from __future__ import annotations
@@ -16,6 +24,16 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Any, FrozenSet
 
+from .analysis import (
+    SelectorAnalysis,
+    SelectorType,
+    analyze,
+    canonical_text,
+    canonicalize,
+    check_selector,
+    simplify,
+    type_check,
+)
 from .ast import (
     Between,
     Binary,
@@ -28,6 +46,7 @@ from .ast import (
     Unary,
     iter_identifiers,
 )
+from .diagnostics import Diagnostic, Severity, render_diagnostics
 from .evaluator import UNKNOWN, evaluate, matches
 from .lexer import Token, TokenType, tokenize
 from .parser import parse
@@ -51,6 +70,18 @@ __all__ = [
     "Token",
     "TokenType",
     "iter_identifiers",
+    # static analysis
+    "SelectorAnalysis",
+    "SelectorType",
+    "analyze",
+    "canonicalize",
+    "canonical_text",
+    "check_selector",
+    "simplify",
+    "type_check",
+    "Diagnostic",
+    "Severity",
+    "render_diagnostics",
 ]
 
 
@@ -63,12 +94,13 @@ class Selector:
     pure AST walk per message.
     """
 
-    __slots__ = ("text", "ast", "identifiers")
+    __slots__ = ("text", "ast", "identifiers", "_canonical")
 
     def __init__(self, text: str):
         self.text = text
         self.ast = _parse_cached(text)
         self.identifiers: FrozenSet[str] = frozenset(iter_identifiers(self.ast))
+        self._canonical: Expr | None = None
 
     def matches(self, message: Any) -> bool:
         """True iff the selector evaluates to TRUE for ``message``."""
@@ -77,6 +109,18 @@ class Selector:
     def evaluate(self, message: Any):
         """Raw three-valued result (True / False / UNKNOWN)."""
         return evaluate(self.ast, message)
+
+    @property
+    def canonical(self) -> Expr:
+        """Canonical normal form of the AST (computed lazily, cached)."""
+        if self._canonical is None:
+            self._canonical = simplify(self.ast)
+        return self._canonical
+
+    @property
+    def canonical_text(self) -> str:
+        """The canonical form unparsed to selector text (a sharing key)."""
+        return str(self.canonical)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Selector) and self.ast == other.ast

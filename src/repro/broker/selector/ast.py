@@ -2,14 +2,21 @@
 
 Every node can *unparse* itself back to selector text via ``str()``; the
 property-based tests exercise the ``parse → str → parse`` round trip.
+
+Nodes optionally carry a **source span** ``(start, end)`` — character
+offsets into the selector text they were parsed from — which the static
+analyzer (:mod:`repro.broker.selector.analysis`) uses for precise
+diagnostics.  Spans are metadata: they participate in neither equality
+nor hashing, so a parsed node still compares equal to a hand-built one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
 
 __all__ = [
+    "Span",
     "Expr",
     "Literal",
     "Identifier",
@@ -22,9 +29,15 @@ __all__ = [
     "iter_identifiers",
 ]
 
+#: ``(start, end)`` character offsets into the selector source text.
+Span = Tuple[int, int]
+
 
 class Expr:
     """Base class for selector expressions."""
+
+    #: Source span; concrete dataclasses override this with a field.
+    span: Optional[Span] = None
 
     def children(self) -> Tuple["Expr", ...]:
         return ()
@@ -35,6 +48,7 @@ class Literal(Expr):
     """A string, numeric or boolean constant."""
 
     value: object
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if isinstance(self.value, bool):
@@ -50,6 +64,7 @@ class Identifier(Expr):
     """A property name or JMS header-field reference."""
 
     name: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return self.name
@@ -61,6 +76,7 @@ class Unary(Expr):
 
     op: str  # 'NOT', '-', '+'
     operand: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -78,6 +94,7 @@ class Binary(Expr):
     op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', 'AND', 'OR'
     left: Expr
     right: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.left, self.right)
@@ -94,6 +111,7 @@ class Between(Expr):
     low: Expr
     high: Expr
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand, self.low, self.high)
@@ -110,6 +128,7 @@ class InList(Expr):
     operand: Expr
     values: Tuple[str, ...]
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -132,6 +151,7 @@ class Like(Expr):
     pattern: str
     escape: str | None = None
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -150,6 +170,7 @@ class IsNull(Expr):
 
     operand: Expr
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)

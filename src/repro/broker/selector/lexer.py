@@ -67,11 +67,27 @@ _KEYWORDS = {
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with its source position (for error reporting)."""
+    """One lexical token with its source span (for error reporting).
+
+    ``position`` is the offset of the first character of the lexeme and
+    ``end`` the offset one past its last character, so ``text[position:end]``
+    is the raw lexeme.  Diagnostics use these offsets to underline the
+    offending part of the selector.
+    """
 
     type: TokenType
     value: object
     position: int
+    end: int = -1
+
+    def __post_init__(self) -> None:
+        if self.end < 0:
+            object.__setattr__(self, "end", self.position + 1)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """``(start, end)`` character offsets of the lexeme."""
+        return (self.position, self.end)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.type.name}, {self.value!r}@{self.position})"
@@ -113,31 +129,31 @@ def _scan(text: str) -> Iterator[Token]:
             word = text[start:i]
             keyword = _KEYWORDS.get(word.lower())
             if keyword is TokenType.TRUE:
-                yield Token(TokenType.TRUE, True, start)
+                yield Token(TokenType.TRUE, True, start, i)
             elif keyword is TokenType.FALSE:
-                yield Token(TokenType.FALSE, False, start)
+                yield Token(TokenType.FALSE, False, start, i)
             elif keyword is not None:
-                yield Token(keyword, word.upper(), start)
+                yield Token(keyword, word.upper(), start, i)
             else:
-                yield Token(TokenType.IDENT, word, start)
+                yield Token(TokenType.IDENT, word, start, i)
             continue
         if ch == "<":
             if i + 1 < n and text[i + 1] == ">":
-                yield Token(TokenType.NE, "<>", i)
+                yield Token(TokenType.NE, "<>", i, i + 2)
                 i += 2
             elif i + 1 < n and text[i + 1] == "=":
-                yield Token(TokenType.LE, "<=", i)
+                yield Token(TokenType.LE, "<=", i, i + 2)
                 i += 2
             else:
-                yield Token(TokenType.LT, "<", i)
+                yield Token(TokenType.LT, "<", i, i + 1)
                 i += 1
             continue
         if ch == ">":
             if i + 1 < n and text[i + 1] == "=":
-                yield Token(TokenType.GE, ">=", i)
+                yield Token(TokenType.GE, ">=", i, i + 2)
                 i += 2
             else:
-                yield Token(TokenType.GT, ">", i)
+                yield Token(TokenType.GT, ">", i, i + 1)
                 i += 1
             continue
         simple = {
@@ -151,11 +167,11 @@ def _scan(text: str) -> Iterator[Token]:
             ",": TokenType.COMMA,
         }.get(ch)
         if simple is not None:
-            yield Token(simple, ch, i)
+            yield Token(simple, ch, i, i + 1)
             i += 1
             continue
         raise InvalidSelectorError(f"unexpected character {ch!r}", position=i)
-    yield Token(TokenType.EOF, None, n)
+    yield Token(TokenType.EOF, None, n, n)
 
 
 def _scan_string(text: str, start: int) -> tuple[Token, int]:
@@ -170,7 +186,7 @@ def _scan_string(text: str, start: int) -> tuple[Token, int]:
                 parts.append("'")
                 i += 2
                 continue
-            return Token(TokenType.STRING, "".join(parts), start), i + 1
+            return Token(TokenType.STRING, "".join(parts), start, i + 1), i + 1
         parts.append(ch)
         i += 1
     raise InvalidSelectorError("unterminated string literal", position=start)
@@ -204,4 +220,4 @@ def _scan_number(text: str, start: int) -> tuple[Token, int]:
         value: object = float(literal) if is_float else int(literal)
     except ValueError:  # pragma: no cover - the scanner should prevent this
         raise InvalidSelectorError(f"malformed number {literal!r}", position=start)
-    return Token(TokenType.NUMBER, value, start), i
+    return Token(TokenType.NUMBER, value, start, i), i

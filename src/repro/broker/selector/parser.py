@@ -19,14 +19,17 @@ Grammar (standard SQL-92 conditional expressions, lowest precedence first)::
 
 JMS restricts the left-hand side of ``IN``, ``LIKE`` and ``IS NULL`` to an
 identifier; we enforce that and raise :class:`InvalidSelectorError`.
+
+Every produced AST node carries its source span ``(start, end)`` so the
+static analyzer can point diagnostics at the exact selector fragment.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..errors import InvalidSelectorError
-from .ast import Between, Binary, Expr, Identifier, InList, IsNull, Like, Literal, Unary
+from .ast import Between, Binary, Expr, Identifier, InList, IsNull, Like, Literal, Span, Unary
 from .lexer import Token, TokenType, tokenize
 
 __all__ = ["parse"]
@@ -49,6 +52,13 @@ def parse(text: str) -> Expr:
     expr = parser.parse_expression()
     parser.expect(TokenType.EOF)
     return expr
+
+
+def _join(left: Optional[Span], right: Optional[Span]) -> Optional[Span]:
+    """The smallest span covering both operand spans (None-tolerant)."""
+    if left is None or right is None:
+        return left if right is None else right
+    return (left[0], right[1])
 
 
 class _Parser:
@@ -93,18 +103,22 @@ class _Parser:
     def _or_expr(self) -> Expr:
         left = self._and_expr()
         while self.match(TokenType.OR):
-            left = Binary("OR", left, self._and_expr())
+            right = self._and_expr()
+            left = Binary("OR", left, right, span=_join(left.span, right.span))
         return left
 
     def _and_expr(self) -> Expr:
         left = self._not_expr()
         while self.match(TokenType.AND):
-            left = Binary("AND", left, self._not_expr())
+            right = self._not_expr()
+            left = Binary("AND", left, right, span=_join(left.span, right.span))
         return left
 
     def _not_expr(self) -> Expr:
-        if self.match(TokenType.NOT):
-            return Unary("NOT", self._not_expr())
+        token = self.match(TokenType.NOT)
+        if token is not None:
+            operand = self._not_expr()
+            return Unary("NOT", operand, span=_join(token.span, operand.span))
         return self._predicate()
 
     def _predicate(self) -> Expr:
@@ -112,7 +126,10 @@ class _Parser:
         token = self.current
         if token.type in _COMPARISON_OPS:
             self.advance()
-            return Binary(_COMPARISON_OPS[token.type], left, self._additive())
+            right = self._additive()
+            return Binary(
+                _COMPARISON_OPS[token.type], left, right, span=_join(left.span, right.span)
+            )
         negated = False
         if token.type is TokenType.NOT:
             # lookahead: NOT BETWEEN / NOT IN / NOT LIKE
@@ -126,7 +143,9 @@ class _Parser:
             low = self._additive()
             self.expect(TokenType.AND)
             high = self._additive()
-            return Between(left, low, high, negated=negated)
+            return Between(
+                left, low, high, negated=negated, span=_join(left.span, high.span)
+            )
         if token.type is TokenType.IN:
             self.advance()
             return self._in_list(left, negated)
@@ -136,9 +155,9 @@ class _Parser:
         if token.type is TokenType.IS:
             self.advance()
             is_not = self.match(TokenType.NOT) is not None
-            self.expect(TokenType.NULL)
+            null_token = self.expect(TokenType.NULL)
             self._require_identifier(left, "IS NULL")
-            return IsNull(left, negated=is_not)
+            return IsNull(left, negated=is_not, span=_join(left.span, null_token.span))
         if negated:  # pragma: no cover - unreachable due to lookahead
             raise InvalidSelectorError("dangling NOT", position=token.position)
         return left
@@ -149,21 +168,25 @@ class _Parser:
         values = [self._string_literal("IN list")]
         while self.match(TokenType.COMMA):
             values.append(self._string_literal("IN list"))
-        self.expect(TokenType.RPAREN)
-        return InList(left, tuple(values), negated=negated)
+        rparen = self.expect(TokenType.RPAREN)
+        return InList(
+            left, tuple(values), negated=negated, span=_join(left.span, rparen.span)
+        )
 
     def _like(self, left: Expr, negated: bool) -> Expr:
         self._require_identifier(left, "LIKE")
+        end = self.current.span
         pattern = self._string_literal("LIKE pattern")
         escape = None
         if self.match(TokenType.ESCAPE):
+            end = self.current.span
             escape = self._string_literal("ESCAPE")
             if len(escape) != 1:
                 raise InvalidSelectorError(
                     f"ESCAPE must be a single character, got {escape!r}",
                     position=self.current.position,
                 )
-        return Like(left, pattern, escape=escape, negated=negated)
+        return Like(left, pattern, escape=escape, negated=negated, span=_join(left.span, end))
 
     def _string_literal(self, context: str) -> str:
         token = self.current
@@ -190,7 +213,8 @@ class _Parser:
             if token is None:
                 return left
             op = "+" if token.type is TokenType.PLUS else "-"
-            left = Binary(op, left, self._multiplicative())
+            right = self._multiplicative()
+            left = Binary(op, left, right, span=_join(left.span, right.span))
 
     def _multiplicative(self) -> Expr:
         left = self._unary()
@@ -199,24 +223,26 @@ class _Parser:
             if token is None:
                 return left
             op = "*" if token.type is TokenType.STAR else "/"
-            left = Binary(op, left, self._unary())
+            right = self._unary()
+            left = Binary(op, left, right, span=_join(left.span, right.span))
 
     def _unary(self) -> Expr:
         token = self.match(TokenType.PLUS, TokenType.MINUS)
         if token is not None:
             op = "+" if token.type is TokenType.PLUS else "-"
-            return Unary(op, self._unary())
+            operand = self._unary()
+            return Unary(op, operand, span=_join(token.span, operand.span))
         return self._primary()
 
     def _primary(self) -> Expr:
         token = self.current
         if token.type in (TokenType.NUMBER, TokenType.STRING, TokenType.TRUE, TokenType.FALSE):
             self.advance()
-            return Literal(token.value)
+            return Literal(token.value, span=token.span)
         if token.type is TokenType.IDENT:
             self.advance()
             assert isinstance(token.value, str)
-            return Identifier(token.value)
+            return Identifier(token.value, span=token.span)
         if token.type is TokenType.LPAREN:
             self.advance()
             expr = self.parse_expression()

@@ -18,13 +18,21 @@ from typing import Dict, List, Optional, Sequence
 
 from .dispatch import DispatchPlan, plan_dispatch
 from .errors import SubscriptionError
-from .filters import MatchAllFilter, MessageFilter
+from .filters import MatchAllFilter, MessageFilter, PropertyFilter
 from .message import DeliveredMessage, Message
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import TopicRegistry
 
-__all__ = ["Broker", "PublishResult"]
+__all__ = ["Broker", "PublishResult", "SELECTOR_POLICIES"]
+
+#: How the broker treats selector static-analysis findings at subscribe
+#: time: ``"off"`` skips analysis, ``"warn"`` records findings in
+#: :attr:`Broker.selector_findings`, ``"strict"`` rejects ill-typed
+#: selectors with :class:`~repro.broker.errors.InvalidSelectorError`
+#: (the ``javax.jms.InvalidSelectorException`` behaviour) and still
+#: records warnings.
+SELECTOR_POLICIES = ("off", "warn", "strict")
 
 
 @dataclass(frozen=True)
@@ -64,12 +72,25 @@ class Broker:
     'bob'
     """
 
-    def __init__(self, topics: Sequence[str] = (), freeze_topics: bool = False):
+    def __init__(
+        self,
+        topics: Sequence[str] = (),
+        freeze_topics: bool = False,
+        selector_policy: str = "off",
+    ):
+        if selector_policy not in SELECTOR_POLICIES:
+            raise ValueError(
+                f"selector_policy must be one of {SELECTOR_POLICIES}, got {selector_policy!r}"
+            )
         self.topics = TopicRegistry()
         for name in topics:
             self.topics.create(name)
         if freeze_topics:
             self.topics.freeze()
+        self.selector_policy = selector_policy
+        #: ``(subscriber_id, topic, SelectorAnalysis)`` triples recorded for
+        #: selectors with findings under the "warn"/"strict" policies.
+        self.selector_findings: List[tuple] = []
         self._subscriptions: Dict[str, "OrderedDict[int, Subscription]"] = {}
         self._subscribers: Dict[str, Subscriber] = {}
         self.stats = BrokerStats()
@@ -104,7 +125,11 @@ class Broker:
         """Install a subscription (and its single filter) on a topic.
 
         Filters are dynamic: unlike topics they may be installed while the
-        server runs.
+        server runs.  Under the "warn"/"strict" selector policies, property
+        selectors go through the static analyzer first: strict mode rejects
+        ill-typed ones with :class:`InvalidSelectorError` (span diagnostics
+        in the reason) and both modes record dead/trivial-filter warnings
+        in :attr:`selector_findings`.
         """
         if isinstance(subscriber, str):
             subscriber = self.get_subscriber(subscriber)
@@ -113,6 +138,16 @@ class Broker:
                 f"subscriber {subscriber.subscriber_id!r} is not registered"
             )
         topic = self.topics.get(topic_name)
+        if self.selector_policy != "off" and isinstance(message_filter, PropertyFilter):
+            from .selector.analysis import check_selector
+
+            analysis = check_selector(
+                message_filter.selector.text, strict=self.selector_policy == "strict"
+            )
+            if analysis.diagnostics:
+                self.selector_findings.append(
+                    (subscriber.subscriber_id, topic.name, analysis)
+                )
         subscription = Subscription(
             subscriber=subscriber,
             topic=topic,
@@ -221,19 +256,24 @@ class Broker:
     # ------------------------------------------------------------------
     # Ablation: shared filter evaluation (what FioranoMQ does NOT do)
     # ------------------------------------------------------------------
-    def install_filter_index(self) -> None:
+    def install_filter_index(self, canonicalize: bool = False) -> None:
         """Switch every topic to shared/indexed filter evaluation.
 
         The measured FioranoMQ behaviour is the per-subscription linear
         scan; installing the index models a server with identical-filter
         sharing and an exact correlation-ID hash index (the [15]-style
-        optimization).  Rebuild after subscription changes by calling
-        this again.
+        optimization).  With ``canonicalize=True`` the index additionally
+        shares evaluation across semantically equivalent property
+        selectors (canonical normal form) and prunes statically dead or
+        trivial ones.  Rebuild after subscription changes by calling this
+        again.
         """
         from .filter_index import FilterIndex
 
         self._indices = {
-            topic.name: FilterIndex(self.subscriptions(topic.name))
+            topic.name: FilterIndex(
+                self.subscriptions(topic.name), canonicalize=canonicalize
+            )
             for topic in self.topics
         }
 

@@ -85,6 +85,21 @@ class Subscription:
     def matches(self, message: Message) -> bool:
         return self.filter.matches(message)
 
+    def selector_analysis(self):
+        """Static analysis of this subscription's selector.
+
+        Returns a :class:`~repro.broker.selector.analysis.SelectorAnalysis`
+        for property-filter subscriptions and ``None`` for others
+        (match-all and correlation-ID filters have no selector text to
+        analyze).  Used by the ``repro lint`` deployment audit.
+        """
+        from .filters import PropertyFilter
+        from .selector.analysis import analyze
+
+        if isinstance(self.filter, PropertyFilter):
+            return analyze(self.filter.selector.text)
+        return None
+
     def retain(self, message: Message) -> None:
         if not self.durable:
             raise SubscriptionError("only durable subscriptions retain messages")

@@ -6,10 +6,16 @@ Usage (``python -m repro ...``)::
     python -m repro figure {fig5,fig6,fig8,fig9,fig10,fig11,fig12,fig15}
     python -m repro capacity --filters 500 --replication 3 [--type app] [--rho 0.9]
     python -m repro wait --filters 500 --replication 3 --p-match 0.006 [--rho 0.9]
+    python -m repro lint "price > 10 AND price < 5" [--strict]
+    python -m repro lint --file selectors.txt
+    python -m repro lint --example
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
-user scenario (the practical use the paper advertises).
+user scenario (the practical use the paper advertises); ``lint`` runs the
+selector static analyzer over ad-hoc selectors, a file of selectors (one
+per line) or an example deployment, reporting dead/trivial/duplicate/
+ill-typed filters and the Eq. 3 verdict.
 """
 
 from __future__ import annotations
@@ -96,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-filter match probability (default: replication / filters)",
     )
+
+    lint = commands.add_parser(
+        "lint", help="statically analyze message selectors (types, dead/trivial filters)"
+    )
+    lint.add_argument("selectors", nargs="*", help="selector expressions to analyze")
+    lint.add_argument("--file", help="file with one selector per line ('#' comments)")
+    lint.add_argument(
+        "--example",
+        action="store_true",
+        help="audit a seeded example deployment (dead, trivial and duplicate selectors)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not only on errors",
+    )
     return parser
 
 
@@ -133,6 +155,69 @@ def _run_wait(args: argparse.Namespace) -> int:
     return 0
 
 
+def _example_broker():
+    """A small deployment seeded with the defects lint should catch."""
+    from .broker import Broker, PropertyFilter
+
+    broker = Broker(topics=["orders", "telemetry"])
+    for name in ("analytics", "audit-1", "audit-2", "ops", "dashboard"):
+        broker.add_subscriber(name)
+    # dead filter: the price interval is empty
+    broker.subscribe("analytics", "orders", PropertyFilter("price > 10 AND price < 5"))
+    # trivial filter: a tautology that matches every message
+    broker.subscribe("ops", "orders", PropertyFilter("x = x OR TRUE"))
+    # duplicates: textually different, semantically equal selectors
+    broker.subscribe("audit-1", "orders", PropertyFilter("region = 'EU'"))
+    broker.subscribe("audit-2", "orders", PropertyFilter("NOT (region <> 'EU')"))
+    # a healthy selector for contrast
+    broker.subscribe("dashboard", "telemetry", PropertyFilter("severity >= 3"))
+    return broker
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from .broker.lint import audit_broker, audit_selectors, render_audit
+
+    exit_code = 0
+    if args.example:
+        audit = audit_broker(_example_broker())
+        print(render_audit(audit))
+        if not audit.clean:
+            exit_code = 1 if args.strict or audit.total_ill_typed else 0
+        return exit_code
+    selectors = list(args.selectors)
+    if args.file:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        selectors.append(line)
+        except OSError as exc:
+            raise SystemExit(f"lint: cannot read {args.file}: {exc.strerror}") from exc
+    if not selectors:
+        raise SystemExit("lint needs selectors, --file or --example")
+    findings = audit_selectors(selectors)
+    errors = warnings = 0
+    for finding in findings:
+        if finding.parse_error is not None:
+            errors += 1
+            print(f"{finding.selector}")
+            print(f"    parse error: {finding.parse_error}")
+            continue
+        analysis = finding.analysis
+        assert analysis is not None
+        status = "ok" if analysis.ok else "FINDINGS"
+        print(f"{finding.selector}    [{status}; canonical: {analysis.canonical_text}]")
+        if analysis.diagnostics:
+            errors += len(analysis.errors)
+            warnings += len(analysis.warnings)
+            print("    " + analysis.render().replace("\n", "\n    "))
+    print(f"{len(findings)} selector(s): {errors} error(s), {warnings} warning(s)")
+    if errors or (args.strict and warnings):
+        exit_code = 1
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -147,4 +232,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_capacity(args)
     if args.command == "wait":
         return _run_wait(args)
+    if args.command == "lint":
+        return _run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

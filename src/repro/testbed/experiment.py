@@ -60,6 +60,15 @@ class ExperimentConfig:
     #: Ablation: shared/indexed filter evaluation instead of the
     #: FioranoMQ-style linear scan.
     use_filter_index: bool = False
+    #: Ablation on top of the filter index: group property filters by the
+    #: *canonical form* of their selector, so semantically equal but
+    #: textually different selectors share one evaluation per message.
+    canonicalize_filters: bool = False
+    #: With ``identical_non_matching``, install the non-matching property
+    #: selectors as rotating *equivalent textual variants* of the same
+    #: predicate (``x = '#1'``, ``'#1' = x``, ``NOT (x <> '#1')``, …).
+    #: Literal-text sharing cannot merge them; canonical sharing can.
+    equivalent_variants: bool = False
 
     def __post_init__(self) -> None:
         if self.replication_grade < 0:
@@ -82,6 +91,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"publisher_min_gap must be non-negative, got {self.publisher_min_gap}"
             )
+        if self.canonicalize_filters and not self.use_filter_index:
+            raise ValueError("canonicalize_filters requires use_filter_index")
+        if self.equivalent_variants and not self.identical_non_matching:
+            raise ValueError("equivalent_variants requires identical_non_matching")
 
     @property
     def n_fltr(self) -> int:

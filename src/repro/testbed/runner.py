@@ -35,9 +35,10 @@ def run_experiment(config: ExperimentConfig) -> MeasurementResult:
         replication_grade=config.replication_grade,
         n_additional=config.n_additional,
         identical_non_matching=config.identical_non_matching,
+        equivalent_variants=config.equivalent_variants,
     )
     if config.use_filter_index:
-        scenario.broker.install_filter_index()
+        scenario.broker.install_filter_index(canonicalize=config.canonicalize_filters)
     cpu = CpuCostModel(
         costs=config.effective_costs,
         jitter_cvar=config.jitter_cvar,

@@ -37,10 +37,27 @@ def _matching_filter(filter_type: FilterType) -> MessageFilter:
     return PropertyFilter(f"{_PROPERTY_KEY} = '{MATCH_VALUE}'")
 
 
-def _non_matching_filter(filter_type: FilterType, index: int, identical: bool) -> MessageFilter:
+#: Semantically equivalent textual forms of ``key = 'value'``.  All five
+#: share one canonical form (``(key = 'value')``), so literal-text filter
+#: sharing sees five distinct filters while canonical sharing sees one.
+_EQUIVALENT_FORMS = (
+    "{key} = '{value}'",
+    "'{value}' = {key}",
+    "NOT ({key} <> '{value}')",
+    "{key} IN ('{value}')",
+    "{key} LIKE '{value}'",
+)
+
+
+def _non_matching_filter(
+    filter_type: FilterType, index: int, identical: bool, variants: bool = False
+) -> MessageFilter:
     value = "#1" if identical else f"#{index + 1}"
     if filter_type is FilterType.CORRELATION_ID:
         return CorrelationIdFilter(value)
+    if identical and variants:
+        template = _EQUIVALENT_FORMS[index % len(_EQUIVALENT_FORMS)]
+        return PropertyFilter(template.format(key=_PROPERTY_KEY, value=value))
     return PropertyFilter(f"{_PROPERTY_KEY} = '{value}'")
 
 
@@ -68,6 +85,7 @@ class FilterScenario:
     replication_grade: int
     n_additional: int
     identical_non_matching: bool
+    equivalent_variants: bool = False
 
     @property
     def n_fltr(self) -> int:
@@ -84,6 +102,7 @@ def build_filter_scenario(
     n_additional: int,
     identical_non_matching: bool = False,
     plain_subscribers: int = 0,
+    equivalent_variants: bool = False,
 ) -> FilterScenario:
     """Assemble the broker for one parameter-study cell.
 
@@ -102,6 +121,11 @@ def build_filter_scenario(
     plain_subscribers:
         Extra subscribers *without* filters (replication-only experiments);
         they receive every message but cost no filter work.
+    equivalent_variants:
+        With ``identical_non_matching`` and property filtering, rotate the
+        non-matching selectors through semantically equivalent textual
+        forms of ``attribute = '#1'``: identical-literal sharing sees them
+        as distinct, canonical sharing merges them back into one.
     """
     if replication_grade < 0 or n_additional < 0 or plain_subscribers < 0:
         raise ValueError("subscriber counts must be non-negative")
@@ -118,7 +142,9 @@ def build_filter_scenario(
             broker.subscribe(
                 subscriber,
                 TOPIC_NAME,
-                _non_matching_filter(filter_type, i, identical_non_matching),
+                _non_matching_filter(
+                    filter_type, i, identical_non_matching, variants=equivalent_variants
+                ),
             )
         )
     for i in range(plain_subscribers):
@@ -130,4 +156,5 @@ def build_filter_scenario(
         replication_grade=replication_grade,
         n_additional=n_additional,
         identical_non_matching=identical_non_matching,
+        equivalent_variants=equivalent_variants,
     )

@@ -107,6 +107,97 @@ class TestFilterIndexPlans:
         assert index.distinct_filters == 2  # cid group + one shared selector
 
 
+class TestCanonicalSharing:
+    EQUIVALENT = [
+        "a = '1'",
+        "'1' = a",
+        "NOT (a <> '1')",
+        "a IN ('1')",
+        "a LIKE '1'",
+    ]
+
+    def test_equivalent_selectors_share_one_evaluation(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(broker, [PropertyFilter(s) for s in self.EQUIVALENT])
+        literal = FilterIndex(subs)
+        canonical = FilterIndex(subs, canonicalize=True)
+        message = Message(topic="t", properties={"a": "1"})
+        assert literal.plan(message).filters_evaluated == len(self.EQUIVALENT)
+        assert canonical.plan(message).filters_evaluated == 1
+
+    def test_canonical_dispatch_identical_to_literal_sharing(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [PropertyFilter(s) for s in self.EQUIVALENT]
+            + [PropertyFilter("b > 5"), MatchAllFilter(), CorrelationIdFilter("#0")],
+        )
+        literal = FilterIndex(subs)
+        canonical = FilterIndex(subs, canonicalize=True)
+        for message in (
+            Message(topic="t", properties={"a": "1"}),
+            Message(topic="t", properties={"a": "2"}),
+            Message(topic="t", properties={"b": 7}),
+            Message(topic="t", properties={"a": "1", "b": 9}, correlation_id="#0"),
+            Message(topic="t"),
+        ):
+            lit = literal.plan(message)
+            canon = canonical.plan(message)
+            assert [s.subscription_id for s in canon.matches] == [
+                s.subscription_id for s in lit.matches
+            ]
+            assert canon.filters_evaluated < lit.filters_evaluated
+
+    def test_dead_filters_skipped_entirely(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [PropertyFilter("price > 10 AND price < 5"), PropertyFilter("b = 1")],
+        )
+        index = FilterIndex(subs, canonicalize=True)
+        plan = index.plan(Message(topic="t", properties={"price": 7, "b": 1}))
+        assert plan.filters_evaluated == 1  # only `b = 1`
+        assert [s.subscriber.subscriber_id for s in plan.matches] == ["s1"]
+        assert [s.subscriber.subscriber_id for s in index.dead_subscriptions] == ["s0"]
+
+    def test_tautologies_join_the_trivial_bucket(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker, [PropertyFilter("x = x OR TRUE"), PropertyFilter("b = 1")]
+        )
+        index = FilterIndex(subs, canonicalize=True)
+        plan = index.plan(Message(topic="t"))
+        assert plan.filters_evaluated == 1  # the tautology costs nothing
+        assert [s.subscriber.subscriber_id for s in plan.matches] == ["s0"]
+
+    def test_broker_install_with_canonicalize(self):
+        broker = Broker(topics=["t"])
+        build_subscriptions(broker, [PropertyFilter(s) for s in self.EQUIVALENT])
+        message = Message(topic="t", properties={"a": "1"})
+        assert broker.publish(message).filters_evaluated == len(self.EQUIVALENT)
+        broker.install_filter_index(canonicalize=True)
+        result = broker.publish(Message(topic="t", properties={"a": "1"}))
+        assert result.filters_evaluated == 1
+        assert result.replication_grade == len(self.EQUIVALENT)
+
+
+class TestCorrelationAccessors:
+    def test_range_spec_accessors(self):
+        filter_ = CorrelationIdFilter("[5;9]")
+        assert (filter_.low, filter_.high, filter_.prefix) == (5, 9, None)
+        assert not filter_.is_exact
+
+    def test_prefix_spec_accessors(self):
+        filter_ = CorrelationIdFilter("sensor-*")
+        assert (filter_.low, filter_.high, filter_.prefix) == (None, None, "sensor-")
+        assert not filter_.is_exact
+
+    def test_exact_spec_accessors(self):
+        filter_ = CorrelationIdFilter("#0")
+        assert (filter_.low, filter_.high, filter_.prefix) == (None, None, None)
+        assert filter_.is_exact
+
+
 class TestBrokerIntegration:
     def test_install_and_remove(self):
         broker = Broker(topics=["t"])

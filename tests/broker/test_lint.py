@@ -1,0 +1,130 @@
+"""Tests for the deployment selector audit and the `repro lint` CLI."""
+
+import pytest
+
+from repro.broker import Broker, CorrelationIdFilter, PropertyFilter
+from repro.broker.lint import audit_broker, audit_selectors, render_audit
+from repro.cli import main
+
+
+def example_broker():
+    broker = Broker(topics=["orders", "telemetry"])
+    for name in ("a", "b", "c", "d", "e"):
+        broker.add_subscriber(name)
+    broker.subscribe("a", "orders", PropertyFilter("price > 10 AND price < 5"))
+    broker.subscribe("b", "orders", PropertyFilter("x = x OR TRUE"))
+    broker.subscribe("c", "orders", PropertyFilter("region = 'EU'"))
+    broker.subscribe("d", "orders", PropertyFilter("NOT (region <> 'EU')"))
+    broker.subscribe("e", "telemetry", PropertyFilter("severity >= 3"))
+    return broker
+
+
+class TestAuditBroker:
+    def test_counts_per_topic(self):
+        audit = audit_broker(example_broker())
+        by_name = {t.topic: t for t in audit.topics}
+        orders = by_name["orders"]
+        assert orders.subscriptions == 4
+        assert orders.filters == 4
+        assert orders.dead == 1
+        assert orders.trivial == 1
+        assert orders.duplicates == 1  # the two 'EU' forms share a canonical
+        assert orders.ill_typed == 0
+        telemetry = by_name["telemetry"]
+        assert (telemetry.dead, telemetry.trivial, telemetry.duplicates) == (0, 0, 0)
+
+    def test_totals_and_cleanliness(self):
+        audit = audit_broker(example_broker())
+        assert audit.total_dead == 1
+        assert audit.total_trivial == 1
+        assert audit.total_duplicates == 1
+        assert not audit.clean
+
+        clean_broker = Broker(topics=["t"])
+        clean_broker.add_subscriber("s")
+        clean_broker.subscribe("s", "t", PropertyFilter("price > 10"))
+        assert audit_broker(clean_broker).clean
+
+    def test_correlation_filters_counted_but_not_analyzed(self):
+        broker = Broker(topics=["t"])
+        broker.add_subscriber("s")
+        broker.subscribe("s", "t", CorrelationIdFilter("#0"))
+        audit = audit_broker(broker)
+        (topic,) = audit.topics
+        assert topic.filters == 1
+        assert topic.findings == ()
+
+    def test_eq3_threshold_matches_capacity_model(self):
+        from repro.core import APP_PROPERTY_COSTS
+        from repro.core.capacity import max_match_probability
+
+        audit = audit_broker(example_broker())
+        assert audit.match_probability_threshold == max_match_probability(
+            APP_PROPERTY_COSTS, 1
+        )
+
+    def test_render_mentions_findings_and_eq3(self):
+        report = render_audit(audit_broker(example_broker()))
+        assert "1 dead" in report
+        assert "1 trivial" in report
+        assert "1 duplicate" in report
+        assert "Eq. 3" in report
+        assert "W_UNSATISFIABLE" in report
+        assert "W_TAUTOLOGY" in report
+
+
+class TestAuditSelectors:
+    def test_parse_errors_become_findings(self):
+        findings = audit_selectors(["price >", "price > 1"])
+        assert findings[0].parse_error is not None and not findings[0].ok
+        assert findings[1].ok
+
+    def test_subscriber_ids_attached(self):
+        findings = audit_selectors(["a = 1"], subscriber_ids=["sub-7"])
+        assert findings[0].subscriber_id == "sub-7"
+
+
+class TestLintCli:
+    def test_example_deployment_flags_seeded_defects(self, capsys):
+        assert main(["lint", "--example"]) == 0
+        out = capsys.readouterr().out
+        assert "price > 10 AND price < 5" in out
+        assert "W_UNSATISFIABLE" in out
+        assert "x = x OR TRUE" in out
+        assert "W_TAUTOLOGY" in out
+        assert "Eq. 3" in out
+
+    def test_example_with_strict_fails_on_warnings(self, capsys):
+        assert main(["lint", "--example", "--strict"]) == 1
+
+    def test_ad_hoc_selectors(self, capsys):
+        assert main(["lint", "region = 'EU'"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok" in out and "0 error(s)" in out
+
+    def test_type_error_exits_nonzero(self, capsys):
+        assert main(["lint", "17 = 'cheap'"]) == 1
+        assert "E_TYPE_COMPARISON" in capsys.readouterr().out
+
+    def test_warning_exits_zero_unless_strict(self, capsys):
+        assert main(["lint", "price > 10 AND price < 5"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", "price > 10 AND price < 5"]) == 1
+
+    def test_parse_error_exits_nonzero(self, capsys):
+        assert main(["lint", "price >"]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_file_input(self, tmp_path, capsys):
+        selectors = tmp_path / "selectors.txt"
+        selectors.write_text(
+            "# installed selectors\nprice > 10\n\nx = x OR TRUE\n", encoding="utf-8"
+        )
+        assert main(["lint", "--file", str(selectors)]) == 0
+        out = capsys.readouterr().out
+        assert "2 selector(s)" in out
+        assert "W_TAUTOLOGY" in out
+
+    def test_no_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])

@@ -1,0 +1,76 @@
+"""Static-analysis gate for the repo's own sources.
+
+Runs ruff and mypy (configured in ``pyproject.toml``) when they are
+installed, and always enforces two lightweight, dependency-free checks:
+every source file compiles, and the ``# noqa: SLF001`` private-access
+escape hatch stays out of ``src/repro`` (the filter index used to need it
+before :class:`CorrelationIdFilter` grew public accessors).
+"""
+
+import pathlib
+import py_compile
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _python_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def test_all_sources_compile(tmp_path):
+    assert _python_files(), f"no sources found under {SRC}"
+    for path in _python_files():
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / "out.pyc"), doraise=True
+        )
+
+
+def test_no_private_access_suppressions_in_src():
+    offenders = [
+        str(path.relative_to(REPO_ROOT))
+        for path in _python_files()
+        if "noqa: SLF001" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == [], (
+        "private-attribute access suppressions crept back in; add public"
+        f" accessors instead: {offenders}"
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "tools"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"ruff findings:\n{result.stdout}{result.stderr}"
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    result = subprocess.run(
+        ["mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"mypy findings:\n{result.stdout}{result.stderr}"
+
+
+def test_check_static_script_runs():
+    """The tools/check_static.py helper exits cleanly in any environment."""
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_static.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
