@@ -1,0 +1,78 @@
+"""Fault injection — waiting time under outages vs the fluid model.
+
+Beyond the paper: crash the simulated server mid-run while retrying
+publishers keep the offered load alive, and compare the measured
+end-to-end waiting time against the Pollaczek–Khinchine baseline plus
+the fluid outage correction (extra mean wait ``D·(D+T)/(2H)`` per outage
+of length ``D`` with drain time ``T = λ·D/(μ−λ)``).  Also checks that
+the persistent-message ledger balances across every outage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultExperimentConfig, FaultSchedule, run_fault_experiment
+
+from conftest import FULL, banner, report
+
+HORIZON = 120.0 if FULL else 40.0
+OUTAGES = (0.0, 2.0, 4.0, 8.0) if FULL else (0.0, 2.0, 4.0)
+
+
+def _config() -> FaultExperimentConfig:
+    return FaultExperimentConfig(seed=11, horizon=HORIZON, utilization=0.6)
+
+
+def _schedule(outage: float) -> FaultSchedule:
+    if outage == 0.0:
+        return FaultSchedule.none()
+    return FaultSchedule.single_outage(at=HORIZON / 3, duration=outage)
+
+
+@pytest.fixture(scope="module")
+def outage_sweep():
+    config = _config()
+    results = {}
+    rows = []
+    for outage in OUTAGES:
+        result = run_fault_experiment(_schedule(outage), config)
+        results[outage] = result
+        rows.append(
+            f"  D={outage:4.1f}s  measured {result.mean_total_wait * 1e3:8.2f} ms  "
+            f"fluid {result.impact.mean_wait * 1e3:8.2f} ms  "
+            f"availability {result.impact.availability:.3f}  "
+            f"retries {result.retries:5d}  lost {result.lost}"
+        )
+    banner("Fault injection: mean wait vs outage duration (fluid model check)")
+    for row in rows:
+        report(row)
+    return results
+
+
+def test_ledger_balances_for_every_outage(outage_sweep):
+    for result in outage_sweep.values():
+        assert result.no_persistent_loss
+
+
+def test_wait_grows_with_outage_duration(outage_sweep):
+    waits = [outage_sweep[o].mean_total_wait for o in OUTAGES]
+    assert all(a < b for a, b in zip(waits, waits[1:]))
+
+
+def test_fluid_model_tracks_measured_wait(outage_sweep):
+    # First-order model: demand agreement within a factor of three on the
+    # outage-induced extra wait, and a sane fault-free baseline.
+    base = outage_sweep[0.0]
+    assert base.mean_total_wait == pytest.approx(base.impact.base_mean_wait, rel=0.5)
+    for outage in OUTAGES[1:]:
+        result = outage_sweep[outage]
+        measured_extra = result.mean_total_wait - base.mean_total_wait
+        predicted_extra = result.impact.extra_mean_wait
+        assert predicted_extra / 3 <= measured_extra <= predicted_extra * 3
+
+
+def test_bench_fault_run(benchmark, outage_sweep):
+    config = _config()
+    schedule = _schedule(OUTAGES[-1])
+    benchmark(run_fault_experiment, schedule, config)

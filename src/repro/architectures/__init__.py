@@ -28,6 +28,12 @@ from .network import (
     NetworkLink,
     deployment_link_check,
 )
+from .failover import (
+    FailoverReport,
+    psr_failover,
+    simulate_degraded_survivor,
+    ssr_failover,
+)
 from .psr import PublisherSideReplication
 from .simulate import (
     ServerLoadResult,
@@ -43,6 +49,7 @@ __all__ = [
     "ArchitectureComparison",
     "DeploymentResult",
     "FAST_ETHERNET",
+    "FailoverReport",
     "GIGABIT",
     "NetworkLink",
     "PublisherSideReplication",
@@ -54,6 +61,9 @@ __all__ = [
     "crossover_publishers",
     "deployment_link_check",
     "psr_beats_ssr",
+    "psr_failover",
+    "simulate_degraded_survivor",
+    "ssr_failover",
     "simulate_psr_deployment",
     "simulate_psr_server",
     "simulate_server_under_load",

@@ -1,0 +1,250 @@
+"""Failover analysis for the replicated architectures (PSR / SSR).
+
+Section IV-C compares publisher-side and subscriber-side server
+replication at full strength; this module asks what happens when ``k`` of
+the constituent servers *fail* and the survivors absorb their work.
+
+**PSR** (one server per publisher): the ``k`` orphaned publishers re-home
+evenly onto the ``n − k`` surviving servers.  Each server still carries
+all ``m · n_fltr`` filters, so its per-message service time is unchanged —
+only the per-server arrival rate grows by ``n / (n − k)``.  Degraded
+capacity is Eq. 21 with ``n − k`` servers:
+
+    ``λ_max' = ρ · (n − k) · (t_rcv + m·n_fltr·t_fltr + E[R]·t_tx)⁻¹``
+
+**SSR** (one server per subscriber): the ``k`` orphaned *subscribers*
+re-home onto survivors; each surviving server now hosts
+``f = m / (m − k)`` subscribers on average, inflating both its installed
+filters and its local replication grade by ``f``:
+
+    ``E[B'] = t_rcv + f·n_fltr·t_fltr + f·E[R]·t_tx``
+    ``λ_max' = ρ / E[B']``
+
+(every server still sees the full publish stream, so capacity is the
+single-survivor capacity).  The replication moments are scaled as
+``f · R`` — the rehomed subscribers filter the same stream, so their
+matches are treated as co-varying with the host's own, the conservative
+(maximum-variance) reading.
+
+Both reports carry an M/G/1 waiting-time model of a degraded survivor, so
+the policies can be cross-checked against the fault-injection testbed
+(:mod:`repro.faults`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # avoid the simulate import cycle at runtime
+    from .simulate import ServerLoadResult
+
+from ..core.mg1 import MG1Queue
+from ..core.moments import Moments, shifted_scaled_moments
+from .base import SystemParameters
+from .psr import PublisherSideReplication
+from .ssr import SubscriberSideReplication
+
+__all__ = [
+    "FailoverReport",
+    "psr_failover",
+    "ssr_failover",
+    "simulate_degraded_survivor",
+]
+
+
+@dataclass(frozen=True)
+class FailoverReport:
+    """Degraded-mode figures of merit after ``failed`` server losses."""
+
+    architecture: str
+    servers_total: int
+    servers_failed: int
+    #: Aggregate publish-rate ceiling before / after the failures.
+    healthy_capacity: float
+    degraded_capacity: float
+    #: Mean service time at one surviving server before / after.
+    healthy_mean_service: float
+    degraded_mean_service: float
+    #: Offered system rate the report was evaluated at (None: capacity only).
+    system_rate: Optional[float]
+    #: Per-survivor utilization at ``system_rate`` (None without a rate).
+    degraded_utilization: Optional[float]
+    #: Whether the survivors can carry ``system_rate`` (ρ' < 1).
+    sustainable: Optional[bool]
+    #: M/G/1 mean wait at one survivor (None when unstable or no rate).
+    degraded_mean_wait: Optional[float]
+
+    @property
+    def capacity_ratio(self) -> float:
+        """Surviving fraction of system capacity."""
+        return self.degraded_capacity / self.healthy_capacity
+
+    @property
+    def survivors(self) -> int:
+        return self.servers_total - self.servers_failed
+
+
+def _check_failed(failed: int, total: int, label: str) -> None:
+    if not 0 <= failed < total:
+        raise ValueError(
+            f"failed {label} count must be in [0, {total}), got {failed}"
+        )
+
+
+def _replication_moments(params: SystemParameters) -> Moments:
+    replication = params.replication
+    if replication is not None:
+        return replication.moments
+    mean = params.mean_replication
+    # Mean-only parameters: treat R as deterministic.
+    return Moments(mean, mean**2, mean**3)
+
+
+def psr_failover(
+    params: SystemParameters,
+    failed: int,
+    system_rate: Optional[float] = None,
+) -> FailoverReport:
+    """PSR with ``failed`` of the ``n`` publisher-side servers down."""
+    psr = PublisherSideReplication(params)
+    _check_failed(failed, psr.server_count(), "publisher-side server")
+    survivors = psr.server_count() - failed
+    mean_service = psr.per_server_service_time()
+    healthy_capacity = psr.system_capacity()
+    degraded_capacity = survivors * psr.per_server_capacity()
+    utilization = wait = sustainable = None
+    if system_rate is not None:
+        per_server_rate = system_rate / survivors
+        utilization = per_server_rate * mean_service
+        sustainable = utilization < 1.0
+        if sustainable:
+            d = params.costs.t_rcv + (
+                params.subscribers * params.filters_per_subscriber
+            ) * params.costs.t_fltr
+            service = shifted_scaled_moments(
+                d, params.costs.t_tx, _replication_moments(params)
+            )
+            wait = MG1Queue(arrival_rate=per_server_rate, service=service).mean_wait
+    return FailoverReport(
+        architecture="psr",
+        servers_total=psr.server_count(),
+        servers_failed=failed,
+        healthy_capacity=healthy_capacity,
+        degraded_capacity=degraded_capacity,
+        healthy_mean_service=mean_service,
+        degraded_mean_service=mean_service,
+        system_rate=system_rate,
+        degraded_utilization=utilization,
+        sustainable=sustainable,
+        degraded_mean_wait=wait,
+    )
+
+
+def ssr_failover(
+    params: SystemParameters,
+    failed: int,
+    system_rate: Optional[float] = None,
+) -> FailoverReport:
+    """SSR with ``failed`` of the ``m`` subscriber-side servers down."""
+    ssr = SubscriberSideReplication(params)
+    _check_failed(failed, ssr.server_count(), "subscriber-side server")
+    survivors = ssr.server_count() - failed
+    absorb = ssr.server_count() / survivors  # f = m / (m − k)
+    healthy_mean = ssr.per_server_service_time()
+    degraded_d = params.costs.t_rcv + (
+        absorb * params.filters_per_subscriber * params.costs.t_fltr
+    )
+    degraded_service = shifted_scaled_moments(
+        degraded_d,
+        params.costs.t_tx,
+        _replication_moments(params).scaled(absorb),
+    )
+    degraded_mean = degraded_service.m1
+    utilization = wait = sustainable = None
+    if system_rate is not None:
+        # Every survivor still receives the full publish stream.
+        utilization = system_rate * degraded_mean
+        sustainable = utilization < 1.0
+        if sustainable:
+            wait = MG1Queue(arrival_rate=system_rate, service=degraded_service).mean_wait
+    return FailoverReport(
+        architecture="ssr",
+        servers_total=ssr.server_count(),
+        servers_failed=failed,
+        healthy_capacity=ssr.system_capacity(),
+        degraded_capacity=params.rho / degraded_mean,
+        healthy_mean_service=healthy_mean,
+        degraded_mean_service=degraded_mean,
+        system_rate=system_rate,
+        degraded_utilization=utilization,
+        sustainable=sustainable,
+        degraded_mean_wait=wait,
+    )
+
+
+def simulate_degraded_survivor(
+    params: SystemParameters,
+    architecture: str,
+    failed: int,
+    system_rate: float,
+    horizon: float,
+    seed: int = 1,
+    cpu_scale: float = 1.0,
+) -> "ServerLoadResult":
+    """Run one degraded survivor on the virtual testbed.
+
+    Builds the per-server view the failover formulas assume — a PSR
+    survivor keeps its filter population but sees ``n/(n−k)`` times the
+    per-publisher load, an SSR survivor sees the full stream with its
+    filters and replication inflated by ``f = m/(m−k)`` — and simulates
+    it under Poisson load via
+    :func:`~repro.architectures.simulate.simulate_server_under_load`.
+    The returned utilization and mean wait cross-check the corresponding
+    :class:`FailoverReport` (SSR needs an integral ``f`` and ``E[R]``).
+    ``cpu_scale`` slows the simulated server down, so ``system_rate`` is
+    converted to scaled time units and the measured waiting time comes
+    back ``cpu_scale`` times the formula's (utilization is scale-free).
+    """
+    from .simulate import simulate_server_under_load
+
+    if architecture == "psr":
+        psr = PublisherSideReplication(params)
+        _check_failed(failed, psr.server_count(), "publisher-side server")
+        survivors = psr.server_count() - failed
+        mean_replication = params.effective_mean_replication
+        if not float(mean_replication).is_integer():
+            raise ValueError(f"simulation needs an integral E[R], got {mean_replication}")
+        return simulate_server_under_load(
+            costs=params.costs,
+            n_fltr=params.subscribers * params.filters_per_subscriber,
+            replication_grade=int(mean_replication),
+            arrival_rate=system_rate / survivors / cpu_scale,
+            horizon=horizon,
+            seed=seed,
+            cpu_scale=cpu_scale,
+        )
+    if architecture == "ssr":
+        ssr = SubscriberSideReplication(params)
+        _check_failed(failed, ssr.server_count(), "subscriber-side server")
+        survivors = ssr.server_count() - failed
+        if ssr.server_count() % survivors != 0:
+            raise ValueError(
+                f"simulation needs an integral absorption factor, got "
+                f"{ssr.server_count()}/{survivors}"
+            )
+        absorb = ssr.server_count() // survivors
+        scaled_replication = params.effective_mean_replication * absorb
+        if not float(scaled_replication).is_integer():
+            raise ValueError(
+                f"simulation needs an integral degraded E[R], got {scaled_replication}"
+            )
+        return simulate_server_under_load(
+            costs=params.costs,
+            n_fltr=absorb * params.filters_per_subscriber,
+            replication_grade=int(scaled_replication),
+            arrival_rate=system_rate / cpu_scale,
+            horizon=horizon,
+            seed=seed,
+            cpu_scale=cpu_scale,
+        )
+    raise ValueError(f"unknown architecture {architecture!r} (want 'psr' or 'ssr')")

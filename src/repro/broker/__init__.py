@@ -12,13 +12,20 @@ behaviour.
 from .dispatch import DispatchPlan, plan_dispatch
 from .filter_index import FilterIndex
 from .hierarchy import TopicPattern, TopicTrie, split_topic
-from .queues import PointToPointQueue, QueueConsumer, QueueDelivery, QueueManager
+from .queues import (
+    PointToPointQueue,
+    QueueConsumer,
+    QueueCrashReport,
+    QueueDelivery,
+    QueueManager,
+)
 from .errors import (
     FlowControlError,
     InvalidDestinationError,
     InvalidSelectorError,
     JMSError,
     MessageFormatError,
+    ServerUnavailableError,
     SubscriptionError,
 )
 from .filters import CorrelationIdFilter, MatchAllFilter, MessageFilter, PropertyFilter
@@ -26,13 +33,14 @@ from .flow_control import FlowController
 from .lint import DeploymentAudit, TopicAudit, audit_broker, audit_selectors, render_audit
 from .message import DeliveredMessage, DeliveryMode, Message
 from .selector import Selector, SelectorAnalysis, analyze
-from .server import SELECTOR_POLICIES, Broker, PublishResult
+from .server import SELECTOR_POLICIES, Broker, BrokerCrashReport, PublishResult
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import Topic, TopicRegistry
 
 __all__ = [
     "Broker",
+    "BrokerCrashReport",
     "BrokerStats",
     "CorrelationIdFilter",
     "DeliveredMessage",
@@ -43,8 +51,10 @@ __all__ = [
     "FlowController",
     "PointToPointQueue",
     "QueueConsumer",
+    "QueueCrashReport",
     "QueueDelivery",
     "QueueManager",
+    "ServerUnavailableError",
     "TopicPattern",
     "TopicTrie",
     "split_topic",

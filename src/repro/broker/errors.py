@@ -9,6 +9,7 @@ __all__ = [
     "MessageFormatError",
     "SubscriptionError",
     "FlowControlError",
+    "ServerUnavailableError",
 ]
 
 
@@ -44,3 +45,11 @@ class SubscriptionError(JMSError):
 
 class FlowControlError(JMSError):
     """Violation of the publisher push-back protocol."""
+
+
+class ServerUnavailableError(JMSError):
+    """The server is down (crashed); in-flight operations fail fast.
+
+    Resilient clients catch this and retry with backoff after the server
+    restarts (see :mod:`repro.faults`).
+    """

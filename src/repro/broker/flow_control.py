@@ -13,7 +13,7 @@ service rate.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque
+from typing import Callable, Deque, List
 
 from .errors import FlowControlError
 
@@ -36,7 +36,10 @@ class FlowController:
         self.capacity = int(capacity)
         self._in_flight = 0
         self._waiters: Deque[Callable[[], None]] = deque()
-        #: How often a publisher had to block (push-back events).
+        #: How often a publisher had to block (push-back events).  Counts
+        #: every ``acquire`` that found no free credit, including waiters
+        #: that were later cancelled (gave up) — it measures push-back
+        #: pressure, not successful grants.
         self.blocked_count = 0
 
     @property
@@ -70,6 +73,22 @@ class FlowController:
             self.blocked_count += 1
             self._waiters.append(grant)
 
+    def cancel(self, grant: Callable[[], None]) -> bool:
+        """Withdraw a queued waiter before it is granted a credit.
+
+        A publisher that times out while blocked *must* cancel its grant
+        callback: an abandoned waiter would otherwise stay queued forever
+        and silently steal a credit from a live publisher when one frees
+        up.  Returns ``True`` when the waiter was found and removed,
+        ``False`` when it was not queued (already granted, or never
+        enqueued).
+        """
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            return False
+        return True
+
     def release(self) -> None:
         """Return a credit; hands it straight to the oldest waiter if any."""
         if self._in_flight <= 0:
@@ -80,3 +99,14 @@ class FlowController:
             waiter()
         else:
             self._in_flight -= 1
+
+    def reset(self) -> List[Callable[[], None]]:
+        """Forget all credits and waiters (server crash).
+
+        Returns the abandoned waiter callbacks so the caller can fail
+        them — the credits they were waiting for died with the server.
+        """
+        abandoned = list(self._waiters)
+        self._waiters.clear()
+        self._in_flight = 0
+        return abandoned

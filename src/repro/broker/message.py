@@ -99,6 +99,10 @@ class Message:
     delivery_mode: DeliveryMode = DeliveryMode.PERSISTENT
     timestamp: float = 0.0
     expiration: Optional[float] = None
+    #: Set when the message is served again after a failure (queue
+    #: consumer detach, server crash recovery) — the ``JMSRedelivered``
+    #: header consumers use to detect possible duplicates.
+    redelivered: bool = False
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     def __post_init__(self) -> None:
@@ -147,6 +151,7 @@ class Message:
             "JMSTimestamp": self.timestamp,
             "JMSDeliveryMode": self.delivery_mode.value,
             "JMSDestination": self.topic,
+            "JMSRedelivered": self.redelivered,
         }
         if name not in mapping:
             raise KeyError(name)

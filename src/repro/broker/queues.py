@@ -11,9 +11,15 @@ Semantics implemented:
 - competing consumers with round-robin dispatch among the consumers
   whose selector matches (a consumer's selector may reject a message);
 - messages with no eligible consumer wait in the queue until one
-  subscribes (or the message expires);
+  subscribes (or the message expires — expiry is checked both at ``send``
+  and when the backlog drains, so a message never outlives its TTL);
 - acknowledgement: a consumer must ``ack`` a delivery; un-acked messages
-  are redelivered (marked ``redelivered``) when the consumer detaches.
+  are redelivered (marked ``redelivered``) when the consumer detaches;
+- poison-message handling: a message that exhausts ``max_redeliveries``
+  moves to the queue's dead-letter store instead of cycling forever;
+- crash recovery: :meth:`PointToPointQueue.crash` loses non-persistent
+  messages and requeues persistent ones with the redelivered flag set,
+  the FioranoMQ journal-replay behaviour.
 """
 
 from __future__ import annotations
@@ -25,9 +31,15 @@ from typing import Deque, Dict, List, Optional
 
 from .errors import InvalidDestinationError, SubscriptionError
 from .filters import MatchAllFilter, MessageFilter
-from .message import Message
+from .message import DeliveryMode, Message
 
-__all__ = ["QueueConsumer", "QueueDelivery", "PointToPointQueue", "QueueManager"]
+__all__ = [
+    "QueueConsumer",
+    "QueueDelivery",
+    "QueueCrashReport",
+    "PointToPointQueue",
+    "QueueManager",
+]
 
 _consumer_ids = itertools.count(1)
 
@@ -39,6 +51,16 @@ class QueueDelivery:
     message: Message
     consumer_id: int
     redelivered: bool = False
+
+
+@dataclass(frozen=True)
+class QueueCrashReport:
+    """What one queue lost and recovered when the server crashed."""
+
+    queue: str
+    recovered: int
+    lost: int
+    dead_lettered: int
 
 
 class QueueConsumer:
@@ -54,6 +76,9 @@ class QueueConsumer:
         #: Deliveries handed out but not yet acknowledged.
         self.unacked: Dict[int, QueueDelivery] = {}
         self.attached = False
+        self.acked = 0
+        #: The queue this consumer is attached to (set by ``attach``).
+        self.queue: Optional["PointToPointQueue"] = None
 
     def receive(self) -> Optional[QueueDelivery]:
         """Take the next delivery (it stays unacked until ``ack``)."""
@@ -71,23 +96,47 @@ class QueueConsumer:
                 f"{delivery.message.message_id}"
             )
         del self.unacked[delivery.message.message_id]
+        self.acked += 1
+        if self.queue is not None:
+            self.queue._on_ack(delivery.message.message_id)
 
 
 class PointToPointQueue:
-    """A FIFO queue with competing, selector-aware consumers."""
+    """A FIFO queue with competing, selector-aware consumers.
 
-    def __init__(self, name: str):
+    Parameters
+    ----------
+    name:
+        Destination name.
+    max_redeliveries:
+        How many times a message may *return* to the backlog after a
+        failed delivery (consumer detach, crash) before it is moved to
+        :attr:`dead_letters`.  ``None`` (the default) never dead-letters,
+        preserving the pre-fault-model behaviour.
+    """
+
+    def __init__(self, name: str, max_redeliveries: Optional[int] = None):
         if not name or not name.strip():
             raise InvalidDestinationError("queue name must be non-empty")
+        if max_redeliveries is not None and max_redeliveries < 0:
+            raise ValueError(f"max_redeliveries must be >= 0, got {max_redeliveries}")
         self.name = name
+        self.max_redeliveries = max_redeliveries
         #: (message, is_redelivery) pairs awaiting an eligible consumer.
         self._backlog: Deque[tuple[Message, bool]] = deque()
         self._consumers: List[QueueConsumer] = []
         self._next_consumer = 0
+        #: Redelivery count per in-flight/backlog message id.
+        self._redeliveries: Dict[int, int] = {}
+        #: Poison messages that exhausted their redelivery budget.
+        self.dead_letters: Deque[Message] = deque()
         self.enqueued = 0
         self.delivered = 0
+        self.acked = 0
         self.expired = 0
         self.redelivered = 0
+        self.dead_lettered = 0
+        self.lost_on_crash = 0
 
     # ------------------------------------------------------------------
     @property
@@ -98,32 +147,34 @@ class PointToPointQueue:
     def consumers(self) -> List[QueueConsumer]:
         return list(self._consumers)
 
-    def attach(self, consumer: QueueConsumer) -> None:
+    def attach(self, consumer: QueueConsumer, now: float = 0.0) -> None:
         """Add a competing consumer and drain any waiting backlog to it."""
         if consumer.attached:
             raise SubscriptionError(f"consumer {consumer.name!r} already attached")
         consumer.attached = True
+        consumer.queue = self
         self._consumers.append(consumer)
-        self._drain()
+        self._drain(now)
 
-    def detach(self, consumer: QueueConsumer) -> int:
+    def detach(self, consumer: QueueConsumer, now: float = 0.0) -> int:
         """Remove a consumer; its unacked messages return for redelivery.
 
-        Returns the number of messages recovered.
+        Returns the number of messages recovered (requeued or
+        dead-lettered).
         """
         if consumer not in self._consumers:
             raise SubscriptionError(f"consumer {consumer.name!r} not attached")
         self._consumers.remove(consumer)
         consumer.attached = False
+        consumer.queue = None
         recovered = list(consumer.unacked.values()) + list(consumer.inbox)
         consumer.unacked.clear()
         consumer.inbox.clear()
         # Recovered messages go to the front, oldest first, flagged.
         for delivery in sorted(recovered, key=lambda d: d.message.message_id, reverse=True):
-            self._backlog.appendleft((delivery.message, True))
-            self.redelivered += 1
+            self._requeue(delivery.message, now=now)
         self._next_consumer = 0
-        self._drain()
+        self._drain(now)
         return len(recovered)
 
     # ------------------------------------------------------------------
@@ -135,20 +186,96 @@ class PointToPointQueue:
         self.enqueued += 1
         self._backlog.append((message, False))
         before = self.delivered
-        self._drain()
+        self._drain(now)
         return self.delivered > before
+
+    def crash(self, now: float = 0.0) -> QueueCrashReport:
+        """Apply server-crash semantics to this queue.
+
+        All consumers are force-detached (their connections died with the
+        server).  Persistent messages — in the backlog or un-acked at a
+        consumer — survive via the journal and are requeued with the
+        redelivered flag; non-persistent messages are lost and counted in
+        :attr:`lost_on_crash`.
+        """
+        in_flight: List[QueueDelivery] = []
+        for consumer in list(self._consumers):
+            in_flight.extend(consumer.unacked.values())
+            in_flight.extend(consumer.inbox)
+            consumer.unacked.clear()
+            consumer.inbox.clear()
+            consumer.attached = False
+            consumer.queue = None
+        self._consumers.clear()
+        self._next_consumer = 0
+        survivors: List[Message] = [m for m, _ in self._backlog]
+        self._backlog.clear()
+        recovered = lost = 0
+        dead_before = self.dead_lettered
+        # Requeue newest first so appendleft leaves the oldest at the head.
+        ordered = sorted(
+            survivors + [d.message for d in in_flight],
+            key=lambda m: m.message_id,
+            reverse=True,
+        )
+        for message in ordered:
+            if message.delivery_mode is not DeliveryMode.PERSISTENT:
+                lost += 1
+                self.lost_on_crash += 1
+                self._redeliveries.pop(message.message_id, None)
+                continue
+            recovered += 1
+            self._requeue(message, now=now)
+        return QueueCrashReport(
+            queue=self.name,
+            recovered=recovered,
+            lost=lost,
+            dead_lettered=self.dead_lettered - dead_before,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_ack(self, message_id: int) -> None:
+        self.acked += 1
+        self._redeliveries.pop(message_id, None)
+
+    def _requeue(self, message: Message, now: float = 0.0) -> None:
+        """Return a message to the backlog head, or dead-letter it."""
+        if message.expired(now):
+            self.expired += 1
+            self._redeliveries.pop(message.message_id, None)
+            return
+        count = self._redeliveries.get(message.message_id, 0) + 1
+        if self.max_redeliveries is not None and count > self.max_redeliveries:
+            self._redeliveries.pop(message.message_id, None)
+            self.dead_letters.append(message)
+            self.dead_lettered += 1
+            return
+        self._redeliveries[message.message_id] = count
+        message.redelivered = True
+        self._backlog.appendleft((message, True))
+        self.redelivered += 1
 
     def _eligible(self, message: Message) -> List[QueueConsumer]:
         return [c for c in self._consumers if c.selector.matches(message)]
 
-    def _drain(self) -> None:
-        """Hand backlog messages to consumers, round-robin among eligible."""
+    def _drain(self, now: float = 0.0) -> None:
+        """Hand backlog messages to consumers, round-robin among eligible.
+
+        Messages whose TTL elapsed while they waited are counted as
+        expired and removed instead of being delivered late.
+        """
         if not self._consumers:
             return
         progressed = True
         while self._backlog and progressed:
             progressed = False
             message, redelivered = self._backlog[0]
+            if message.expired(now):
+                self._backlog.popleft()
+                self.expired += 1
+                self._redeliveries.pop(message.message_id, None)
+                progressed = True
+                continue
             eligible = self._eligible(message)
             if not eligible:
                 return  # head-of-line waits for a matching consumer
@@ -169,10 +296,12 @@ class QueueManager:
 
     _queues: Dict[str, PointToPointQueue] = field(default_factory=dict)
 
-    def create(self, name: str) -> PointToPointQueue:
+    def create(
+        self, name: str, max_redeliveries: Optional[int] = None
+    ) -> PointToPointQueue:
         queue = self._queues.get(name)
         if queue is None:
-            queue = PointToPointQueue(name)
+            queue = PointToPointQueue(name, max_redeliveries=max_redeliveries)
             self._queues[name] = queue
         return queue
 
@@ -182,8 +311,15 @@ class QueueManager:
             raise InvalidDestinationError(f"unknown queue {name!r}")
         return queue
 
+    def crash_all(self, now: float = 0.0) -> List[QueueCrashReport]:
+        """Crash-recover every queue (deterministic name order)."""
+        return [self._queues[name].crash(now) for name in sorted(self._queues)]
+
     def __contains__(self, name: str) -> bool:
         return name in self._queues
 
     def __len__(self) -> int:
         return len(self._queues)
+
+    def __iter__(self):
+        return iter(self._queues.values())

@@ -104,6 +104,7 @@ class SelectorType(enum.Enum):
 #: JMS header fields have fixed, statically known types.
 _NUMERIC_HEADERS = frozenset({"JMSMessageID", "JMSPriority", "JMSTimestamp"})
 _STRING_HEADERS = frozenset({"JMSCorrelationID", "JMSDeliveryMode", "JMSDestination"})
+_BOOLEAN_HEADERS = frozenset({"JMSRedelivered"})
 
 _ORDERING_OPS = ("<", "<=", ">", ">=")
 _COMPARISON_OPS = ("=", "<>") + _ORDERING_OPS
@@ -148,6 +149,8 @@ class _TypeChecker:
             return SelectorType.NUMERIC
         if name in _STRING_HEADERS:
             return SelectorType.STRING
+        if name in _BOOLEAN_HEADERS:
+            return SelectorType.BOOLEAN
         return None
 
     # -- inference ------------------------------------------------------

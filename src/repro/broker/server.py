@@ -24,7 +24,7 @@ from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import TopicRegistry
 
-__all__ = ["Broker", "PublishResult", "SELECTOR_POLICIES"]
+__all__ = ["Broker", "BrokerCrashReport", "PublishResult", "SELECTOR_POLICIES"]
 
 #: How the broker treats selector static-analysis findings at subscribe
 #: time: ``"off"`` skips analysis, ``"warn"`` records findings in
@@ -54,6 +54,15 @@ class PublishResult:
     @property
     def replication_grade(self) -> int:
         return self.copies_delivered + self.copies_retained + self.copies_dropped
+
+
+@dataclass(frozen=True)
+class BrokerCrashReport:
+    """What the broker lost and kept across one crash (see ``crash``)."""
+
+    subscriptions_dropped: int
+    subscribers_disconnected: int
+    retained_preserved: int
 
 
 class Broker:
@@ -97,6 +106,8 @@ class Broker:
         #: Per-topic dispatch planners; ``None`` means the FioranoMQ-style
         #: linear scan.  Installed by :meth:`install_filter_index`.
         self._indices: Dict[str, object] = {}
+        self._index_canonicalize = False
+        self._had_filter_index = False
 
     # ------------------------------------------------------------------
     # Subscriber management
@@ -204,6 +215,61 @@ class Broker:
         return replayed
 
     # ------------------------------------------------------------------
+    # Crash / recovery (fault model, see repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self) -> BrokerCrashReport:
+        """Apply server-crash semantics to the broker state.
+
+        Non-durable subscriptions die with the server (JMS: they exist
+        only for the life of the connection); durable subscriptions and
+        their retained backlogs survive the restart.  Every subscriber's
+        connection is severed — durable ones start retaining until their
+        client reconnects.  Any installed filter index is invalidated and
+        rebuilt on :meth:`recover`.
+        """
+        self.stats.crashes += 1
+        dropped = 0
+        for bucket in self._subscriptions.values():
+            for subscription_id in list(bucket):
+                if not bucket[subscription_id].durable:
+                    del bucket[subscription_id]
+                    dropped += 1
+        disconnected = 0
+        for subscriber in self._subscribers.values():
+            if subscriber.connected:
+                subscriber.connected = False
+                disconnected += 1
+        retained = sum(
+            len(subscription.retained)
+            for bucket in self._subscriptions.values()
+            for subscription in bucket.values()
+        )
+        self._had_filter_index = self.uses_filter_index
+        self._indices = {}
+        return BrokerCrashReport(
+            subscriptions_dropped=dropped,
+            subscribers_disconnected=disconnected,
+            retained_preserved=retained,
+        )
+
+    def recover(self, reconnect_subscribers: bool = True) -> int:
+        """Bring the broker back up after :meth:`crash`.
+
+        Reconnects every subscriber (replaying durable retained messages)
+        unless ``reconnect_subscribers`` is False, and rebuilds the filter
+        index when one was installed before the crash.  Returns the number
+        of replayed messages.
+        """
+        replayed = 0
+        if reconnect_subscribers:
+            for subscriber_id in list(self._subscribers):
+                replayed += self.reconnect(subscriber_id)
+        if self._had_filter_index:
+            self.install_filter_index(canonicalize=self._index_canonicalize)
+            self._had_filter_index = False
+        return replayed
+
+    # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
     def publish(self, message: Message, now: float = 0.0) -> PublishResult:
@@ -270,6 +336,7 @@ class Broker:
         """
         from .filter_index import FilterIndex
 
+        self._index_canonicalize = canonicalize
         self._indices = {
             topic.name: FilterIndex(
                 self.subscriptions(topic.name), canonicalize=canonicalize

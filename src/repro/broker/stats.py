@@ -27,6 +27,19 @@ class BrokerStats:
     dropped_offline: int = 0
     #: Messages retained for offline durable subscribers.
     retained: int = 0
+    # -- fault-model ledger (see repro.faults) -------------------------
+    #: Server crashes survived.
+    crashes: int = 0
+    #: Messages lost to a crash (non-persistent state that died with the
+    #: server).
+    lost_on_crash: int = 0
+    #: Messages served again after a failure (JMSRedelivered).
+    redelivered: int = 0
+    #: Messages routed to a dead-letter store after exhausting their
+    #: redelivery budget or arriving corrupted.
+    dead_lettered: int = 0
+    #: Messages dropped by an injected network fault.
+    dropped_by_fault: int = 0
     per_topic_received: Counter = field(default_factory=Counter)
     per_topic_dispatched: Counter = field(default_factory=Counter)
 
@@ -68,5 +81,10 @@ class BrokerStats:
             "expired": self.expired,
             "dropped_offline": self.dropped_offline,
             "retained": self.retained,
+            "crashes": self.crashes,
+            "lost_on_crash": self.lost_on_crash,
+            "redelivered": self.redelivered,
+            "dead_lettered": self.dead_lettered,
+            "dropped_by_fault": self.dropped_by_fault,
             "mean_replication_grade": self.mean_replication_grade,
         }

@@ -9,13 +9,17 @@ Usage (``python -m repro ...``)::
     python -m repro lint "price > 10 AND price < 5" [--strict]
     python -m repro lint --file selectors.txt
     python -m repro lint --example
+    python -m repro faults --outage-at 20 --outage 5 [--seed 7] [--horizon 60]
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
 user scenario (the practical use the paper advertises); ``lint`` runs the
 selector static analyzer over ad-hoc selectors, a file of selectors (one
 per line) or an example deployment, reporting dead/trivial/duplicate/
-ill-typed filters and the Eq. 3 verdict.
+ill-typed filters and the Eq. 3 verdict; ``faults`` runs a deterministic
+fault-injection experiment (server outages, retrying publishers, durable
+recovery) and reports the message-conservation ledger plus the fluid
+availability prediction.
 """
 
 from __future__ import annotations
@@ -118,6 +122,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero on warnings too, not only on errors",
     )
+
+    faults = commands.add_parser(
+        "faults", help="run a deterministic fault-injection & recovery experiment"
+    )
+    faults.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    faults.add_argument(
+        "--horizon", type=float, default=60.0, help="run length in virtual seconds"
+    )
+    faults.add_argument(
+        "--utilization", type=float, default=0.7, help="fault-free server utilization"
+    )
+    faults.add_argument(
+        "--outage-at",
+        type=float,
+        action="append",
+        default=None,
+        metavar="T",
+        help="crash the server at virtual time T (repeatable)",
+    )
+    faults.add_argument(
+        "--outage",
+        type=float,
+        default=5.0,
+        help="outage duration in virtual seconds (applies to every --outage-at)",
+    )
+    faults.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="instead of fixed outages: random crashes per virtual second (seeded)",
+    )
+    faults.add_argument(
+        "--max-redeliveries",
+        type=int,
+        default=3,
+        help="queue redelivery budget before dead-lettering",
+    )
+    faults.add_argument(
+        "--non-persistent",
+        action="store_true",
+        help="send NON_PERSISTENT messages (crashes may lose them)",
+    )
     return parser
 
 
@@ -218,6 +264,61 @@ def _run_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultExperimentConfig, FaultSchedule, run_fault_experiment
+    from .simulation import RandomStreams
+
+    config = FaultExperimentConfig(
+        seed=args.seed,
+        horizon=args.horizon,
+        utilization=args.utilization,
+        max_redeliveries=args.max_redeliveries,
+        persistent=not args.non_persistent,
+    )
+    if args.crash_rate > 0:
+        schedule = FaultSchedule.random(
+            RandomStreams(seed=args.seed),
+            horizon=args.horizon,
+            crash_rate=args.crash_rate,
+            mean_outage=args.outage,
+        )
+    elif args.outage_at:
+        schedule = FaultSchedule(
+            FaultSchedule.single_outage(at, args.outage).events[0]
+            for at in sorted(args.outage_at)
+        )
+    else:
+        schedule = FaultSchedule.none()
+    print(schedule.describe())
+    result = run_fault_experiment(schedule, config)
+    print(
+        f"run: seed={config.seed} horizon={config.horizon:g}s "
+        f"lambda={config.arrival_rate:.1f}/s rho={config.utilization:g}"
+    )
+    print(
+        f"ledger: generated={result.generated} accepted={result.accepted} "
+        f"delivered={result.delivered} expired={result.expired} lost={result.lost}"
+    )
+    print(
+        f"faults: crashes={result.crashes} rejected={result.rejected_submits} "
+        f"retries={result.retries} redelivered={result.redelivered} "
+        f"dead_lettered={result.dead_lettered} backlog={result.backlog_at_end}"
+    )
+    print(
+        f"waiting time: measured {result.mean_total_wait * 1e3:.2f} ms "
+        f"(queue {result.mean_wait * 1e3:.2f} ms + retry "
+        f"{result.mean_accept_latency * 1e3:.2f} ms)"
+    )
+    print(
+        f"fluid model: baseline {result.impact.base_mean_wait * 1e3:.2f} ms "
+        f"+ outages {result.impact.extra_mean_wait * 1e3:.2f} ms; "
+        f"availability {result.impact.availability:.3f}"
+    )
+    conserved = "balanced" if result.conserved else "IMBALANCED"
+    print(f"conservation: {conserved}" + ("" if result.no_persistent_loss else " (loss or backlog)"))
+    return 0 if result.conserved else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -234,4 +335,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_wait(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "faults":
+        return _run_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,94 @@
+"""The fault injector: replays a :class:`FaultSchedule` on a live server.
+
+``FaultInjector.arm()`` turns every scheduled :class:`FaultEvent` into
+engine callbacks — a crash at ``t`` schedules the matching restart at
+``t + duration``, a disconnect schedules the reconnect, a slow-consumer
+window schedules the speed restore.  All state changes run *through* the
+engine at exact virtual times, so fault timing participates in the same
+deterministic event ordering as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..simulation import Engine
+from ..testbed.simserver import SimulatedJMSServer
+from .schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["AppliedFault", "FaultInjector"]
+
+
+@dataclass
+class AppliedFault:
+    """Log record of one fault actually applied to the server."""
+
+    event: FaultEvent
+    applied_at: float
+    recovered_at: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class FaultInjector:
+    """Arms a schedule's events on the engine and logs what happened."""
+
+    engine: Engine
+    server: SimulatedJMSServer
+    schedule: FaultSchedule
+    log: List[AppliedFault] = field(default_factory=list)
+
+    def arm(self) -> int:
+        """Schedule every fault event; returns the number armed."""
+        for event in self.schedule:
+            self.engine.call_at(event.time, self._make_handler(event))
+        return len(self.schedule)
+
+    def _make_handler(self, event: FaultEvent) -> Callable[[], None]:
+        return lambda: self._apply(event)
+
+    # ------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        record = AppliedFault(event=event, applied_at=self.engine.now)
+        if event.kind is FaultKind.SERVER_CRASH:
+            self.server.crash()
+            record.detail = f"crash, restart in {event.duration:g}s"
+            self.engine.call_in(event.duration, lambda: self._restart(record))
+        elif event.kind is FaultKind.SUBSCRIBER_DISCONNECT:
+            assert event.target is not None
+            self.server.broker.disconnect(event.target)
+            record.detail = f"{event.target} offline for {event.duration:g}s"
+            self.engine.call_in(
+                event.duration, lambda: self._reconnect(record, event.target)
+            )
+        elif event.kind is FaultKind.SLOW_CONSUMER:
+            self.server.degrade(event.magnitude)
+            record.detail = f"t_tx x{event.magnitude:g} for {event.duration:g}s"
+            self.engine.call_in(event.duration, lambda: self._restore_speed(record))
+        elif event.kind is FaultKind.MESSAGE_DROP:
+            self.server.inject_drop(int(event.magnitude))
+            record.detail = f"drop next {int(event.magnitude)}"
+            record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.MESSAGE_CORRUPT:
+            self.server.inject_corruption(int(event.magnitude))
+            record.detail = f"corrupt next {int(event.magnitude)}"
+            record.recovered_at = self.engine.now
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError(f"unknown fault kind {event.kind}")
+        self.log.append(record)
+
+    def _restart(self, record: AppliedFault) -> None:
+        self.server.restart()
+        record.recovered_at = self.engine.now
+
+    def _reconnect(self, record: AppliedFault, target: str) -> None:
+        # The server may have crashed (and recovered everyone) meanwhile;
+        # reconnect is idempotent on an already-connected subscriber.
+        replayed = self.server.broker.reconnect(target)
+        record.recovered_at = self.engine.now
+        record.detail += f", replayed {replayed}"
+
+    def _restore_speed(self, record: AppliedFault) -> None:
+        self.server.restore_speed()
+        record.recovered_at = self.engine.now

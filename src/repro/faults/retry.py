@@ -1,0 +1,81 @@
+"""Retry policies: exponential backoff with jitter.
+
+The paper's saturated publishers rely on push-back blocking alone; once
+the server can *crash*, a client also needs a policy for what to do when
+a submit fails fast or hangs on a dead credit.  The standard answer is
+exponential backoff with jitter — jitter decorrelates the retry storms
+of many publishers hammering a freshly restarted server.
+
+All randomness comes from a caller-provided generator (one of the
+simulation's named streams), so retry timing is fully seed-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    Attempt ``k`` (0-based) waits ``min(max_delay, base_delay·multiplier^k)``
+    seconds, scaled by a uniform factor in ``[1 − jitter, 1 + jitter]``.
+
+    Parameters
+    ----------
+    base_delay:
+        Delay before the first retry, in virtual seconds.
+    multiplier:
+        Geometric growth factor per attempt.
+    max_delay:
+        Cap on the un-jittered delay.
+    jitter:
+        Relative jitter half-width in ``[0, 1)``; 0 disables jitter.
+    max_retries:
+        Give up (abandon the message) after this many retries; ``None``
+        retries forever — the right choice for persistent messages, whose
+        delivery guarantee the acceptance test checks.
+    credit_timeout:
+        Cancel a submit still blocked on push-back after this long and
+        treat it as a failed attempt; ``None`` waits indefinitely.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    max_retries: Optional[int] = None
+    credit_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.credit_timeout is not None and self.credit_timeout <= 0:
+            raise ValueError(f"credit_timeout must be positive, got {self.credit_timeout}")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter > 0 and rng is not None:
+            raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return raw
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once ``attempt`` retries have already been spent."""
+        return self.max_retries is not None and attempt >= self.max_retries

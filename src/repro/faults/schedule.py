@@ -1,0 +1,261 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an immutable, time-ordered list of
+:class:`FaultEvent` instances — the full failure script of one run.
+Schedules are either written explicitly (regression tests, the canonical
+benchmark outage) or drawn from seeded RNG streams
+(:meth:`FaultSchedule.random`), so a ``(seed, schedule)`` pair always
+reproduces bit-identical runs.
+
+The paper's M/G/1 analysis assumes an always-up server; an outage window
+turns the arrival process into a batch ("the messages that accumulated
+while the server was down arrive together at restart"), the M^X/G/1
+territory of the segmentation literature.  :mod:`repro.faults.availability`
+quantifies that effect; this module only *describes* the failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..simulation.rng import RandomStreams
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector knows how to apply."""
+
+    #: Server hard-crash at ``time``; restart after ``duration``.
+    SERVER_CRASH = "server_crash"
+    #: One subscriber drops its connection for ``duration`` seconds.
+    SUBSCRIBER_DISCONNECT = "subscriber_disconnect"
+    #: Slow-consumer degradation: transmit cost inflated by ``magnitude``
+    #: for ``duration`` seconds.
+    SLOW_CONSUMER = "slow_consumer"
+    #: The next ``magnitude`` accepted messages vanish (network fault).
+    MESSAGE_DROP = "message_drop"
+    #: The next ``magnitude`` accepted messages arrive corrupted and are
+    #: dead-lettered by the server.
+    MESSAGE_CORRUPT = "message_corrupt"
+
+
+#: Kinds that describe a window (need ``duration > 0``).
+_WINDOW_KINDS = frozenset(
+    {FaultKind.SERVER_CRASH, FaultKind.SUBSCRIBER_DISCONNECT, FaultKind.SLOW_CONSUMER}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    ``duration`` is the window length for crash/disconnect/slow-consumer
+    faults; ``magnitude`` is the slowdown factor for ``SLOW_CONSUMER``
+    and the message count for drop/corrupt faults.  ``target`` names the
+    affected subscriber for ``SUBSCRIBER_DISCONNECT``.
+    """
+
+    time: float
+    kind: FaultKind
+    duration: float = 0.0
+    magnitude: float = 1.0
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration}")
+        if self.kind in _WINDOW_KINDS and self.duration <= 0:
+            raise ValueError(f"{self.kind.value} needs a positive duration")
+        if self.kind is FaultKind.SUBSCRIBER_DISCONNECT and not self.target:
+            raise ValueError("subscriber_disconnect needs a target subscriber id")
+        if self.kind is FaultKind.SLOW_CONSUMER and self.magnitude < 1.0:
+            raise ValueError(f"slow-consumer magnitude must be >= 1, got {self.magnitude}")
+        if self.kind in (FaultKind.MESSAGE_DROP, FaultKind.MESSAGE_CORRUPT):
+            if self.magnitude < 1 or self.magnitude != int(self.magnitude):
+                raise ValueError(
+                    f"{self.kind.value} magnitude must be a positive integer count"
+                )
+
+    @property
+    def end(self) -> float:
+        """End of the fault window (== ``time`` for point faults)."""
+        return self.time + self.duration
+
+
+class FaultSchedule:
+    """An immutable, time-ordered failure script.
+
+    Crash windows must not overlap (a server cannot crash while it is
+    already down); other fault kinds may interleave freely.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent]):
+        ordered = sorted(events, key=lambda e: (e.time, e.kind.value, e.target or ""))
+        crashes = [e for e in ordered if e.kind is FaultKind.SERVER_CRASH]
+        for earlier, later in zip(crashes, crashes[1:]):
+            if later.time < earlier.end:
+                raise ValueError(
+                    f"overlapping crash windows: [{earlier.time:g}, {earlier.end:g}) "
+                    f"and [{later.time:g}, {later.end:g})"
+                )
+        self._events: Tuple[FaultEvent, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    @property
+    def outages(self) -> List[Tuple[float, float]]:
+        """Crash windows as ``(start, duration)`` pairs."""
+        return [(e.time, e.duration) for e in self.of_kind(FaultKind.SERVER_CRASH)]
+
+    def downtime(self, horizon: float) -> float:
+        """Total server downtime inside ``[0, horizon]``."""
+        total = 0.0
+        for start, duration in self.outages:
+            if start >= horizon:
+                continue
+            total += min(start + duration, horizon) - start
+        return total
+
+    def availability(self, horizon: float) -> float:
+        """Fraction of the horizon the server is up."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        return 1.0 - self.downtime(horizon) / horizon
+
+    def describe(self) -> str:
+        lines = [f"{len(self._events)} fault event(s):"]
+        for event in self._events:
+            detail = f"  t={event.time:g} {event.kind.value}"
+            if event.duration:
+                detail += f" for {event.duration:g}s"
+            if event.target:
+                detail += f" target={event.target}"
+            if event.magnitude != 1.0:
+                detail += f" x{event.magnitude:g}"
+            lines.append(detail)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule({len(self._events)} events)"
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        """The fault-free baseline."""
+        return cls(())
+
+    @classmethod
+    def single_outage(cls, at: float, duration: float) -> "FaultSchedule":
+        """One server crash at ``at``, restart ``duration`` later."""
+        return cls([FaultEvent(time=at, kind=FaultKind.SERVER_CRASH, duration=duration)])
+
+    @classmethod
+    def periodic_outages(
+        cls, first: float, period: float, duration: float, count: int
+    ) -> "FaultSchedule":
+        """``count`` equally spaced outages of equal length."""
+        if period <= duration:
+            raise ValueError(
+                f"period {period} must exceed outage duration {duration}"
+            )
+        return cls(
+            FaultEvent(time=first + i * period, kind=FaultKind.SERVER_CRASH, duration=duration)
+            for i in range(count)
+        )
+
+    @classmethod
+    def random(
+        cls,
+        streams: RandomStreams,
+        horizon: float,
+        crash_rate: float = 0.0,
+        mean_outage: float = 10.0,
+        subscribers: Sequence[str] = (),
+        disconnect_rate: float = 0.0,
+        mean_disconnect: float = 5.0,
+        slow_rate: float = 0.0,
+        mean_slow: float = 5.0,
+        slowdown: float = 4.0,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+    ) -> "FaultSchedule":
+        """Draw a schedule from seeded RNG streams.
+
+        Each fault kind draws from its *own* named stream of ``streams``
+        (the simulation's variance-reduction discipline), so enabling one
+        kind never perturbs another and identical seeds give identical
+        schedules.  Rates are events per virtual second; window lengths
+        are exponential with the given means.  Crash windows are generated
+        sequentially (gap then outage) and therefore never overlap.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        events: List[FaultEvent] = []
+        if crash_rate > 0:
+            rng = streams.stream("faults-crash")
+            t = float(rng.exponential(1.0 / crash_rate))
+            while t < horizon:
+                duration = max(float(rng.exponential(mean_outage)), 1e-9)
+                events.append(
+                    FaultEvent(time=t, kind=FaultKind.SERVER_CRASH, duration=duration)
+                )
+                t += duration + float(rng.exponential(1.0 / crash_rate))
+        if disconnect_rate > 0 and subscribers:
+            rng = streams.stream("faults-disconnect")
+            t = float(rng.exponential(1.0 / disconnect_rate))
+            while t < horizon:
+                target = str(rng.choice(list(subscribers)))
+                duration = max(float(rng.exponential(mean_disconnect)), 1e-9)
+                events.append(
+                    FaultEvent(
+                        time=t,
+                        kind=FaultKind.SUBSCRIBER_DISCONNECT,
+                        duration=duration,
+                        target=target,
+                    )
+                )
+                t += float(rng.exponential(1.0 / disconnect_rate))
+        if slow_rate > 0:
+            rng = streams.stream("faults-slow")
+            t = float(rng.exponential(1.0 / slow_rate))
+            while t < horizon:
+                duration = max(float(rng.exponential(mean_slow)), 1e-9)
+                events.append(
+                    FaultEvent(
+                        time=t,
+                        kind=FaultKind.SLOW_CONSUMER,
+                        duration=duration,
+                        magnitude=slowdown,
+                    )
+                )
+                t += duration + float(rng.exponential(1.0 / slow_rate))
+        for kind, rate, stream_name in (
+            (FaultKind.MESSAGE_DROP, drop_rate, "faults-drop"),
+            (FaultKind.MESSAGE_CORRUPT, corrupt_rate, "faults-corrupt"),
+        ):
+            if rate > 0:
+                rng = streams.stream(stream_name)
+                t = float(rng.exponential(1.0 / rate))
+                while t < horizon:
+                    events.append(FaultEvent(time=t, kind=kind, magnitude=1.0))
+                    t += float(rng.exponential(1.0 / rate))
+        return cls(events)

@@ -103,6 +103,7 @@ def build_filter_scenario(
     identical_non_matching: bool = False,
     plain_subscribers: int = 0,
     equivalent_variants: bool = False,
+    durable: bool = False,
 ) -> FilterScenario:
     """Assemble the broker for one parameter-study cell.
 
@@ -126,6 +127,11 @@ def build_filter_scenario(
         non-matching selectors through semantically equivalent textual
         forms of ``attribute = '#1'``: identical-literal sharing sees them
         as distinct, canonical sharing merges them back into one.
+    durable:
+        Install every subscription as *durable* so it survives server
+        crashes and retains messages while its subscriber is offline —
+        the configuration of the fault-injection experiments
+        (:mod:`repro.faults`).
     """
     if replication_grade < 0 or n_additional < 0 or plain_subscribers < 0:
         raise ValueError("subscriber counts must be non-negative")
@@ -134,7 +140,9 @@ def build_filter_scenario(
     for i in range(replication_grade):
         subscriber = broker.add_subscriber(f"match-{i}")
         subscriptions.append(
-            broker.subscribe(subscriber, TOPIC_NAME, _matching_filter(filter_type))
+            broker.subscribe(
+                subscriber, TOPIC_NAME, _matching_filter(filter_type), durable=durable
+            )
         )
     for i in range(n_additional):
         subscriber = broker.add_subscriber(f"other-{i}")
@@ -145,11 +153,14 @@ def build_filter_scenario(
                 _non_matching_filter(
                     filter_type, i, identical_non_matching, variants=equivalent_variants
                 ),
+                durable=durable,
             )
         )
     for i in range(plain_subscribers):
         subscriber = broker.add_subscriber(f"plain-{i}")
-        subscriptions.append(broker.subscribe(subscriber, TOPIC_NAME, MatchAllFilter()))
+        subscriptions.append(
+            broker.subscribe(subscriber, TOPIC_NAME, MatchAllFilter(), durable=durable)
+        )
     return FilterScenario(
         broker=broker,
         filter_type=filter_type,

@@ -16,24 +16,85 @@ Message lifecycle:
    ``t_rcv + n_checked · t_fltr + R · t_tx`` of virtual time, after which
    the copies appear in the subscriber inboxes (*dispatched* counted here)
    and the credit is released.
+
+Fault model (see :mod:`repro.faults`): the server carries an explicit
+up/down state.  :meth:`SimulatedJMSServer.crash` stops service, fails
+blocked publishers fast, loses non-persistent ingress messages, and keeps
+persistent ones journalled for redelivery; :meth:`restart` resumes
+service and recovers the broker (durable subscriptions reconnect, the
+filter index is rebuilt).  Injected degradations (slow-consumer ``t_tx``
+inflation, message drop/corruption) are also applied here.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..broker import Broker, FlowController, Message, PublishResult
+from ..broker.errors import ServerUnavailableError
+from ..broker.message import DeliveryMode
 from ..simulation import (
     BusyTracker,
     CpuCostModel,
     Engine,
     MeasurementWindow,
     SampleStats,
+    ScheduledEvent,
     WindowedCounter,
 )
 
-__all__ = ["SimulatedJMSServer"]
+__all__ = ["SimulatedJMSServer", "SubmitHandle"]
+
+
+class SubmitHandle:
+    """The publisher's view of one ``submit`` call.
+
+    Lets a resilient publisher observe the outcome (``accepted`` /
+    ``rejected``) and *cancel* a submit that is still blocked on
+    push-back — the timeout path of the retry logic.
+    """
+
+    __slots__ = (
+        "message",
+        "accepted",
+        "rejected",
+        "cancelled",
+        "error",
+        "_withdraw",
+        "_on_reject",
+    )
+
+    def __init__(
+        self,
+        message: Message,
+        on_reject: Optional[Callable[[Exception], None]] = None,
+    ):
+        self.message = message
+        self.accepted = False
+        self.rejected = False
+        self.cancelled = False
+        self.error: Optional[Exception] = None
+        self._withdraw: Optional[Callable[[], bool]] = None
+        self._on_reject = on_reject
+
+    @property
+    def pending(self) -> bool:
+        """Still blocked on push-back (neither accepted nor failed)."""
+        return not (self.accepted or self.rejected or self.cancelled)
+
+    def cancel(self) -> bool:
+        """Withdraw a submit still waiting for a credit.
+
+        Returns ``True`` when the waiter was removed before being granted;
+        ``False`` when the submit already completed (or failed).
+        """
+        if not self.pending or self._withdraw is None:
+            return False
+        if self._withdraw():
+            self.cancelled = True
+            return True
+        return False
 
 
 class SimulatedJMSServer:
@@ -74,28 +135,99 @@ class SimulatedJMSServer:
         self.waiting_times = SampleStats(name="waiting-time", window=window)
         self._queue: Deque[tuple[Message, float]] = deque()
         self._serving = False
+        # -- fault-model state ------------------------------------------
+        self.up = True
+        self.crashes = 0
+        #: Slow-consumer degradation: multiplies the transmit (``t_tx``)
+        #: share of every service; 1.0 = healthy.
+        self.slowdown = 1.0
+        #: Ledger: messages admitted to the ingress queue / fully served.
+        self.accepted = 0
+        self.completed = 0
+        self.delivered_messages = 0
+        self.expired_messages = 0
+        self.redelivered_messages = 0
+        self.lost_messages = 0
+        self.rejected_submits = 0
+        self.dropped_by_fault = 0
+        #: Corrupted messages quarantined at receive (server-side DLQ).
+        self.dead_letters: List[Message] = []
+        self._drop_next = 0
+        self._corrupt_next = 0
+        self._service_event: Optional[ScheduledEvent] = None
+        self._in_service: Optional[PublishResult] = None
+        self._pending: Dict[Callable[[], None], SubmitHandle] = {}
 
     # ------------------------------------------------------------------
     # Publisher-facing API
     # ------------------------------------------------------------------
-    def submit(self, message: Message, on_accept: Optional[Callable[[], None]] = None) -> None:
+    def submit(
+        self,
+        message: Message,
+        on_accept: Optional[Callable[[], None]] = None,
+        on_reject: Optional[Callable[[Exception], None]] = None,
+    ) -> SubmitHandle:
         """Offer a message; ``on_accept`` fires when a credit is granted.
 
         Saturated publishers pass a continuation that publishes their next
         message; Poisson publishers pass ``None`` (open arrivals, large
-        buffer, no loss — the M/G/1-∞ assumption).
+        buffer, no loss — the M/G/1-∞ assumption).  While the server is
+        down the submit *fails fast*: ``on_reject`` (if any) is called with
+        :class:`ServerUnavailableError` and the rejection is counted.  The
+        returned :class:`SubmitHandle` lets the caller cancel a submit that
+        is still blocked on push-back (see :mod:`repro.faults`).
         """
+        handle = SubmitHandle(message, on_reject=on_reject)
+        if not self.up:
+            self._reject(
+                handle, ServerUnavailableError(f"server down at t={self.engine.now:g}")
+            )
+            return handle
 
         def granted() -> None:
+            self._pending.pop(granted, None)
+            handle.accepted = True
             self._accept(message)
             if on_accept is not None:
                 on_accept()
 
+        def withdraw() -> bool:
+            if self.flow.cancel(granted):
+                self._pending.pop(granted, None)
+                return True
+            return False
+
+        handle._withdraw = withdraw
+        self._pending[granted] = handle
         self.flow.acquire(granted)
+        return handle
+
+    def _reject(self, handle: SubmitHandle, error: Exception) -> None:
+        handle.rejected = True
+        handle.error = error
+        self.rejected_submits += 1
+        if handle._on_reject is not None:
+            handle._on_reject(error)
 
     def _accept(self, message: Message) -> None:
         now = self.engine.now
+        if self._drop_next > 0:
+            # Injected network fault: the message vanishes after the
+            # credit grant; the credit returns immediately.
+            self._drop_next -= 1
+            self.dropped_by_fault += 1
+            self.broker.stats.dropped_by_fault += 1
+            self.flow.release()
+            return
+        if self._corrupt_next > 0:
+            # Injected corruption: quarantined to the server-side DLQ.
+            self._corrupt_next -= 1
+            self.dead_letters.append(message)
+            self.broker.stats.dead_lettered += 1
+            self.flow.release()
+            return
         message.timestamp = now
+        self.accepted += 1
         self.received.record(now)
         self._queue.append((message, now))
         if not self._serving:
@@ -116,12 +248,19 @@ class SimulatedJMSServer:
             copies_sent=result.replication_grade,
             payload_bytes=len(message.body),
         )
-        self.service_times.record(cost.total, time=now)
-        self.engine.call_in(cost.total, lambda: self._finish_service(result))
+        total = cost.receive + cost.filtering + cost.transmit * self.slowdown
+        self.service_times.record(total, time=now)
+        self._in_service = result
+        self._service_event = self.engine.call_in(
+            total, lambda: self._finish_service(result)
+        )
 
     def _finish_service(self, result: PublishResult) -> None:
         now = self.engine.now
+        self._service_event = None
+        self._in_service = None
         self.dispatched.record(now, count=result.replication_grade)
+        self._count_completion(result)
         # Keep _serving True while releasing: the credit hand-off may
         # synchronously admit a blocked publisher's message, which must
         # queue rather than start a second, concurrent service.
@@ -131,6 +270,99 @@ class SimulatedJMSServer:
         else:
             self._serving = False
             self.busy.idle(now)
+
+    def _count_completion(self, result: PublishResult) -> None:
+        self.completed += 1
+        if result.expired:
+            self.expired_messages += 1
+        else:
+            self.delivered_messages += 1
+        if result.message.redelivered:
+            self.redelivered_messages += 1
+
+    # ------------------------------------------------------------------
+    # Fault model: crash / restart / degradations
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the server down hard.
+
+        In-flight copies of the message being served had already left the
+        broker (``publish`` ran at service start), so that message is
+        rolled *forward* and counted; everything else follows the
+        journalled-persistence rules: persistent ingress messages survive
+        for redelivery after :meth:`restart`, non-persistent ones are
+        lost, and publishers blocked on push-back are failed fast.
+        """
+        if not self.up:
+            raise ServerUnavailableError("crash() on a server that is already down")
+        now = self.engine.now
+        self.up = False
+        self.crashes += 1
+        # 1. the message in service completes atomically at crash time.
+        if self._service_event is not None:
+            self._service_event.cancel()
+            self._service_event = None
+            result = self._in_service
+            self._in_service = None
+            assert result is not None
+            self.dispatched.record(now, count=result.replication_grade)
+            self._count_completion(result)
+        self._serving = False
+        self.busy.idle(now)
+        # 2. blocked publishers fail fast; their credits died with the
+        #    server (reset before re-acquiring survivor credits).
+        abandoned = self.flow.reset()
+        for grant in abandoned:
+            handle = self._pending.pop(grant, None)
+            if handle is not None:
+                self._reject(handle, ServerUnavailableError(f"server crashed at t={now:g}"))
+        # 3. ingress queue: persistent messages survive via the journal
+        #    (flagged redelivered), non-persistent ones are lost.
+        survivors: Deque[tuple[Message, float]] = deque()
+        for message, arrival in self._queue:
+            if message.delivery_mode is DeliveryMode.PERSISTENT:
+                message.redelivered = True
+                self.broker.stats.redelivered += 1
+                took = self.flow.try_acquire()
+                assert took, "survivor exceeded ingress capacity"
+                survivors.append((message, arrival))
+            else:
+                self.lost_messages += 1
+                self.broker.stats.lost_on_crash += 1
+        self._queue = survivors
+        # 4. broker state: non-durable subscriptions die, durables retain.
+        self.broker.crash()
+
+    def restart(self) -> None:
+        """Bring the server back up and resume service on the backlog."""
+        if self.up:
+            raise ServerUnavailableError("restart() on a server that is already up")
+        self.up = True
+        self.broker.recover()
+        if self._queue and not self._serving:
+            self._start_service()
+
+    def degrade(self, slowdown: float) -> None:
+        """Inflate the transmit cost ``t_tx`` (slow-consumer fault)."""
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        self.slowdown = float(slowdown)
+
+    def restore_speed(self) -> None:
+        """End a slow-consumer degradation window."""
+        self.slowdown = 1.0
+
+    def inject_drop(self, count: int = 1) -> None:
+        """Drop the next ``count`` accepted messages (network fault)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._drop_next += count
+
+    def inject_corruption(self, count: int = 1) -> None:
+        """Corrupt the next ``count`` accepted messages (dead-lettered)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._corrupt_next += count
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,106 @@
+"""Tests for the PSR/SSR failover policies and their simulation check."""
+
+import pytest
+
+from repro.architectures import (
+    SystemParameters,
+    psr_failover,
+    simulate_degraded_survivor,
+    ssr_failover,
+)
+from repro.core.params import CORRELATION_ID_COSTS
+
+
+def params(publishers=4, subscribers=4, **kwargs):
+    defaults = dict(
+        costs=CORRELATION_ID_COSTS,
+        publishers=publishers,
+        subscribers=subscribers,
+        filters_per_subscriber=10,
+        mean_replication=1.0,
+        rho=0.9,
+    )
+    defaults.update(kwargs)
+    return SystemParameters(**defaults)
+
+
+class TestPsrFailover:
+    def test_capacity_scales_with_survivors(self):
+        report = psr_failover(params(), failed=1)
+        assert report.capacity_ratio == pytest.approx(3 / 4)
+        assert report.survivors == 3
+
+    def test_service_time_unchanged(self):
+        report = psr_failover(params(), failed=2)
+        assert report.degraded_mean_service == report.healthy_mean_service
+
+    def test_zero_failures_is_identity(self):
+        report = psr_failover(params(), failed=0)
+        assert report.capacity_ratio == 1.0
+
+    def test_sustainability_at_load(self):
+        healthy = psr_failover(params(), failed=0).healthy_capacity
+        ok = psr_failover(params(), failed=1, system_rate=0.5 * healthy)
+        assert ok.sustainable and ok.degraded_mean_wait > 0
+        overload = psr_failover(params(), failed=3, system_rate=0.5 * healthy)
+        assert not overload.sustainable and overload.degraded_mean_wait is None
+
+    def test_all_servers_failed_rejected(self):
+        with pytest.raises(ValueError):
+            psr_failover(params(), failed=4)
+
+    def test_simulation_confirms_survivor_load_and_wait(self):
+        p = params()
+        rate = 0.6 * psr_failover(p, failed=0).healthy_capacity
+        report = psr_failover(p, failed=1, system_rate=rate)
+        sim = simulate_degraded_survivor(
+            p, "psr", failed=1, system_rate=rate, horizon=200.0, seed=3, cpu_scale=100.0
+        )
+        assert sim.utilization == pytest.approx(report.degraded_utilization, rel=0.05)
+        assert sim.mean_waiting_time / 100.0 == pytest.approx(
+            report.degraded_mean_wait, rel=0.25
+        )
+
+
+class TestSsrFailover:
+    def test_absorption_inflates_service_time(self):
+        report = ssr_failover(params(), failed=2)  # f = 2
+        p = params()
+        expected = (
+            p.costs.t_rcv
+            + 2 * p.filters_per_subscriber * p.costs.t_fltr
+            + 2 * p.mean_replication * p.costs.t_tx
+        )
+        assert report.degraded_mean_service == pytest.approx(expected)
+
+    def test_capacity_drops_more_than_proportionally(self):
+        # Survivors keep receiving the full stream AND do more work each,
+        # so capacity falls below the (m-k)/m line PSR achieves.
+        report = ssr_failover(params(), failed=2)
+        assert report.capacity_ratio < 0.75
+
+    def test_waiting_time_grows_with_failures(self):
+        rate = 0.4 * ssr_failover(params(), failed=0).healthy_capacity
+        waits = [
+            ssr_failover(params(), failed=k, system_rate=rate).degraded_mean_wait
+            for k in range(3)
+        ]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_simulation_confirms_degraded_utilization_and_wait(self):
+        p = params()
+        rate = 0.5 * ssr_failover(p, failed=0).healthy_capacity
+        report = ssr_failover(p, failed=2, system_rate=rate)
+        sim = simulate_degraded_survivor(
+            p, "ssr", failed=2, system_rate=rate, horizon=50.0, seed=3, cpu_scale=100.0
+        )
+        assert sim.utilization == pytest.approx(report.degraded_utilization, rel=0.05)
+        assert sim.mean_waiting_time / 100.0 == pytest.approx(
+            report.degraded_mean_wait, rel=0.25
+        )
+
+    def test_fractional_absorption_rejected_in_simulation(self):
+        with pytest.raises(ValueError, match="integral"):
+            simulate_degraded_survivor(
+                params(subscribers=3), "ssr", failed=1, system_rate=10.0, horizon=1.0
+            )

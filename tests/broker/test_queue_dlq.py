@@ -1,0 +1,197 @@
+"""Dead-letter queues, TTL-on-drain, crash recovery, flow-control cancel."""
+
+import pytest
+
+from repro.broker import (
+    FlowController,
+    Message,
+    PointToPointQueue,
+    QueueConsumer,
+    QueueManager,
+)
+from repro.broker.message import DeliveryMode
+
+
+def msg(**kwargs):
+    return Message(topic="q", **kwargs)
+
+
+class TestExpiryOnDrain:
+    def test_backlog_message_expires_while_waiting(self):
+        """The TTL bugfix: expiry must be honoured at drain, not only send."""
+        queue = PointToPointQueue("work")
+        queue.send(msg(expiration=5.0), now=0.0)  # no consumer yet
+        assert queue.depth == 1
+        consumer = QueueConsumer("late")
+        queue.attach(consumer, now=10.0)  # TTL elapsed while queued
+        assert len(consumer.inbox) == 0
+        assert queue.expired == 1
+        assert queue.depth == 0
+
+    def test_live_message_still_delivered(self):
+        queue = PointToPointQueue("work")
+        queue.send(msg(expiration=5.0), now=0.0)
+        consumer = QueueConsumer("in-time")
+        queue.attach(consumer, now=4.0)
+        assert len(consumer.inbox) == 1
+        assert queue.expired == 0
+
+    def test_expired_head_does_not_block_later_messages(self):
+        queue = PointToPointQueue("work")
+        queue.send(msg(expiration=1.0), now=0.0)
+        queue.send(msg(), now=0.0)
+        consumer = QueueConsumer("c")
+        queue.attach(consumer, now=2.0)
+        assert queue.expired == 1
+        assert len(consumer.inbox) == 1
+
+    def test_requeue_of_expired_message_counts_expired(self):
+        queue = PointToPointQueue("work")
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        queue.send(msg(expiration=1.0), now=0.0)
+        consumer.receive()
+        queue.detach(consumer, now=5.0)  # unacked, but TTL already passed
+        assert queue.expired == 1
+        assert queue.depth == 0
+
+
+class TestDeadLettering:
+    def _bounce(self, queue, times):
+        """Deliver to a consumer that detaches without acking ``times`` times."""
+        for _ in range(times):
+            consumer = QueueConsumer("flaky")
+            queue.attach(consumer)
+            assert consumer.receive() is not None
+            queue.detach(consumer)
+
+    def test_poison_message_moves_to_dlq(self):
+        queue = PointToPointQueue("work", max_redeliveries=3)
+        queue.send(msg())
+        self._bounce(queue, 4)
+        assert len(queue.dead_letters) == 1
+        assert queue.dead_lettered == 1
+        assert queue.depth == 0
+
+    def test_message_survives_up_to_budget(self):
+        queue = PointToPointQueue("work", max_redeliveries=3)
+        queue.send(msg())
+        self._bounce(queue, 3)
+        assert len(queue.dead_letters) == 0
+        assert queue.redelivered == 3
+        assert queue.depth == 1
+        (message, redelivered_flag) = queue._backlog[0]
+        assert message.redelivered and redelivered_flag
+
+    def test_ack_resets_redelivery_tracking(self):
+        queue = PointToPointQueue("work", max_redeliveries=1)
+        queue.send(msg())
+        consumer = QueueConsumer("ok")
+        queue.attach(consumer)
+        delivery = consumer.receive()
+        consumer.ack(delivery)
+        assert queue.acked == 1
+        assert queue._redeliveries == {}
+
+    def test_default_queue_never_dead_letters(self):
+        queue = PointToPointQueue("work")
+        queue.send(msg())
+        self._bounce(queue, 10)
+        assert len(queue.dead_letters) == 0
+        assert queue.depth == 1
+
+
+class TestQueueCrash:
+    def test_persistent_messages_survive_in_order(self):
+        queue = PointToPointQueue("work")
+        first, second = msg(), msg()
+        queue.send(first)
+        queue.send(second)
+        report = queue.crash()
+        assert report.recovered == 2 and report.lost == 0
+        assert [m.message_id for m, _ in queue._backlog] == [
+            first.message_id,
+            second.message_id,
+        ]
+        assert all(m.redelivered for m, _ in queue._backlog)
+
+    def test_non_persistent_messages_lost(self):
+        queue = PointToPointQueue("work")
+        queue.send(msg(delivery_mode=DeliveryMode.NON_PERSISTENT))
+        queue.send(msg())
+        report = queue.crash()
+        assert report.lost == 1 and report.recovered == 1
+        assert queue.lost_on_crash == 1
+
+    def test_unacked_deliveries_recovered(self):
+        queue = PointToPointQueue("work")
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        queue.send(msg())
+        consumer.receive()  # in unacked at crash time
+        report = queue.crash()
+        assert report.recovered == 1
+        assert not consumer.attached
+        assert queue.depth == 1
+
+    def test_crash_can_dead_letter_poison_survivors(self):
+        queue = PointToPointQueue("work", max_redeliveries=1)
+        queue.send(msg())
+        queue.crash()
+        report = queue.crash()  # second strike exhausts the budget
+        assert report.dead_lettered == 1
+        assert queue.depth == 0
+
+    def test_manager_crash_all_reports_per_queue(self):
+        manager = QueueManager()
+        manager.create("a").send(msg())
+        manager.create("b")
+        reports = manager.crash_all()
+        assert [r.queue for r in reports] == ["a", "b"]
+        assert reports[0].recovered == 1
+
+
+class TestFlowControllerCancel:
+    def test_cancel_removes_waiter(self):
+        flow = FlowController(1)
+        flow.acquire(lambda: None)  # takes the only credit
+        fired = []
+        waiter = lambda: fired.append(True)  # noqa: E731
+        flow.acquire(waiter)
+        assert flow.cancel(waiter)
+        flow.release()
+        assert fired == []
+
+    def test_cancel_unknown_waiter_returns_false(self):
+        flow = FlowController(1)
+        assert not flow.cancel(lambda: None)
+
+    def test_cancelled_waiter_skipped_on_release(self):
+        flow = FlowController(1)
+        flow.acquire(lambda: None)
+        first, second = [], []
+        waiter1 = lambda: first.append(True)  # noqa: E731
+        waiter2 = lambda: second.append(True)  # noqa: E731
+        flow.acquire(waiter1)
+        flow.acquire(waiter2)
+        flow.cancel(waiter1)
+        flow.release()
+        assert first == [] and second == [True]
+
+    def test_blocked_count_includes_cancelled(self):
+        flow = FlowController(1)
+        flow.acquire(lambda: None)
+        waiter = lambda: None  # noqa: E731
+        flow.acquire(waiter)
+        flow.cancel(waiter)
+        assert flow.blocked_count == 1
+
+    def test_reset_returns_abandoned_waiters(self):
+        flow = FlowController(1)
+        flow.acquire(lambda: None)
+        waiter = lambda: None  # noqa: E731
+        flow.acquire(waiter)
+        abandoned = flow.reset()
+        assert abandoned == [waiter]
+        assert flow.in_flight == 0
+        assert flow.try_acquire()

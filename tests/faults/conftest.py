@@ -1,0 +1,46 @@
+"""Shared fixtures: a small simulated server rig for fault tests."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.params import FilterType, costs_for
+from repro.simulation import CpuCostModel, Engine, MeasurementWindow
+from repro.testbed.scenario import build_filter_scenario
+from repro.testbed.simserver import SimulatedJMSServer
+
+#: Scaled so one message costs ~20 ms of virtual time — runs stay tiny.
+CPU_SCALE = 1000.0
+
+
+@dataclass
+class Rig:
+    engine: Engine
+    broker: Broker
+    server: SimulatedJMSServer
+    make_message: callable
+
+
+@pytest.fixture
+def rig() -> Rig:
+    engine = Engine()
+    scenario = build_filter_scenario(
+        filter_type=FilterType.CORRELATION_ID,
+        replication_grade=1,
+        n_additional=2,
+        durable=True,
+    )
+    server = SimulatedJMSServer(
+        engine=engine,
+        broker=scenario.broker,
+        cpu=CpuCostModel(costs=costs_for(FilterType.CORRELATION_ID).scaled(CPU_SCALE)),
+        window=MeasurementWindow(start=0.0, end=100.0),
+        buffer_capacity=4,
+    )
+    return Rig(
+        engine=engine,
+        broker=scenario.broker,
+        server=server,
+        make_message=scenario.make_message,
+    )

@@ -1,0 +1,70 @@
+"""Tests for the fluid outage-impact model."""
+
+import pytest
+
+from repro.core.moments import Moments
+from repro.faults import FaultSchedule, outage_impact
+
+#: Deterministic 10 ms service: μ = 100/s.
+SERVICE = Moments(0.01, 0.0001, 0.000001)
+
+
+class TestFluidFormulas:
+    def test_no_outages_is_pure_pk(self):
+        impact = outage_impact(50.0, SERVICE, FaultSchedule.none(), horizon=100.0)
+        assert impact.extra_mean_wait == 0.0
+        assert impact.mean_wait == impact.base_mean_wait
+        assert impact.availability == 1.0
+        assert impact.drain_times == ()
+
+    def test_single_outage_triangle(self):
+        # λ=50, μ=100: T = 50·4/(100−50) = 4; extra = 4·(4+4)/(2·100) = 0.16.
+        impact = outage_impact(
+            50.0, SERVICE, FaultSchedule.single_outage(at=10.0, duration=4.0), horizon=100.0
+        )
+        assert impact.drain_times == (pytest.approx(4.0),)
+        assert impact.extra_mean_wait == pytest.approx(0.16)
+        assert impact.peak_backlog == pytest.approx(200.0)
+        assert impact.availability == pytest.approx(0.96)
+        assert impact.drains_between_outages
+
+    def test_outages_compose_additively(self):
+        one = outage_impact(
+            50.0, SERVICE, FaultSchedule.single_outage(10.0, 4.0), horizon=100.0
+        )
+        two = outage_impact(
+            50.0,
+            SERVICE,
+            FaultSchedule.periodic_outages(first=10.0, period=40.0, duration=4.0, count=2),
+            horizon=100.0,
+        )
+        assert two.extra_mean_wait == pytest.approx(2 * one.extra_mean_wait)
+
+    def test_detects_outages_too_close_to_drain(self):
+        # Drain takes 4 s but the next crash starts 2 s after restart.
+        schedule = FaultSchedule.periodic_outages(
+            first=10.0, period=6.0, duration=4.0, count=2
+        )
+        impact = outage_impact(50.0, SERVICE, schedule, horizon=100.0)
+        assert not impact.drains_between_outages
+
+    def test_outage_clipped_at_horizon(self):
+        impact = outage_impact(
+            50.0, SERVICE, FaultSchedule.single_outage(at=98.0, duration=10.0), horizon=100.0
+        )
+        # Only 2 s of the outage fall inside the horizon.
+        assert impact.drain_times == (pytest.approx(2.0),)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            outage_impact(150.0, SERVICE, FaultSchedule.none(), horizon=10.0)
+
+    def test_higher_load_means_longer_drain(self):
+        low = outage_impact(
+            20.0, SERVICE, FaultSchedule.single_outage(10.0, 4.0), horizon=100.0
+        )
+        high = outage_impact(
+            80.0, SERVICE, FaultSchedule.single_outage(10.0, 4.0), horizon=100.0
+        )
+        assert high.drain_times[0] > low.drain_times[0]
+        assert high.extra_mean_wait > low.extra_mean_wait

@@ -1,0 +1,116 @@
+"""Tests for the fault injector (schedule replay on a live server)."""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    RetryPolicy,
+    RetryingPoissonPublisher,
+)
+from repro.simulation import RandomStreams
+
+
+def arm(rig, schedule):
+    injector = FaultInjector(engine=rig.engine, server=rig.server, schedule=schedule)
+    injector.arm()
+    return injector
+
+
+def load(rig, rate=20.0, stop_time=4.0, seed=5):
+    streams = RandomStreams(seed=seed)
+    publisher = RetryingPoissonPublisher(
+        engine=rig.engine,
+        server=rig.server,
+        rate=rate,
+        message_factory=rig.make_message,
+        rng=streams.stream("arrivals"),
+        retry_rng=streams.stream("retry"),
+        policy=RetryPolicy(),
+        stop_time=stop_time,
+    )
+    publisher.start()
+    return publisher
+
+
+class TestCrashWindows:
+    def test_crash_and_restart_at_scheduled_times(self, rig):
+        injector = arm(rig, FaultSchedule.single_outage(at=1.0, duration=0.5))
+        load(rig)
+        rig.engine.run()
+        assert rig.server.up
+        assert rig.server.crashes == 1
+        (record,) = injector.log
+        assert record.applied_at == pytest.approx(1.0)
+        assert record.recovered_at == pytest.approx(1.5)
+
+    def test_multiple_outages(self, rig):
+        schedule = FaultSchedule.periodic_outages(first=0.5, period=1.0, duration=0.2, count=3)
+        arm(rig, schedule)
+        load(rig)
+        rig.engine.run()
+        assert rig.server.crashes == 3
+        assert rig.server.up
+
+
+class TestSubscriberDisconnect:
+    def test_disconnect_window_retains_durably(self, rig):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.5,
+                    kind=FaultKind.SUBSCRIBER_DISCONNECT,
+                    duration=1.0,
+                    target="match-0",
+                )
+            ]
+        )
+        injector = arm(rig, schedule)
+        load(rig)
+        rig.engine.run()
+        (record,) = injector.log
+        assert record.recovered_at == pytest.approx(1.5)
+        assert "replayed" in record.detail
+        subscriber = rig.broker.get_subscriber("match-0")
+        assert subscriber.connected
+        # Everything dispatched eventually reaches the durable subscriber.
+        assert len(subscriber.inbox) == rig.server.delivered_messages
+
+
+class TestDegradations:
+    def test_slow_consumer_window_inflates_service(self, rig):
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, kind=FaultKind.SLOW_CONSUMER, duration=2.0, magnitude=8.0)]
+        )
+        arm(rig, schedule)
+        rig.engine.run(until=0.01)  # apply the degradation event at t=0
+        assert rig.server.slowdown == 8.0
+        rig.server.submit(rig.make_message())
+        rig.engine.run(until=1.0)
+        degraded_mean = rig.server.service_times.mean()
+        rig.engine.run()  # window ends, speed restored
+        assert rig.server.slowdown == 1.0
+        rig.server.submit(rig.make_message())
+        rig.engine.run()
+        # The healthy second sample pulls the running mean down.
+        assert rig.server.service_times.mean() < degraded_mean
+
+    def test_drop_and_corrupt_counts(self, rig):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=0.0, kind=FaultKind.MESSAGE_DROP, magnitude=2.0),
+                FaultEvent(time=0.0, kind=FaultKind.MESSAGE_CORRUPT, magnitude=1.0),
+            ]
+        )
+        arm(rig, schedule)
+        rig.engine.run()
+        for _ in range(6):
+            rig.server.submit(rig.make_message())
+        rig.engine.run()
+        assert rig.server.dropped_by_fault == 2
+        assert len(rig.server.dead_letters) == 1
+        assert rig.server.completed == 3
+        assert rig.broker.stats.dropped_by_fault == 2
+        assert rig.broker.stats.dead_lettered == 1

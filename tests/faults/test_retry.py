@@ -1,0 +1,63 @@
+"""Tests for the backoff retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.0)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_rejects_jitter_out_of_range(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDelay:
+    def test_geometric_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=100.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(1.6)
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0, max_delay=1.0, jitter=0.0)
+        assert policy.delay(5) == pytest.approx(1.0)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(0, rng) for _ in range(200)]
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert max(delays) > 1.05 and min(delays) < 0.95
+
+    def test_jitter_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.3)
+        a = [policy.delay(i, np.random.default_rng(7)) for i in range(5)]
+        b = [policy.delay(i, np.random.default_rng(7)) for i in range(5)]
+        assert a == b
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5)
+        assert policy.delay(0) == pytest.approx(0.5)
+
+
+class TestExhaustion:
+    def test_unlimited_by_default(self):
+        assert not RetryPolicy().exhausted(10**6)
+
+    def test_budget_enforced(self):
+        policy = RetryPolicy(max_retries=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)

@@ -1,0 +1,138 @@
+"""Tests for fault schedules (validation, builders, seeded randomness)."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.simulation import RandomStreams
+
+
+def crash(at, duration):
+    return FaultEvent(time=at, kind=FaultKind.SERVER_CRASH, duration=duration)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind=FaultKind.MESSAGE_DROP)
+
+    def test_window_faults_need_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=1.0, kind=FaultKind.SERVER_CRASH)
+
+    def test_disconnect_needs_target(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=1.0, kind=FaultKind.SUBSCRIBER_DISCONNECT, duration=2.0)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=1.0, kind=FaultKind.SLOW_CONSUMER, duration=2.0, magnitude=0.5
+            )
+
+    def test_drop_magnitude_must_be_integral(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=1.0, kind=FaultKind.MESSAGE_DROP, magnitude=1.5)
+
+    def test_end_property(self):
+        assert crash(3.0, 2.0).end == 5.0
+
+
+class TestScheduleValidation:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule([crash(10.0, 1.0), crash(2.0, 1.0)])
+        assert [e.time for e in schedule] == [2.0, 10.0]
+
+    def test_overlapping_crashes_rejected(self):
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            FaultSchedule([crash(0.0, 5.0), crash(3.0, 1.0)])
+
+    def test_back_to_back_crashes_allowed(self):
+        schedule = FaultSchedule([crash(0.0, 5.0), crash(5.0, 1.0)])
+        assert len(schedule) == 2
+
+    def test_non_crash_faults_may_overlap_crashes(self):
+        FaultSchedule(
+            [
+                crash(0.0, 5.0),
+                FaultEvent(
+                    time=2.0, kind=FaultKind.SLOW_CONSUMER, duration=10.0, magnitude=2.0
+                ),
+            ]
+        )
+
+
+class TestAccounting:
+    def test_downtime_and_availability(self):
+        schedule = FaultSchedule([crash(10.0, 5.0), crash(50.0, 5.0)])
+        assert schedule.downtime(100.0) == pytest.approx(10.0)
+        assert schedule.availability(100.0) == pytest.approx(0.9)
+
+    def test_downtime_clips_at_horizon(self):
+        schedule = FaultSchedule([crash(90.0, 20.0), crash(200.0, 5.0)])
+        assert schedule.downtime(100.0) == pytest.approx(10.0)
+
+    def test_outages_lists_crash_windows_only(self):
+        schedule = FaultSchedule(
+            [crash(1.0, 2.0), FaultEvent(time=0.5, kind=FaultKind.MESSAGE_DROP)]
+        )
+        assert schedule.outages == [(1.0, 2.0)]
+
+    def test_describe_mentions_every_event(self):
+        schedule = FaultSchedule.periodic_outages(first=1.0, period=10.0, duration=2.0, count=3)
+        text = schedule.describe()
+        assert "3 fault event(s)" in text
+        assert text.count("server_crash") == 3
+
+
+class TestBuilders:
+    def test_none_is_empty(self):
+        assert len(FaultSchedule.none()) == 0
+        assert FaultSchedule.none().availability(10.0) == 1.0
+
+    def test_single_outage(self):
+        schedule = FaultSchedule.single_outage(at=5.0, duration=2.0)
+        assert schedule.outages == [(5.0, 2.0)]
+
+    def test_periodic_outages_must_fit_period(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.periodic_outages(first=0.0, period=2.0, duration=3.0, count=2)
+
+    def test_random_same_seed_identical(self):
+        kwargs = dict(
+            horizon=200.0,
+            crash_rate=0.02,
+            mean_outage=5.0,
+            subscribers=("a", "b"),
+            disconnect_rate=0.05,
+            slow_rate=0.01,
+            drop_rate=0.1,
+            corrupt_rate=0.05,
+        )
+        one = FaultSchedule.random(RandomStreams(seed=42), **kwargs)
+        two = FaultSchedule.random(RandomStreams(seed=42), **kwargs)
+        assert one.events == two.events
+        assert len(one) > 0
+
+    def test_random_different_seed_differs(self):
+        one = FaultSchedule.random(RandomStreams(seed=1), horizon=500.0, crash_rate=0.02)
+        two = FaultSchedule.random(RandomStreams(seed=2), horizon=500.0, crash_rate=0.02)
+        assert one.events != two.events
+
+    def test_random_crashes_never_overlap(self):
+        schedule = FaultSchedule.random(
+            RandomStreams(seed=3), horizon=1000.0, crash_rate=0.1, mean_outage=10.0
+        )
+        outages = schedule.outages
+        assert len(outages) > 5
+        for (s1, d1), (s2, _) in zip(outages, outages[1:]):
+            assert s1 + d1 <= s2
+
+    def test_random_isolated_streams(self):
+        # Enabling another fault kind must not perturb the crash stream.
+        crashes_only = FaultSchedule.random(
+            RandomStreams(seed=9), horizon=300.0, crash_rate=0.02
+        )
+        with_drops = FaultSchedule.random(
+            RandomStreams(seed=9), horizon=300.0, crash_rate=0.02, drop_rate=0.2
+        )
+        assert crashes_only.outages == with_drops.outages

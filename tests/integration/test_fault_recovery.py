@@ -1,0 +1,97 @@
+"""Acceptance test: crash/restart with retrying publishers and recovery.
+
+The PR's contract: with ``max_redeliveries=3`` and a mid-run outage,
+
+- no persistent message is lost (delivered + dead-lettered + expired
+  equals everything published),
+- the publisher retry loop drains the backlog after restart,
+- the whole run is deterministic across two executions with the same
+  seed.
+
+Plus a fast fault-injection smoke test exercising every fault kind.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultExperimentConfig,
+    FaultKind,
+    FaultSchedule,
+    RetryPolicy,
+    run_fault_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def outage_run():
+    config = FaultExperimentConfig(
+        seed=13,
+        horizon=30.0,
+        utilization=0.7,
+        max_redeliveries=3,
+        retry=RetryPolicy(base_delay=0.02, max_delay=1.0, jitter=0.1),
+    )
+    schedule = FaultSchedule.single_outage(at=10.0, duration=4.0)
+    return config, schedule, run_fault_experiment(schedule, config)
+
+
+class TestAcceptance:
+    def test_outage_actually_happened(self, outage_run):
+        _, _, result = outage_run
+        assert result.crashes == 1
+        assert result.rejected_submits > 0
+
+    def test_no_persistent_message_lost(self, outage_run):
+        _, _, result = outage_run
+        published = result.accepted
+        assert result.delivered + result.dead_lettered + result.expired == published
+        assert result.lost == 0
+
+    def test_retry_drains_backlog_after_restart(self, outage_run):
+        _, _, result = outage_run
+        assert result.retries > 0
+        assert result.publisher_accepted == result.generated
+        assert result.backlog_at_end == 0
+        assert result.abandoned == 0
+
+    def test_deterministic_across_two_executions(self, outage_run):
+        config, schedule, result = outage_run
+        again = run_fault_experiment(schedule, config)
+        assert again.to_metrics() == result.to_metrics()
+
+    def test_outage_inflates_wait_as_fluid_model_predicts(self, outage_run):
+        config, schedule, result = outage_run
+        baseline = run_fault_experiment(FaultSchedule.none(), config)
+        measured_extra = result.mean_total_wait - baseline.mean_total_wait
+        assert measured_extra > 0
+        predicted = result.impact.extra_mean_wait
+        assert predicted / 3 <= measured_extra <= predicted * 3
+
+
+def test_fault_injection_smoke_all_kinds():
+    """Fast end-to-end smoke: every fault kind in one short run."""
+    schedule = FaultSchedule(
+        [
+            FaultEvent(time=2.0, kind=FaultKind.SERVER_CRASH, duration=1.0),
+            FaultEvent(
+                time=4.0,
+                kind=FaultKind.SUBSCRIBER_DISCONNECT,
+                duration=1.0,
+                target="match-0",
+            ),
+            FaultEvent(time=5.0, kind=FaultKind.SLOW_CONSUMER, duration=1.0, magnitude=4.0),
+            FaultEvent(time=6.0, kind=FaultKind.MESSAGE_DROP, magnitude=2.0),
+            FaultEvent(time=6.5, kind=FaultKind.MESSAGE_CORRUPT, magnitude=1.0),
+        ]
+    )
+    config = FaultExperimentConfig(seed=1, horizon=8.0, utilization=0.5)
+    result = run_fault_experiment(schedule, config)
+    assert result.crashes == 1
+    assert result.dropped_by_fault == 2
+    assert result.corrupted == 1
+    assert result.no_persistent_loss
+    assert (
+        result.publisher_accepted
+        == result.accepted + result.dropped_by_fault + result.corrupted
+    )

@@ -15,6 +15,7 @@ safe to call from CI bootstrap and from the pytest gate alike.
 from __future__ import annotations
 
 import argparse
+import os
 import shutil
 import subprocess
 import sys
@@ -27,6 +28,29 @@ CHECKS = (
     ("mypy", ["mypy", "--config-file", "pyproject.toml"]),
 )
 
+#: Packages that must import cleanly even in minimal environments.  This
+#: runs with the bundled interpreter, so unlike ruff/mypy it can never be
+#: skipped: a broken import in any of these fails the gate everywhere.
+IMPORT_SMOKE = (
+    "repro",
+    "repro.broker",
+    "repro.faults",
+    "repro.architectures.failover",
+)
+
+
+def import_smoke() -> bool:
+    """Import every package in IMPORT_SMOKE in a fresh interpreter."""
+    script = "import importlib\n" + "\n".join(
+        f"importlib.import_module({name!r})" for name in IMPORT_SMOKE
+    )
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    print(f"[check_static] import-smoke: {', '.join(IMPORT_SMOKE)}")
+    result = subprocess.run([sys.executable, "-c", script], cwd=REPO_ROOT, env=env)
+    return result.returncode == 0
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -36,7 +60,7 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero when a checker is not installed (CI mode)",
     )
     args = parser.parse_args(argv)
-    failed = False
+    failed = not import_smoke()
     for name, command in CHECKS:
         if shutil.which(command[0]) is None:
             print(f"[check_static] {name}: not installed, skipping")
