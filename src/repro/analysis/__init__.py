@@ -15,6 +15,7 @@ module            paper content
 ``fig11``         waiting-time CCDF at rho = 0.9
 ``fig12``         99 % / 99.99 % waiting-time quantiles
 ``fig15``         PSR vs. SSR distributed capacity
+``overload``      M/G/1/K loss + conditional wait beyond the paper
 ================  ====================================================
 """
 
@@ -27,6 +28,12 @@ from .fig10 import figure10, normalized_mean_wait, utilization_grid
 from .fig11 import figure11, wait_ccdf_curve
 from .fig12 import capacity_for_bound, figure12, normalized_quantile
 from .fig15 import figure15, psr_example_per_server_capacity
+from .overload import (
+    OverloadValidationRow,
+    format_validation,
+    overload_figure,
+    validate_overload,
+)
 from .report import ClaimCheck, format_report, reproduction_report
 from .sensitivity import (
     ArrivalCase,
@@ -43,6 +50,7 @@ __all__ = [
     "ClaimCheck",
     "Fig4Point",
     "FigureData",
+    "OverloadValidationRow",
     "SensitivityRow",
     "Series",
     "Table1Row",
@@ -63,17 +71,20 @@ __all__ = [
     "figure9",
     "format_report",
     "format_table1",
+    "format_validation",
     "log_filter_grid",
     "max_bernoulli_cvar",
     "max_cvar_for_filters",
     "measure_grid",
     "normalized_mean_wait",
     "normalized_quantile",
+    "overload_figure",
     "psr_example_per_server_capacity",
     "reference_plateau",
     "reproduce_table1",
     "reproduction_report",
     "service_model_for_cvar",
     "utilization_grid",
+    "validate_overload",
     "wait_ccdf_curve",
 ]

@@ -13,6 +13,7 @@ from .dispatch import DispatchPlan, plan_dispatch
 from .filter_index import FilterIndex
 from .hierarchy import TopicPattern, TopicTrie, split_topic
 from .queues import (
+    DropPolicy,
     PointToPointQueue,
     QueueConsumer,
     QueueCrashReport,
@@ -25,6 +26,7 @@ from .errors import (
     InvalidSelectorError,
     JMSError,
     MessageFormatError,
+    ServerOverloadedError,
     ServerUnavailableError,
     SubscriptionError,
 )
@@ -46,6 +48,7 @@ __all__ = [
     "DeliveredMessage",
     "DeliveryMode",
     "DispatchPlan",
+    "DropPolicy",
     "FilterIndex",
     "FlowControlError",
     "FlowController",
@@ -54,6 +57,7 @@ __all__ = [
     "QueueCrashReport",
     "QueueDelivery",
     "QueueManager",
+    "ServerOverloadedError",
     "ServerUnavailableError",
     "TopicPattern",
     "TopicTrie",

@@ -10,6 +10,7 @@ __all__ = [
     "SubscriptionError",
     "FlowControlError",
     "ServerUnavailableError",
+    "ServerOverloadedError",
 ]
 
 
@@ -52,4 +53,17 @@ class ServerUnavailableError(JMSError):
 
     Resilient clients catch this and retry with backoff after the server
     restarts (see :mod:`repro.faults`).
+    """
+
+
+class ServerOverloadedError(JMSError):
+    """The server refused the send to protect itself (overload control).
+
+    Raised (or handed to ``on_reject``) when the admission controller's
+    estimated utilization exceeds its watermark, or when the broker health
+    state machine enters SHEDDING and fails publishers blocked on
+    push-back credits.  Distinct from :class:`ServerUnavailableError`: the
+    server is up, it is just saturated — a circuit breaker should back
+    off *more* aggressively, not probe harder (see
+    :mod:`repro.overload.breaker`).
     """

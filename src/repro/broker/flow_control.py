@@ -100,13 +100,26 @@ class FlowController:
         else:
             self._in_flight -= 1
 
+    def drain_waiters(self) -> List[Callable[[], None]]:
+        """Remove and return every queued waiter, keeping credits intact.
+
+        The prompt-notification path of overload shedding: when the server
+        transitions to SHEDDING (or goes down) a publisher blocked on a
+        credit must observe that *now*, not after its full credit timeout
+        elapses.  The caller fails the returned waiters immediately
+        (bounded wait with re-check); in-flight credits are untouched
+        because the messages holding them are still being served.
+        """
+        drained = list(self._waiters)
+        self._waiters.clear()
+        return drained
+
     def reset(self) -> List[Callable[[], None]]:
         """Forget all credits and waiters (server crash).
 
         Returns the abandoned waiter callbacks so the caller can fail
         them — the credits they were waiting for died with the server.
         """
-        abandoned = list(self._waiters)
-        self._waiters.clear()
+        abandoned = self.drain_waiters()
         self._in_flight = 0
         return abandoned

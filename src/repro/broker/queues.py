@@ -24,6 +24,7 @@ Semantics implemented:
 
 from __future__ import annotations
 
+import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -32,14 +33,39 @@ from typing import Deque, Dict, List, Optional
 from .errors import InvalidDestinationError, SubscriptionError
 from .filters import MatchAllFilter, MessageFilter
 from .message import DeliveryMode, Message
+from .stats import BrokerStats
 
 __all__ = [
+    "DropPolicy",
     "QueueConsumer",
     "QueueDelivery",
     "QueueCrashReport",
     "PointToPointQueue",
     "QueueManager",
 ]
+
+
+class DropPolicy(enum.Enum):
+    """What a bounded buffer does when it is full (see ``repro.overload``).
+
+    - ``BLOCK``: push back on the producer until space frees up — the
+      FioranoMQ behaviour the paper measured ("we did not observe any
+      message loss due to buffer overflow").  Only meaningful where a
+      producer *can* block (the server ingress via
+      :class:`~repro.broker.flow_control.FlowController`).
+    - ``DROP_NEW``: reject the arriving message (tail drop).  This is the
+      discipline of the M/G/1/K loss model in :mod:`repro.overload.mg1k`.
+    - ``DROP_OLDEST``: evict the head of the queue to admit the arrival
+      (ring-buffer semantics; freshest data wins, right for telemetry).
+    - ``DEADLINE_SHED``: evict a queued message whose TTL/deadline can no
+      longer be met given the current backlog estimate; fall back to
+      ``DROP_NEW`` when every queued message is still servable.
+    """
+
+    BLOCK = "block"
+    DROP_NEW = "drop-new"
+    DROP_OLDEST = "drop-oldest"
+    DEADLINE_SHED = "deadline-shed"
 
 _consumer_ids = itertools.count(1)
 
@@ -113,15 +139,55 @@ class PointToPointQueue:
         failed delivery (consumer detach, crash) before it is moved to
         :attr:`dead_letters`.  ``None`` (the default) never dead-letters,
         preserving the pre-fault-model behaviour.
+    capacity:
+        Maximum backlog length; ``None`` (the default) keeps the queue
+        unbounded.  When a ``send`` would leave the backlog over capacity
+        the ``drop_policy`` decides which message is shed.
+    drop_policy:
+        Overflow discipline for a bounded queue.  :attr:`DropPolicy.BLOCK`
+        is rejected here — a synchronous ``send`` has nothing to block on;
+        bound the producer with a
+        :class:`~repro.broker.flow_control.FlowController` instead.
+    drain_rate:
+        Estimated consumer drain rate (messages/second) used by
+        ``DEADLINE_SHED`` to predict whether a queued message's TTL can
+        still be met.  ``None`` sheds only messages that are already
+        expired or past their deadline.
+    stats:
+        Optional broker-wide :class:`~repro.broker.stats.BrokerStats`
+        ledger; when given, drain-time expiry, dead-lettering and drops
+        are mirrored there so overload shedding stays attributable at the
+        broker level.
     """
 
-    def __init__(self, name: str, max_redeliveries: Optional[int] = None):
+    def __init__(
+        self,
+        name: str,
+        max_redeliveries: Optional[int] = None,
+        capacity: Optional[int] = None,
+        drop_policy: DropPolicy = DropPolicy.DROP_NEW,
+        drain_rate: Optional[float] = None,
+        stats: Optional[BrokerStats] = None,
+    ):
         if not name or not name.strip():
             raise InvalidDestinationError("queue name must be non-empty")
         if max_redeliveries is not None and max_redeliveries < 0:
             raise ValueError(f"max_redeliveries must be >= 0, got {max_redeliveries}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if drop_policy is DropPolicy.BLOCK:
+            raise ValueError(
+                "BLOCK is not a queue drop policy; bound the producer with a "
+                "FlowController instead"
+            )
+        if drain_rate is not None and drain_rate <= 0:
+            raise ValueError(f"drain_rate must be positive, got {drain_rate}")
         self.name = name
         self.max_redeliveries = max_redeliveries
+        self.capacity = capacity
+        self.drop_policy = drop_policy
+        self.drain_rate = drain_rate
+        self.stats = stats
         #: (message, is_redelivery) pairs awaiting an eligible consumer.
         self._backlog: Deque[tuple[Message, bool]] = deque()
         self._consumers: List[QueueConsumer] = []
@@ -134,9 +200,16 @@ class PointToPointQueue:
         self.delivered = 0
         self.acked = 0
         self.expired = 0
+        #: Subset of :attr:`expired` that was detected while *draining* the
+        #: backlog (the message outlived its TTL in the queue) rather than
+        #: at ``send`` — the overload-shedding signature (see ISSUE 3).
+        self.expired_at_drain = 0
         self.redelivered = 0
         self.dead_lettered = 0
         self.lost_on_crash = 0
+        self.dropped_new = 0
+        self.dropped_oldest = 0
+        self.deadline_shed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -179,15 +252,69 @@ class PointToPointQueue:
 
     # ------------------------------------------------------------------
     def send(self, message: Message, now: float = 0.0) -> bool:
-        """Enqueue one message; returns True if it was delivered at once."""
+        """Enqueue one message; returns True if it was delivered at once.
+
+        On a bounded queue a send that would overflow the backlog invokes
+        the drop policy *after* the drain pass, so a message an attached
+        consumer can take immediately is never shed.
+        """
         if message.expired(now):
             self.expired += 1
+            if self.stats is not None:
+                self.stats.expired += 1
             return False
         self.enqueued += 1
         self._backlog.append((message, False))
         before = self.delivered
         self._drain(now)
+        while self.capacity is not None and len(self._backlog) > self.capacity:
+            self._shed_overflow(now)
         return self.delivered > before
+
+    def _shed_overflow(self, now: float) -> None:
+        """Drop one backlog entry according to :attr:`drop_policy`."""
+        if self.drop_policy is DropPolicy.DROP_OLDEST:
+            message, _ = self._backlog.popleft()
+            self._redeliveries.pop(message.message_id, None)
+            self.dropped_oldest += 1
+            if self.stats is not None:
+                self.stats.dropped_oldest += 1
+            return
+        if self.drop_policy is DropPolicy.DEADLINE_SHED:
+            victim = self._first_unmeetable(now)
+            if victim is not None:
+                message, _ = self._backlog[victim]
+                del self._backlog[victim]
+                self._redeliveries.pop(message.message_id, None)
+                self.deadline_shed += 1
+                if self.stats is not None:
+                    self.stats.deadline_shed += 1
+                return
+        # DROP_NEW, and the DEADLINE_SHED fallback when every queued
+        # message is still servable: tail drop.
+        message, _ = self._backlog.pop()
+        self._redeliveries.pop(message.message_id, None)
+        self.dropped_new += 1
+        if self.stats is not None:
+            self.stats.dropped_new += 1
+
+    def _first_unmeetable(self, now: float) -> Optional[int]:
+        """Index of the first queued message whose deadline cannot be met.
+
+        With a drain-rate estimate, position ``i`` completes around
+        ``now + (i + 1) / drain_rate``; without one, only messages whose
+        expiration has already passed are unmeetable.
+        """
+        for index, (message, _) in enumerate(self._backlog):
+            if message.expiration is None:
+                continue
+            if self.drain_rate is not None:
+                eta = now + (index + 1) / self.drain_rate
+            else:
+                eta = now
+            if eta >= message.expiration:
+                return index
+        return None
 
     def crash(self, now: float = 0.0) -> QueueCrashReport:
         """Apply server-crash semantics to this queue.
@@ -238,17 +365,31 @@ class PointToPointQueue:
         self.acked += 1
         self._redeliveries.pop(message_id, None)
 
+    def _count_drain_expiry(self, message: Message) -> None:
+        """Count a message whose TTL ran out while it sat in the backlog."""
+        self.expired += 1
+        self.expired_at_drain += 1
+        self._redeliveries.pop(message.message_id, None)
+        if self.stats is not None:
+            self.stats.expired_on_drain += 1
+
     def _requeue(self, message: Message, now: float = 0.0) -> None:
-        """Return a message to the backlog head, or dead-letter it."""
+        """Return a message to the backlog head, or dead-letter it.
+
+        A message that is both expired *and* out of redelivery budget is
+        counted exactly once, as expired: TTL is checked first, so it
+        never also lands in the dead-letter store.
+        """
         if message.expired(now):
-            self.expired += 1
-            self._redeliveries.pop(message.message_id, None)
+            self._count_drain_expiry(message)
             return
         count = self._redeliveries.get(message.message_id, 0) + 1
         if self.max_redeliveries is not None and count > self.max_redeliveries:
             self._redeliveries.pop(message.message_id, None)
             self.dead_letters.append(message)
             self.dead_lettered += 1
+            if self.stats is not None:
+                self.stats.dead_lettered += 1
             return
         self._redeliveries[message.message_id] = count
         message.redelivered = True
@@ -272,8 +413,7 @@ class PointToPointQueue:
             message, redelivered = self._backlog[0]
             if message.expired(now):
                 self._backlog.popleft()
-                self.expired += 1
-                self._redeliveries.pop(message.message_id, None)
+                self._count_drain_expiry(message)
                 progressed = True
                 continue
             eligible = self._eligible(message)
@@ -292,16 +432,34 @@ class PointToPointQueue:
 @dataclass
 class QueueManager:
     """Registry of point-to-point queues (the queue-domain counterpart of
-    the topic registry)."""
+    the topic registry).
+
+    ``stats`` (optional) is handed to every created queue so drain-time
+    expiry, dead-lettering and overload drops aggregate into one
+    broker-wide ledger.
+    """
 
     _queues: Dict[str, PointToPointQueue] = field(default_factory=dict)
+    stats: Optional[BrokerStats] = None
 
     def create(
-        self, name: str, max_redeliveries: Optional[int] = None
+        self,
+        name: str,
+        max_redeliveries: Optional[int] = None,
+        capacity: Optional[int] = None,
+        drop_policy: DropPolicy = DropPolicy.DROP_NEW,
+        drain_rate: Optional[float] = None,
     ) -> PointToPointQueue:
         queue = self._queues.get(name)
         if queue is None:
-            queue = PointToPointQueue(name, max_redeliveries=max_redeliveries)
+            queue = PointToPointQueue(
+                name,
+                max_redeliveries=max_redeliveries,
+                capacity=capacity,
+                drop_policy=drop_policy,
+                drain_rate=drain_rate,
+                stats=self.stats,
+            )
             self._queues[name] = queue
         return queue
 

@@ -20,6 +20,7 @@ from .dispatch import DispatchPlan, plan_dispatch
 from .errors import SubscriptionError
 from .filters import MatchAllFilter, MessageFilter, PropertyFilter
 from .message import DeliveredMessage, Message
+from .queues import DropPolicy
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import TopicRegistry
@@ -86,11 +87,22 @@ class Broker:
         topics: Sequence[str] = (),
         freeze_topics: bool = False,
         selector_policy: str = "off",
+        inbox_capacity: Optional[int] = None,
+        inbox_policy: DropPolicy = DropPolicy.DROP_OLDEST,
     ):
         if selector_policy not in SELECTOR_POLICIES:
             raise ValueError(
                 f"selector_policy must be one of {SELECTOR_POLICIES}, got {selector_policy!r}"
             )
+        if inbox_capacity is not None and inbox_capacity < 1:
+            raise ValueError(f"inbox_capacity must be >= 1, got {inbox_capacity}")
+        if inbox_policy is DropPolicy.BLOCK:
+            raise ValueError("subscriber inboxes cannot BLOCK; pick a drop policy")
+        #: Default capacity for subscriber inboxes created by
+        #: :meth:`add_subscriber` (``None`` = unbounded, the seed
+        #: behaviour).  Evictions land in ``stats.inbox_dropped``.
+        self.inbox_capacity = inbox_capacity
+        self.inbox_policy = inbox_policy
         self.topics = TopicRegistry()
         for name in topics:
             self.topics.create(name)
@@ -112,11 +124,27 @@ class Broker:
     # ------------------------------------------------------------------
     # Subscriber management
     # ------------------------------------------------------------------
-    def add_subscriber(self, subscriber_id: str, on_message=None) -> Subscriber:
-        """Register a consumer endpoint."""
+    def add_subscriber(
+        self,
+        subscriber_id: str,
+        on_message=None,
+        inbox_capacity: Optional[int] = None,
+        inbox_policy: Optional[DropPolicy] = None,
+    ) -> Subscriber:
+        """Register a consumer endpoint.
+
+        ``inbox_capacity``/``inbox_policy`` override the broker-wide
+        defaults for this subscriber (a single slow consumer can be
+        bounded without bounding the rest).
+        """
         if subscriber_id in self._subscribers:
             raise SubscriptionError(f"duplicate subscriber id {subscriber_id!r}")
-        subscriber = Subscriber(subscriber_id, on_message=on_message)
+        subscriber = Subscriber(
+            subscriber_id,
+            on_message=on_message,
+            inbox_capacity=self.inbox_capacity if inbox_capacity is None else inbox_capacity,
+            inbox_policy=self.inbox_policy if inbox_policy is None else inbox_policy,
+        )
         self._subscribers[subscriber_id] = subscriber
         return subscriber
 
@@ -288,7 +316,9 @@ class Broker:
         delivered = retained = dropped = 0
         for subscription in plan.matches:
             if subscription.active:
-                subscription.subscriber.deliver(message.copy_for(subscription.subscriber.subscriber_id))
+                self.stats.inbox_dropped += subscription.subscriber.deliver(
+                    message.copy_for(subscription.subscriber.subscriber_id), now=now
+                )
                 delivered += 1
             elif subscription.durable:
                 subscription.retain(message)

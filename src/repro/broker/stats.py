@@ -40,6 +40,29 @@ class BrokerStats:
     dead_lettered: int = 0
     #: Messages dropped by an injected network fault.
     dropped_by_fault: int = 0
+    # -- overload-control ledger (see repro.overload) ------------------
+    #: Messages whose TTL ran out while they waited in a queue and that
+    #: were shed at drain time — distinct from DLQ'd and dropped messages
+    #: so overload shedding stays attributable.
+    expired_on_drain: int = 0
+    #: Arrivals tail-dropped by a full bounded buffer (DROP_NEW).
+    dropped_new: int = 0
+    #: Queued messages evicted to admit a newer arrival (DROP_OLDEST).
+    dropped_oldest: int = 0
+    #: Queued messages evicted because their TTL/deadline could no longer
+    #: be met given the backlog estimate (DEADLINE_SHED).
+    deadline_shed: int = 0
+    #: Publisher sends rejected by the admission controller (estimated
+    #: utilization above the watermark).
+    admission_rejected: int = 0
+    #: Copies evicted from a bounded subscriber inbox (per-subscription
+    #: queue overflow).
+    inbox_dropped: int = 0
+    #: Current broker health state (written by the health monitor of
+    #: :class:`repro.testbed.simserver.SimulatedJMSServer`).
+    health: str = "healthy"
+    #: Health state-machine transitions observed (flap indicator).
+    health_transitions: int = 0
     per_topic_received: Counter = field(default_factory=Counter)
     per_topic_dispatched: Counter = field(default_factory=Counter)
 
@@ -71,7 +94,7 @@ class BrokerStats:
         self.filters_evaluated += filters_evaluated
         self.per_topic_dispatched[topic] += copies
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, "float | str"]:
         """Plain-dict view (for logging and result tables)."""
         return {
             "received": self.received,
@@ -86,5 +109,13 @@ class BrokerStats:
             "redelivered": self.redelivered,
             "dead_lettered": self.dead_lettered,
             "dropped_by_fault": self.dropped_by_fault,
+            "expired_on_drain": self.expired_on_drain,
+            "dropped_new": self.dropped_new,
+            "dropped_oldest": self.dropped_oldest,
+            "deadline_shed": self.deadline_shed,
+            "admission_rejected": self.admission_rejected,
+            "inbox_dropped": self.inbox_dropped,
+            "health": self.health,
+            "health_transitions": self.health_transitions,
             "mean_replication_grade": self.mean_replication_grade,
         }

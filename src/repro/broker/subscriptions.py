@@ -18,6 +18,7 @@ from typing import Callable, Deque, List, Optional
 from .errors import SubscriptionError
 from .filters import MatchAllFilter, MessageFilter
 from .message import DeliveredMessage, Message
+from .queues import DropPolicy
 from .topics import Topic
 
 __all__ = ["Subscriber", "Subscription"]
@@ -31,24 +32,67 @@ class Subscriber:
     Messages dispatched to a connected subscriber land in :attr:`inbox`
     (and trigger ``on_message`` when set).  The inbox models the consumer's
     receive queue; the paper's subscriber machines drain it fast enough
-    that the server stays the bottleneck.
+    that the server stays the bottleneck.  A *bounded* inbox
+    (``inbox_capacity``) models a slow consumer under overload: the server
+    has already spent the transmit work, so the copy still counts as
+    dispatched, but the inbox evicts per ``inbox_policy`` instead of
+    growing without bound.
     """
 
-    def __init__(self, subscriber_id: str, on_message: Optional[Callable[[DeliveredMessage], None]] = None):
+    def __init__(
+        self,
+        subscriber_id: str,
+        on_message: Optional[Callable[[DeliveredMessage], None]] = None,
+        inbox_capacity: Optional[int] = None,
+        inbox_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+    ):
         if not subscriber_id:
             raise SubscriptionError("subscriber id must be non-empty")
+        if inbox_capacity is not None and inbox_capacity < 1:
+            raise ValueError(f"inbox_capacity must be >= 1, got {inbox_capacity}")
+        if inbox_policy is DropPolicy.BLOCK:
+            raise ValueError("an inbox cannot BLOCK the broker; pick a drop policy")
         self.subscriber_id = subscriber_id
         self.on_message = on_message
         self.inbox: Deque[DeliveredMessage] = deque()
+        self.inbox_capacity = inbox_capacity
+        self.inbox_policy = inbox_policy
         self.connected = True
         self.received_count = 0
+        #: Copies evicted from the bounded inbox (all policies).
+        self.inbox_dropped = 0
 
-    def deliver(self, delivery: DeliveredMessage) -> None:
-        """Called by the broker when a copy is dispatched to this subscriber."""
+    def deliver(self, delivery: DeliveredMessage, now: float = 0.0) -> int:
+        """Called by the broker when a copy is dispatched to this subscriber.
+
+        Returns the number of copies evicted to keep the inbox within its
+        capacity (0 on an unbounded or non-full inbox).  The transmit work
+        happened either way, so the caller's dispatch counters are not
+        affected — only the eviction is reported.
+        """
         self.received_count += 1
+        evicted = 0
+        if self.inbox_capacity is not None and len(self.inbox) >= self.inbox_capacity:
+            evicted = 1
+            self.inbox_dropped += 1
+            if self.inbox_policy is DropPolicy.DROP_OLDEST:
+                self.inbox.popleft()
+            elif self.inbox_policy is DropPolicy.DEADLINE_SHED:
+                stale = next(
+                    (i for i, d in enumerate(self.inbox) if d.message.expired(now)),
+                    None,
+                )
+                if stale is not None:
+                    del self.inbox[stale]
+                else:
+                    # Every queued copy is still fresh: reject the arrival.
+                    return evicted
+            else:  # DROP_NEW: the arriving copy is the one shed.
+                return evicted
         self.inbox.append(delivery)
         if self.on_message is not None:
             self.on_message(delivery)
+        return evicted
 
     def receive(self) -> Optional[DeliveredMessage]:
         """Pop the oldest delivery, or ``None`` when the inbox is empty."""

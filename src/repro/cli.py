@@ -10,6 +10,7 @@ Usage (``python -m repro ...``)::
     python -m repro lint --file selectors.txt
     python -m repro lint --example
     python -m repro faults --outage-at 20 --outage 5 [--seed 7] [--horizon 60]
+    python -m repro overload [--capacity 5] [--rho 0.9 --rho 1.3] [--validate]
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
@@ -19,7 +20,9 @@ per line) or an example deployment, reporting dead/trivial/duplicate/
 ill-typed filters and the Eq. 3 verdict; ``faults`` runs a deterministic
 fault-injection experiment (server outages, retrying publishers, durable
 recovery) and reports the message-conservation ledger plus the fluid
-availability prediction.
+availability prediction; ``overload`` prints the M/G/1/K loss model's
+curves for a bounded buffer — and, with ``--validate``, cross-checks
+them against the discrete-event overload simulation.
 """
 
 from __future__ import annotations
@@ -163,6 +166,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--non-persistent",
         action="store_true",
         help="send NON_PERSISTENT messages (crashes may lose them)",
+    )
+
+    overload = commands.add_parser(
+        "overload", help="M/G/1/K loss model for a bounded buffer (optionally simulated)"
+    )
+    overload.add_argument(
+        "--capacity", type=int, default=5, help="system capacity K (in service + waiting)"
+    )
+    overload.add_argument(
+        "--rho",
+        type=float,
+        action="append",
+        default=None,
+        metavar="RHO",
+        help="offered load(s) to evaluate (repeatable; default: 0.5 ... 1.5 grid)",
+    )
+    overload.add_argument(
+        "--family",
+        choices=("deterministic", "scaled_bernoulli", "binomial"),
+        default=None,
+        help="restrict to one replication-grade family (default: all three)",
+    )
+    overload.add_argument(
+        "--policy",
+        choices=("drop-new", "drop-oldest", "deadline-shed"),
+        default="drop-new",
+        help="overflow policy of the simulated bounded buffer",
+    )
+    overload.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the discrete-event simulation and report relative errors",
+    )
+    overload.add_argument("--seed", type=int, default=1, help="simulation RNG seed")
+    overload.add_argument(
+        "--messages", type=int, default=20000, help="offered messages per simulated run"
+    )
+    overload.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="message time-to-live in virtual seconds (required by deadline-shed)",
     )
     return parser
 
@@ -319,6 +364,52 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0 if result.conserved else 1
 
 
+def _run_overload(args: argparse.Namespace) -> int:
+    from .analysis.overload import (
+        DEFAULT_RHO_GRID,
+        format_validation,
+        overload_figure,
+        validate_overload,
+    )
+    from .broker.queues import DropPolicy
+    from .core.service_time import ReplicationFamily
+    from .overload import OverloadExperimentConfig
+
+    try:
+        config = OverloadExperimentConfig(
+            seed=args.seed,
+            messages=args.messages,
+            capacity=args.capacity,
+            policy=DropPolicy(args.policy),
+            ttl=args.ttl,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"overload: {exc}") from exc
+    rhos = tuple(args.rho) if args.rho else DEFAULT_RHO_GRID
+    families = (
+        (ReplicationFamily(args.family),)
+        if args.family
+        else (
+            ReplicationFamily.DETERMINISTIC,
+            ReplicationFamily.SCALED_BERNOULLI,
+            ReplicationFamily.BINOMIAL,
+        )
+    )
+    print(overload_figure(config, rhos=rhos, families=families).format())
+    if not args.validate:
+        return 0
+    print()
+    print(
+        f"simulation cross-check: seed={config.seed} messages={config.messages} "
+        f"policy={config.policy.value}"
+    )
+    rows = validate_overload(rhos, config, families=families)
+    print(format_validation(rows))
+    worst = max(max(row.loss_rel_err, row.wait_rel_err) for row in rows)
+    print(f"worst relative error: {worst:.1%}")
+    return 0 if worst < 0.05 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -337,4 +428,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_lint(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "overload":
+        return _run_overload(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

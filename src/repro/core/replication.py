@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -56,6 +56,20 @@ class ReplicationModel(ABC):
     @abstractmethod
     def sample(self, rng: np.random.Generator) -> int:
         """Draw one replication grade."""
+
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        """Exact pmf as ``[(grade, probability), …]`` sorted by grade.
+
+        Finite-support models return their full pmf; unbounded models
+        truncate once the remaining tail mass drops below ``tail_mass``
+        (the last entry absorbs the leftover so the list sums to 1).
+        Powers the exact M/G/1/K embedded chain in
+        :mod:`repro.overload.mg1k`, where the service time inherits this
+        support through Eq. 1.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an exact distribution"
+        )
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
         return np.array([self.sample(rng) for _ in range(size)], dtype=np.int64)
@@ -85,6 +99,9 @@ class DeterministicReplication(ReplicationModel):
     @property
     def moments(self) -> Moments:
         return Moments.deterministic(float(self.r))
+
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        return [(self.r, 1.0)]
 
     def sample(self, rng: np.random.Generator) -> int:
         return self.r
@@ -117,6 +134,13 @@ class ScaledBernoulliReplication(ReplicationModel):
     def moments(self) -> Moments:
         n, p = self.n_fltr, self.p_match
         return Moments(p * n, p * n**2, p * n**3)
+
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        if self.p_match == 1.0:
+            return [(self.n_fltr, 1.0)]
+        if self.p_match == 0.0 or self.n_fltr == 0:
+            return [(0, 1.0)]
+        return [(0, 1.0 - self.p_match), (self.n_fltr, self.p_match)]
 
     def sample(self, rng: np.random.Generator) -> int:
         return self.n_fltr if rng.random() < self.p_match else 0
@@ -183,6 +207,10 @@ class BinomialReplication(ReplicationModel):
             return 0.0
         return math.comb(n, k) * p**k * (1 - p) ** (n - k)
 
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        support = [(k, self.pmf(k)) for k in range(self.n_fltr + 1)]
+        return [(k, p) for k, p in support if p > 0.0]
+
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.binomial(self.n_fltr, self.p_match))
 
@@ -243,6 +271,9 @@ class GeneralDiscreteReplication(ReplicationModel):
             return float(self._probs[idx])
         return 0.0
 
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        return [(int(g), float(p)) for g, p in zip(self._grades, self._probs)]
+
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.choice(self._grades, p=self._probs))
 
@@ -280,6 +311,22 @@ class GeometricReplication(ReplicationModel):
         if k < 0:
             return 0.0
         return (1 - self.p) ** k * self.p
+
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        if not 0 < tail_mass < 1:
+            raise ValueError(f"tail_mass must be in (0, 1), got {tail_mass}")
+        entries: List[Tuple[int, float]] = []
+        remaining = 1.0
+        k = 0
+        while remaining > tail_mass:
+            p = self.pmf(k)
+            entries.append((k, p))
+            remaining -= p
+            k += 1
+        # Fold the truncated tail into the last grade so the pmf sums to 1.
+        grade, p = entries[-1]
+        entries[-1] = (grade, p + remaining)
+        return entries
 
     def sample(self, rng: np.random.Generator) -> int:
         # numpy's geometric counts trials >= 1; shift to failures >= 0.
@@ -325,6 +372,9 @@ class ZipfReplication(ReplicationModel):
         if 1 <= k <= self.n_max:
             return float(self._probs[k - 1])
         return 0.0
+
+    def distribution(self, tail_mass: float = 1e-12) -> List[Tuple[int, float]]:
+        return [(int(g), float(p)) for g, p in zip(self._grades, self._probs)]
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.choice(self._grades, p=self._probs))

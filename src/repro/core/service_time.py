@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
@@ -85,6 +86,17 @@ class ServiceTimeModel:
     def cvar(self) -> float:
         """``c_var[B]`` (Eq. 10)."""
         return self.moments.cvar
+
+    def service_distribution(self, tail_mass: float = 1e-12) -> List[Tuple[float, float]]:
+        """Exact discrete distribution of ``B`` as ``[(time, probability), …]``.
+
+        Because ``R`` is integer-valued, Eq. 1 makes ``B`` discrete with
+        support ``{D + k·t_tx : P(R = k) > 0}``.  This exactness is what
+        lets the M/G/1/K model (:mod:`repro.overload.mg1k`) build its
+        embedded Markov chain without numerical transform inversion.
+        """
+        d, t = self.deterministic_part, self.costs.t_tx
+        return [(d + grade * t, p) for grade, p in self.replication.distribution(tail_mass)]
 
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one service time by sampling the replication grade."""

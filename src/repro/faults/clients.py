@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..broker import Message
+from ..overload import CircuitBreaker
 from ..simulation import Engine
 from ..testbed.simserver import SimulatedJMSServer, SubmitHandle
 from .retry import RetryPolicy
@@ -42,6 +43,14 @@ class RetryingPoissonPublisher:
     the retry loop, invisible to the server's ingress-queue clock, so
     end-to-end waiting time is ``mean_accept_latency`` plus the server's
     measured queueing wait.
+
+    An optional :class:`~repro.overload.breaker.CircuitBreaker` composes
+    with the retry loop: while the breaker is OPEN, an attempt is
+    short-circuited locally — it consumes a retry slot and goes back on
+    the backoff timer without touching the server, so a saturated or dead
+    server is not hammered by every backlogged message at once.  Accepted
+    submits record a success, rejections (including credit timeouts)
+    record a failure.
     """
 
     def __init__(
@@ -55,6 +64,7 @@ class RetryingPoissonPublisher:
         retry_rng: Optional[np.random.Generator] = None,
         name: str = "retrying-publisher",
         stop_time: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -67,6 +77,7 @@ class RetryingPoissonPublisher:
         self.policy = policy
         self.name = name
         self.stop_time = stop_time
+        self.breaker = breaker
         self.generated = 0
         self.accepted = 0
         self.retries = 0
@@ -91,6 +102,10 @@ class RetryingPoissonPublisher:
 
     # -- delivery loop --------------------------------------------------
     def _attempt(self, message: Message, attempt: int, born: float) -> None:
+        if self.breaker is not None and not self.breaker.allow(self.engine.now):
+            # Open breaker: back off locally without an attempt on the wire.
+            self._on_failure(message, attempt, born, breaker_failure=False)
+            return
         handle = self.server.submit(
             message,
             on_accept=lambda: self._on_accept(born),
@@ -103,6 +118,8 @@ class RetryingPoissonPublisher:
             )
 
     def _on_accept(self, born: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success(self.engine.now)
         self.accepted += 1
         self._accept_latency_sum += self.engine.now - born
 
@@ -111,7 +128,11 @@ class RetryingPoissonPublisher:
             self.timeouts += 1
             self._on_failure(handle.message, attempt, born)
 
-    def _on_failure(self, message: Message, attempt: int, born: float) -> None:
+    def _on_failure(
+        self, message: Message, attempt: int, born: float, breaker_failure: bool = True
+    ) -> None:
+        if breaker_failure and self.breaker is not None:
+            self.breaker.record_failure(self.engine.now)
         if self.policy.exhausted(attempt):
             self.abandoned += 1
             return

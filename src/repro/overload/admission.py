@@ -1,0 +1,162 @@
+"""Admission control: reject publishers before the buffer does it for you.
+
+The bounded buffers of :mod:`repro.overload.bounded` are the last line of
+defence; dropping a message *after* accepting it wastes the receive work
+already spent on it.  The admission controller sits in front: it keeps
+EWMA estimates of the arrival rate and the mean service time, multiplies
+them into an estimated utilization ``ρ̂ = λ̂·Ê[B]``, and starts refusing
+sends once ``ρ̂`` crosses a soft watermark — ramping linearly to total
+rejection at the hard watermark.
+
+Throttling between the watermarks is *deterministic* (a Bresenham-style
+error accumulator rather than a random coin): a given observation
+sequence always admits the same messages, which keeps the overload
+experiments bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """EWMA utilization estimator with watermark-based rejection.
+
+    Parameters
+    ----------
+    soft_watermark:
+        Estimated utilization where throttling starts; ``None`` disables
+        rejection entirely (the controller is then estimation-only, used
+        to drive the health monitor).
+    hard_watermark:
+        Estimated utilization at which every send is refused.
+    tau:
+        EWMA time constant in (virtual) seconds; both the arrival-rate
+        and the service-mean estimators forget at ``exp(−dt/τ)``.
+    """
+
+    def __init__(
+        self,
+        soft_watermark: Optional[float] = 0.9,
+        hard_watermark: float = 1.2,
+        tau: float = 0.5,
+    ):
+        if soft_watermark is not None:
+            if soft_watermark <= 0:
+                raise ValueError(f"soft_watermark must be positive, got {soft_watermark}")
+            if hard_watermark <= soft_watermark:
+                raise ValueError(
+                    f"hard_watermark ({hard_watermark}) must exceed "
+                    f"soft_watermark ({soft_watermark})"
+                )
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.soft_watermark = soft_watermark
+        self.hard_watermark = hard_watermark
+        self.tau = tau
+        self._rate = 0.0
+        self._last_arrival: Optional[float] = None
+        self._service_mean = 0.0
+        self._service_samples = 0
+        #: Deterministic throttle accumulator (Bresenham error term).
+        self._credit = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Estimators
+    # ------------------------------------------------------------------
+    @property
+    def arrival_rate(self) -> float:
+        """Current EWMA arrival-rate estimate (arrivals per second)."""
+        return self._rate
+
+    @property
+    def service_mean(self) -> float:
+        """Current EWMA mean-service-time estimate (seconds)."""
+        return self._service_mean
+
+    def utilization(self) -> float:
+        """Estimated offered utilization ``ρ̂ = λ̂·Ê[B]``; may exceed 1."""
+        return self._rate * self._service_mean
+
+    def observe_arrival(self, now: float) -> None:
+        """Fold one arrival into the rate estimate."""
+        if self._last_arrival is None:
+            self._last_arrival = now
+            return
+        dt = now - self._last_arrival
+        self._last_arrival = now
+        if dt <= 0:
+            # Simultaneous arrivals: treat as an instantaneous burst by
+            # bumping the rate one tau-quantum without decaying it.
+            self._rate += 1.0 / self.tau
+            return
+        decay = math.exp(-dt / self.tau)
+        self._rate = decay * self._rate + (1.0 - decay) / dt
+
+    def observe_service(self, duration: float) -> None:
+        """Fold one observed service time into the mean estimate."""
+        if duration < 0:
+            raise ValueError(f"service duration must be non-negative, got {duration}")
+        if self._service_samples == 0:
+            self._service_mean = duration
+        else:
+            # Count-based EWMA: the first ~10 samples average, later ones
+            # decay so the estimate tracks degradations.
+            weight = max(0.1, 1.0 / (self._service_samples + 1))
+            self._service_mean += weight * (duration - self._service_mean)
+        self._service_samples += 1
+
+    def prime(self, rate: float, service_mean: float) -> None:
+        """Seed the estimators (skip the cold-start transient)."""
+        if rate < 0 or service_mean < 0:
+            raise ValueError("primed estimates must be non-negative")
+        self._rate = rate
+        self._service_mean = service_mean
+        if service_mean > 0:
+            self._service_samples = max(self._service_samples, 1)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def accept_fraction(self) -> float:
+        """Fraction of sends currently admitted, in [0, 1]."""
+        if self.soft_watermark is None:
+            return 1.0
+        u = self.utilization()
+        if u <= self.soft_watermark:
+            return 1.0
+        if u >= self.hard_watermark:
+            return 0.0
+        return (self.hard_watermark - u) / (self.hard_watermark - self.soft_watermark)
+
+    def admit(self, now: float) -> bool:
+        """Record one arrival and decide whether to admit it.
+
+        The arrival feeds the rate estimator either way — rejected sends
+        are still offered load.  Between the watermarks the decision is a
+        deterministic error-diffusion of the accept fraction.
+        """
+        self.observe_arrival(now)
+        fraction = self.accept_fraction()
+        if fraction >= 1.0:
+            decision = True
+            self._credit = 0.0
+        elif fraction <= 0.0:
+            decision = False
+        else:
+            self._credit += fraction
+            if self._credit >= 1.0:
+                self._credit -= 1.0
+                decision = True
+            else:
+                decision = False
+        if decision:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return decision

@@ -1,0 +1,173 @@
+"""Bounded FIFO message buffer with pluggable overflow policies.
+
+The paper's measured server never dropped a message — push-back blocked
+the publishers instead (Section IV-B.1), which is the ``BLOCK`` policy
+and lives in :class:`repro.broker.flow_control.FlowController`.  This
+module models the *other* answer to overload: a finite buffer of
+capacity ``K − 1`` waiting slots that sheds load when full.
+
+- ``DROP_NEW`` refuses the arriving item (tail drop) — the classical
+  M/G/1/K loss system of :mod:`repro.overload.mg1k`;
+- ``DROP_OLDEST`` evicts the head to admit the arrival (freshness-first,
+  e.g. market-data feeds where stale quotes are worthless);
+- ``DEADLINE_SHED`` evicts the first queued item whose deadline can no
+  longer be met given the backlog ahead of it and the drain rate; when
+  every queued item is still meetable the arrival itself is refused.
+
+The buffer is policy-agnostic about its items; the simulated server
+stores ``(message, arrival_time)`` pairs and passes the message TTL as
+the deadline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from ..broker.queues import DropPolicy
+
+__all__ = ["BoundedMessageQueue", "ShedEvent"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ShedEvent(Generic[T]):
+    """One eviction: which item was shed, under which rule."""
+
+    item: T
+    policy: DropPolicy
+    #: True when the arriving item itself was refused (it never entered
+    #: the buffer); False when an already-queued victim was evicted.
+    was_new: bool
+
+
+class BoundedMessageQueue(Generic[T]):
+    """A FIFO buffer that never exceeds ``capacity`` entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued entries; ``None`` means unbounded (the policy is
+        then never exercised).
+    policy:
+        Overflow rule.  ``BLOCK`` is rejected here — blocking is the flow
+        controller's job, a buffer cannot suspend its caller.
+    drain_rate:
+        Estimated service rate (items per second) used by
+        ``DEADLINE_SHED`` to predict whether a queued item's deadline is
+        still reachable; may be updated live via :attr:`drain_rate` as
+        the service-time estimate improves.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int],
+        policy: DropPolicy = DropPolicy.DROP_NEW,
+        drain_rate: Optional[float] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy is DropPolicy.BLOCK:
+            raise ValueError(
+                "BLOCK is a flow-control policy (see FlowController); "
+                "a bounded buffer needs a drop policy"
+            )
+        if drain_rate is not None and drain_rate <= 0:
+            raise ValueError(f"drain_rate must be positive, got {drain_rate}")
+        self.capacity = capacity
+        self.policy = policy
+        self.drain_rate = drain_rate
+        self._entries: Deque[Tuple[T, Optional[float]]] = deque()
+        self.offered = 0
+        self.dropped_new = 0
+        self.dropped_oldest = 0
+        self.deadline_shed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[T]:
+        return (item for item, _ in self._entries)
+
+    @property
+    def total_shed(self) -> int:
+        return self.dropped_new + self.dropped_oldest + self.deadline_shed
+
+    # ------------------------------------------------------------------
+    def offer(
+        self, item: T, now: float, deadline: Optional[float] = None
+    ) -> Optional[ShedEvent[T]]:
+        """Enqueue ``item``; returns the eviction it caused, if any.
+
+        ``deadline`` is the absolute virtual time by which the item must
+        *start* service to still be useful (the message expiration).
+        """
+        self.offered += 1
+        if self.capacity is None or len(self._entries) < self.capacity:
+            self._entries.append((item, deadline))
+            return None
+        if self.policy is DropPolicy.DROP_OLDEST:
+            victim, _ = self._entries.popleft()
+            self._entries.append((item, deadline))
+            self.dropped_oldest += 1
+            return ShedEvent(victim, DropPolicy.DROP_OLDEST, was_new=False)
+        if self.policy is DropPolicy.DEADLINE_SHED:
+            index = self._first_unmeetable(now)
+            if index is not None:
+                victim, _ = self._entries[index]
+                del self._entries[index]
+                self._entries.append((item, deadline))
+                self.deadline_shed += 1
+                return ShedEvent(victim, DropPolicy.DEADLINE_SHED, was_new=False)
+            # Every queued deadline is still reachable: shed the arrival.
+        self.dropped_new += 1
+        return ShedEvent(item, DropPolicy.DROP_NEW, was_new=True)
+
+    def _first_unmeetable(self, now: float) -> Optional[int]:
+        """Index of the first entry whose deadline the backlog already blows.
+
+        Entry ``i`` starts service roughly ``(i + 1) / drain_rate``
+        seconds from now (the in-service message plus ``i`` predecessors
+        must finish first).  Without a drain-rate estimate only
+        already-expired entries are unmeetable.
+        """
+        for index, (_, deadline) in enumerate(self._entries):
+            if deadline is None:
+                continue
+            eta = now + (index + 1) / self.drain_rate if self.drain_rate else now
+            if eta >= deadline:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    def popleft(self) -> T:
+        """Dequeue the head item (raises ``IndexError`` when empty)."""
+        item, _ = self._entries.popleft()
+        return item
+
+    def peek(self) -> Optional[T]:
+        return self._entries[0][0] if self._entries else None
+
+    def replace(self, entries: Iterable[Tuple[T, Optional[float]]]) -> None:
+        """Swap the backlog wholesale (crash-recovery journal replay).
+
+        Bypasses the overflow policy: recovery must not shed journalled
+        messages.  The caller guarantees the iterable fits the capacity.
+        """
+        self._entries = deque(entries)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            raise ValueError(
+                f"replace() got {len(self._entries)} entries for capacity {self.capacity}"
+            )
+
+    def entries(self) -> List[Tuple[T, Optional[float]]]:
+        """The current ``(item, deadline)`` backlog, head first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

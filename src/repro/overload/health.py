@@ -1,0 +1,173 @@
+"""Broker health state machine: HEALTHY → DEGRADED → OVERLOADED → SHEDDING.
+
+The overload controller summarizes the server's condition into four
+states driven by a scalar *pressure* signal (the estimated utilization
+``λ̂·E[B]`` — it exceeds 1 when the offered load is unsustainable).
+Escalation is immediate: the instant pressure crosses a state's
+threshold the monitor jumps straight to that state, because reacting
+late to overload is how buffers blow up.  De-escalation is deliberately
+sluggish — one level at a time, only after pressure has stayed below the
+level's threshold minus a hysteresis margin for a minimum dwell time —
+so the state machine does not flap when the load hovers around a
+threshold.
+
+The monitor is pure bookkeeping over ``(pressure, now)`` observations:
+it owns no clock and no estimator, which keeps it deterministic and
+trivially testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["HealthState", "HealthThresholds", "HealthMonitor"]
+
+
+class HealthState(enum.Enum):
+    """Broker condition, ordered by severity."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    OVERLOADED = "overloaded"
+    SHEDDING = "shedding"
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+    def __lt__(self, other: "HealthState") -> bool:
+        return self.severity < other.severity
+
+    def __le__(self, other: "HealthState") -> bool:
+        return self.severity <= other.severity
+
+
+_SEVERITY = {
+    HealthState.HEALTHY: 0,
+    HealthState.DEGRADED: 1,
+    HealthState.OVERLOADED: 2,
+    HealthState.SHEDDING: 3,
+}
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Pressure thresholds and anti-flap parameters.
+
+    A pressure at or above ``degraded``/``overloaded``/``shedding``
+    escalates to the corresponding state.  Demotion out of a state
+    requires pressure at or below ``threshold − hysteresis`` sustained
+    for ``min_dwell`` seconds, and descends one level per dwell period.
+    """
+
+    degraded: float = 0.7
+    overloaded: float = 0.9
+    shedding: float = 1.1
+    hysteresis: float = 0.1
+    min_dwell: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.degraded < self.overloaded < self.shedding:
+            raise ValueError(
+                "thresholds must satisfy 0 < degraded < overloaded < shedding, got "
+                f"{self.degraded}, {self.overloaded}, {self.shedding}"
+            )
+        if self.hysteresis <= 0:
+            raise ValueError(f"hysteresis must be positive, got {self.hysteresis}")
+        if self.min_dwell < 0:
+            raise ValueError(f"min_dwell must be non-negative, got {self.min_dwell}")
+
+    def target_state(self, pressure: float) -> HealthState:
+        """The state this pressure level escalates to."""
+        if pressure >= self.shedding:
+            return HealthState.SHEDDING
+        if pressure >= self.overloaded:
+            return HealthState.OVERLOADED
+        if pressure >= self.degraded:
+            return HealthState.DEGRADED
+        return HealthState.HEALTHY
+
+    def entry_threshold(self, state: HealthState) -> float:
+        """The pressure that promotes *into* ``state``."""
+        return {
+            HealthState.DEGRADED: self.degraded,
+            HealthState.OVERLOADED: self.overloaded,
+            HealthState.SHEDDING: self.shedding,
+        }[state]
+
+
+class HealthMonitor:
+    """Hysteresis-driven health state machine.
+
+    Parameters
+    ----------
+    thresholds:
+        The pressure levels and anti-flap parameters.
+    on_transition:
+        Optional ``(old_state, new_state, now)`` callback, fired on every
+        transition (the simulated server uses it to shed blocked
+        publishers the moment SHEDDING is entered — the prompt-rejection
+        fix of the flow controller).
+    """
+
+    def __init__(
+        self,
+        thresholds: Optional[HealthThresholds] = None,
+        on_transition: Optional[Callable[[HealthState, HealthState, float], None]] = None,
+    ):
+        self.thresholds = thresholds if thresholds is not None else HealthThresholds()
+        self.on_transition = on_transition
+        self._state = HealthState.HEALTHY
+        #: When the current demotion-calm streak started; None = pressure
+        #: is (or was last seen) too high to demote.
+        self._calm_since: Optional[float] = None
+        self.transitions = 0
+        #: Transition log ``(time, old, new)`` — the flap indicator.
+        self.history: List[Tuple[float, HealthState, HealthState]] = []
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    def observe(self, pressure: float, now: float) -> HealthState:
+        """Feed one pressure sample; returns the (possibly new) state."""
+        target = self.thresholds.target_state(pressure)
+        if target.severity > self._state.severity:
+            # Escalate immediately, possibly skipping levels.
+            self._transition(target, now)
+            self._calm_since = None
+            return self._state
+        if self._state is HealthState.HEALTHY:
+            self._calm_since = None
+            return self._state
+        # Demotion path: pressure must sit below the current state's entry
+        # threshold minus the hysteresis margin for min_dwell seconds.
+        demote_below = (
+            self.thresholds.entry_threshold(self._state) - self.thresholds.hysteresis
+        )
+        if pressure > demote_below:
+            self._calm_since = None
+            return self._state
+        if self._calm_since is None:
+            self._calm_since = now
+        if now - self._calm_since >= self.thresholds.min_dwell:
+            lowered = _BY_SEVERITY[self._state.severity - 1]
+            self._transition(lowered, now)
+            # The next demotion needs a fresh dwell period.
+            self._calm_since = now
+        return self._state
+
+    def _transition(self, new_state: HealthState, now: float) -> None:
+        if new_state is self._state:
+            return
+        old = self._state
+        self._state = new_state
+        self.transitions += 1
+        self.history.append((now, old, new_state))
+        if self.on_transition is not None:
+            self.on_transition(old, new_state, now)
+
+
+_BY_SEVERITY = {state.severity: state for state in HealthState}

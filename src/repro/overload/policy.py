@@ -1,0 +1,100 @@
+"""Overload-control configuration for the simulated JMS server.
+
+One frozen dataclass bundles every knob of the graceful-degradation
+stack — bounded ingress, drop policy, admission watermarks, health
+thresholds — so experiments and the CLI can describe a server's overload
+posture in a single value.  The config also acts as a small factory: it
+knows how to instantiate its admission controller, health monitor and
+bounded buffer, keeping :mod:`repro.testbed.simserver` free of
+constructor plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..broker.queues import DropPolicy
+from .admission import AdmissionController
+from .bounded import BoundedMessageQueue
+from .health import HealthMonitor, HealthThresholds
+
+__all__ = ["OverloadConfig"]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload posture of a simulated server.
+
+    Parameters
+    ----------
+    capacity:
+        ``K`` — maximum messages in the system (1 in service plus
+        ``K − 1`` waiting), matching the M/G/1/K convention of
+        :class:`repro.overload.mg1k.MG1KQueue`.
+    policy:
+        What happens when the buffer is full.  ``BLOCK`` keeps the
+        paper's push-back semantics (publishers wait on credits and are
+        shed only when the health monitor enters SHEDDING); the drop
+        policies accept the submit immediately and shed server-side.
+    drain_rate:
+        Fixed service-rate estimate for ``DEADLINE_SHED``; ``None`` lets
+        the server track it live from its service-time EWMA.
+    admission_soft / admission_hard:
+        Estimated-utilization watermarks of the admission controller;
+        ``admission_soft=None`` disables rejection (estimation only).
+    admission_tau:
+        EWMA time constant of the arrival-rate estimator.
+    health:
+        Thresholds and anti-flap parameters of the health state machine.
+    """
+
+    capacity: int = 64
+    policy: DropPolicy = DropPolicy.BLOCK
+    drain_rate: Optional[float] = None
+    admission_soft: Optional[float] = None
+    admission_hard: float = 1.5
+    admission_tau: float = 0.5
+    health: HealthThresholds = field(default_factory=HealthThresholds)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise ValueError(
+                f"capacity must be >= 2 (one in service, one waiting), got {self.capacity}"
+            )
+        if self.drain_rate is not None and self.drain_rate <= 0:
+            raise ValueError(f"drain_rate must be positive, got {self.drain_rate}")
+
+    @property
+    def waiting_slots(self) -> int:
+        """Buffer slots excluding the in-service message, ``K − 1``."""
+        return self.capacity - 1
+
+    @property
+    def blocking(self) -> bool:
+        """Push-back mode (paper semantics) vs. server-side shedding."""
+        return self.policy is DropPolicy.BLOCK
+
+    def with_(self, **changes) -> "OverloadConfig":
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Component factories
+    # ------------------------------------------------------------------
+    def make_admission(self) -> AdmissionController:
+        return AdmissionController(
+            soft_watermark=self.admission_soft,
+            hard_watermark=self.admission_hard,
+            tau=self.admission_tau,
+        )
+
+    def make_health_monitor(self, on_transition=None) -> HealthMonitor:
+        return HealthMonitor(self.health, on_transition=on_transition)
+
+    def make_ingress(self) -> BoundedMessageQueue:
+        """The bounded waiting room (drop-policy modes only)."""
+        if self.blocking:
+            raise ValueError("BLOCK mode uses the FlowController, not a bounded buffer")
+        return BoundedMessageQueue(
+            capacity=self.waiting_slots, policy=self.policy, drain_rate=self.drain_rate
+        )

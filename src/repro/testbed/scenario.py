@@ -23,8 +23,16 @@ from ..broker import (
     PropertyFilter,
 )
 from ..core.params import FilterType
+from ..core.replication import ReplicationModel
 
-__all__ = ["FilterScenario", "build_filter_scenario", "TOPIC_NAME", "MATCH_VALUE"]
+__all__ = [
+    "FilterScenario",
+    "ReplicationScenario",
+    "build_filter_scenario",
+    "build_replication_scenario",
+    "TOPIC_NAME",
+    "MATCH_VALUE",
+]
 
 TOPIC_NAME = "measurement"
 MATCH_VALUE = "#0"
@@ -94,6 +102,73 @@ class FilterScenario:
 
     def make_message(self, body_size: int = 0) -> Message:
         return make_test_message(self.filter_type, body_size=body_size)
+
+
+@dataclass
+class ReplicationScenario:
+    """A broker wired so each message hits an exact replication grade.
+
+    For every grade ``k > 0`` in the support of a
+    :class:`~repro.core.replication.ReplicationModel`, ``k`` subscribers
+    listen on the same attribute value ``#g{k}``.  A message carrying
+    ``#g{k}`` therefore matches exactly ``k`` filters, while *all*
+    installed filters are still evaluated (the linear scan the paper
+    measures) — so the service time is exactly ``D + k·t_tx`` with
+    ``D = t_rcv + n_fltr·t_fltr``, and sampling the grade per message
+    realizes the replication distribution without any approximation.
+    Built for the overload experiments (:mod:`repro.overload.experiment`),
+    which need random ``R`` with an analytically exact service support.
+    """
+
+    broker: Broker
+    filter_type: FilterType
+    #: Distinct grades ``k > 0`` with installed subscriber groups.
+    grades: List[int]
+
+    @property
+    def n_fltr(self) -> int:
+        """Total installed filters, ``Σ k`` over the support grades."""
+        return sum(self.grades)
+
+    def make_message(self, grade: int, body_size: int = 0) -> Message:
+        """A message matching exactly ``grade`` filters (0 matches none)."""
+        if grade != 0 and grade not in self.grades:
+            raise ValueError(f"grade {grade} is not in the scenario support {self.grades}")
+        value = f"#g{grade}" if grade > 0 else "#none"
+        if self.filter_type is FilterType.CORRELATION_ID:
+            return Message(topic=TOPIC_NAME, correlation_id=value, body=b"\0" * body_size)
+        return Message(
+            topic=TOPIC_NAME, properties={_PROPERTY_KEY: value}, body=b"\0" * body_size
+        )
+
+
+def build_replication_scenario(
+    replication: ReplicationModel,
+    filter_type: FilterType = FilterType.CORRELATION_ID,
+    drain_inboxes: bool = True,
+) -> ReplicationScenario:
+    """Assemble a broker realizing a random replication-grade model.
+
+    ``drain_inboxes`` installs an ``on_message`` hook that clears each
+    subscriber inbox immediately (the paper's fast-consumer assumption);
+    long overload runs would otherwise accumulate every delivered copy.
+    """
+    support = [grade for grade, p in replication.distribution() if grade > 0 and p > 0]
+    broker = Broker(topics=[TOPIC_NAME], freeze_topics=True)
+    for grade in support:
+        value = f"#g{grade}"
+        if filter_type is FilterType.CORRELATION_ID:
+            message_filter: MessageFilter = CorrelationIdFilter(value)
+        else:
+            message_filter = PropertyFilter(f"{_PROPERTY_KEY} = '{value}'")
+        for i in range(grade):
+            subscriber = broker.add_subscriber(f"grade{grade}-{i}")
+            if drain_inboxes:
+                subscriber.on_message = (
+                    lambda delivery, inbox=subscriber.inbox: inbox.clear()
+                )
+            broker.subscribe(subscriber, TOPIC_NAME, message_filter)
+    return ReplicationScenario(broker=broker, filter_type=filter_type, grades=support)
 
 
 def build_filter_scenario(

@@ -32,8 +32,13 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from ..broker import Broker, FlowController, Message, PublishResult
-from ..broker.errors import ServerUnavailableError
+from ..broker.errors import ServerOverloadedError, ServerUnavailableError
 from ..broker.message import DeliveryMode
+from ..broker.queues import DropPolicy
+from ..overload.admission import AdmissionController
+from ..overload.bounded import BoundedMessageQueue, ShedEvent
+from ..overload.health import HealthMonitor, HealthState
+from ..overload.policy import OverloadConfig
 from ..simulation import (
     BusyTracker,
     CpuCostModel,
@@ -113,6 +118,12 @@ class SimulatedJMSServer:
     buffer_capacity:
         Ingress buffer size; publishers block (push-back) when it is full.
         The paper observed no loss, so the buffer never drops.
+    overload:
+        Optional overload-control posture (see
+        :class:`repro.overload.policy.OverloadConfig`).  ``BLOCK`` keeps
+        push-back semantics but adds admission control and prompt waiter
+        shedding; the drop policies replace push-back with a bounded
+        ingress buffer that sheds server-side — the M/G/1/K regime.
     """
 
     def __init__(
@@ -122,12 +133,34 @@ class SimulatedJMSServer:
         cpu: CpuCostModel,
         window: MeasurementWindow,
         buffer_capacity: int = 64,
+        overload: Optional[OverloadConfig] = None,
     ):
         self.engine = engine
         self.broker = broker
         self.cpu = cpu
         self.window = window
+        self.overload = overload
+        if overload is not None and overload.blocking:
+            # Credits bound the whole system (in service + waiting) = K.
+            buffer_capacity = overload.capacity
         self.flow = FlowController(buffer_capacity)
+        # -- overload-control state -------------------------------------
+        self._ingress: Optional[BoundedMessageQueue] = None
+        self.admission: Optional[AdmissionController] = None
+        self.health: Optional[HealthMonitor] = None
+        if overload is not None:
+            if not overload.blocking:
+                self._ingress = overload.make_ingress()
+            self.admission = overload.make_admission()
+            self.health = overload.make_health_monitor(
+                on_transition=self._on_health_transition
+            )
+        #: Sends refused by the admission controller.
+        self.admission_rejected = 0
+        #: Publishers rejected promptly because of SHEDDING: waiters
+        #: drained at the transition plus submits that would have blocked
+        #: while the state was already SHEDDING.
+        self.waiters_shed = 0
         self.received = WindowedCounter(window, name="received")
         self.dispatched = WindowedCounter(window, name="dispatched")
         self.busy = BusyTracker(window=window)
@@ -183,6 +216,44 @@ class SimulatedJMSServer:
                 handle, ServerUnavailableError(f"server down at t={self.engine.now:g}")
             )
             return handle
+        if self.admission is not None:
+            admitted = self.admission.admit(self.engine.now)
+            self._observe_health()
+            if not admitted:
+                self.admission_rejected += 1
+                self.broker.stats.admission_rejected += 1
+                self._reject(
+                    handle,
+                    ServerOverloadedError(
+                        f"admission refused at t={self.engine.now:g} "
+                        f"(estimated utilization {self.admission.utilization():.2f})"
+                    ),
+                )
+                return handle
+        if self._ingress is not None:
+            # Drop-policy mode: the submit completes immediately — any
+            # shedding happens server-side and is visible in the ledger,
+            # not to the publisher (fire-and-forget send semantics).
+            handle.accepted = True
+            self._accept(message)
+            if on_accept is not None:
+                on_accept()
+            return handle
+
+        if (
+            self.health is not None
+            and self.health.state is HealthState.SHEDDING
+            and self.flow.available == 0
+        ):
+            # The submit would block, but a SHEDDING server will not free
+            # a credit any time soon: fail fast instead of queueing a
+            # waiter that the next transition would have to drain anyway.
+            self.waiters_shed += 1
+            self._reject(
+                handle,
+                ServerOverloadedError(f"server shedding at t={self.engine.now:g}"),
+            )
+            return handle
 
         def granted() -> None:
             self._pending.pop(granted, None)
@@ -217,28 +288,54 @@ class SimulatedJMSServer:
             self._drop_next -= 1
             self.dropped_by_fault += 1
             self.broker.stats.dropped_by_fault += 1
-            self.flow.release()
+            if self._ingress is None:
+                self.flow.release()
             return
         if self._corrupt_next > 0:
             # Injected corruption: quarantined to the server-side DLQ.
             self._corrupt_next -= 1
             self.dead_letters.append(message)
             self.broker.stats.dead_lettered += 1
-            self.flow.release()
+            if self._ingress is None:
+                self.flow.release()
             return
         message.timestamp = now
         self.accepted += 1
         self.received.record(now)
-        self._queue.append((message, now))
-        if not self._serving:
+        if self._ingress is not None:
+            shed = self._ingress.offer((message, now), now, deadline=message.expiration)
+            if shed is not None:
+                self._record_shed(shed)
+        else:
+            self._queue.append((message, now))
+        if not self._serving and self._backlog_depth() > 0:
             self._start_service()
+
+    def _record_shed(self, shed: ShedEvent) -> None:
+        stats = self.broker.stats
+        if shed.policy is DropPolicy.DROP_OLDEST:
+            stats.dropped_oldest += 1
+        elif shed.policy is DropPolicy.DEADLINE_SHED:
+            stats.deadline_shed += 1
+        else:
+            stats.dropped_new += 1
+
+    def _backlog_depth(self) -> int:
+        if self._ingress is not None:
+            return len(self._ingress)
+        return len(self._queue)
+
+    def _pop_next(self) -> tuple[Message, float]:
+        if self._ingress is not None:
+            return self._ingress.popleft()
+        return self._queue.popleft()
 
     # ------------------------------------------------------------------
     # CPU service loop
     # ------------------------------------------------------------------
     def _start_service(self) -> None:
         now = self.engine.now
-        message, arrival_time = self._queue.popleft()
+        message, arrival_time = self._pop_next()
         self.waiting_times.record(now - arrival_time, time=arrival_time)
         self._serving = True
         self.busy.busy(now)
@@ -250,6 +347,17 @@ class SimulatedJMSServer:
         )
         total = cost.receive + cost.filtering + cost.transmit * self.slowdown
         self.service_times.record(total, time=now)
+        if self.admission is not None:
+            self.admission.observe_service(total)
+            if (
+                self._ingress is not None
+                and self.overload is not None
+                and self.overload.drain_rate is None
+                and self.admission.service_mean > 0
+            ):
+                # Keep the deadline-shed horizon tracking the live
+                # service-time estimate.
+                self._ingress.drain_rate = 1.0 / self.admission.service_mean
         self._in_service = result
         self._service_event = self.engine.call_in(
             total, lambda: self._finish_service(result)
@@ -261,11 +369,13 @@ class SimulatedJMSServer:
         self._in_service = None
         self.dispatched.record(now, count=result.replication_grade)
         self._count_completion(result)
-        # Keep _serving True while releasing: the credit hand-off may
-        # synchronously admit a blocked publisher's message, which must
-        # queue rather than start a second, concurrent service.
-        self.flow.release()
-        if self._queue:
+        if self._ingress is None:
+            # Keep _serving True while releasing: the credit hand-off may
+            # synchronously admit a blocked publisher's message, which must
+            # queue rather than start a second, concurrent service.
+            self.flow.release()
+        self._observe_health()
+        if self._backlog_depth() > 0:
             self._start_service()
         else:
             self._serving = False
@@ -279,6 +389,57 @@ class SimulatedJMSServer:
             self.delivered_messages += 1
         if result.message.redelivered:
             self.redelivered_messages += 1
+
+    # ------------------------------------------------------------------
+    # Overload control: health tracking and waiter shedding
+    # ------------------------------------------------------------------
+    def _observe_health(self) -> None:
+        if self.health is None or self.admission is None:
+            return
+        self.health.observe(self.admission.utilization(), self.engine.now)
+
+    def _on_health_transition(
+        self, old: HealthState, new: HealthState, now: float
+    ) -> None:
+        stats = self.broker.stats
+        stats.health = new.value
+        stats.health_transitions += 1
+        if new is HealthState.SHEDDING:
+            # Publishers blocked on push-back credits must observe the
+            # transition *now*, not after their full credit timeout: a
+            # SHEDDING server will not free a credit for them any time
+            # soon, and failing fast lets their retry loops back off.
+            for grant in self.flow.drain_waiters():
+                handle = self._pending.pop(grant, None)
+                if handle is not None:
+                    self.waiters_shed += 1
+                    self._reject(
+                        handle,
+                        ServerOverloadedError(f"server shedding at t={now:g}"),
+                    )
+
+    @property
+    def dropped_new(self) -> int:
+        """Arrivals tail-dropped by the bounded ingress buffer."""
+        return self._ingress.dropped_new if self._ingress is not None else 0
+
+    @property
+    def dropped_oldest(self) -> int:
+        """Queued messages evicted to admit newer arrivals."""
+        return self._ingress.dropped_oldest if self._ingress is not None else 0
+
+    @property
+    def deadline_shed(self) -> int:
+        """Queued messages shed because their deadline became unmeetable."""
+        return self._ingress.deadline_shed if self._ingress is not None else 0
+
+    @property
+    def total_shed(self) -> int:
+        return self._ingress.total_shed if self._ingress is not None else 0
+
+    @property
+    def health_state(self) -> HealthState:
+        return self.health.state if self.health is not None else HealthState.HEALTHY
 
     # ------------------------------------------------------------------
     # Fault model: crash / restart / degradations
@@ -317,19 +478,32 @@ class SimulatedJMSServer:
             if handle is not None:
                 self._reject(handle, ServerUnavailableError(f"server crashed at t={now:g}"))
         # 3. ingress queue: persistent messages survive via the journal
-        #    (flagged redelivered), non-persistent ones are lost.
+        #    (flagged redelivered), non-persistent ones are lost.  In
+        #    drop-policy mode no credits are held, so survivors are
+        #    re-journalled straight into the bounded buffer.
+        backlog = (
+            self._ingress.entries()
+            if self._ingress is not None
+            else [(entry, None) for entry in self._queue]
+        )
         survivors: Deque[tuple[Message, float]] = deque()
-        for message, arrival in self._queue:
+        survivor_entries = []
+        for (message, arrival), deadline in backlog:
             if message.delivery_mode is DeliveryMode.PERSISTENT:
                 message.redelivered = True
                 self.broker.stats.redelivered += 1
-                took = self.flow.try_acquire()
-                assert took, "survivor exceeded ingress capacity"
+                if self._ingress is None:
+                    took = self.flow.try_acquire()
+                    assert took, "survivor exceeded ingress capacity"
                 survivors.append((message, arrival))
+                survivor_entries.append(((message, arrival), deadline))
             else:
                 self.lost_messages += 1
                 self.broker.stats.lost_on_crash += 1
-        self._queue = survivors
+        if self._ingress is not None:
+            self._ingress.replace(survivor_entries)
+        else:
+            self._queue = survivors
         # 4. broker state: non-durable subscriptions die, durables retain.
         self.broker.crash()
 
@@ -339,7 +513,7 @@ class SimulatedJMSServer:
             raise ServerUnavailableError("restart() on a server that is already up")
         self.up = True
         self.broker.recover()
-        if self._queue and not self._serving:
+        if self._backlog_depth() > 0 and not self._serving:
             self._start_service()
 
     def degrade(self, slowdown: float) -> None:
@@ -367,7 +541,12 @@ class SimulatedJMSServer:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        return self._backlog_depth()
+
+    @property
+    def system_size(self) -> int:
+        """Messages in the system: waiting plus in service (``≤ K``)."""
+        return self._backlog_depth() + (1 if self._serving else 0)
 
     def utilization(self, until: Optional[float] = None) -> float:
         """Windowed CPU utilization — the simulated ``sar`` reading."""

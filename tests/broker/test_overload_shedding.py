@@ -1,0 +1,343 @@
+"""Broker-side overload shedding: bounded queues, bounded inboxes, TTL fates.
+
+Covers the drop-policy surface that the paper's infinite-buffer broker
+never needed:
+
+- bounded :class:`PointToPointQueue` overflow (drop-new / drop-oldest /
+  deadline-shed), mirrored into :class:`BrokerStats`;
+- the dedicated ``expired_at_drain`` counter — TTL death *inside* the
+  backlog, distinct from send-time expiry and from dead-lettering;
+- the DLQ×TTL exactly-once rule: a message both expired and out of
+  redelivery budget is counted once, as expired;
+- bounded subscriber inboxes with per-policy eviction.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.broker import (
+    Broker,
+    DropPolicy,
+    Message,
+    PointToPointQueue,
+    QueueConsumer,
+)
+from repro.broker.stats import BrokerStats
+
+
+def msg(**kwargs):
+    return Message(topic="q", **kwargs)
+
+
+class TestBoundedQueueOverflow:
+    def test_drop_new_sheds_the_arrival(self):
+        queue = PointToPointQueue("q", capacity=2, drop_policy=DropPolicy.DROP_NEW)
+        first, second, third = msg(), msg(), msg()
+        queue.send(first)
+        queue.send(second)
+        queue.send(third)
+        assert queue.depth == 2
+        assert queue.dropped_new == 1
+        assert [m.message_id for m, _ in queue._backlog] == [
+            first.message_id,
+            second.message_id,
+        ]
+
+    def test_drop_oldest_sheds_the_head(self):
+        queue = PointToPointQueue("q", capacity=2, drop_policy=DropPolicy.DROP_OLDEST)
+        first, second, third = msg(), msg(), msg()
+        for message in (first, second, third):
+            queue.send(message)
+        assert queue.dropped_oldest == 1
+        assert [m.message_id for m, _ in queue._backlog] == [
+            second.message_id,
+            third.message_id,
+        ]
+
+    def test_deadline_shed_prefers_unmeetable_victim(self):
+        queue = PointToPointQueue(
+            "q", capacity=2, drop_policy=DropPolicy.DEADLINE_SHED, drain_rate=1.0
+        )
+        queue.send(msg(expiration=0.5), now=0.0)  # can't start by 0.5
+        queue.send(msg(expiration=100.0), now=0.0)
+        queue.send(msg(expiration=100.0), now=0.0)
+        assert queue.deadline_shed == 1
+        assert queue.dropped_new == 0
+        assert queue.depth == 2
+
+    def test_deadline_shed_falls_back_to_tail_drop(self):
+        queue = PointToPointQueue(
+            "q", capacity=2, drop_policy=DropPolicy.DEADLINE_SHED, drain_rate=100.0
+        )
+        for _ in range(3):
+            queue.send(msg(expiration=100.0), now=0.0)
+        assert queue.deadline_shed == 0
+        assert queue.dropped_new == 1
+
+    def test_immediately_deliverable_message_never_shed(self):
+        """The drain pass runs before the overflow check."""
+        queue = PointToPointQueue("q", capacity=1, drop_policy=DropPolicy.DROP_NEW)
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        for _ in range(5):
+            queue.send(msg())
+        assert queue.dropped_new == 0
+        assert queue.delivered == 5
+
+    def test_drops_mirrored_into_broker_stats(self):
+        stats = BrokerStats()
+        queue = PointToPointQueue(
+            "q", capacity=1, drop_policy=DropPolicy.DROP_OLDEST, stats=stats
+        )
+        queue.send(msg())
+        queue.send(msg())
+        assert stats.dropped_oldest == 1
+
+    def test_block_policy_rejected(self):
+        with pytest.raises(ValueError, match="BLOCK"):
+            PointToPointQueue("q", capacity=2, drop_policy=DropPolicy.BLOCK)
+
+
+class TestExpiredAtDrainCounter:
+    def test_drain_expiry_distinct_from_send_expiry(self):
+        queue = PointToPointQueue("q")
+        # Expired already at send: counted in expired, NOT expired_at_drain.
+        queue.send(msg(expiration=1.0), now=2.0)
+        assert (queue.expired, queue.expired_at_drain) == (1, 0)
+        # Expires while queued: counted in both.
+        queue.send(msg(expiration=5.0), now=2.0)
+        queue.attach(QueueConsumer("late"), now=10.0)
+        assert (queue.expired, queue.expired_at_drain) == (2, 1)
+
+    def test_drain_expiry_mirrored_into_stats(self):
+        stats = BrokerStats()
+        queue = PointToPointQueue("q", stats=stats)
+        queue.send(msg(expiration=5.0), now=0.0)
+        queue.attach(QueueConsumer("late"), now=10.0)
+        assert stats.expired_on_drain == 1
+        assert stats.snapshot()["expired_on_drain"] == 1
+
+    def test_requeue_expiry_counts_as_drain_expiry(self):
+        """A TTL that runs out while the copy sat un-acked at a consumer."""
+        queue = PointToPointQueue("q")
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        queue.send(msg(expiration=5.0), now=0.0)
+        assert consumer.receive() is not None  # taken, never acked
+        queue.detach(consumer, now=10.0)  # crash after the TTL elapsed
+        assert queue.expired_at_drain == 1
+        assert queue.depth == 0
+
+
+class TestDlqTtlExactlyOnce:
+    def test_expired_and_poison_counted_once_as_expired(self):
+        """TTL is checked before the redelivery budget: never both fates."""
+        queue = PointToPointQueue("q", max_redeliveries=0)
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        queue.send(msg(expiration=5.0), now=0.0)
+        assert consumer.receive() is not None
+        # At detach the message is BOTH expired (now > 5) and over its
+        # redelivery budget (max_redeliveries=0).  Exactly one fate:
+        queue.detach(consumer, now=10.0)
+        assert queue.expired == 1
+        assert queue.dead_lettered == 0
+        assert len(queue.dead_letters) == 0
+
+    def test_unexpired_poison_still_dead_letters(self):
+        queue = PointToPointQueue("q", max_redeliveries=0)
+        consumer = QueueConsumer("c")
+        queue.attach(consumer)
+        queue.send(msg(expiration=100.0), now=0.0)
+        assert consumer.receive() is not None
+        queue.detach(consumer, now=1.0)  # fresh, but budget exhausted
+        assert queue.dead_lettered == 1
+        assert queue.expired == 0
+
+
+def queue_in_flight(queue, consumers):
+    return sum(len(c.inbox) + len(c.unacked) for c in consumers)
+
+
+def queue_ledger_balanced(queue, consumers):
+    """accepted == acked + expired-in-queue + dropped + dlq + in-flight."""
+    return queue.enqueued == (
+        queue.acked
+        + queue.expired_at_drain
+        + queue.dead_lettered
+        + queue.dropped_new
+        + queue.dropped_oldest
+        + queue.deadline_shed
+        + queue.lost_on_crash
+        + queue.depth
+        + queue_in_flight(queue, consumers)
+    )
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        ops.append(
+            draw(
+                st.sampled_from(
+                    ["send", "send_ttl", "attach", "detach", "receive_ack", "receive"]
+                )
+            )
+        )
+    return ops
+
+
+@given(
+    ops=operations(),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    policy=st.sampled_from(
+        [DropPolicy.DROP_NEW, DropPolicy.DROP_OLDEST, DropPolicy.DEADLINE_SHED]
+    ),
+    max_redeliveries=st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_queue_conservation_invariant(ops, capacity, policy, max_redeliveries):
+    """Every accepted message has exactly one fate at every step.
+
+    ``accepted == delivered(acked) + expired + dropped + dlq + in_flight``
+    holds under arbitrary interleavings of sends (with and without TTL),
+    consumer churn and un-acked crashes, for every drop policy and any
+    redelivery budget.
+    """
+    queue = PointToPointQueue(
+        "chaos",
+        capacity=capacity,
+        drop_policy=policy,
+        drain_rate=2.0,
+        max_redeliveries=max_redeliveries,
+    )
+    consumers = []
+    now = 0.0
+    counter = 0
+    for op in ops:
+        now += 0.25
+        if op == "send":
+            queue.send(msg(), now=now)
+        elif op == "send_ttl":
+            queue.send(msg(expiration=now + 0.6), now=now)
+        elif op == "attach":
+            if len(consumers) < 3:
+                counter += 1
+                consumer = QueueConsumer(f"c{counter}")
+                queue.attach(consumer, now=now)
+                consumers.append(consumer)
+        elif op == "detach" and consumers:
+            consumer = consumers.pop(0)
+            queue.detach(consumer, now=now)
+        elif op == "receive_ack" and consumers:
+            delivery = consumers[0].receive()
+            if delivery is not None:
+                consumers[0].ack(delivery)
+        elif op == "receive" and consumers:
+            consumers[-1].receive()  # taken, never acked
+        assert queue_ledger_balanced(queue, consumers), op
+    # The bound applies to arrivals; a detach may transiently requeue
+    # already-accepted messages above it, but a fresh send restores it.
+    if capacity is not None:
+        queue.send(msg(), now=now + 1.0)
+        assert queue.depth <= capacity
+
+
+class TestBoundedInbox:
+    def make_broker(self, **subscriber_kwargs):
+        broker = Broker(topics=["t"])
+        subscriber = broker.add_subscriber("s", **subscriber_kwargs)
+        broker.subscribe(subscriber, "t")
+        return broker, subscriber
+
+    def test_unbounded_by_default(self):
+        broker, subscriber = self.make_broker()
+        for _ in range(100):
+            broker.publish(Message(topic="t"))
+        assert len(subscriber.inbox) == 100
+        assert subscriber.inbox_dropped == 0
+
+    def test_drop_oldest_keeps_freshest(self):
+        broker, subscriber = self.make_broker(
+            inbox_capacity=2, inbox_policy=DropPolicy.DROP_OLDEST
+        )
+        sent = [Message(topic="t") for _ in range(4)]
+        for message in sent:
+            broker.publish(message)
+        assert subscriber.inbox_dropped == 2
+        inbox_ids = [d.message.message_id for d in subscriber.inbox]
+        assert inbox_ids == [sent[2].message_id, sent[3].message_id]
+        # Transmit work already happened: every copy counts as received.
+        assert subscriber.received_count == 4
+        assert broker.stats.dispatched == 4
+        assert broker.stats.inbox_dropped == 2
+
+    def test_drop_new_keeps_oldest(self):
+        broker, subscriber = self.make_broker(
+            inbox_capacity=2, inbox_policy=DropPolicy.DROP_NEW
+        )
+        sent = [Message(topic="t") for _ in range(4)]
+        for message in sent:
+            broker.publish(message)
+        inbox_ids = [d.message.message_id for d in subscriber.inbox]
+        assert inbox_ids == [sent[0].message_id, sent[1].message_id]
+        assert subscriber.inbox_dropped == 2
+
+    def test_deadline_shed_evicts_expired_copy_first(self):
+        broker, subscriber = self.make_broker(
+            inbox_capacity=2, inbox_policy=DropPolicy.DEADLINE_SHED
+        )
+        stale = Message(topic="t", expiration=1.0)
+        fresh = Message(topic="t", expiration=100.0)
+        broker.publish(stale, now=0.0)
+        broker.publish(fresh, now=0.0)
+        late = Message(topic="t", expiration=100.0)
+        broker.publish(late, now=5.0)  # stale's TTL has elapsed
+        inbox_ids = [d.message.message_id for d in subscriber.inbox]
+        assert inbox_ids == [fresh.message_id, late.message_id]
+
+    def test_deadline_shed_refuses_arrival_when_all_fresh(self):
+        broker, subscriber = self.make_broker(
+            inbox_capacity=1, inbox_policy=DropPolicy.DEADLINE_SHED
+        )
+        kept = Message(topic="t", expiration=100.0)
+        broker.publish(kept, now=0.0)
+        broker.publish(Message(topic="t", expiration=100.0), now=0.0)
+        assert [d.message.message_id for d in subscriber.inbox] == [kept.message_id]
+
+    def test_on_message_not_fired_for_shed_arrival(self):
+        broker = Broker(topics=["t"])
+        subscriber = broker.add_subscriber(
+            "s", inbox_capacity=1, inbox_policy=DropPolicy.DROP_NEW
+        )
+        seen = []
+        subscriber.on_message = seen.append
+        broker.subscribe(subscriber, "t")
+        broker.publish(Message(topic="t"))
+        broker.publish(Message(topic="t"))  # shed: callback must not fire
+        assert len(seen) == 1
+
+    def test_broker_wide_default_and_per_subscriber_override(self):
+        broker = Broker(
+            topics=["t"], inbox_capacity=1, inbox_policy=DropPolicy.DROP_NEW
+        )
+        bounded = broker.add_subscriber("bounded")
+        unbounded = broker.add_subscriber("unbounded", inbox_capacity=10)
+        broker.subscribe(bounded, "t")
+        broker.subscribe(unbounded, "t")
+        for _ in range(3):
+            broker.publish(Message(topic="t"))
+        assert len(bounded.inbox) == 1
+        assert len(unbounded.inbox) == 3
+        assert broker.stats.inbox_dropped == 2
+
+    def test_invalid_inbox_parameters(self):
+        with pytest.raises(ValueError):
+            Broker(topics=["t"], inbox_capacity=0)
+        with pytest.raises(ValueError):
+            Broker(topics=["t"], inbox_policy=DropPolicy.BLOCK)
+        broker = Broker(topics=["t"])
+        with pytest.raises(ValueError):
+            broker.add_subscriber("s", inbox_capacity=-1)

@@ -22,8 +22,7 @@ class Rig:
     make_message: callable
 
 
-@pytest.fixture
-def rig() -> Rig:
+def _build_rig() -> Rig:
     engine = Engine()
     scenario = build_filter_scenario(
         filter_type=FilterType.CORRELATION_ID,
@@ -44,3 +43,14 @@ def rig() -> Rig:
         server=server,
         make_message=scenario.make_message,
     )
+
+
+@pytest.fixture
+def rig() -> Rig:
+    return _build_rig()
+
+
+@pytest.fixture
+def rig_factory():
+    """Build any number of independent rigs (A/B comparisons)."""
+    return _build_rig

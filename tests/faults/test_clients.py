@@ -4,6 +4,7 @@ import pytest
 
 from repro.broker import ServerUnavailableError
 from repro.faults import ReliablePublisher, RetryPolicy, RetryingPoissonPublisher
+from repro.overload import BreakerState, CircuitBreaker
 from repro.simulation import RandomStreams
 
 
@@ -117,3 +118,76 @@ class TestReliablePublisher:
         assert publisher.sent == 30
         assert publisher.retries > 0
         assert rig.server.delivered_messages + rig.server.lost_messages >= 29
+
+
+class TestBreakerComposition:
+    """RetryingPoissonPublisher + CircuitBreaker: back off without losing work."""
+
+    def _publisher(self, rig, breaker, rate=50.0, stop_time=4.0):
+        streams = RandomStreams(seed=7)
+        return RetryingPoissonPublisher(
+            engine=rig.engine,
+            server=rig.server,
+            rate=rate,
+            message_factory=rig.make_message,
+            rng=streams.stream("arrivals"),
+            retry_rng=streams.stream("retry"),
+            policy=RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0),
+            stop_time=stop_time,
+            breaker=breaker,
+        )
+
+    def _breaker(self):
+        return CircuitBreaker(failure_threshold=3, recovery_timeout=0.5, jitter=0.0)
+
+    def test_breaker_short_circuits_during_outage(self, rig):
+        breaker = self._breaker()
+        publisher = self._publisher(rig, breaker)
+        publisher.start()
+        rig.engine.call_at(1.0, rig.server.crash)
+        rig.engine.run(until=2.0)
+        # Three real rejections trip the breaker; every later attempt is
+        # short-circuited on the client instead of hammering the server.
+        assert breaker.state is not BreakerState.CLOSED
+        assert breaker.opened_count >= 1
+        assert breaker.short_circuited > 0
+        assert rig.server.rejected_submits < publisher.retries
+
+    def test_breaker_closes_on_recovery_and_drains(self, rig):
+        breaker = self._breaker()
+        publisher = self._publisher(rig, breaker)
+        publisher.start()
+        rig.engine.call_at(1.0, rig.server.crash)
+        rig.engine.call_at(2.0, rig.server.restart)
+        rig.engine.run()
+        # A half-open probe succeeded and the breaker closed again.
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.probes >= 1
+        # Nothing was lost: deferred arrivals all landed after recovery.
+        assert publisher.accepted == publisher.generated
+        assert publisher.in_flight == 0
+
+    def test_breaker_reduces_futile_submits(self, rig, rig_factory):
+        """The breaker's value: fewer rejected submits for the same workload."""
+        rejected = {}
+        for label, breaker in (("with", self._breaker()), ("without", None)):
+            fresh = rig_factory()
+            streams = RandomStreams(seed=7)
+            publisher = RetryingPoissonPublisher(
+                engine=fresh.engine,
+                server=fresh.server,
+                rate=50.0,
+                message_factory=fresh.make_message,
+                rng=streams.stream("arrivals"),
+                retry_rng=streams.stream("retry"),
+                policy=RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0),
+                stop_time=4.0,
+                breaker=breaker,
+            )
+            publisher.start()
+            fresh.engine.call_at(1.0, fresh.server.crash)
+            fresh.engine.call_at(3.0, fresh.server.restart)
+            fresh.engine.run()
+            assert publisher.accepted == publisher.generated
+            rejected[label] = fresh.server.rejected_submits
+        assert rejected["with"] < rejected["without"]

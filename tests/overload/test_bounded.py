@@ -1,0 +1,139 @@
+"""Bounded ingress buffer: overflow policies and crash-recovery replace."""
+
+import pytest
+
+from repro.broker.queues import DropPolicy
+from repro.overload import BoundedMessageQueue
+
+
+def fill(queue, count, start=0):
+    for i in range(start, start + count):
+        assert queue.offer(f"m{i}", now=float(i)) is None
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = BoundedMessageQueue(capacity=3)
+        fill(queue, 3)
+        assert [queue.popleft() for _ in range(3)] == ["m0", "m1", "m2"]
+
+    def test_unbounded_never_sheds(self):
+        queue = BoundedMessageQueue(capacity=None)
+        fill(queue, 100)
+        assert len(queue) == 100
+        assert queue.total_shed == 0
+
+    def test_block_policy_rejected(self):
+        with pytest.raises(ValueError, match="BLOCK"):
+            BoundedMessageQueue(capacity=4, policy=DropPolicy.BLOCK)
+
+    def test_invalid_capacity_and_drain_rate(self):
+        with pytest.raises(ValueError):
+            BoundedMessageQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedMessageQueue(capacity=4, drain_rate=0.0)
+
+    def test_peek_and_iter(self):
+        queue = BoundedMessageQueue(capacity=4)
+        assert queue.peek() is None
+        fill(queue, 2)
+        assert queue.peek() == "m0"
+        assert list(queue) == ["m0", "m1"]
+        assert bool(queue)
+
+
+class TestDropNew:
+    def test_arrival_refused_when_full(self):
+        queue = BoundedMessageQueue(capacity=2, policy=DropPolicy.DROP_NEW)
+        fill(queue, 2)
+        shed = queue.offer("m2", now=2.0)
+        assert shed is not None and shed.item == "m2" and shed.was_new
+        assert shed.policy is DropPolicy.DROP_NEW
+        assert list(queue) == ["m0", "m1"]
+        assert queue.dropped_new == 1
+        assert queue.offered == 3
+
+
+class TestDropOldest:
+    def test_head_evicted_for_arrival(self):
+        queue = BoundedMessageQueue(capacity=2, policy=DropPolicy.DROP_OLDEST)
+        fill(queue, 2)
+        shed = queue.offer("m2", now=2.0)
+        assert shed is not None and shed.item == "m0" and not shed.was_new
+        assert list(queue) == ["m1", "m2"]
+        assert queue.dropped_oldest == 1
+
+
+class TestDeadlineShed:
+    def test_unmeetable_deadline_evicted_first(self):
+        # drain_rate 1/s: entry at index i starts service at now + i + 1.
+        queue = BoundedMessageQueue(
+            capacity=2, policy=DropPolicy.DEADLINE_SHED, drain_rate=1.0
+        )
+        assert queue.offer("tight", now=0.0, deadline=0.5) is None
+        assert queue.offer("loose", now=0.0, deadline=100.0) is None
+        shed = queue.offer("new", now=0.0, deadline=100.0)
+        # "tight" needs service by t=0.5 but can only start at t=1.
+        assert shed is not None and shed.item == "tight" and not shed.was_new
+        assert shed.policy is DropPolicy.DEADLINE_SHED
+        assert list(queue) == ["loose", "new"]
+        assert queue.deadline_shed == 1
+
+    def test_falls_back_to_tail_drop_when_all_meetable(self):
+        queue = BoundedMessageQueue(
+            capacity=2, policy=DropPolicy.DEADLINE_SHED, drain_rate=10.0
+        )
+        assert queue.offer("a", now=0.0, deadline=100.0) is None
+        assert queue.offer("b", now=0.0, deadline=100.0) is None
+        shed = queue.offer("c", now=0.0, deadline=100.0)
+        assert shed is not None and shed.item == "c" and shed.was_new
+        assert queue.dropped_new == 1
+        assert queue.deadline_shed == 0
+
+    def test_without_drain_rate_only_already_expired_shed(self):
+        queue = BoundedMessageQueue(capacity=1, policy=DropPolicy.DEADLINE_SHED)
+        assert queue.offer("expired", now=0.0, deadline=1.0) is None
+        shed = queue.offer("new", now=2.0, deadline=None)
+        # At now=2.0 the queued deadline 1.0 has already passed.
+        assert shed is not None and shed.item == "expired"
+
+    def test_entries_without_deadline_never_deadline_shed(self):
+        queue = BoundedMessageQueue(
+            capacity=1, policy=DropPolicy.DEADLINE_SHED, drain_rate=0.001
+        )
+        assert queue.offer("no-deadline", now=0.0) is None
+        shed = queue.offer("new", now=0.0)
+        assert shed is not None and shed.item == "new" and shed.was_new
+
+
+class TestReplace:
+    def test_crash_recovery_bypasses_policy(self):
+        queue = BoundedMessageQueue(capacity=3, policy=DropPolicy.DROP_NEW)
+        fill(queue, 3)
+        survivors = [("s0", None), ("s1", 5.0)]
+        queue.replace(survivors)
+        assert queue.entries() == survivors
+        assert queue.total_shed == 0
+
+    def test_replace_over_capacity_raises(self):
+        queue = BoundedMessageQueue(capacity=1)
+        with pytest.raises(ValueError, match="capacity"):
+            queue.replace([("a", None), ("b", None)])
+
+    def test_clear(self):
+        queue = BoundedMessageQueue(capacity=3)
+        fill(queue, 3)
+        queue.clear()
+        assert len(queue) == 0 and not queue
+
+
+def test_counters_account_for_every_offer():
+    queue = BoundedMessageQueue(capacity=2, policy=DropPolicy.DROP_OLDEST)
+    served = 0
+    for i in range(20):
+        queue.offer(i, now=float(i))
+        if i % 3 == 0 and queue:
+            queue.popleft()
+            served += 1
+    assert queue.offered == 20
+    assert queue.offered == served + queue.total_shed + len(queue)

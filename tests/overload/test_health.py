@@ -1,0 +1,105 @@
+"""Health state machine: immediate escalation, hysteresis demotion."""
+
+import pytest
+
+from repro.overload import HealthMonitor, HealthState, HealthThresholds
+
+# degraded=0.7, overloaded=0.9, shedding=1.1, hysteresis=0.1, min_dwell=1.0
+DEFAULTS = HealthThresholds()
+
+
+class TestThresholds:
+    def test_target_state_bands(self):
+        assert DEFAULTS.target_state(0.0) is HealthState.HEALTHY
+        assert DEFAULTS.target_state(0.69) is HealthState.HEALTHY
+        assert DEFAULTS.target_state(0.7) is HealthState.DEGRADED
+        assert DEFAULTS.target_state(0.9) is HealthState.OVERLOADED
+        assert DEFAULTS.target_state(1.1) is HealthState.SHEDDING
+        assert DEFAULTS.target_state(5.0) is HealthState.SHEDDING
+
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(degraded=0.9, overloaded=0.7)
+        with pytest.raises(ValueError):
+            HealthThresholds(hysteresis=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(min_dwell=-1.0)
+
+    def test_severity_ordering(self):
+        assert HealthState.HEALTHY < HealthState.DEGRADED < HealthState.SHEDDING
+        assert HealthState.OVERLOADED <= HealthState.OVERLOADED
+
+
+class TestEscalation:
+    def test_immediate_multi_level_jump(self):
+        monitor = HealthMonitor()
+        assert monitor.observe(1.5, now=0.0) is HealthState.SHEDDING
+        assert monitor.transitions == 1
+        assert monitor.history == [(0.0, HealthState.HEALTHY, HealthState.SHEDDING)]
+
+    def test_stepwise_escalation(self):
+        monitor = HealthMonitor()
+        assert monitor.observe(0.75, now=0.0) is HealthState.DEGRADED
+        assert monitor.observe(0.95, now=0.1) is HealthState.OVERLOADED
+        assert monitor.observe(1.2, now=0.2) is HealthState.SHEDDING
+        assert monitor.transitions == 3
+
+    def test_transition_callback_fires(self):
+        seen = []
+        monitor = HealthMonitor(on_transition=lambda old, new, now: seen.append((old, new, now)))
+        monitor.observe(1.2, now=3.0)
+        assert seen == [(HealthState.HEALTHY, HealthState.SHEDDING, 3.0)]
+
+
+class TestDemotion:
+    def test_one_level_per_dwell(self):
+        monitor = HealthMonitor()
+        monitor.observe(1.5, now=0.0)  # -> SHEDDING
+        # Calm pressure, but dwell not elapsed yet.
+        assert monitor.observe(0.1, now=0.5) is HealthState.SHEDDING
+        # Dwell elapsed: descend exactly one level.
+        assert monitor.observe(0.1, now=1.5) is HealthState.OVERLOADED
+        # Next level needs a fresh dwell period.
+        assert monitor.observe(0.1, now=1.6) is HealthState.OVERLOADED
+        assert monitor.observe(0.1, now=2.6) is HealthState.DEGRADED
+        assert monitor.observe(0.1, now=3.6) is HealthState.HEALTHY
+
+    def test_hysteresis_blocks_demotion(self):
+        monitor = HealthMonitor()
+        monitor.observe(0.95, now=0.0)  # -> OVERLOADED (entry 0.9)
+        # 0.85 is below the entry threshold but above 0.9 - 0.1 = 0.8:
+        # inside the hysteresis band, so no demotion ever.
+        for t in range(1, 10):
+            assert monitor.observe(0.85, now=float(t)) is HealthState.OVERLOADED
+        # Dropping below the band starts the dwell clock.
+        monitor.observe(0.75, now=10.0)
+        assert monitor.observe(0.75, now=11.0) is HealthState.DEGRADED
+
+    def test_pressure_spike_resets_calm_streak(self):
+        monitor = HealthMonitor()
+        monitor.observe(0.95, now=0.0)
+        monitor.observe(0.5, now=1.0)  # calm begins
+        monitor.observe(0.85, now=1.5)  # spike into the hysteresis band
+        # Only 0.4s of calm since the spike: no demotion at t=1.9.
+        assert monitor.observe(0.5, now=1.9) is HealthState.OVERLOADED
+        # The calm streak restarted at t=1.9, so demotion needs t >= 2.9.
+        assert monitor.observe(0.5, now=2.8) is HealthState.OVERLOADED
+        assert monitor.observe(0.5, now=2.9) is HealthState.DEGRADED
+
+    def test_no_flapping_around_threshold(self):
+        """Pressure oscillating around a threshold must not flap states."""
+        monitor = HealthMonitor()
+        for step in range(100):
+            pressure = 0.9 if step % 2 == 0 else 0.88
+            monitor.observe(pressure, now=step * 0.05)
+        # One escalation to OVERLOADED, then stable despite oscillation.
+        assert monitor.state is HealthState.OVERLOADED
+        assert monitor.transitions == 1
+
+
+def test_healthy_stays_healthy_under_low_pressure():
+    monitor = HealthMonitor()
+    for t in range(20):
+        assert monitor.observe(0.3, now=float(t)) is HealthState.HEALTHY
+    assert monitor.transitions == 0
+    assert monitor.history == []

@@ -71,6 +71,43 @@ class TestWait:
             main(["wait", "--filters", "0", "--replication", "1"])
 
 
+class TestOverload:
+    def test_model_only_curves(self, capsys):
+        assert main(["overload", "--capacity", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+        assert "deterministic" in out
+
+    def test_validate_small_run(self, capsys):
+        # Tiny message count: we only assert the table renders and the
+        # exit code reflects the 5% gate (pass or fail are both legal at
+        # 2000 messages); accuracy itself is covered by the bench and by
+        # tests/overload/test_experiment.py.
+        code = main(
+            [
+                "overload",
+                "--validate",
+                "--rho",
+                "0.9",
+                "--family",
+                "binomial",
+                "--messages",
+                "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "worst relative error" in out
+        assert code in (0, 1)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overload", "--policy", "block"])
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["overload", "--capacity", "1", "--validate", "--rho", "0.9"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -80,5 +117,5 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
-        for command in ("report", "figure", "capacity", "wait"):
+        for command in ("report", "figure", "capacity", "wait", "overload"):
             assert command in out

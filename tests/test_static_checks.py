@@ -74,3 +74,22 @@ def test_check_static_script_runs():
         text=True,
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_check_static_covers_overload_surface():
+    """The gate must smoke the overload package and its CLI entry point."""
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_static
+    finally:
+        sys.path.pop(0)
+    assert "repro.overload" in check_static.IMPORT_SMOKE
+    assert "repro.overload.experiment" in check_static.IMPORT_SMOKE
+    assert "repro.analysis.overload" in check_static.IMPORT_SMOKE
+    assert ["overload", "--help"] in [list(c) for c in check_static.CLI_SMOKE]
+
+
+def test_strict_mypy_scope_includes_overload():
+    """repro.overload stays under the strict mypy override."""
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert '"repro.overload.*"' in text

@@ -35,7 +35,16 @@ IMPORT_SMOKE = (
     "repro",
     "repro.broker",
     "repro.faults",
+    "repro.overload",
+    "repro.overload.experiment",
+    "repro.analysis.overload",
     "repro.architectures.failover",
+)
+
+#: CLI invocations that must at least parse and print help in every
+#: environment — a regression here means the entry point itself is broken.
+CLI_SMOKE = (
+    ["overload", "--help"],
 )
 
 
@@ -52,6 +61,26 @@ def import_smoke() -> bool:
     return result.returncode == 0
 
 
+def cli_smoke() -> bool:
+    """Exercise the CLI entry point (``--help`` parses cleanly)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    ok = True
+    for arguments in CLI_SMOKE:
+        print(f"[check_static] cli-smoke: repro {' '.join(arguments)}")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *arguments],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+        )
+        if result.returncode != 0:
+            print(result.stderr.decode(errors="replace"))
+            ok = False
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -61,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     failed = not import_smoke()
+    failed = not cli_smoke() or failed
     for name, command in CHECKS:
         if shutil.which(command[0]) is None:
             print(f"[check_static] {name}: not installed, skipping")
