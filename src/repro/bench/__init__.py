@@ -1,0 +1,26 @@
+"""Hot-path performance benchmarks and the regression gate.
+
+The measurements here back the checked-in ``BENCH_hotpath.json``
+baseline: selector evaluation (tree-walking interpreter vs. compiled
+closures), dispatch planning (cold vs. memoized), and discrete-event
+engine throughput with and without batched RNG sampling.  Run via
+``python -m repro bench`` or ``tools/bench_gate.py``.
+"""
+
+from .hotpath import (
+    HotpathAcceptance,
+    bench_dispatch,
+    bench_selector_eval,
+    bench_simulation,
+    format_hotpath_report,
+    run_hotpath_bench,
+)
+
+__all__ = [
+    "HotpathAcceptance",
+    "bench_dispatch",
+    "bench_selector_eval",
+    "bench_simulation",
+    "format_hotpath_report",
+    "run_hotpath_bench",
+]

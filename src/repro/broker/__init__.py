@@ -10,6 +10,7 @@ behaviour.
 """
 
 from .dispatch import DispatchPlan, plan_dispatch
+from .dispatch_cache import DispatchMemo
 from .filter_index import FilterIndex
 from .hierarchy import TopicPattern, TopicTrie, split_topic
 from .queues import (
@@ -47,6 +48,7 @@ __all__ = [
     "CorrelationIdFilter",
     "DeliveredMessage",
     "DeliveryMode",
+    "DispatchMemo",
     "DispatchPlan",
     "DropPolicy",
     "FilterIndex",

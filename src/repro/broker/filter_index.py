@@ -23,6 +23,12 @@ Three optimizations:
    (never match) are dropped from the hot path entirely and tautological
    selectors join the no-evaluation match-all bucket.
 
+Each shared group additionally hoists its filter's :meth:`~
+repro.broker.filters.MessageFilter.matcher` — for property filters the
+selector closure compiled by :mod:`repro.broker.selector.compile` — so
+the per-message loop is one call per distinct filter with no attribute
+or dispatch overhead.
+
 The returned plan reports ``filters_evaluated`` as the number of
 evaluations *actually performed*, so the virtual CPU charges the reduced
 bill.  Because canonicalization is behavior-preserving, dispatch results
@@ -32,7 +38,7 @@ are identical with and without it — only the bill shrinks.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from .dispatch import DispatchPlan
 from .filters import CorrelationIdFilter, MessageFilter, PropertyFilter
@@ -47,12 +53,25 @@ def _is_exact_correlation(filter_: MessageFilter) -> bool:
     return isinstance(filter_, CorrelationIdFilter) and filter_.is_exact
 
 
+class _SharedGroup:
+    """One distinct filter and the subscriptions sharing its verdict."""
+
+    __slots__ = ("filter", "matcher", "subscriptions")
+
+    def __init__(self, filter_: MessageFilter):
+        self.filter = filter_
+        self.matcher: Callable[[Message], bool] = filter_.matcher()
+        self.subscriptions: List[Subscription] = []
+
+
 class FilterIndex:
     """A shared-evaluation index over a topic's subscriptions.
 
     Build once per topic configuration; ``plan`` evaluates a message.
-    Rebuilding after subscription changes is the caller's concern (the
-    testbed configures subscriptions up front).
+    Subscription changes after the build are applied incrementally with
+    :meth:`add` / :meth:`remove` — the :class:`~repro.broker.server.Broker`
+    calls them from ``subscribe``/``unsubscribe``, so an installed index
+    can no longer silently serve a stale subscription set.
 
     With ``canonicalize=True`` the index additionally shares evaluation
     across semantically equivalent property selectors and prunes filters
@@ -65,36 +84,80 @@ class FilterIndex:
         self._trivial: List[Subscription] = []
         #: exact correlation-ID value -> subscriptions.
         self._exact_cid: Dict[str, List[Subscription]] = {}
-        #: share key -> (evaluated filter, its subscriptions).
-        self._shared: "OrderedDict[object, Tuple[MessageFilter, List[Subscription]]]" = (
-            OrderedDict()
-        )
+        #: share key -> shared group (evaluated filter + its subscriptions).
+        self._shared: "OrderedDict[object, _SharedGroup]" = OrderedDict()
         self._order: Dict[int, int] = {}
+        self._next_position = 0
         #: subscriptions whose selector can never match (canonical mode).
         self.dead_subscriptions: Tuple[Subscription, ...] = ()
-        dead: List[Subscription] = []
-        for position, subscription in enumerate(subscriptions):
-            self._order[subscription.subscription_id] = position
-            filter_ = subscription.filter
-            if filter_.is_trivial:
+        for subscription in subscriptions:
+            self.add(subscription)
+
+    def add(self, subscription: Subscription) -> None:
+        """Incrementally index a new subscription (at the end of the
+        registration order, matching a fresh rebuild)."""
+        self._order[subscription.subscription_id] = self._next_position
+        self._next_position += 1
+        filter_ = subscription.filter
+        if filter_.is_trivial:
+            self._trivial.append(subscription)
+        elif _is_exact_correlation(filter_):
+            assert isinstance(filter_, CorrelationIdFilter)
+            self._exact_cid.setdefault(filter_.spec, []).append(subscription)
+        elif self.canonicalize and isinstance(filter_, PropertyFilter):
+            canonical = filter_.selector.canonical
+            if never_matches(canonical):
+                # provably zero deliveries — keep out of the hot path
+                self.dead_subscriptions = self.dead_subscriptions + (subscription,)
+            elif always_matches(canonical):
                 self._trivial.append(subscription)
-            elif _is_exact_correlation(filter_):
-                assert isinstance(filter_, CorrelationIdFilter)
-                self._exact_cid.setdefault(filter_.spec, []).append(subscription)
-            elif canonicalize and isinstance(filter_, PropertyFilter):
-                canonical = filter_.selector.canonical
-                if never_matches(canonical):
-                    dead.append(subscription)  # provably zero deliveries
-                elif always_matches(canonical):
-                    self._trivial.append(subscription)
-                else:
-                    key = ("selector", filter_.canonical_key)
-                    entry = self._shared.setdefault(key, (filter_, []))
-                    entry[1].append(subscription)
             else:
-                entry = self._shared.setdefault(filter_, (filter_, []))
-                entry[1].append(subscription)
-        self.dead_subscriptions = tuple(dead)
+                key = ("selector", filter_.canonical_key)
+                group = self._shared.get(key)
+                if group is None:
+                    group = self._shared[key] = _SharedGroup(filter_)
+                group.subscriptions.append(subscription)
+        else:
+            group = self._shared.get(filter_)
+            if group is None:
+                group = self._shared[filter_] = _SharedGroup(filter_)
+            group.subscriptions.append(subscription)
+
+    def remove(self, subscription: Subscription) -> None:
+        """Drop a subscription from the index; empty filter groups are
+        dismantled so their evaluation cost disappears with them.
+
+        Raises :class:`KeyError` if the subscription was never indexed.
+        """
+        sub_id = subscription.subscription_id
+        del self._order[sub_id]  # KeyError: not indexed
+
+        def _drop(bucket: List[Subscription]) -> bool:
+            for i, candidate in enumerate(bucket):
+                if candidate.subscription_id == sub_id:
+                    del bucket[i]
+                    return True
+            return False
+
+        if _drop(self._trivial):
+            return
+        for spec, bucket in self._exact_cid.items():
+            if _drop(bucket):
+                if not bucket:
+                    del self._exact_cid[spec]
+                return
+        for key, group in self._shared.items():
+            if _drop(group.subscriptions):
+                if not group.subscriptions:
+                    del self._shared[key]
+                return
+        survivors = tuple(
+            s for s in self.dead_subscriptions if s.subscription_id != sub_id
+        )
+        if len(survivors) != len(self.dead_subscriptions):
+            self.dead_subscriptions = survivors
+            return
+        raise KeyError(sub_id)  # pragma: no cover - _order guarantees presence
 
     @property
     def distinct_filters(self) -> int:
@@ -111,11 +174,12 @@ class FilterIndex:
             cid = message.correlation_id
             if cid is not None:
                 matches.extend(self._exact_cid.get(cid, ()))
-        for filter_, subscribers in self._shared.values():
+        for group in self._shared.values():
             evaluations += 1
-            if filter_.matches(message):
-                matches.extend(subscribers)
-        matches.sort(key=lambda s: self._order[s.subscription_id])
+            if group.matcher(message):
+                matches.extend(group.subscriptions)
+        order = self._order
+        matches.sort(key=lambda s: order[s.subscription_id])
         return DispatchPlan(
             message=message,
             matches=tuple(matches),

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import re
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.params import FilterType
 from .errors import InvalidSelectorError
@@ -49,6 +49,14 @@ class MessageFilter(ABC):
     def is_trivial(self) -> bool:
         """True for match-all filters, which the server does not evaluate."""
         return self.filter_type is None
+
+    def matcher(self) -> Callable[[Message], bool]:
+        """A bound predicate for hot loops (``FilterIndex``, dispatch).
+
+        Subclasses specialize this to skip per-call dispatch overhead;
+        the default is simply the bound :meth:`matches`.
+        """
+        return self.matches
 
 
 class MatchAllFilter(MessageFilter):
@@ -137,6 +145,37 @@ class CorrelationIdFilter(MessageFilter):
             return cid.startswith(self._prefix)
         return cid == self.spec
 
+    def matcher(self) -> Callable[[Message], bool]:
+        if self._low is not None:
+            low, high = self._low, self._high
+            assert high is not None
+
+            def match_range(message: Message) -> bool:
+                cid = message.correlation_id
+                if cid is None:
+                    return False
+                try:
+                    value = int(cid)
+                except ValueError:
+                    return False
+                return low <= value <= high
+
+            return match_range
+        if self._prefix is not None:
+            prefix = self._prefix
+
+            def match_prefix(message: Message) -> bool:
+                cid = message.correlation_id
+                return cid is not None and cid.startswith(prefix)
+
+            return match_prefix
+        spec = self.spec
+
+        def match_exact(message: Message) -> bool:
+            return message.correlation_id == spec
+
+        return match_exact
+
     @property
     def filter_type(self) -> Optional[FilterType]:
         return FilterType.CORRELATION_ID
@@ -165,6 +204,9 @@ class PropertyFilter(MessageFilter):
 
     def matches(self, message: Message) -> bool:
         return self.selector.matches(message)
+
+    def matcher(self) -> Callable[[Message], bool]:
+        return self.selector.matcher()
 
     @property
     def filter_type(self) -> Optional[FilterType]:

@@ -22,7 +22,7 @@ canonical normal form — semantically equal selectors share it:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Any, FrozenSet
+from typing import Any, Callable, FrozenSet
 
 from .analysis import (
     SelectorAnalysis,
@@ -33,6 +33,13 @@ from .analysis import (
     check_selector,
     simplify,
     type_check,
+)
+from .compile import (
+    CompiledSelector,
+    compilation_enabled,
+    compile_ast,
+    compiled_for_ast,
+    set_compilation,
 )
 from .ast import (
     Between,
@@ -70,6 +77,12 @@ __all__ = [
     "Token",
     "TokenType",
     "iter_identifiers",
+    # compilation (hot path)
+    "CompiledSelector",
+    "compile_ast",
+    "compiled_for_ast",
+    "compilation_enabled",
+    "set_compilation",
     # static analysis
     "SelectorAnalysis",
     "SelectorType",
@@ -90,21 +103,58 @@ class Selector:
 
     Parsing happens once at construction (raising
     :class:`~repro.broker.errors.InvalidSelectorError` eagerly, as a JMS
-    provider must when the subscription is created); matching is then a
-    pure AST walk per message.
+    provider must when the subscription is created).  Matching normally
+    runs through a closure compiled from the canonical AST
+    (:mod:`repro.broker.selector.compile`); set
+    ``REPRO_SELECTOR_COMPILE=0`` or call :func:`set_compilation` to fall
+    back to the tree-walking interpreter.
     """
 
-    __slots__ = ("text", "ast", "identifiers", "_canonical")
+    __slots__ = ("text", "ast", "identifiers", "_canonical", "_matcher")
 
     def __init__(self, text: str):
         self.text = text
         self.ast = _parse_cached(text)
         self.identifiers: FrozenSet[str] = frozenset(iter_identifiers(self.ast))
         self._canonical: Expr | None = None
+        self._matcher: Callable[[Any], bool] | None = None
 
     def matches(self, message: Any) -> bool:
         """True iff the selector evaluates to TRUE for ``message``."""
-        return evaluate(self.ast, message) is True
+        matcher = self._matcher
+        if matcher is None:
+            matcher = self._build_matcher()
+        return matcher(message)
+
+    def matcher(self) -> Callable[[Any], bool]:
+        """The hot-path predicate, for callers that evaluate in a loop.
+
+        Built once per selector: a compiled closure when compilation is
+        enabled, otherwise a binding of the tree-walking interpreter.
+        """
+        matcher = self._matcher
+        if matcher is None:
+            matcher = self._build_matcher()
+        return matcher
+
+    def _build_matcher(self) -> Callable[[Any], bool]:
+        if compilation_enabled():
+            matcher = compiled_for_ast(self.canonical).matches
+        else:
+            ast = self.ast
+
+            def matcher(message: Any, _ast: Expr = ast) -> bool:
+                return evaluate(_ast, message) is True
+
+        self._matcher = matcher
+        return matcher
+
+    @property
+    def compiled(self) -> CompiledSelector | None:
+        """The shared compiled form, or None when compilation is off."""
+        if compilation_enabled():
+            return compiled_for_ast(self.canonical)
+        return None
 
     def evaluate(self, message: Any):
         """Raw three-valued result (True / False / UNKNOWN)."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .dispatch import DispatchPlan, plan_dispatch
+from .dispatch_cache import VOLATILE_HEADERS, DispatchMemo
 from .errors import SubscriptionError
 from .filters import MatchAllFilter, MessageFilter, PropertyFilter
 from .message import DeliveredMessage, Message
@@ -120,6 +121,11 @@ class Broker:
         self._indices: Dict[str, object] = {}
         self._index_canonicalize = False
         self._had_filter_index = False
+        #: Per-topic dispatch-plan memos (lazily built); ``None`` maxsize
+        #: means memoization is off.  Installed by
+        #: :meth:`install_dispatch_memo`.
+        self._memos: Dict[str, DispatchMemo] = {}
+        self._memo_maxsize: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Subscriber management
@@ -195,6 +201,7 @@ class Broker:
         )
         bucket = self._subscriptions.setdefault(topic.name, OrderedDict())
         bucket[subscription.subscription_id] = subscription
+        self._on_subscriptions_changed(topic.name, subscription, added=True)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
@@ -202,6 +209,30 @@ class Broker:
         if subscription.subscription_id not in bucket:
             raise SubscriptionError(f"subscription {subscription.subscription_id} not installed")
         del bucket[subscription.subscription_id]
+        self._on_subscriptions_changed(subscription.topic.name, subscription, added=False)
+
+    def _on_subscriptions_changed(
+        self, topic_name: str, subscription: Subscription, *, added: bool
+    ) -> None:
+        """Keep the derived dispatch structures consistent with the
+        subscription set: memoized plans for the topic are stale, and an
+        installed filter index is updated incrementally."""
+        self._memos.pop(topic_name, None)
+        if not self._indices:
+            return
+        index = self._indices.get(topic_name)
+        if added:
+            if index is None:
+                # Index mode is on but this topic appeared after the
+                # install — give it an index of its own.
+                from .filter_index import FilterIndex
+
+                index = self._indices[topic_name] = FilterIndex(
+                    (), canonicalize=self._index_canonicalize
+                )
+            index.add(subscription)  # type: ignore[attr-defined]
+        elif index is not None:
+            index.remove(subscription)  # type: ignore[attr-defined]
 
     def subscriptions(self, topic_name: str) -> List[Subscription]:
         """The topic's subscriptions in installation order."""
@@ -274,6 +305,7 @@ class Broker:
         )
         self._had_filter_index = self.uses_filter_index
         self._indices = {}
+        self._memos = {}
         return BrokerCrashReport(
             subscriptions_dropped=dropped,
             subscribers_disconnected=disconnected,
@@ -344,10 +376,37 @@ class Broker:
         return self._plan(message)
 
     def _plan(self, message: Message) -> DispatchPlan:
+        if self._memo_maxsize is None:
+            return self._plan_cold(message)
+        topic_name = message.topic
+        memo = self._memos.get(topic_name)
+        if memo is None:
+            memo = self._memos[topic_name] = DispatchMemo(
+                self._memo_maxsize,
+                header_fields=self._referenced_headers(topic_name),
+            )
+        plan = memo.lookup(message)
+        if plan is None:
+            plan = self._plan_cold(message)
+            memo.store(plan)
+        return plan
+
+    def _plan_cold(self, message: Message) -> DispatchPlan:
         index = self._indices.get(message.topic)
         if index is not None:
             return index.plan(message)  # type: ignore[attr-defined]
         return plan_dispatch(message, self.subscriptions(message.topic))
+
+    def _referenced_headers(self, topic_name: str) -> tuple:
+        """Volatile headers the topic's selectors can observe — these must
+        join the memo fingerprint or a cached plan could be served to a
+        message that differs only in, say, ``JMSPriority``."""
+        fields = set()
+        for subscription in self._subscriptions.get(topic_name, {}).values():
+            filter_ = subscription.filter
+            if isinstance(filter_, PropertyFilter):
+                fields.update(filter_.selector.identifiers & VOLATILE_HEADERS)
+        return tuple(sorted(fields))
 
     # ------------------------------------------------------------------
     # Ablation: shared filter evaluation (what FioranoMQ does NOT do)
@@ -373,11 +432,46 @@ class Broker:
             )
             for topic in self.topics
         }
+        self._memos = {}
 
     def remove_filter_index(self) -> None:
         """Return to the FioranoMQ-style linear scan."""
         self._indices = {}
+        self._memos = {}
 
     @property
     def uses_filter_index(self) -> bool:
         return bool(self._indices)
+
+    # ------------------------------------------------------------------
+    # Dispatch-plan memoization (hot-path cache, see dispatch_cache)
+    # ------------------------------------------------------------------
+    def install_dispatch_memo(self, maxsize: int = 1024) -> None:
+        """Cache dispatch match-sets per message fingerprint.
+
+        Repeated publishes of equal-shaped messages (same topic,
+        correlation ID, properties, and any selector-referenced headers)
+        skip filter evaluation entirely: the plan comes from a bounded
+        per-topic LRU and bills ``filters_evaluated=0``.  The memo
+        layers on top of whichever planner is active (linear scan or
+        filter index) and is invalidated automatically whenever the
+        subscription set or the planning mode changes.
+        """
+        if maxsize < 1:
+            raise ValueError(f"memo maxsize must be >= 1, got {maxsize}")
+        self._memo_maxsize = maxsize
+        self._memos = {}
+
+    def remove_dispatch_memo(self) -> None:
+        """Plan every message from scratch again."""
+        self._memo_maxsize = None
+        self._memos = {}
+
+    @property
+    def uses_dispatch_memo(self) -> bool:
+        return self._memo_maxsize is not None
+
+    def dispatch_memo(self, topic_name: str) -> Optional[DispatchMemo]:
+        """The topic's memo, if memoization is on and the topic has seen
+        traffic since the last invalidation (memos build lazily)."""
+        return self._memos.get(topic_name)

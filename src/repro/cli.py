@@ -11,6 +11,7 @@ Usage (``python -m repro ...``)::
     python -m repro lint --example
     python -m repro faults --outage-at 20 --outage 5 [--seed 7] [--horizon 60]
     python -m repro overload [--capacity 5] [--rho 0.9 --rho 1.3] [--validate]
+    python -m repro bench [--fast] [--json out.json] [--check]
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
@@ -22,7 +23,10 @@ fault-injection experiment (server outages, retrying publishers, durable
 recovery) and reports the message-conservation ledger plus the fluid
 availability prediction; ``overload`` prints the M/G/1/K loss model's
 curves for a bounded buffer — and, with ``--validate``, cross-checks
-them against the discrete-event overload simulation.
+them against the discrete-event overload simulation; ``bench`` runs the
+hot-path microbenchmarks (compiled selectors vs. the interpreter,
+memoized vs. cold dispatch, engine events/s) and, with ``--check``,
+gates on the recorded speedup thresholds.
 """
 
 from __future__ import annotations
@@ -208,6 +212,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="message time-to-live in virtual seconds (required by deadline-shed)",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="hot-path microbenchmarks (selectors, dispatch, engine)"
+    )
+    bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced corpus sizes and repeats for a quick run",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full results as JSON (BENCH_hotpath.json format)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the speedup thresholds and equivalence hold",
     )
     return parser
 
@@ -410,6 +434,23 @@ def _run_overload(args: argparse.Namespace) -> int:
     return 0 if worst < 0.05 else 1
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import format_hotpath_report, run_hotpath_bench
+
+    payload = run_hotpath_bench(fast=args.fast)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print(format_hotpath_report(payload))
+    if args.check and not payload["acceptance"]["pass"]:  # type: ignore[index]
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -430,4 +471,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_faults(args)
     if args.command == "overload":
         return _run_overload(args)
+    if args.command == "bench":
+        return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -9,6 +9,7 @@ virtual CPU cost model that stands in for the paper's 3.2 GHz server.
 
 from .cpu import CostBreakdown, CpuCostModel
 from .distributions import (
+    BatchSampler,
     Deterministic,
     Distribution,
     Empirical,
@@ -38,6 +39,7 @@ from .queueing import QueueingResults, QueueingStation, simulate_gg1, simulate_m
 from .rng import RandomStreams, stable_hash
 
 __all__ = [
+    "BatchSampler",
     "BusyTracker",
     "CostBreakdown",
     "CpuCostModel",

@@ -10,11 +10,11 @@ intervals"; the calibration harness must recover the constants despite it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
+from ._backend import GeneratorLike
 from ..core.params import CostParameters
 
 __all__ = ["CpuCostModel", "CostBreakdown"]
@@ -52,7 +52,7 @@ class CpuCostModel:
         self,
         costs: CostParameters,
         jitter_cvar: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[GeneratorLike] = None,
         per_byte_cost: float = 0.0,
     ):
         if jitter_cvar < 0:
@@ -72,9 +72,9 @@ class CpuCostModel:
         self._rng = rng
         if jitter_cvar > 0:
             # Lognormal with unit mean and the requested cvar.
-            sigma2 = np.log1p(jitter_cvar**2)
+            sigma2 = math.log1p(jitter_cvar**2)
             self._mu = -0.5 * sigma2
-            self._sigma = float(np.sqrt(sigma2))
+            self._sigma = math.sqrt(sigma2)
         else:
             self._mu = 0.0
             self._sigma = 0.0

@@ -16,7 +16,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-import numpy as np
+from ._backend import HAVE_NUMPY, GeneratorLike, as_float_array, np
 
 __all__ = [
     "Distribution",
@@ -28,6 +28,7 @@ __all__ = [
     "Hyperexponential",
     "Erlang",
     "Empirical",
+    "BatchSampler",
 ]
 
 
@@ -35,12 +36,17 @@ class Distribution(ABC):
     """A non-negative random variable with known raw moments."""
 
     @abstractmethod
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         """Draw one realisation."""
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw ``size`` realisations (vectorised where possible)."""
-        return np.array([self.sample(rng) for _ in range(size)])
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
+        """Draw ``size`` realisations (vectorised where possible).
+
+        Returns a numpy array on the fast path, a list on the
+        pure-Python fallback; both index and iterate as floats.
+        """
+        values = [self.sample(rng) for _ in range(size)]
+        return np.array(values) if HAVE_NUMPY else values
 
     @abstractmethod
     def moment(self, k: int) -> float:
@@ -76,11 +82,13 @@ class Deterministic(Distribution):
             raise ValueError(f"value must be non-negative, got {value}")
         self.value = float(value)
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return self.value
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        return np.full(size, self.value)
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
+        if HAVE_NUMPY:
+            return np.full(size, self.value)
+        return [self.value] * size
 
     def moment(self, k: int) -> float:
         self._check_order(k)
@@ -101,10 +109,10 @@ class Exponential(Distribution):
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = float(rate)
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return float(rng.exponential(1.0 / self.rate))
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
         return rng.exponential(1.0 / self.rate, size=size)
 
     def moment(self, k: int) -> float:
@@ -124,10 +132,10 @@ class Uniform(Distribution):
         self.low = float(low)
         self.high = float(high)
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return float(rng.uniform(self.low, self.high))
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
         return rng.uniform(self.low, self.high, size=size)
 
     def moment(self, k: int) -> float:
@@ -155,10 +163,10 @@ class Gamma(Distribution):
         self.shape = float(shape)
         self.scale = float(scale)
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return float(rng.gamma(self.shape, self.scale))
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
         return rng.gamma(self.shape, self.scale, size=size)
 
     def moment(self, k: int) -> float:
@@ -201,10 +209,10 @@ class Lognormal(Distribution):
         self.mu = float(mu)
         self.sigma = float(sigma)
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
         return rng.lognormal(self.mu, self.sigma, size=size)
 
     def moment(self, k: int) -> float:
@@ -239,9 +247,22 @@ class Hyperexponential(Distribution):
         self.rates = [float(rate) for rate in rates]
         self.probabilities = [float(p) / total for p in probabilities]
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         branch = rng.choice(len(self.rates), p=self.probabilities)
         return float(rng.exponential(1.0 / self.rates[branch]))
+
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
+        """Vectorised batch: all branch picks, then all exponentials.
+
+        Consumes the stream in a different order than ``size`` repeated
+        :meth:`sample` calls, so a seeded batch differs draw-for-draw
+        from a seeded sequential run (the distribution is identical).
+        """
+        if not HAVE_NUMPY:
+            return [self.sample(rng) for _ in range(size)]
+        branches = rng.choice(len(self.rates), size=size, p=self.probabilities)
+        scales = np.reciprocal(np.asarray(self.rates))[branches]
+        return rng.exponential(1.0, size=size) * scales
 
     def moment(self, k: int) -> float:
         self._check_order(k)
@@ -260,20 +281,59 @@ class Empirical(Distribution):
     def __init__(self, values: Sequence[float]):
         if not len(values):
             raise ValueError("values must be non-empty")
-        array = np.asarray(values, dtype=float)
-        if (array < 0).any():
+        array = as_float_array(values)
+        if any(v < 0 for v in array):
             raise ValueError("values must be non-negative")
         self.values = array
 
-    def sample(self, rng: np.random.Generator) -> float:
+    def sample(self, rng: GeneratorLike) -> float:
         return float(rng.choice(self.values))
 
-    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample_many(self, rng: GeneratorLike, size: int) -> Sequence[float]:
         return rng.choice(self.values, size=size)
 
     def moment(self, k: int) -> float:
         self._check_order(k)
-        return float(np.mean(self.values**k))
+        if HAVE_NUMPY:
+            return float(np.mean(self.values**k))
+        return sum(v**k for v in self.values) / len(self.values)
 
     def __repr__(self) -> str:
         return f"Empirical(n={len(self.values)})"
+
+
+class BatchSampler:
+    """Prefetch draws from a distribution in fixed-size batches.
+
+    One vectorised ``sample_many`` call per ``batch`` draws amortizes the
+    per-draw RNG dispatch overhead — the simulation layer's analog of the
+    compiled-selector optimization.  The wrapped generator is consumed in
+    blocks, so interleaving a :class:`BatchSampler` with other draws from
+    the *same* generator produces a different (equally valid) seeded
+    sequence than unbatched sampling; give the sampler its own stream
+    when draw-for-draw reproducibility against ``batch=1`` matters.
+
+    Instances are callable as ``sampler()`` and also accept (and ignore)
+    a generator argument, so they can stand in for a ``ServiceSampler``
+    in :class:`~repro.simulation.queueing.QueueingStation`.
+    """
+
+    __slots__ = ("distribution", "rng", "batch", "_buffer", "_index")
+
+    def __init__(self, distribution: Distribution, rng: GeneratorLike, batch: int = 256):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.distribution = distribution
+        self.rng = rng
+        self.batch = int(batch)
+        self._buffer: Sequence[float] = ()
+        self._index = 0
+
+    def __call__(self, rng: GeneratorLike = None) -> float:
+        index = self._index
+        buffer = self._buffer
+        if index >= len(buffer):
+            buffer = self._buffer = self.distribution.sample_many(self.rng, self.batch)
+            index = 0
+        self._index = index + 1
+        return float(buffer[index])

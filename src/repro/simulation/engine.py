@@ -43,6 +43,8 @@ class Engine:
         Initial value of the virtual clock, in seconds.  Defaults to 0.
     """
 
+    __slots__ = ("_now", "_heap", "_running", "_stopped", "_processed")
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list[ScheduledEvent] = []
@@ -128,15 +130,24 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        # The loop below is the hottest code in every simulation run:
+        # heap ops and the cutoff are bound to locals and the peek/step
+        # pair is fused into a single pop per executed event.
+        heap = self._heap
+        heappop = heapq.heappop
+        cutoff = math.inf if until is None else until
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
+            while heap and not self._stopped:
+                head = heap[0]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
-                if until is not None and head.time > until:
+                if head.time > cutoff:
                     break
-                self.step()
+                heappop(heap)
+                self._now = head.time
+                self._processed += 1
+                head.callback()
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

@@ -21,7 +21,7 @@ __all__ = ["ScheduledEvent", "Signal", "Interrupt"]
 _sequence = itertools.count()
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class ScheduledEvent:
     """A callback scheduled at a virtual point in time.
 

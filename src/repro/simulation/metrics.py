@@ -14,7 +14,7 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
+from ._backend import HAVE_NUMPY, np
 
 __all__ = [
     "MeasurementWindow",
@@ -118,24 +118,34 @@ class SampleStats:
     def count(self) -> int:
         return len(self._values)
 
-    def values(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=float)
+    def values(self) -> Sequence[float]:
+        """The recorded samples (numpy array on the fast path, else list)."""
+        if HAVE_NUMPY:
+            return np.asarray(self._values, dtype=float)
+        return list(self._values)
 
     def mean(self) -> float:
         if not self._values:
             return math.nan
-        return float(np.mean(self._values))
+        if HAVE_NUMPY:
+            return float(np.mean(self._values))
+        return math.fsum(self._values) / len(self._values)
 
     def moment(self, k: int) -> float:
         """Raw empirical moment ``mean(x**k)``."""
         if not self._values:
             return math.nan
-        return float(np.mean(self.values() ** k))
+        if HAVE_NUMPY:
+            return float(np.mean(self.values() ** k))
+        return math.fsum(v**k for v in self._values) / len(self._values)
 
     def variance(self) -> float:
         if len(self._values) < 2:
             return math.nan
-        return float(np.var(self._values, ddof=1))
+        if HAVE_NUMPY:
+            return float(np.var(self._values, ddof=1))
+        mean = self.mean()
+        return math.fsum((v - mean) ** 2 for v in self._values) / (len(self._values) - 1)
 
     def std(self) -> float:
         variance = self.variance()
@@ -153,21 +163,27 @@ class SampleStats:
             raise ValueError(f"quantile level must be in (0, 1], got {p}")
         if not self._values:
             return math.nan
-        return float(np.quantile(self.values(), p, method="inverted_cdf"))
+        if HAVE_NUMPY:
+            return float(np.quantile(self.values(), p, method="inverted_cdf"))
+        data = sorted(self._values)
+        # inverted-CDF definition: smallest x with CDF(x) >= p.
+        index = max(0, math.ceil(p * len(data)) - 1)
+        return data[index]
 
-    def ccdf(self, thresholds: Sequence[float]) -> np.ndarray:
+    def ccdf(self, thresholds: Sequence[float]) -> Sequence[float]:
         """Empirical complementary CDF ``P(X > t)`` at each threshold."""
         if not self._values:
-            return np.full(len(thresholds), math.nan)
-        data = np.sort(self.values())
-        out = np.empty(len(thresholds))
+            nans = [math.nan] * len(thresholds)
+            return np.asarray(nans) if HAVE_NUMPY else nans
+        data = sorted(self._values)
+        out = [0.0] * len(thresholds)
         for i, t in enumerate(thresholds):
             # count of values strictly greater than t
             idx = bisect_left(data, float(t))
             while idx < len(data) and data[idx] <= t:
                 idx += 1
             out[i] = (len(data) - idx) / len(data)
-        return out
+        return np.asarray(out) if HAVE_NUMPY else out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SampleStats({self.name!r}, n={self.count})"

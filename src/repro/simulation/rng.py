@@ -6,6 +6,11 @@ component (every publisher, every filter generator, every service process)
 draws from its *own* named stream so that adding a component never perturbs
 the random sequence of another — the standard variance-reduction discipline
 for discrete-event simulation.
+
+Streams are ``numpy`` generators when numpy is installed (the
+``repro[fast]`` extra; bit-compatible with earlier numpy-only releases)
+and :class:`~repro.simulation._backend.PurePythonGenerator` fallbacks
+otherwise — see :mod:`repro.simulation._backend`.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict
 
-import numpy as np
+from ._backend import GeneratorLike, make_generator
 
 __all__ = ["RandomStreams", "stable_hash"]
 
@@ -29,7 +34,7 @@ def stable_hash(text: str) -> int:
 
 
 class RandomStreams:
-    """A family of independent, named ``numpy`` generators.
+    """A family of independent, named generators.
 
     Parameters
     ----------
@@ -50,14 +55,13 @@ class RandomStreams:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self.seed = int(seed)
-        self._streams: Dict[str, np.random.Generator] = {}
+        self._streams: Dict[str, GeneratorLike] = {}
 
-    def stream(self, name: str) -> np.random.Generator:
+    def stream(self, name: str) -> GeneratorLike:
         """Return the generator for ``name``, creating it on first use."""
         generator = self._streams.get(name)
         if generator is None:
-            sequence = np.random.SeedSequence([self.seed, stable_hash(name)])
-            generator = np.random.default_rng(sequence)
+            generator = make_generator([self.seed, stable_hash(name)])
             self._streams[name] = generator
         return generator
 

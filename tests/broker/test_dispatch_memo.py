@@ -1,0 +1,252 @@
+"""Dispatch-plan memoization: correctness, invalidation, accounting.
+
+The memo's contract: a warm hit returns a plan whose ``matches`` tuple is
+bitwise identical to what cold planning would produce, while
+``filters_evaluated`` is 0 — the virtual-CPU bill reflects work actually
+done.  Any event that can change a topic's match sets (subscribe,
+unsubscribe, index install/removal, crash) must invalidate, and the
+fingerprint must distinguish every message attribute selectors can see:
+properties by name/type/value, the correlation ID, and any volatile JMS
+header a topic's selectors reference.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import Broker, Message, PropertyFilter
+from repro.broker.dispatch_cache import VOLATILE_HEADERS, DispatchMemo
+
+
+def make_broker(selectors, topic="t"):
+    broker = Broker(topics=[topic])
+    for i, text in enumerate(selectors):
+        broker.add_subscriber(f"s{i}")
+        broker.subscribe(f"s{i}", topic, PropertyFilter(text))
+    return broker
+
+
+def match_ids(plan):
+    """Subscriber names, comparable across separately built brokers."""
+    return [s.subscriber.subscriber_id for s in plan.matches]
+
+
+class TestMemoBasics:
+    def test_warm_hit_identical_matches_zero_bill(self):
+        broker = make_broker(["a = 1", "a > 0", "b = 'x'"])
+        message = Message(topic="t", properties={"a": 1})
+        cold = broker.dry_run(message)
+        assert cold.filters_evaluated == 3
+        broker.install_dispatch_memo()
+        miss = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        hit = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert match_ids(hit) == match_ids(miss) == match_ids(cold)
+        assert miss.filters_evaluated == 3
+        assert hit.filters_evaluated == 0
+        memo = broker.dispatch_memo("t")
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_hit_carries_the_new_message_object(self):
+        """The cached entry stores matches, never the original message."""
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        first = Message(topic="t", properties={"a": 1})
+        second = Message(topic="t", properties={"a": 1})
+        broker.dry_run(first)
+        plan = broker.dry_run(second)
+        assert plan.message is second
+
+    def test_bool_and_int_properties_not_conflated(self):
+        """hash(True) == hash(1): the fingerprint must still split them."""
+        broker = make_broker(["a = 1", "a = TRUE"])
+        broker.install_dispatch_memo()
+        as_int = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        as_bool = broker.dry_run(Message(topic="t", properties={"a": True}))
+        assert match_ids(as_int) == ["s0"]
+        assert match_ids(as_bool) == ["s1"]
+
+    def test_correlation_id_always_in_the_key(self):
+        broker = make_broker(["JMSCorrelationID = 'x'"])
+        broker.install_dispatch_memo()
+        with_id = broker.dry_run(Message(topic="t", correlation_id="x"))
+        without = broker.dry_run(Message(topic="t"))
+        assert len(with_id.matches) == 1
+        assert len(without.matches) == 0
+
+    def test_lru_eviction_is_bounded(self):
+        broker = make_broker(["a >= 0"])
+        broker.install_dispatch_memo(maxsize=4)
+        for i in range(10):
+            broker.dry_run(Message(topic="t", properties={"a": i}))
+        memo = broker.dispatch_memo("t")
+        assert len(memo) == 4
+        assert memo.evictions == 6
+
+    def test_install_validates_maxsize(self):
+        broker = make_broker(["a = 1"])
+        try:
+            broker.install_dispatch_memo(maxsize=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("maxsize=0 accepted")
+
+
+class TestInvalidation:
+    def test_subscribe_invalidates(self):
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        message = Message(topic="t", properties={"a": 1})
+        assert len(broker.dry_run(message).matches) == 1
+        broker.add_subscriber("late")
+        broker.subscribe("late", "t", PropertyFilter("a >= 1"))
+        plan = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert len(plan.matches) == 2
+
+    def test_unsubscribe_invalidates(self):
+        broker = make_broker(["a = 1", "a >= 1"])
+        broker.install_dispatch_memo()
+        message = Message(topic="t", properties={"a": 1})
+        assert len(broker.dry_run(message).matches) == 2
+        broker.unsubscribe(broker.subscriptions("t")[0])
+        plan = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert len(plan.matches) == 1
+
+    def test_crash_clears_all_memos(self):
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert len(broker.dispatch_memo("t")) == 1
+        broker.crash()
+        assert broker.uses_dispatch_memo
+        memo = broker.dispatch_memo("t")
+        assert memo is None or len(memo) == 0
+
+    def test_filter_index_install_and_remove_clear(self):
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        broker.dry_run(Message(topic="t", properties={"a": 1}))
+        broker.install_filter_index()
+        plan = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert len(plan.matches) == 1
+        broker.remove_filter_index()
+        assert len(broker.dry_run(Message(topic="t", properties={"a": 1})).matches) == 1
+
+    def test_remove_dispatch_memo_restores_cold_accounting(self):
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        broker.dry_run(Message(topic="t", properties={"a": 1}))
+        broker.dry_run(Message(topic="t", properties={"a": 1}))
+        broker.remove_dispatch_memo()
+        assert not broker.uses_dispatch_memo
+        plan = broker.dry_run(Message(topic="t", properties={"a": 1}))
+        assert plan.filters_evaluated == 1
+
+
+class TestVolatileHeaders:
+    def test_priority_selector_makes_memo_header_sensitive(self):
+        broker = make_broker(["JMSPriority >= 5"])
+        broker.install_dispatch_memo()
+        low = broker.dry_run(Message(topic="t", priority=1))
+        high = broker.dry_run(Message(topic="t", priority=9))
+        assert len(low.matches) == 0
+        assert len(high.matches) == 1
+
+    def test_header_free_topic_ignores_priority(self):
+        """No selector reads headers: same properties -> one memo entry."""
+        broker = make_broker(["a = 1"])
+        broker.install_dispatch_memo()
+        broker.dry_run(Message(topic="t", properties={"a": 1}, priority=1))
+        broker.dry_run(Message(topic="t", properties={"a": 1}, priority=9))
+        memo = broker.dispatch_memo("t")
+        assert (memo.hits, memo.misses, len(memo)) == (1, 1, 1)
+
+    def test_volatile_header_set_matches_evaluator_surface(self):
+        assert VOLATILE_HEADERS == frozenset(
+            {
+                "JMSMessageID",
+                "JMSPriority",
+                "JMSTimestamp",
+                "JMSDeliveryMode",
+                "JMSRedelivered",
+            }
+        )
+
+    def test_direct_memo_header_fingerprint(self):
+        memo = DispatchMemo(8, header_fields=("JMSPriority",))
+        low = Message(topic="t", priority=1)
+        high = Message(topic="t", priority=9)
+        assert memo.fingerprint(low) != memo.fingerprint(high)
+
+
+# ----------------------------------------------------------------------
+# Randomized memoized-vs-cold equivalence over subscription sets
+# ----------------------------------------------------------------------
+_SELECTOR_POOL = (
+    "a = 1",
+    "a > 5",
+    "a BETWEEN 2 AND 8",
+    "b = 'x'",
+    "b IN ('x', 'y')",
+    "b LIKE 'x%'",
+    "a IS NULL",
+    "b IS NOT NULL AND a < 4",
+    "JMSPriority >= 5",
+    "a = TRUE",
+)
+
+_prop_value = st.one_of(
+    st.integers(min_value=0, max_value=10),
+    st.sampled_from(["x", "y", "z"]),
+    st.booleans(),
+)
+_message = st.builds(
+    lambda props, priority, cid: Message(
+        topic="t", properties=props, priority=priority, correlation_id=cid
+    ),
+    st.dictionaries(st.sampled_from(["a", "b"]), _prop_value, max_size=2),
+    st.integers(min_value=0, max_value=9),
+    st.one_of(st.none(), st.sampled_from(["c-1", "c-2"])),
+)
+
+
+class TestMemoizedEquivalence:
+    @given(
+        selectors=st.lists(
+            st.sampled_from(_SELECTOR_POOL), min_size=1, max_size=8
+        ),
+        messages=st.lists(_message, min_size=1, max_size=12),
+        maxsize=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_memoized_dispatch_equals_cold(self, selectors, messages, maxsize):
+        cold = make_broker(selectors)
+        warm = make_broker(selectors)
+        warm.install_dispatch_memo(maxsize=maxsize)
+        # Two passes: the second exercises hits (and, for small maxsize,
+        # evictions) while the first populates the cache.
+        for message in messages + messages:
+            cold_plan = cold.dry_run(message)
+            warm_plan = warm.dry_run(message)
+            assert match_ids(warm_plan) == match_ids(cold_plan)
+
+    @given(
+        selectors=st.lists(
+            st.sampled_from(_SELECTOR_POOL), min_size=2, max_size=6
+        ),
+        messages=st.lists(_message, min_size=1, max_size=6),
+        drop=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence_survives_churn(self, selectors, messages, drop):
+        """Unsubscribe mid-stream; memoized plans must track the change."""
+        cold = make_broker(selectors)
+        warm = make_broker(selectors)
+        warm.install_dispatch_memo()
+        for message in messages:
+            assert match_ids(warm.dry_run(message)) == match_ids(cold.dry_run(message))
+        victim = drop % len(selectors)
+        cold.unsubscribe(cold.subscriptions("t")[victim])
+        warm.unsubscribe(warm.subscriptions("t")[victim])
+        for message in messages:
+            assert match_ids(warm.dry_run(message)) == match_ids(cold.dry_run(message))

@@ -181,6 +181,106 @@ class TestCanonicalSharing:
         assert result.replication_grade == len(self.EQUIVALENT)
 
 
+class TestIncrementalUpdates:
+    """Regression: the index used to be a frozen snapshot — subscriptions
+    added or removed after ``install_filter_index`` were invisible to
+    indexed dispatch until a manual rebuild."""
+
+    def test_subscribe_after_install_is_visible(self):
+        broker = Broker(topics=["t"])
+        build_subscriptions(broker, [PropertyFilter("a = 1")])
+        broker.install_filter_index()
+        message = Message(topic="t", properties={"a": 1})
+        assert len(broker.dry_run(message).matches) == 1
+        late = broker.add_subscriber("late")
+        broker.subscribe(late, "t", PropertyFilter("a >= 1"))
+        plan = broker.dry_run(message)
+        assert [s.subscriber.subscriber_id for s in plan.matches] == ["s0", "late"]
+
+    def test_unsubscribe_after_install_is_visible(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker, [PropertyFilter("a = 1"), PropertyFilter("a >= 1")]
+        )
+        broker.install_filter_index()
+        message = Message(topic="t", properties={"a": 1})
+        assert len(broker.dry_run(message).matches) == 2
+        broker.unsubscribe(subs[0])
+        plan = broker.dry_run(message)
+        assert [s.subscriber.subscriber_id for s in plan.matches] == ["s1"]
+
+    def test_subscribe_to_fresh_topic_after_install(self):
+        """Topics that gain their first subscription post-install still
+        get indexed dispatch rather than a stale empty snapshot."""
+        broker = Broker(topics=["t", "u"])
+        build_subscriptions(broker, [PropertyFilter("a = 1")])
+        broker.install_filter_index()
+        sub = broker.add_subscriber("u0")
+        broker.subscribe(sub, "u", PropertyFilter("b = 2"))
+        plan = broker.dry_run(Message(topic="u", properties={"b": 2}))
+        assert [s.subscriber.subscriber_id for s in plan.matches] == ["u0"]
+
+    def test_index_add_remove_direct(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [PropertyFilter("a = 1"), PropertyFilter("a = 1"), MatchAllFilter()],
+        )
+        index = FilterIndex(subs[:1])
+        index.add(subs[1])
+        index.add(subs[2])
+        message = Message(topic="t", properties={"a": 1})
+        plan = index.plan(message)
+        assert len(plan.matches) == 3
+        assert plan.filters_evaluated == 1  # shared selector group
+        index.remove(subs[0])
+        plan = index.plan(message)
+        assert [s.subscription_id for s in plan.matches] == [
+            subs[1].subscription_id,
+            subs[2].subscription_id,
+        ]
+
+    def test_remove_unknown_subscription_raises(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(broker, [PropertyFilter("a = 1")])
+        index = FilterIndex(subs)
+        index.remove(subs[0])
+        with pytest.raises(KeyError):
+            index.remove(subs[0])
+
+    def test_remove_last_member_dismantles_group(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker, [PropertyFilter("a = 1"), PropertyFilter("b = 2")]
+        )
+        index = FilterIndex(subs)
+        index.remove(subs[0])
+        assert index.distinct_filters == 1
+        plan = index.plan(Message(topic="t", properties={"a": 1, "b": 2}))
+        assert plan.filters_evaluated == 1
+
+    def test_canonicalizing_index_updates_incrementally(self):
+        broker = Broker(topics=["t"])
+        build_subscriptions(broker, [PropertyFilter("a = '1'")])
+        broker.install_filter_index(canonicalize=True)
+        late = broker.add_subscriber("late")
+        broker.subscribe(late, "t", PropertyFilter("NOT (a <> '1')"))
+        plan = broker.dry_run(Message(topic="t", properties={"a": "1"}))
+        assert len(plan.matches) == 2
+        assert plan.filters_evaluated == 1  # equivalent selectors still share
+
+    def test_dead_subscription_removal_updates_dead_list(self):
+        broker = Broker(topics=["t"])
+        subs = build_subscriptions(
+            broker,
+            [PropertyFilter("price > 10 AND price < 5"), PropertyFilter("b = 1")],
+        )
+        index = FilterIndex(subs, canonicalize=True)
+        assert len(index.dead_subscriptions) == 1
+        index.remove(subs[0])
+        assert index.dead_subscriptions == ()
+
+
 class TestCorrelationAccessors:
     def test_range_spec_accessors(self):
         filter_ = CorrelationIdFilter("[5;9]")

@@ -1,0 +1,260 @@
+"""Compiled selector closures: unit semantics + equivalence with the interpreter.
+
+The compiler's contract is *verdict identity with the tree walker* under
+SQL-92 three-valued logic: for every AST and every message — including
+messages with absent properties (NULL) and bool-masquerading-as-number
+values — ``CompiledSelector.evaluate`` returns the same True/False/UNKNOWN
+as :func:`repro.broker.selector.evaluator.evaluate`, and ``matches`` the
+same two-valued verdict.  The hypothesis suite below drives randomized
+ASTs and sparse messages through both paths.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import Message
+from repro.broker.selector import (
+    Between,
+    Binary,
+    CompiledSelector,
+    Expr,
+    Identifier,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Selector,
+    Unary,
+    compilation_enabled,
+    compile_ast,
+    compiled_for_ast,
+    evaluate,
+    parse,
+    set_compilation,
+)
+from repro.broker.selector.analysis import simplify
+from repro.broker.selector.evaluator import UNKNOWN
+
+
+def verdicts(text: str, message: Message):
+    """(interpreter, compiled) three-valued results for a selector text."""
+    ast = parse(text)
+    return evaluate(ast, message), compile_ast(ast).evaluate(message)
+
+
+MESSAGES = (
+    Message(topic="t", properties={"price": 120.0, "region": "EU", "qty": 7}),
+    Message(topic="t", properties={"price": 10, "region": "US", "note": "x"}),
+    Message(topic="t", properties={"flag": True, "price": 1}),
+    Message(topic="t", properties={}),  # everything absent -> NULL paths
+    Message(topic="t", properties={"sym": "A_B"}, priority=9, correlation_id="c-1"),
+)
+
+SELECTORS = (
+    "price > 100",
+    "price BETWEEN 50 AND 150",
+    "price NOT BETWEEN 50 AND 150",
+    "region = 'EU' AND price > 10",
+    "region IN ('EU', 'US')",
+    "region NOT IN ('EU', 'US')",
+    "sym LIKE 'A!_%' ESCAPE '!'",
+    "sym NOT LIKE 'A%'",
+    "note IS NULL",
+    "note IS NOT NULL",
+    "price / qty > 10",
+    "price / 0 > 1",  # division by zero -> UNKNOWN
+    "flag",
+    "flag = TRUE",
+    "NOT (price > 100 OR qty < 10)",
+    "JMSPriority >= 5",
+    "JMSCorrelationID = 'c-1'",
+    "price + qty * 2 <= 200",
+)
+
+
+class TestCompiledSemantics:
+    @pytest.mark.parametrize("text", SELECTORS)
+    @pytest.mark.parametrize("message", MESSAGES, ids=range(len(MESSAGES)))
+    def test_verdict_identity_on_corpus(self, text, message):
+        interpreted, compiled = verdicts(text, message)
+        assert compiled is interpreted
+
+    def test_bool_is_not_a_number(self):
+        """True must not satisfy numeric comparisons (the int-subclass trap)."""
+        message = Message(topic="t", properties={"flag": True})
+        assert compile_ast(parse("flag > 0")).evaluate(message) is UNKNOWN
+        assert compile_ast(parse("flag = 1")).evaluate(message) is UNKNOWN
+        assert compile_ast(parse("flag = TRUE")).evaluate(message) is True
+
+    def test_exact_integer_division_stays_integral(self):
+        message = Message(topic="t", properties={"a": 10, "b": 5})
+        assert compile_ast(parse("a / b = 2")).evaluate(message) is True
+        assert compile_ast(parse("a / 4 = 2.5")).evaluate(message) is True
+
+    def test_header_null_correlation_id(self):
+        """An unset JMSCorrelationID is NULL, not a missing identifier."""
+        message = Message(topic="t")
+        assert compile_ast(parse("JMSCorrelationID = 'x'")).evaluate(message) is UNKNOWN
+        assert compile_ast(parse("JMSCorrelationID IS NULL")).evaluate(message) is True
+
+    def test_compiled_source_is_inspectable(self):
+        compiled = compile_ast(parse("price > 100 AND region = 'EU'"))
+        assert isinstance(compiled, CompiledSelector)
+        assert "def _selector(message):" in compiled.source
+
+    def test_compiled_for_ast_caches_per_ast(self):
+        ast = simplify(parse("price > 100"))
+        assert compiled_for_ast(ast) is compiled_for_ast(ast)
+
+    def test_cache_distinguishes_literal_types(self):
+        """Regression: ``Literal(True) == Literal(1) == Literal(1.0)`` under
+        dataclass equality, but the three selectors compile differently —
+        the cache must never hand ``a = TRUE`` the matcher for ``a = 1``."""
+        as_int = compiled_for_ast(parse("a = 1"))
+        as_bool = compiled_for_ast(parse("a = TRUE"))
+        as_float = compiled_for_ast(parse("a = 1.0"))
+        message = Message(topic="t", properties={"a": True})
+        assert as_bool.evaluate(message) is True
+        assert as_int.evaluate(message) is UNKNOWN
+        assert as_float.evaluate(message) is UNKNOWN
+
+    def test_invalid_like_pattern_raises_at_compile_time(self):
+        """The interpreter raises at evaluation; the compiler moves the
+        error to compile time — invalid patterns never produce a matcher."""
+        from repro.broker.errors import InvalidSelectorError
+
+        with pytest.raises(InvalidSelectorError):
+            compile_ast(Like(Identifier("a"), "!", "!", False))
+
+
+class TestCompilationToggle:
+    def test_flag_round_trip(self):
+        original = compilation_enabled()
+        try:
+            set_compilation(False)
+            assert not compilation_enabled()
+            set_compilation(True)
+            assert compilation_enabled()
+        finally:
+            set_compilation(original)
+
+    def test_interpreter_fallback_matches_compiled(self):
+        message = Message(topic="t", properties={"price": 120.0, "region": "EU"})
+        original = compilation_enabled()
+        try:
+            set_compilation(True)
+            fast = Selector("price > 100 AND region = 'EU'")
+            assert fast.compiled
+            assert fast.matches(message)
+            set_compilation(False)
+            slow = Selector("price > 100 AND region = 'EU'")
+            assert not slow.compiled
+            assert slow.matches(message)
+        finally:
+            set_compilation(original)
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence (mirrors the simplify property suite's grammar)
+# ----------------------------------------------------------------------
+_KEYWORDS = {
+    "and", "or", "not", "between", "in", "like", "escape", "is", "null",
+    "true", "false",
+}
+_ident = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4).filter(
+    lambda s: s not in _KEYWORDS
+)
+_string_lit = st.text(alphabet=string.ascii_letters + " '%_!", max_size=6)
+_number = st.one_of(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=0, max_value=50, allow_nan=False, allow_infinity=False),
+)
+
+
+def _escape_valid(pattern: str, escape) -> bool:
+    if escape is None:
+        return True
+    i = 0
+    while i < len(pattern):
+        if pattern[i] == escape:
+            if i + 1 >= len(pattern):
+                return False
+            i += 2
+        else:
+            i += 1
+    return True
+
+
+_arith = st.recursive(
+    st.one_of(_number.map(Literal), _ident.map(Identifier)),
+    lambda children: st.builds(
+        Binary, st.sampled_from(["+", "-", "*", "/"]), children, children
+    ),
+    max_leaves=4,
+)
+
+_predicate = st.one_of(
+    st.builds(
+        Binary, st.sampled_from(["=", "<>", "<", "<=", ">", ">="]), _arith, _arith
+    ),
+    st.builds(Between, _ident.map(Identifier), _arith, _arith, st.booleans()),
+    st.builds(
+        InList,
+        _ident.map(Identifier),
+        st.lists(_string_lit, min_size=1, max_size=3).map(tuple),
+        st.booleans(),
+    ),
+    st.builds(
+        Like,
+        _ident.map(Identifier),
+        _string_lit,
+        st.one_of(st.none(), st.just("!")),
+        st.booleans(),
+    ).filter(lambda e: _escape_valid(e.pattern, e.escape)),
+    st.builds(IsNull, _ident.map(Identifier), st.booleans()),
+    st.booleans().map(Literal),
+    _ident.map(Identifier),
+)
+
+_condition = st.recursive(
+    _predicate,
+    lambda children: st.one_of(
+        st.builds(Binary, st.sampled_from(["AND", "OR"]), children, children),
+        st.builds(Unary, st.just("NOT"), children),
+    ),
+    max_leaves=8,
+)
+
+_prop_value = st.one_of(
+    st.integers(min_value=-10, max_value=60),
+    st.floats(min_value=-10, max_value=60, allow_nan=False, allow_infinity=False),
+    st.text(alphabet=string.ascii_lowercase + "%_", max_size=4),
+    st.booleans(),
+)
+# Small dictionaries keep most identifiers ABSENT so NULL/UNKNOWN
+# propagation — the classic compiled-short-circuit bug surface — dominates.
+_sparse_message = st.dictionaries(_ident, _prop_value, max_size=2).map(
+    lambda props: Message(topic="t", properties=props)
+)
+
+
+class TestCompiledEquivalence:
+    @given(ast=_condition, message=_sparse_message)
+    @settings(max_examples=300, deadline=None)
+    def test_three_valued_identity_on_raw_ast(self, ast: Expr, message: Message):
+        assert compile_ast(ast).evaluate(message) is evaluate(ast, message)
+
+    @given(ast=_condition, message=_sparse_message)
+    @settings(max_examples=300, deadline=None)
+    def test_three_valued_identity_on_canonical_ast(self, ast: Expr, message: Message):
+        canonical = simplify(ast)
+        assert compiled_for_ast(canonical).evaluate(message) is evaluate(
+            canonical, message
+        )
+
+    @given(ast=_condition, message=_sparse_message)
+    @settings(max_examples=200, deadline=None)
+    def test_match_verdict_identity(self, ast: Expr, message: Message):
+        assert compile_ast(ast).matches(message) == (evaluate(ast, message) is True)

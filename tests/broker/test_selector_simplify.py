@@ -41,6 +41,22 @@ _number = st.one_of(
     st.floats(min_value=0, max_value=50, allow_nan=False, allow_infinity=False),
 )
 
+def _escape_valid(pattern: str, escape) -> bool:
+    """Reject LIKE patterns whose final escape character is dangling —
+    the evaluator (rightly) raises on those instead of evaluating."""
+    if escape is None:
+        return True
+    i = 0
+    while i < len(pattern):
+        if pattern[i] == escape:
+            if i + 1 >= len(pattern):
+                return False
+            i += 2
+        else:
+            i += 1
+    return True
+
+
 _arith = st.recursive(
     st.one_of(_number.map(Literal), _ident.map(Identifier)),
     lambda children: st.builds(
@@ -68,7 +84,7 @@ _predicate = st.one_of(
         _string_lit,
         st.one_of(st.none(), st.just("!")),
         st.booleans(),
-    ),
+    ).filter(lambda e: _escape_valid(e.pattern, e.escape)),
     st.builds(IsNull, _ident.map(Identifier), st.booleans()),
     st.booleans().map(Literal),
     _ident.map(Identifier),  # a bare (possibly boolean) property

@@ -1,0 +1,32 @@
+"""Collection guards for minimal environments.
+
+The broker and simulation packages run on the standard library alone
+(numpy is the ``repro[fast]`` extra), but the analysis/core layers and
+everything built on them use numpy/scipy directly.  Without numpy those
+suites cannot even be imported, so they are excluded from collection
+instead of erroring out — what remains still exercises the full
+dependency-free surface (broker, selectors, dispatch, simulation).
+"""
+
+try:
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on environment
+    _HAVE_NUMPY = False
+
+collect_ignore: list = []
+
+if not _HAVE_NUMPY:  # pragma: no cover - depends on environment
+    collect_ignore = [
+        "analysis",
+        "architectures",
+        "core",
+        "faults",
+        "integration",
+        "overload",
+        "testbed",
+        # the CLI wires in the (numpy-backed) analysis layer at import
+        "test_cli.py",
+        "test_doctests.py",
+    ]

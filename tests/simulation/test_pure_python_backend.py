@@ -1,0 +1,227 @@
+"""The numpy-optional RNG backend and batched sampling.
+
+numpy (the ``repro[fast]`` extra) accelerates sampling but must never be
+required: ``repro.simulation._backend`` falls back to the standard
+library's ``random`` module, and ``REPRO_PURE_PYTHON=1`` forces that
+fallback even when numpy is importable — which is how these tests pin it
+down without uninstalling anything.  The subprocess tests assert the
+simulation stack actually runs end to end on the fallback.
+"""
+
+import math
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import (
+    BatchSampler,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    RandomStreams,
+    simulate_mg1,
+)
+from repro.simulation._backend import PurePythonGenerator, make_generator
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_pure(script: str) -> str:
+    env = dict(os.environ)
+    env["REPRO_PURE_PYTHON"] = "1"
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestPurePythonGenerator:
+    def test_deterministic_given_seed(self):
+        a = PurePythonGenerator(42)
+        b = PurePythonGenerator(42)
+        assert a.exponential(2.0, size=5) == b.exponential(2.0, size=5)
+        assert a.random() == b.random()
+
+    def test_scalar_vs_batch_shapes(self):
+        gen = PurePythonGenerator(1)
+        assert isinstance(gen.exponential(1.0), float)
+        batch = gen.exponential(1.0, size=4)
+        assert isinstance(batch, list) and len(batch) == 4
+
+    def test_exponential_scale(self):
+        gen = PurePythonGenerator(7)
+        values = gen.exponential(3.0, size=4000)
+        assert sum(values) / len(values) == pytest.approx(3.0, rel=0.1)
+
+    def test_uniform_bounds(self):
+        gen = PurePythonGenerator(7)
+        values = gen.uniform(2.0, 5.0, size=500)
+        assert all(2.0 <= v < 5.0 for v in values)
+
+    def test_choice_from_int_population(self):
+        gen = PurePythonGenerator(7)
+        values = gen.choice(4, size=200)
+        assert set(values) <= {0, 1, 2, 3}
+
+    def test_choice_with_probabilities(self):
+        gen = PurePythonGenerator(7)
+        values = gen.choice([10, 20], size=500, p=[0.9, 0.1])
+        assert values.count(10) > values.count(20)
+
+    def test_geometric_support(self):
+        gen = PurePythonGenerator(7)
+        values = gen.geometric(0.4, size=500)
+        assert all(isinstance(v, int) and v >= 1 for v in values)
+        assert sum(values) / len(values) == pytest.approx(2.5, rel=0.15)
+
+    def test_binomial_support(self):
+        gen = PurePythonGenerator(7)
+        values = gen.binomial(10, 0.5, size=500)
+        assert all(0 <= v <= 10 for v in values)
+        assert sum(values) / len(values) == pytest.approx(5.0, rel=0.1)
+
+    def test_gamma_and_lognormal_positive(self):
+        gen = PurePythonGenerator(7)
+        assert all(v > 0 for v in gen.gamma(2.0, 0.5, size=100))
+        assert all(v > 0 for v in gen.lognormal(0.0, 1.0, size=100))
+
+    def test_make_generator_pure_is_seeded(self):
+        a = make_generator([1, 2, 3])
+        b = make_generator([1, 2, 3])
+        c = make_generator([1, 2, 4])
+        if not isinstance(a, PurePythonGenerator):
+            pytest.skip("numpy backend active; folding path covered in subprocess")
+        assert a.exponential(1.0) == b.exponential(1.0)
+        assert a.exponential(1.0) != c.exponential(1.0)
+
+
+class TestBatchSampler:
+    def test_batched_draws_match_sample_many_chunks(self):
+        """A BatchSampler on an exclusive stream replays ``sample_many``."""
+        dist = Exponential(5.0)
+        rng_a = RandomStreams(seed=11).stream("batch")
+        rng_b = RandomStreams(seed=11).stream("batch")
+        sampler = BatchSampler(dist, rng_a, batch=8)
+        drawn = [sampler() for _ in range(16)]
+        expected = list(dist.sample_many(rng_b, 8)) + list(dist.sample_many(rng_b, 8))
+        assert drawn == pytest.approx(expected)
+
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchSampler(Exponential(1.0), RandomStreams(seed=1).stream("x"), batch=0)
+
+    def test_mg1_batch_one_is_bit_identical_to_default(self):
+        """batch=1 must preserve the historical draw order exactly."""
+        base = simulate_mg1(
+            50.0, Exponential(100.0), RandomStreams(seed=5).stream("mg1"), horizon=20.0
+        )
+        batched = simulate_mg1(
+            50.0,
+            Exponential(100.0),
+            RandomStreams(seed=5).stream("mg1"),
+            horizon=20.0,
+            batch=1,
+        )
+        assert batched == base
+
+    def test_mg1_large_batch_statistically_consistent(self):
+        """batch>1 reorders the shared stream (documented) but the
+        steady-state answer must agree with the single-draw run."""
+        base = simulate_mg1(
+            50.0, Exponential(100.0), RandomStreams(seed=5).stream("mg1"), horizon=200.0
+        )
+        batched = simulate_mg1(
+            50.0,
+            Exponential(100.0),
+            RandomStreams(seed=6).stream("mg1"),
+            horizon=200.0,
+            batch=256,
+        )
+        # M/M/1 at rho=0.5: E[W] = rho/(mu - lambda) = 0.01 s.
+        assert base.mean_wait == pytest.approx(0.01, rel=0.25)
+        assert batched.mean_wait == pytest.approx(0.01, rel=0.25)
+
+    def test_hyperexponential_sample_many_moments(self):
+        dist = Hyperexponential(probabilities=(0.5, 0.5), rates=(1.0, 10.0))
+        rng = RandomStreams(seed=9).stream("hyper")
+        values = list(dist.sample_many(rng, 4000))
+        assert sum(values) / len(values) == pytest.approx(dist.mean, rel=0.1)
+
+    def test_erlang_sample_many_positive(self):
+        dist = Erlang(3, 2.0)
+        rng = RandomStreams(seed=9).stream("erlang")
+        values = list(dist.sample_many(rng, 100))
+        assert all(v > 0 for v in values)
+        assert math.isfinite(sum(values))
+
+
+class TestPurePythonSubprocess:
+    def test_backend_forced_pure(self):
+        out = run_pure(
+            """
+            from repro.simulation._backend import HAVE_NUMPY
+            print(HAVE_NUMPY)
+            """
+        )
+        assert out.strip() == "False"
+
+    def test_simulation_stack_runs_without_numpy(self):
+        out = run_pure(
+            """
+            from repro.simulation import (
+                Exponential, RandomStreams, simulate_mg1, simulate_gg1,
+            )
+            r = simulate_mg1(
+                50.0, Exponential(100.0),
+                RandomStreams(seed=3).stream("mg1"), horizon=30.0,
+            )
+            assert r.served > 1000, r.served
+            assert 0 < r.mean_wait < 1, r.mean_wait
+            g = simulate_gg1(
+                Exponential(50.0), Exponential(100.0),
+                RandomStreams(seed=3).stream("gg1"), horizon=10.0, batch=16,
+            )
+            assert g.served > 100, g.served
+            print("ok")
+            """
+        )
+        assert out.strip() == "ok"
+
+    def test_metrics_pure_fallbacks(self):
+        out = run_pure(
+            """
+            from repro.simulation import SampleStats
+            stats = SampleStats(name="x")
+            for v in (1.0, 2.0, 3.0, 4.0):
+                stats.record(v, time=0.0)
+            assert stats.mean() == 2.5
+            assert stats.quantile(0.5) == 2.0
+            print("ok")
+            """
+        )
+        assert out.strip() == "ok"
+
+    def test_selector_and_broker_run_without_numpy(self):
+        """The broker hot path has no numpy dependency at all."""
+        out = run_pure(
+            """
+            from repro.broker import Broker, Message, PropertyFilter
+            broker = Broker(topics=["t"])
+            broker.add_subscriber("s0")
+            broker.subscribe("s0", "t", PropertyFilter("a > 1"))
+            broker.install_dispatch_memo()
+            plan = broker.dry_run(Message(topic="t", properties={"a": 2}))
+            assert len(plan.matches) == 1
+            print("ok")
+            """
+        )
+        assert out.strip() == "ok"

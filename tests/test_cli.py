@@ -108,6 +108,29 @@ class TestOverload:
             main(["overload", "--capacity", "1", "--validate", "--rho", "0.9"])
 
 
+class TestBench:
+    def test_fast_bench_runs_and_reports(self, capsys):
+        assert main(["bench", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "selector eval:" in out
+        assert "dispatch:" in out
+        assert "gate:" in out
+
+    def test_bench_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main(["bench", "--fast", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert set(payload) >= {"selector_eval", "dispatch", "simulation", "acceptance"}
+        assert payload["selector_eval"]["mismatches"] == 0
+        assert payload["dispatch"]["matches_identical"] is True
+
+    def test_bench_help_parses(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--help"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -117,5 +140,5 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
-        for command in ("report", "figure", "capacity", "wait", "overload"):
+        for command in ("report", "figure", "capacity", "wait", "overload", "bench"):
             assert command in out

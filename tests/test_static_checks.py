@@ -93,3 +93,38 @@ def test_strict_mypy_scope_includes_overload():
     """repro.overload stays under the strict mypy override."""
     text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     assert '"repro.overload.*"' in text
+
+
+def test_check_static_covers_hotpath_surface():
+    """The gate must smoke the compiled hot path, the bench harness and
+    its CLI entry point, and run the equivalence property suites."""
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_static
+    finally:
+        sys.path.pop(0)
+    assert "repro.broker.selector.compile" in check_static.IMPORT_SMOKE
+    assert "repro.broker.dispatch_cache" in check_static.IMPORT_SMOKE
+    assert "repro.bench.hotpath" in check_static.IMPORT_SMOKE
+    assert "repro.simulation._backend" in check_static.IMPORT_SMOKE
+    assert ["bench", "--help"] in [list(c) for c in check_static.CLI_SMOKE]
+    suites = [s.split("::")[0] for s in check_static.EQUIVALENCE_SUITES]
+    assert "tests/broker/test_selector_compile.py" in suites
+    assert "tests/broker/test_dispatch_memo.py" in suites
+
+
+def test_strict_mypy_scope_includes_hotpath():
+    """The compiled selector/bench modules stay under strict mypy."""
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert '"repro.broker.selector.compile"' in text
+    assert '"repro.broker.dispatch_cache"' in text
+    assert '"repro.bench.*"' in text
+
+
+def test_numpy_is_an_optional_extra():
+    """numpy/scipy live in the [fast] extra, not core dependencies."""
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert 'fast = ["numpy' in text
+    dependencies = text.split("dependencies = [", 1)[1].split("]", 1)[0]
+    assert "numpy" not in dependencies
+    assert "scipy" not in dependencies

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Record the hot-path perf baseline (BENCH_hotpath.json) and gate on it.
+
+Runs the three hot-path benchmarks — compiled selector evaluation vs.
+the tree-walking interpreter, memoized dispatch planning vs. cold
+filter scans, and engine events/s with single-draw vs. batched RNG
+sampling — then writes the payload and exits non-zero unless
+
+* compiled selector evaluation is >= 3x the interpreter,
+* warm memoized dispatch is >= 5x cold planning,
+* the compiled/interpreted verdicts agree on every (selector, message)
+  pair and the cold/warm ``DispatchPlan.matches`` are identical.
+
+Absolute rates in the JSON are machine-dependent and recorded for
+context only; the gate asserts the ratios and equivalence counters.
+
+Usage: PYTHONPATH=src python tools/bench_gate.py [output.json] [--fast]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_hotpath_report, run_hotpath_bench
+
+
+def main(argv: list[str]) -> int:
+    fast = "--fast" in argv
+    positional = [arg for arg in argv if not arg.startswith("-")]
+    out = pathlib.Path(
+        positional[0]
+        if positional
+        else pathlib.Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+    )
+    payload = run_hotpath_bench(fast=fast)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    print(format_hotpath_report(payload))
+    return 0 if payload["acceptance"]["pass"] else 1  # type: ignore[index]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -34,18 +34,59 @@ CHECKS = (
 IMPORT_SMOKE = (
     "repro",
     "repro.broker",
+    "repro.broker.selector.compile",
+    "repro.broker.dispatch_cache",
+    "repro.bench",
+    "repro.bench.hotpath",
     "repro.faults",
     "repro.overload",
     "repro.overload.experiment",
     "repro.analysis.overload",
     "repro.architectures.failover",
+    "repro.simulation._backend",
 )
 
 #: CLI invocations that must at least parse and print help in every
 #: environment — a regression here means the entry point itself is broken.
 CLI_SMOKE = (
     ["overload", "--help"],
+    ["bench", "--help"],
 )
+
+
+#: Hypothesis equivalence suites gating the compiled hot path: compiled
+#: selectors must agree with the tree-walking interpreter, and memoized
+#: dispatch with cold planning, on randomized inputs.  Run as part of the
+#: gate because a divergence here silently corrupts dispatch.
+EQUIVALENCE_SUITES = (
+    "tests/broker/test_selector_compile.py::TestCompiledEquivalence",
+    "tests/broker/test_dispatch_memo.py::TestMemoizedEquivalence",
+)
+
+
+def _env_with_src() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def equivalence_smoke() -> bool:
+    """Run the compiled-vs-interpreted equivalence property suites."""
+    try:
+        import hypothesis  # noqa: F401
+        import pytest  # noqa: F401
+    except ImportError:
+        print("[check_static] equivalence: pytest/hypothesis not installed, skipping")
+        return True
+    print(f"[check_static] equivalence: {len(EQUIVALENCE_SUITES)} property suites")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         *EQUIVALENCE_SUITES],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+    )
+    return result.returncode == 0
 
 
 def import_smoke() -> bool:
@@ -91,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     failed = not import_smoke()
     failed = not cli_smoke() or failed
+    failed = not equivalence_smoke() or failed
     for name, command in CHECKS:
         if shutil.which(command[0]) is None:
             print(f"[check_static] {name}: not installed, skipping")
