@@ -28,7 +28,10 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from ..durability.journal import Journal
 
 from .errors import InvalidDestinationError, SubscriptionError
 from .filters import MatchAllFilter, MessageFilter
@@ -158,6 +161,16 @@ class PointToPointQueue:
         ledger; when given, drain-time expiry, dead-lettering and drops
         are mirrored there so overload shedding stays attributable at the
         broker level.
+    journal:
+        Optional :class:`~repro.durability.journal.Journal`.  When set,
+        every state transition of a *persistent* message is written ahead
+        to stable storage: ``send`` journals a PUBLISH before the message
+        enters the backlog (a send whose journal append fails is rejected
+        fail-fast, the ``JMSException`` contract), deliveries/acks/expiry
+        journal their records, and :meth:`crash` discards in-memory state
+        instead of emulating recovery — replay happens for real from the
+        log (see :mod:`repro.durability.recovery`).  Without a journal the
+        pre-durability in-memory emulation is preserved exactly.
     """
 
     def __init__(
@@ -168,6 +181,7 @@ class PointToPointQueue:
         drop_policy: DropPolicy = DropPolicy.DROP_NEW,
         drain_rate: Optional[float] = None,
         stats: Optional[BrokerStats] = None,
+        journal: Optional["Journal"] = None,
     ):
         if not name or not name.strip():
             raise InvalidDestinationError("queue name must be non-empty")
@@ -188,6 +202,11 @@ class PointToPointQueue:
         self.drop_policy = drop_policy
         self.drain_rate = drain_rate
         self.stats = stats
+        self.journal = journal
+        #: Message ids whose PUBLISH reached the journal and that have not
+        #: yet been journalled terminal (ack/expire/drop) — the set of
+        #: messages later records must be written for.
+        self._journaled: Set[int] = set()
         #: (message, is_redelivery) pairs awaiting an eligible consumer.
         self._backlog: Deque[tuple[Message, bool]] = deque()
         self._consumers: List[QueueConsumer] = []
@@ -210,6 +229,15 @@ class PointToPointQueue:
         self.dropped_new = 0
         self.dropped_oldest = 0
         self.deadline_shed = 0
+        #: Messages reinstated from the journal by crash recovery (they do
+        #: not re-count as :attr:`enqueued` — the original send did that).
+        self.restored = 0
+        #: Persistent in-memory copies dropped by a *journalled* crash —
+        #: not lost (the journal still has them; replay restores the
+        #: committed ones) but no longer in any memory ledger bucket.
+        self.discarded_on_crash = 0
+        #: Sends rejected because the write-ahead append failed.
+        self.journal_write_failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -251,18 +279,49 @@ class PointToPointQueue:
         return len(recovered)
 
     # ------------------------------------------------------------------
+    def _journal_safe(self, method: str, *args: Any, **kwargs: Any) -> bool:
+        """Invoke a journal append, absorbing (and counting) write faults."""
+        from ..durability.journal import JournalWriteError
+
+        try:
+            getattr(self.journal, method)(*args, **kwargs)
+        except JournalWriteError:
+            self.journal_write_failures += 1
+            return False
+        return True
+
+    def _journal_terminal(self, message_id: int, reason: str, now: float = 0.0) -> None:
+        """Journal the terminal fate of a persistent message, if tracked."""
+        if self.journal is not None and message_id in self._journaled:
+            self._journaled.discard(message_id)
+            if reason == "expired":
+                self._journal_safe("log_expire", "queue", self.name, message_id, now=now)
+            else:
+                self._journal_safe(
+                    "log_ack", "queue", self.name, message_id, reason=reason, now=now
+                )
+
     def send(self, message: Message, now: float = 0.0) -> bool:
         """Enqueue one message; returns True if it was delivered at once.
 
         On a bounded queue a send that would overflow the backlog invokes
         the drop policy *after* the drain pass, so a message an attached
         consumer can take immediately is never shed.
+
+        On a journalled queue, a persistent message is written ahead to
+        the journal *before* it becomes visible; if that append fails the
+        send is rejected (returns False) without touching queue state —
+        the message was never committed.
         """
         if message.expired(now):
             self.expired += 1
             if self.stats is not None:
                 self.stats.expired += 1
             return False
+        if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
+            if not self._journal_safe("log_publish", "queue", self.name, message, now=now):
+                return False
+            self._journaled.add(message.message_id)
         self.enqueued += 1
         self._backlog.append((message, False))
         before = self.delivered
@@ -276,6 +335,7 @@ class PointToPointQueue:
         if self.drop_policy is DropPolicy.DROP_OLDEST:
             message, _ = self._backlog.popleft()
             self._redeliveries.pop(message.message_id, None)
+            self._journal_terminal(message.message_id, "dropped", now=now)
             self.dropped_oldest += 1
             if self.stats is not None:
                 self.stats.dropped_oldest += 1
@@ -286,6 +346,7 @@ class PointToPointQueue:
                 message, _ = self._backlog[victim]
                 del self._backlog[victim]
                 self._redeliveries.pop(message.message_id, None)
+                self._journal_terminal(message.message_id, "dropped", now=now)
                 self.deadline_shed += 1
                 if self.stats is not None:
                     self.stats.deadline_shed += 1
@@ -294,6 +355,7 @@ class PointToPointQueue:
         # message is still servable: tail drop.
         message, _ = self._backlog.pop()
         self._redeliveries.pop(message.message_id, None)
+        self._journal_terminal(message.message_id, "dropped", now=now)
         self.dropped_new += 1
         if self.stats is not None:
             self.stats.dropped_new += 1
@@ -320,10 +382,18 @@ class PointToPointQueue:
         """Apply server-crash semantics to this queue.
 
         All consumers are force-detached (their connections died with the
-        server).  Persistent messages — in the backlog or un-acked at a
-        consumer — survive via the journal and are requeued with the
-        redelivered flag; non-persistent messages are lost and counted in
-        :attr:`lost_on_crash`.
+        server).  Non-persistent messages are lost and counted in
+        :attr:`lost_on_crash`.  What happens to persistent messages
+        depends on whether the queue is journalled:
+
+        - **without a journal** (the pre-durability emulation) they are
+          requeued from memory with the redelivered flag, as if a journal
+          had been replayed;
+        - **with a journal** the in-memory copies are discarded — memory
+          died with the process — and the report shows ``recovered=0``.
+          Real recovery happens later by replaying the log
+          (:func:`repro.durability.recovery.recover_broker`), which
+          reinstates exactly the committed messages via :meth:`restore`.
         """
         in_flight: List[QueueDelivery] = []
         for consumer in list(self._consumers):
@@ -351,8 +421,15 @@ class PointToPointQueue:
                 self.lost_on_crash += 1
                 self._redeliveries.pop(message.message_id, None)
                 continue
+            if self.journal is not None:
+                # The journal, not memory, is the recovery source.
+                self.discarded_on_crash += 1
+                continue
             recovered += 1
             self._requeue(message, now=now)
+        if self.journal is not None:
+            self._redeliveries.clear()
+            self._journaled.clear()
         return QueueCrashReport(
             queue=self.name,
             recovered=recovered,
@@ -360,16 +437,62 @@ class PointToPointQueue:
             dead_lettered=self.dead_lettered - dead_before,
         )
 
+    def restore(self, message: Message, delivers: int = 0, now: float = 0.0) -> str:
+        """Reinstate one journal-recovered message (recovery only).
+
+        ``delivers`` is how many times the journal saw the message handed
+        to a consumer without a matching ack.  Returns the fate:
+
+        - ``"expired"`` — its TTL elapsed (possibly while the server was
+          down); counted like a drain-time expiry, never delivered late;
+        - ``"dead_letter"`` — the redelivery budget is already exhausted,
+          so the poison message goes straight to :attr:`dead_letters`
+          instead of crash-looping;
+        - ``"requeued"`` — back in the backlog, flagged ``redelivered``
+          iff it had been delivered before the crash (exactly-once
+          requeueing: recovery never duplicates a backlog entry).
+
+        Deliberately does **not** journal anything (recovery is
+        idempotent: replaying the same log twice yields the same state)
+        and does not count as a new :attr:`enqueued` — the original send
+        did.  Subsequent deliveries/acks of the restored message journal
+        normally again.
+        """
+        if delivers < 0:
+            raise ValueError(f"delivers must be >= 0, got {delivers}")
+        self.restored += 1
+        if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
+            self._journaled.add(message.message_id)
+        if message.expired(now):
+            self._journaled.discard(message.message_id)
+            self._count_drain_expiry(message)
+            return "expired"
+        if self.max_redeliveries is not None and delivers > self.max_redeliveries:
+            self._journaled.discard(message.message_id)
+            self.dead_letters.append(message)
+            self.dead_lettered += 1
+            if self.stats is not None:
+                self.stats.dead_lettered += 1
+            return "dead_letter"
+        if delivers > 0:
+            message.redelivered = True
+            self._redeliveries[message.message_id] = delivers
+            self.redelivered += 1
+        self._backlog.append((message, message.redelivered))
+        return "requeued"
+
     # ------------------------------------------------------------------
     def _on_ack(self, message_id: int) -> None:
         self.acked += 1
         self._redeliveries.pop(message_id, None)
+        self._journal_terminal(message_id, "acked")
 
     def _count_drain_expiry(self, message: Message) -> None:
         """Count a message whose TTL ran out while it sat in the backlog."""
         self.expired += 1
         self.expired_at_drain += 1
         self._redeliveries.pop(message.message_id, None)
+        self._journal_terminal(message.message_id, "expired")
         if self.stats is not None:
             self.stats.expired_on_drain += 1
 
@@ -386,6 +509,7 @@ class PointToPointQueue:
         count = self._redeliveries.get(message.message_id, 0) + 1
         if self.max_redeliveries is not None and count > self.max_redeliveries:
             self._redeliveries.pop(message.message_id, None)
+            self._journal_terminal(message.message_id, "dead_letter", now=now)
             self.dead_letters.append(message)
             self.dead_lettered += 1
             if self.stats is not None:
@@ -426,6 +550,15 @@ class PointToPointQueue:
                 QueueDelivery(message, consumer.consumer_id, redelivered=redelivered)
             )
             self.delivered += 1
+            if self.journal is not None and message.message_id in self._journaled:
+                self._journal_safe(
+                    "log_deliver",
+                    "queue",
+                    self.name,
+                    message.message_id,
+                    consumer.consumer_id,
+                    now=now,
+                )
             progressed = True
 
 
@@ -441,6 +574,7 @@ class QueueManager:
 
     _queues: Dict[str, PointToPointQueue] = field(default_factory=dict)
     stats: Optional[BrokerStats] = None
+    journal: Optional["Journal"] = None
 
     def create(
         self,
@@ -459,6 +593,7 @@ class QueueManager:
                 drop_policy=drop_policy,
                 drain_rate=drain_rate,
                 stats=self.stats,
+                journal=self.journal,
             )
             self._queues[name] = queue
         return queue

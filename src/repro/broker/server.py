@@ -14,17 +14,21 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .dispatch import DispatchPlan, plan_dispatch
 from .dispatch_cache import VOLATILE_HEADERS, DispatchMemo
 from .errors import SubscriptionError
 from .filters import MatchAllFilter, MessageFilter, PropertyFilter
-from .message import DeliveredMessage, Message
-from .queues import DropPolicy
+from .message import DeliveredMessage, DeliveryMode, Message
+from .queues import DropPolicy, QueueManager
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import TopicRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from ..durability.journal import Journal
+    from ..durability.recovery import RecoveryReport
 
 __all__ = ["Broker", "BrokerCrashReport", "PublishResult", "SELECTOR_POLICIES"]
 
@@ -90,6 +94,7 @@ class Broker:
         selector_policy: str = "off",
         inbox_capacity: Optional[int] = None,
         inbox_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+        journal: Optional["Journal"] = None,
     ):
         if selector_policy not in SELECTOR_POLICIES:
             raise ValueError(
@@ -116,6 +121,21 @@ class Broker:
         self._subscriptions: Dict[str, "OrderedDict[int, Subscription]"] = {}
         self._subscribers: Dict[str, Subscriber] = {}
         self.stats = BrokerStats()
+        #: Optional write-ahead journal (see :mod:`repro.durability`).
+        #: When set, persistent queue messages and durable topic retention
+        #: are logged ahead of the in-memory mutation; :meth:`crash` then
+        #: discards in-memory persistent state and :meth:`recover` replays
+        #: it from the log instead of the pre-durability emulation.
+        self.journal = journal
+        #: Point-to-point queues owned by this broker; created queues
+        #: share the broker's stats ledger and journal.
+        self.queues = QueueManager(stats=self.stats, journal=journal)
+        #: The :class:`~repro.durability.recovery.RecoveryReport` of the
+        #: most recent journalled :meth:`recover`, or ``None``.
+        self.last_recovery: Optional["RecoveryReport"] = None
+        #: Topic publishes whose write-ahead append failed (retention then
+        #: proceeds un-journalled, degraded but reported).
+        self.journal_write_failures = 0
         #: Per-topic dispatch planners; ``None`` means the FioranoMQ-style
         #: linear scan.  Installed by :meth:`install_filter_index`.
         self._indices: Dict[str, object] = {}
@@ -271,12 +291,33 @@ class Broker:
                         subscriber.deliver(DeliveredMessage(message, subscriber.subscriber_id))
                         self.stats.dispatched += 1
                         replayed += 1
+                        if (
+                            self.journal is not None
+                            and message.delivery_mode is DeliveryMode.PERSISTENT
+                        ):
+                            from ..durability.journal import (
+                                JournalWriteError,
+                                durable_key,
+                            )
+
+                            try:
+                                self.journal.log_deliver(
+                                    "topic",
+                                    subscription.topic.name,
+                                    message.message_id,
+                                    durable_key(
+                                        subscriber.subscriber_id,
+                                        subscription.topic.name,
+                                    ),
+                                )
+                            except JournalWriteError:
+                                self.journal_write_failures += 1
         return replayed
 
     # ------------------------------------------------------------------
     # Crash / recovery (fault model, see repro.faults)
     # ------------------------------------------------------------------
-    def crash(self) -> BrokerCrashReport:
+    def crash(self, now: float = 0.0) -> BrokerCrashReport:
         """Apply server-crash semantics to the broker state.
 
         Non-durable subscriptions die with the server (JMS: they exist
@@ -284,7 +325,13 @@ class Broker:
         their retained backlogs survive the restart.  Every subscriber's
         connection is severed — durable ones start retaining until their
         client reconnects.  Any installed filter index is invalidated and
-        rebuilt on :meth:`recover`.
+        rebuilt on :meth:`recover`.  The broker's queues crash too (see
+        :meth:`PointToPointQueue.crash`).
+
+        On a journalled broker the retained in-memory backlogs are
+        *discarded* — memory died with the process; ``retained_preserved``
+        then counts the copies the journal owes the replay instead of
+        copies surviving in RAM.
         """
         self.stats.crashes += 1
         dropped = 0
@@ -303,6 +350,12 @@ class Broker:
             for bucket in self._subscriptions.values()
             for subscription in bucket.values()
         )
+        if self.journal is not None:
+            # In-memory retention dies with the process; replay repays it.
+            for bucket in self._subscriptions.values():
+                for subscription in bucket.values():
+                    subscription.retained.clear()
+        self.queues.crash_all(now)
         self._had_filter_index = self.uses_filter_index
         self._indices = {}
         self._memos = {}
@@ -312,14 +365,23 @@ class Broker:
             retained_preserved=retained,
         )
 
-    def recover(self, reconnect_subscribers: bool = True) -> int:
+    def recover(self, reconnect_subscribers: bool = True, now: float = 0.0) -> int:
         """Bring the broker back up after :meth:`crash`.
 
-        Reconnects every subscriber (replaying durable retained messages)
-        unless ``reconnect_subscribers`` is False, and rebuilds the filter
-        index when one was installed before the crash.  Returns the number
-        of replayed messages.
+        On a journalled broker this first replays the write-ahead log —
+        repairing torn tails, quarantining corruption, requeueing
+        committed queue messages and re-retaining owed topic copies; the
+        structured outcome lands in :attr:`last_recovery` and **nothing**
+        from the replay raises out of this method.  Then every subscriber
+        is reconnected (replaying durable retained messages) unless
+        ``reconnect_subscribers`` is False, and the filter index is
+        rebuilt when one was installed before the crash.  Returns the
+        number of replayed (topic-retained) messages.
         """
+        if self.journal is not None:
+            from ..durability.recovery import recover_broker
+
+            self.last_recovery = recover_broker(self, self.journal, now=now)
         replayed = 0
         if reconnect_subscribers:
             for subscriber_id in list(self._subscribers):
@@ -345,6 +407,25 @@ class Broker:
             self.stats.expired += 1
             return PublishResult(message, 0, 0, 0, 0, expired=True)
         plan = self._plan(message)
+        if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
+            # Write-ahead: a persistent message about to be *retained* for
+            # offline durable subscribers must hit the journal before any
+            # in-memory retention, or a crash in between loses it.  The
+            # ``owed`` list names the subscriptions a replay must repay.
+            from ..durability.journal import JournalWriteError, durable_key
+
+            owed = [
+                durable_key(s.subscriber.subscriber_id, message.topic)
+                for s in plan.matches
+                if not s.active and s.durable
+            ]
+            if owed:
+                try:
+                    self.journal.log_publish(
+                        "topic", message.topic, message, owed=owed, now=now
+                    )
+                except JournalWriteError:
+                    self.journal_write_failures += 1
         delivered = retained = dropped = 0
         for subscription in plan.matches:
             if subscription.active:

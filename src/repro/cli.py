@@ -12,6 +12,8 @@ Usage (``python -m repro ...``)::
     python -m repro faults --outage-at 20 --outage 5 [--seed 7] [--horizon 60]
     python -m repro overload [--capacity 5] [--rho 0.9 --rho 1.3] [--validate]
     python -m repro bench [--fast] [--json out.json] [--check]
+    python -m repro durability [--seed 0] [--messages 60] [--intra-samples 200]
+    python -m repro durability --sweep --filters 500 --replication 3 [--t-sync 2e-4]
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
@@ -26,7 +28,11 @@ curves for a bounded buffer — and, with ``--validate``, cross-checks
 them against the discrete-event overload simulation; ``bench`` runs the
 hot-path microbenchmarks (compiled selectors vs. the interpreter,
 memoized vs. cold dispatch, engine events/s) and, with ``--check``,
-gates on the recorded speedup thresholds.
+gates on the recorded speedup thresholds; ``durability`` runs the
+crash-consistency harness (recover the journal at every record boundary
+plus sampled torn-write offsets, assert exactly-once requeueing) and,
+with ``--sweep``, prints the durability-vs-capacity trade-off λ_max(b)
+for group-commit batch sizes.
 """
 
 from __future__ import annotations
@@ -232,6 +238,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="exit non-zero unless the speedup thresholds and equivalence hold",
+    )
+
+    durability = commands.add_parser(
+        "durability",
+        help="crash-consistency harness and the durability-vs-capacity sweep",
+    )
+    durability.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    durability.add_argument(
+        "--messages", type=int, default=60, help="workload operations to journal"
+    )
+    durability.add_argument(
+        "--intra-samples",
+        type=int,
+        default=200,
+        help="torn-write crash points sampled inside record bodies",
+    )
+    durability.add_argument(
+        "--segment-bytes", type=int, default=1536, help="journal segment size"
+    )
+    durability.add_argument(
+        "--downtime",
+        type=float,
+        default=10.0,
+        help="virtual seconds between crash and recovery (drives TTL expiry)",
+    )
+    durability.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also print capacity lambda_max vs group-commit batch size",
+    )
+    durability.add_argument(
+        "--filters", type=int, default=500, help="installed filters n_fltr (sweep)"
+    )
+    durability.add_argument(
+        "--replication", type=float, default=3.0, help="mean replication E[R] (sweep)"
+    )
+    durability.add_argument(
+        "--type", choices=("corr", "app"), default="corr", help="filter mechanism (sweep)"
+    )
+    durability.add_argument(
+        "--t-sync",
+        type=float,
+        default=2e-4,
+        help="cost of one synchronous journal flush in seconds (sweep)",
+    )
+    durability.add_argument(
+        "--rho", type=float, default=0.9, help="CPU utilization budget (sweep)"
     )
     return parser
 
@@ -451,6 +504,54 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_durability(args: argparse.Namespace) -> int:
+    from .durability import durability_capacity_sweep, run_crash_consistency_harness
+
+    report = run_crash_consistency_harness(
+        seed=args.seed,
+        messages=args.messages,
+        intra_samples=args.intra_samples,
+        segment_bytes=args.segment_bytes,
+        downtime=args.downtime,
+    )
+    print(
+        f"workload: seed={report.seed} operations={report.messages} -> "
+        f"{report.records} journal records in {report.segments} segment(s)"
+    )
+    print(
+        f"crash points: {report.boundary_points} record boundaries + "
+        f"{report.intra_points} torn-write offsets = {report.points} recoveries"
+    )
+    if report.ok:
+        print("crash consistency: OK (no acked message redelivered, no committed message lost)")
+    else:
+        print(f"crash consistency: {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations[:20]:
+            print(f"  {violation}")
+    if args.sweep:
+        costs = _costs(args.type)
+        points = durability_capacity_sweep(
+            costs,
+            args.filters,
+            args.replication,
+            t_sync=args.t_sync,
+            rho=args.rho,
+        )
+        print()
+        print(
+            f"capacity vs sync policy: {args.filters} {costs.filter_type} filters, "
+            f"E[R]={args.replication:g}, t_sync={args.t_sync:g}s, rho={args.rho:g}"
+        )
+        print(f"  {'policy':>12}  {'overhead':>10}  {'E[B]':>10}  {'lambda_max':>10}  {'capacity':>8}")
+        for point in points:
+            print(
+                f"  {point.policy:>12}  {point.sync_overhead * 1e3:8.4f} ms  "
+                f"{point.mean_service_time * 1e3:8.4f} ms  {point.lambda_max:10.1f}  "
+                f"{point.capacity_fraction:7.1%}"
+            )
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -473,4 +574,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_overload(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "durability":
+        return _run_durability(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,552 @@
+"""A segmented, checksummed write-ahead journal.
+
+The paper measures FioranoMQ's *persistent* delivery mode; this module is
+the storage layer that mode implies.  Every state transition of a
+persistent message — publish, deliver, acknowledge, expire — is appended
+as a length-prefixed, CRC-checksummed record *before* the in-memory state
+changes, so a crash can always be rolled forward from disk
+(:mod:`repro.durability.recovery`).
+
+Record wire format (all integers big-endian)::
+
+    record  := u32 length | u32 crc32(body) | body
+    body    := u8 kind | utf-8 JSON payload
+
+Segment files (``<name>.<index>.seg`` on a
+:class:`~repro.durability.disk.SimulatedDisk`) start with a 10-byte
+header ``b"RJNL" ++ u16 version ++ u32 segment index`` and are rotated
+once they exceed ``segment_bytes``.  :meth:`Journal.checkpoint` writes a
+snapshot of the live state into a fresh segment and deletes the older
+ones (compaction); the ordering — write, **sync**, then delete — keeps
+every crash point recoverable.
+
+Sync policies model the fsync cost the paper's ``E[B]`` (Eq. 1) never
+had to pay:
+
+- ``SyncPolicy.always()`` — fsync after every record (no committed
+  record can be lost, maximum cost);
+- ``SyncPolicy.group_commit(batch, interval)`` — fsync every ``batch``
+  records or ``interval`` virtual seconds, amortising ``t_sync/b`` per
+  message (see :func:`repro.durability.capacity.durability_capacity_sweep`);
+- ``SyncPolicy.never()`` — rely on the OS cache; a crash may tear any
+  unsynced suffix.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..broker.message import DeliveryMode, Message
+from .disk import DiskWriteError, SimulatedDisk
+
+__all__ = [
+    "durable_key",
+    "JournalError",
+    "JournalWriteError",
+    "RecordKind",
+    "JournalRecord",
+    "RecordLocation",
+    "SyncPolicy",
+    "Journal",
+    "SEGMENT_MAGIC",
+    "SEGMENT_HEADER_SIZE",
+    "RECORD_HEADER_SIZE",
+    "encode_message",
+    "decode_message",
+    "encode_record",
+]
+
+#: Segment header: magic, format version, segment index.
+SEGMENT_MAGIC = b"RJNL"
+SEGMENT_VERSION = 1
+_SEGMENT_HEADER = struct.Struct(">4sHI")
+SEGMENT_HEADER_SIZE = _SEGMENT_HEADER.size
+
+#: Record header: body length, CRC32 of the body.
+_RECORD_HEADER = struct.Struct(">II")
+RECORD_HEADER_SIZE = _RECORD_HEADER.size
+
+#: Guard against absurd lengths produced by corrupted headers.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+def durable_key(subscriber_id: str, topic: str) -> str:
+    """Stable identity of a durable subscription across restarts.
+
+    JMS identifies durable subscriptions by client id + subscription
+    name, not by any in-memory handle; the journal's ``owed`` lists use
+    this key so a replay into a freshly-constructed broker can still find
+    the subscription it owes a retained copy to.
+    """
+    return f"{subscriber_id}|{topic}"
+
+
+class JournalError(Exception):
+    """Base class for journal failures."""
+
+
+class JournalWriteError(JournalError):
+    """An append could not be made durable (underlying disk write fault).
+
+    The record must be treated as *not committed*: the producer-facing
+    contract is fail-fast (a JMS provider raises ``JMSException`` when
+    the persistent store rejects a send).
+    """
+
+
+class RecordKind(enum.Enum):
+    """The journalled state transitions of a persistent message."""
+
+    #: A message was accepted for a destination (the commit point).
+    PUBLISH = 1
+    #: A copy was handed to a consumer/subscriber (un-acked if queue).
+    DELIVER = 2
+    #: Terminal: acknowledged, dead-lettered or dropped (``reason`` field).
+    ACK = 3
+    #: Terminal: the message's TTL elapsed before delivery completed.
+    EXPIRE = 4
+    #: A compaction snapshot of every live message at checkpoint time.
+    CHECKPOINT = 5
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record: a kind plus its JSON payload."""
+
+    kind: RecordKind
+    payload: Dict[str, Any]
+
+    @property
+    def destination(self) -> str:
+        return str(self.payload.get("dest", ""))
+
+    @property
+    def domain(self) -> str:
+        """``"queue"`` or ``"topic"``."""
+        return str(self.payload.get("domain", "queue"))
+
+    @property
+    def message_id(self) -> int:
+        return int(self.payload.get("mid", 0))
+
+
+@dataclass(frozen=True)
+class RecordLocation:
+    """Where one record landed on disk (used by the chaos harness)."""
+
+    segment: str
+    offset: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.offset
+
+
+# ----------------------------------------------------------------------
+# Message (de)serialisation
+# ----------------------------------------------------------------------
+def encode_message(message: Message) -> Dict[str, Any]:
+    """The JSON-serialisable fields a PUBLISH record stores."""
+    body = message.body.hex() if message.body else ""
+    return {
+        "mid": message.message_id,
+        "topic": message.topic,
+        "cid": message.correlation_id,
+        "props": dict(message.properties),
+        "body": body,
+        "prio": message.priority,
+        "mode": message.delivery_mode.value,
+        "ts": message.timestamp,
+        "exp": message.expiration,
+    }
+
+
+def decode_message(fields: Dict[str, Any]) -> Message:
+    """Rebuild a :class:`Message` from PUBLISH-record fields.
+
+    The original ``message_id`` is preserved — it is the identity the
+    deliver/ack/expire records refer to.
+    """
+    return Message(
+        topic=str(fields["topic"]),
+        correlation_id=fields.get("cid"),
+        properties=dict(fields.get("props", {})),
+        body=bytes.fromhex(fields["body"]) if fields.get("body") else b"",
+        priority=int(fields.get("prio", 4)),
+        delivery_mode=DeliveryMode(fields.get("mode", "persistent")),
+        timestamp=float(fields.get("ts", 0.0)),
+        expiration=fields.get("exp"),
+        message_id=int(fields["mid"]),
+    )
+
+
+def encode_record(record: JournalRecord) -> bytes:
+    """Record wire format: ``u32 length | u32 crc | u8 kind | json``."""
+    body = bytes([record.kind.value]) + json.dumps(
+        record.payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _RECORD_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+# ----------------------------------------------------------------------
+# Sync policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyncPolicy:
+    """When the journal fsyncs: after every record, in groups, or never."""
+
+    mode: str
+    batch: int = 1
+    interval: Optional[float] = None
+
+    _MODES = ("always", "group_commit", "never")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"sync mode must be one of {self._MODES}, got {self.mode!r}")
+        if self.batch < 1 or int(self.batch) != self.batch:
+            raise ValueError(f"sync batch must be a positive integer, got {self.batch}")
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError(f"sync interval must be positive, got {self.interval}")
+
+    @classmethod
+    def always(cls) -> "SyncPolicy":
+        return cls(mode="always")
+
+    @classmethod
+    def never(cls) -> "SyncPolicy":
+        return cls(mode="never")
+
+    @classmethod
+    def group_commit(
+        cls, batch: int = 8, interval: Optional[float] = None
+    ) -> "SyncPolicy":
+        return cls(mode="group_commit", batch=batch, interval=interval)
+
+    @classmethod
+    def parse(cls, text: str) -> "SyncPolicy":
+        """Parse ``"always"``, ``"never"`` or ``"group:<batch>"``."""
+        lowered = text.strip().lower()
+        if lowered == "always":
+            return cls.always()
+        if lowered == "never":
+            return cls.never()
+        if lowered.startswith(("group:", "group_commit:")):
+            _, _, raw = lowered.partition(":")
+            try:
+                return cls.group_commit(batch=int(raw))
+            except ValueError as exc:
+                raise ValueError(f"bad group-commit batch {raw!r}") from exc
+        raise ValueError(
+            f"unknown sync policy {text!r}; expected always, never or group:<batch>"
+        )
+
+    @property
+    def amortized_batch(self) -> float:
+        """Records per fsync — the ``b`` in the ``t_sync/b`` cost model.
+
+        ``never`` amortises over infinitely many records (cost 0);
+        ``always`` over exactly one.
+        """
+        if self.mode == "never":
+            return float("inf")
+        if self.mode == "always":
+            return 1.0
+        return float(self.batch)
+
+    def describe(self) -> str:
+        if self.mode == "group_commit":
+            suffix = f", {self.interval:g}s" if self.interval is not None else ""
+            return f"group_commit(batch={self.batch}{suffix})"
+        return self.mode
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+class Journal:
+    """A segmented append-only log with pluggable sync policies.
+
+    Opening a :class:`Journal` on a disk that already holds segments
+    resumes at the tail of the newest one (the post-recovery state);
+    otherwise the first segment is created.
+
+    Example
+    -------
+    >>> from repro.simulation.rng import RandomStreams
+    >>> journal = Journal(SimulatedDisk(RandomStreams(seed=1)))
+    >>> from repro.broker.message import Message
+    >>> lsn = journal.log_publish("queue", "orders", Message(topic="orders"))
+    >>> journal.records_appended
+    1
+    """
+
+    def __init__(
+        self,
+        disk: Optional[SimulatedDisk] = None,
+        name: str = "journal",
+        sync: SyncPolicy = SyncPolicy.always(),
+        segment_bytes: int = 64 * 1024,
+    ):
+        if segment_bytes < 256:
+            raise ValueError(f"segment_bytes must be >= 256, got {segment_bytes}")
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.name = name
+        self.sync_policy = sync
+        self.segment_bytes = segment_bytes
+        # -- counters ----------------------------------------------------
+        self.records_appended = 0
+        self.syncs = 0
+        self.rotations = 0
+        self.checkpoints = 0
+        self.segments_compacted = 0
+        self.write_failures = 0
+        #: In-memory map of every record appended by *this* journal object
+        #: (not recovered ones) — the chaos harness uses it to enumerate
+        #: crash points at record boundaries.
+        self.record_locations: List[RecordLocation] = []
+        self._segment_index = 0
+        self._unsynced_records = 0
+        self._last_sync_at = 0.0
+        #: Set after a failed append: the segment tail may hold a partial
+        #: record, so the next append must rotate to a clean segment.
+        self._tail_dirty = False
+        self._open()
+
+    # ------------------------------------------------------------------
+    def _segment_name(self, index: int) -> str:
+        return f"{self.name}.{index:08d}.seg"
+
+    @property
+    def segments(self) -> List[str]:
+        """This journal's segment files, oldest first."""
+        prefix = f"{self.name}."
+        return [
+            f for f in self.disk.list() if f.startswith(prefix) and f.endswith(".seg")
+        ]
+
+    @property
+    def current_segment(self) -> str:
+        return self._segment_name(self._segment_index)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(self.disk.length(segment) for segment in self.segments)
+
+    @property
+    def unsynced_bytes(self) -> int:
+        return sum(
+            self.disk.length(segment) - self.disk.synced_length(segment)
+            for segment in self.segments
+        )
+
+    def _open(self) -> None:
+        existing = self.segments
+        if existing:
+            last = existing[-1]
+            self._segment_index = int(last[len(self.name) + 1 : -4])
+        else:
+            self._create_segment(0)
+
+    def _create_segment(self, index: int) -> None:
+        name = self._segment_name(index)
+        self.disk.create(name)
+        self.disk.append(
+            name, _SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, index)
+        )
+        self._segment_index = index
+        self._tail_dirty = False
+
+    def _rotate(self) -> None:
+        # The retiring segment becomes immutable; make it durable unless
+        # the policy is to never pay for syncs.
+        if self.sync_policy.mode != "never":
+            self._sync_current()
+        self._create_segment(self._segment_index + 1)
+        self.rotations += 1
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: JournalRecord, now: float = 0.0) -> int:
+        """Append one record; returns its log sequence number.
+
+        Raises :class:`JournalWriteError` when the disk write fails
+        mid-record; the tail is marked dirty and the next append rotates
+        to a fresh segment so later records stay recoverable.
+        """
+        if self._tail_dirty or (
+            self.disk.length(self.current_segment) >= self.segment_bytes
+        ):
+            self._rotate()
+        encoded = encode_record(record)
+        segment = self.current_segment
+        try:
+            offset = self.disk.append(segment, encoded)
+        except DiskWriteError as exc:
+            self.write_failures += 1
+            self._tail_dirty = True
+            raise JournalWriteError(
+                f"journal append of {record.kind.name} to {segment} failed: {exc}"
+            ) from exc
+        lsn = self.records_appended
+        self.records_appended += 1
+        self._unsynced_records += 1
+        self.record_locations.append(
+            RecordLocation(segment=segment, offset=offset, end=offset + len(encoded))
+        )
+        self._maybe_sync(now)
+        return lsn
+
+    def _maybe_sync(self, now: float) -> None:
+        policy = self.sync_policy
+        if policy.mode == "never":
+            return
+        if policy.mode == "always":
+            self.sync()
+            self._last_sync_at = now
+            return
+        due = self._unsynced_records >= policy.batch
+        if policy.interval is not None and now - self._last_sync_at >= policy.interval:
+            due = due or self._unsynced_records > 0
+        if due:
+            self.sync()
+            self._last_sync_at = now
+
+    def _sync_current(self) -> None:
+        self.disk.sync(self.current_segment)
+        self.syncs += 1
+        self._unsynced_records = 0
+
+    def sync(self) -> None:
+        """fsync every segment with unsynced bytes (newest carries them)."""
+        for segment in self.segments:
+            if self.disk.length(segment) > self.disk.synced_length(segment):
+                self.disk.sync(segment)
+        self.syncs += 1
+        self._unsynced_records = 0
+
+    def close(self) -> None:
+        """Clean shutdown: flush everything (even under ``never``)."""
+        self.sync()
+
+    # ------------------------------------------------------------------
+    # Semantic append helpers (the broker-facing protocol)
+    # ------------------------------------------------------------------
+    def log_publish(
+        self,
+        domain: str,
+        destination: str,
+        message: Message,
+        owed: Sequence[str] = (),
+        now: float = 0.0,
+    ) -> int:
+        """The commit point of a persistent message.
+
+        ``owed`` lists the :func:`durable_key` of each durable
+        subscription still owed a topic message (empty for queues, where
+        a single backlog entry exists).
+        """
+        payload = {
+            "domain": domain,
+            "dest": destination,
+            "msg": encode_message(message),
+            "mid": message.message_id,
+        }
+        if owed:
+            payload["owed"] = list(owed)
+        return self.append(JournalRecord(RecordKind.PUBLISH, payload), now=now)
+
+    def log_deliver(
+        self,
+        domain: str,
+        destination: str,
+        message_id: int,
+        consumer: "str | int",
+        now: float = 0.0,
+    ) -> int:
+        payload = {
+            "domain": domain,
+            "dest": destination,
+            "mid": message_id,
+            "consumer": consumer,
+        }
+        return self.append(JournalRecord(RecordKind.DELIVER, payload), now=now)
+
+    def log_ack(
+        self,
+        domain: str,
+        destination: str,
+        message_id: int,
+        reason: str = "acked",
+        now: float = 0.0,
+    ) -> int:
+        payload = {
+            "domain": domain,
+            "dest": destination,
+            "mid": message_id,
+            "reason": reason,
+        }
+        return self.append(JournalRecord(RecordKind.ACK, payload), now=now)
+
+    def log_expire(
+        self, domain: str, destination: str, message_id: int, now: float = 0.0
+    ) -> int:
+        payload = {"domain": domain, "dest": destination, "mid": message_id}
+        return self.append(JournalRecord(RecordKind.EXPIRE, payload), now=now)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self, live: Iterable[Dict[str, Any]], now: float = 0.0
+    ) -> Tuple[int, int]:
+        """Snapshot the live state and drop the history before it.
+
+        ``live`` is a sequence of entries in the shape
+        :func:`repro.durability.recovery.live_state` produces: each holds
+        the PUBLISH payload plus its delivery bookkeeping.  The snapshot
+        is written to a *fresh* segment and synced before any old segment
+        is deleted, so a crash at any byte of this sequence recovers
+        either from the old history or from the new checkpoint — never
+        from neither.
+
+        Returns ``(lsn, segments_deleted)``.
+        """
+        self._rotate()
+        keep = self.current_segment
+        record = JournalRecord(RecordKind.CHECKPOINT, {"entries": list(live)})
+        lsn = self.append(record, now=now)
+        self._sync_current()
+        deleted = 0
+        for segment in self.segments:
+            if segment != keep:
+                self.disk.delete(segment)
+                deleted += 1
+        self.record_locations = [
+            loc for loc in self.record_locations if loc.segment == keep
+        ]
+        self.checkpoints += 1
+        self.segments_compacted += deleted
+        return lsn, deleted
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"journal {self.name!r}: {len(self.segments)} segment(s), "
+            f"{self.size_bytes} bytes, {self.records_appended} record(s), "
+            f"{self.syncs} sync(s), policy {self.sync_policy.describe()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Journal({self.name!r}, {len(self.segments)} segments)"
+
+
+# Keep dataclass field defaults out of the class namespace for mypy.
+_ = field

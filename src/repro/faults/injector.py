@@ -11,11 +11,14 @@ deterministic event ordering as everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..simulation import Engine
 from ..testbed.simserver import SimulatedJMSServer
-from .schedule import FaultEvent, FaultKind, FaultSchedule
+from .schedule import DISK_KINDS, FaultEvent, FaultKind, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..durability.disk import SimulatedDisk
 
 __all__ = ["AppliedFault", "FaultInjector"]
 
@@ -37,10 +40,26 @@ class FaultInjector:
     engine: Engine
     server: SimulatedJMSServer
     schedule: FaultSchedule
+    disk: Optional["SimulatedDisk"] = None
     log: List[AppliedFault] = field(default_factory=list)
 
     def arm(self) -> int:
-        """Schedule every fault event; returns the number armed."""
+        """Schedule every fault event; returns the number armed.
+
+        Raises ``ValueError`` up front if the schedule contains
+        disk-level faults (torn writes, append failures) but no
+        :class:`~repro.durability.disk.SimulatedDisk` was armed — those
+        events would otherwise fail only when they fire, mid-run.
+        """
+        if self.disk is None:
+            disk_events = [e for e in self.schedule if e.kind in DISK_KINDS]
+            if disk_events:
+                first = disk_events[0]
+                raise ValueError(
+                    f"schedule contains {len(disk_events)} disk fault(s) "
+                    f"(first: t={first.time:g} {first.kind.value}) but no "
+                    f"SimulatedDisk is armed on the injector"
+                )
         for event in self.schedule:
             self.engine.call_at(event.time, self._make_handler(event))
         return len(self.schedule)
@@ -73,6 +92,19 @@ class FaultInjector:
         elif event.kind is FaultKind.MESSAGE_CORRUPT:
             self.server.inject_corruption(int(event.magnitude))
             record.detail = f"corrupt next {int(event.magnitude)}"
+            record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.TORN_WRITE:
+            assert self.disk is not None  # arm() guards this
+            if self.disk.list():
+                discarded = self.disk.tear_tail()
+                record.detail = f"tore {discarded} unsynced byte(s) off the newest file"
+            else:
+                record.detail = "no files on disk to tear"
+            record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.DISK_FAULT:
+            assert self.disk is not None  # arm() guards this
+            self.disk.fail_writes(int(event.magnitude))
+            record.detail = f"fail next {int(event.magnitude)} append(s)"
             record.recovered_at = self.engine.now
         else:  # pragma: no cover - enum is exhaustive
             raise AssertionError(f"unknown fault kind {event.kind}")

@@ -17,12 +17,13 @@ quantifies that effect; this module only *describes* the failures.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..simulation.rng import RandomStreams
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "DISK_KINDS"]
 
 
 class FaultKind(enum.Enum):
@@ -40,11 +41,28 @@ class FaultKind(enum.Enum):
     #: The next ``magnitude`` accepted messages arrive corrupted and are
     #: dead-lettered by the server.
     MESSAGE_CORRUPT = "message_corrupt"
+    #: The journal disk tears the unsynced tail of its newest file at
+    #: ``time`` (a partial write reaches the platter mid-operation).
+    #: Requires a :class:`~repro.durability.disk.SimulatedDisk` armed on
+    #: the injector.
+    TORN_WRITE = "torn_write"
+    #: The next ``magnitude`` journal-disk appends fail after persisting
+    #: only a random prefix (I/O error, half-written record).  Requires a
+    #: disk armed on the injector.
+    DISK_FAULT = "disk_fault"
 
 
 #: Kinds that describe a window (need ``duration > 0``).
 _WINDOW_KINDS = frozenset(
     {FaultKind.SERVER_CRASH, FaultKind.SUBSCRIBER_DISCONNECT, FaultKind.SLOW_CONSUMER}
+)
+
+#: Kinds that need a simulated journal disk armed on the injector.
+DISK_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.DISK_FAULT})
+
+#: Kinds whose ``magnitude`` is a message/operation count.
+_COUNT_KINDS = frozenset(
+    {FaultKind.MESSAGE_DROP, FaultKind.MESSAGE_CORRUPT, FaultKind.DISK_FAULT}
 )
 
 
@@ -65,17 +83,23 @@ class FaultEvent:
     target: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.time < 0:
-            raise ValueError(f"fault time must be >= 0, got {self.time}")
-        if self.duration < 0:
-            raise ValueError(f"fault duration must be >= 0, got {self.duration}")
+        # isfinite also rejects NaN, which would slip through `< 0`
+        # (every comparison with NaN is False) and silently mis-schedule.
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ValueError(f"fault time must be finite and >= 0, got {self.time}")
+        if not math.isfinite(self.duration) or self.duration < 0:
+            raise ValueError(
+                f"fault duration must be finite and >= 0, got {self.duration}"
+            )
+        if not math.isfinite(self.magnitude):
+            raise ValueError(f"fault magnitude must be finite, got {self.magnitude}")
         if self.kind in _WINDOW_KINDS and self.duration <= 0:
             raise ValueError(f"{self.kind.value} needs a positive duration")
         if self.kind is FaultKind.SUBSCRIBER_DISCONNECT and not self.target:
             raise ValueError("subscriber_disconnect needs a target subscriber id")
         if self.kind is FaultKind.SLOW_CONSUMER and self.magnitude < 1.0:
             raise ValueError(f"slow-consumer magnitude must be >= 1, got {self.magnitude}")
-        if self.kind in (FaultKind.MESSAGE_DROP, FaultKind.MESSAGE_CORRUPT):
+        if self.kind in _COUNT_KINDS:
             if self.magnitude < 1 or self.magnitude != int(self.magnitude):
                 raise ValueError(
                     f"{self.kind.value} magnitude must be a positive integer count"
@@ -91,18 +115,44 @@ class FaultSchedule:
     """An immutable, time-ordered failure script.
 
     Crash windows must not overlap (a server cannot crash while it is
-    already down); other fault kinds may interleave freely.
+    already down); other fault kinds may interleave freely.  All
+    structural validation happens *here*, at construction — a schedule
+    that builds is a schedule that arms — with span-style messages
+    naming the offending event by index, time and kind.
+
+    ``known_targets``, when given, closes the world of subscriber ids: a
+    ``SUBSCRIBER_DISCONNECT`` aimed at any other target is rejected now
+    instead of exploding (or silently no-opting) at ``arm()`` time.
     """
 
-    def __init__(self, events: Iterable[FaultEvent]):
+    def __init__(
+        self,
+        events: Iterable[FaultEvent],
+        known_targets: Optional[Sequence[str]] = None,
+    ):
         ordered = sorted(events, key=lambda e: (e.time, e.kind.value, e.target or ""))
-        crashes = [e for e in ordered if e.kind is FaultKind.SERVER_CRASH]
-        for earlier, later in zip(crashes, crashes[1:]):
+        crashes = [
+            (index, event)
+            for index, event in enumerate(ordered)
+            if event.kind is FaultKind.SERVER_CRASH
+        ]
+        for (i, earlier), (j, later) in zip(crashes, crashes[1:]):
             if later.time < earlier.end:
                 raise ValueError(
-                    f"overlapping crash windows: [{earlier.time:g}, {earlier.end:g}) "
-                    f"and [{later.time:g}, {later.end:g})"
+                    f"overlapping crash windows: event #{i} covers "
+                    f"[{earlier.time:g}, {earlier.end:g}) and event #{j} "
+                    f"starts inside it at t={later.time:g} "
+                    f"(crash/restart windows must be disjoint)"
                 )
+        if known_targets is not None:
+            known = set(known_targets)
+            for index, event in enumerate(ordered):
+                if event.kind is FaultKind.SUBSCRIBER_DISCONNECT and event.target not in known:
+                    catalog = ", ".join(sorted(known)) if known else "<none>"
+                    raise ValueError(
+                        f"event #{index} (t={event.time:g} {event.kind.value}): "
+                        f"unknown target {event.target!r}; known: {catalog}"
+                    )
         self._events: Tuple[FaultEvent, ...] = tuple(ordered)
 
     # ------------------------------------------------------------------
@@ -197,6 +247,8 @@ class FaultSchedule:
         slowdown: float = 4.0,
         drop_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        torn_rate: float = 0.0,
+        disk_fail_rate: float = 0.0,
     ) -> "FaultSchedule":
         """Draw a schedule from seeded RNG streams.
 
@@ -251,6 +303,8 @@ class FaultSchedule:
         for kind, rate, stream_name in (
             (FaultKind.MESSAGE_DROP, drop_rate, "faults-drop"),
             (FaultKind.MESSAGE_CORRUPT, corrupt_rate, "faults-corrupt"),
+            (FaultKind.TORN_WRITE, torn_rate, "faults-torn"),
+            (FaultKind.DISK_FAULT, disk_fail_rate, "faults-diskfail"),
         ):
             if rate > 0:
                 rng = streams.stream(stream_name)

@@ -6,7 +6,8 @@ when ``REPRO_PURE_PYTHON=1`` forces the fallback for testing — the same
 API is served by the standard library: :class:`PurePythonGenerator`
 mimics the ``numpy.random.Generator`` surface this codebase uses
 (``exponential``, ``gamma``, ``uniform``, ``lognormal``, ``choice``,
-``random``, ``geometric``, ``binomial``; scalar or ``size=`` batches).
+``random``, ``geometric``, ``binomial``, ``integers``; scalar or
+``size=`` batches).
 
 Scalar draws on the pure path are *distributionally* correct but not
 bit-identical to numpy's bit streams — seeded experiment outputs differ
@@ -93,6 +94,13 @@ class PurePythonGenerator:
             return max(1, math.ceil(math.log1p(-u) / math.log1p(-p)))
 
         return self._many(draw, size)
+
+    def integers(self, low: int, high: Optional[int] = None, size: Optional[int] = None):
+        if high is None:
+            low, high = 0, low
+        if high <= low:
+            raise ValueError(f"integers needs low < high, got [{low}, {high})")
+        return self._many(lambda: self._random.randrange(low, high), size)
 
     def binomial(self, n: int, p: float, size: Optional[int] = None):
         if not 0 <= p <= 1:

@@ -156,25 +156,6 @@ class TestDlqTtlExactlyOnce:
         assert queue.expired == 0
 
 
-def queue_in_flight(queue, consumers):
-    return sum(len(c.inbox) + len(c.unacked) for c in consumers)
-
-
-def queue_ledger_balanced(queue, consumers):
-    """accepted == acked + expired-in-queue + dropped + dlq + in-flight."""
-    return queue.enqueued == (
-        queue.acked
-        + queue.expired_at_drain
-        + queue.dead_lettered
-        + queue.dropped_new
-        + queue.dropped_oldest
-        + queue.deadline_shed
-        + queue.lost_on_crash
-        + queue.depth
-        + queue_in_flight(queue, consumers)
-    )
-
-
 @st.composite
 def operations(draw):
     ops = []
@@ -198,7 +179,9 @@ def operations(draw):
     max_redeliveries=st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
 )
 @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-def test_queue_conservation_invariant(ops, capacity, policy, max_redeliveries):
+def test_queue_conservation_invariant(
+    assert_conserved, ops, capacity, policy, max_redeliveries
+):
     """Every accepted message has exactly one fate at every step.
 
     ``accepted == delivered(acked) + expired + dropped + dlq + in_flight``
@@ -237,7 +220,7 @@ def test_queue_conservation_invariant(ops, capacity, policy, max_redeliveries):
                 consumers[0].ack(delivery)
         elif op == "receive" and consumers:
             consumers[-1].receive()  # taken, never acked
-        assert queue_ledger_balanced(queue, consumers), op
+        assert_conserved(queue, consumers=consumers, context=op)
     # The bound applies to arrivals; a detach may transiently requeue
     # already-accepted messages above it, but a fresh send restores it.
     if capacity is not None:

@@ -1,4 +1,4 @@
-"""Collection guards for minimal environments.
+"""Collection guards and shared invariant helpers.
 
 The broker and simulation packages run on the standard library alone
 (numpy is the ``repro[fast]`` extra), but the analysis/core layers and
@@ -6,7 +6,13 @@ everything built on them use numpy/scipy directly.  Without numpy those
 suites cannot even be imported, so they are excluded from collection
 instead of erroring out — what remains still exercises the full
 dependency-free surface (broker, selectors, dispatch, simulation).
+
+The :func:`assert_conserved` fixture is the single statement of the
+message-conservation invariant ("every accepted message has exactly one
+fate") shared by the broker, faults, overload and durability suites.
 """
+
+import pytest
 
 try:
     import numpy  # noqa: F401
@@ -22,6 +28,7 @@ if not _HAVE_NUMPY:  # pragma: no cover - depends on environment
         "analysis",
         "architectures",
         "core",
+        "durability",  # capacity sweep folds into the numpy-backed Eq. 1/2
         "faults",
         "integration",
         "overload",
@@ -30,3 +37,57 @@ if not _HAVE_NUMPY:  # pragma: no cover - depends on environment
         "test_cli.py",
         "test_doctests.py",
     ]
+
+
+def check_conserved(stats, consumers=(), context=""):
+    """Assert the message-conservation ledger of ``stats`` balances.
+
+    Two shapes are understood:
+
+    * a :class:`~repro.broker.queues.PointToPointQueue` — checks
+      ``enqueued + restored == acked + expired + dropped + dead-lettered
+      + lost-on-crash + discarded-on-crash + depth +
+      in-flight(consumers)`` (``restored``/``discarded_on_crash`` are the
+      journal-recovery legs: a journalled crash discards in-memory
+      copies, replay reinstates the committed ones);
+    * an experiment result exposing a boolean ``conserved`` property
+      (``repro.faults`` / ``repro.overload``) — asserts it, surfacing
+      ``to_metrics()`` in the failure message when available.
+    """
+    suffix = f" [{context}]" if context else ""
+    if hasattr(stats, "enqueued") and hasattr(stats, "depth"):
+        in_flight = sum(len(c.inbox) + len(c.unacked) for c in consumers)
+        accepted = stats.enqueued + getattr(stats, "restored", 0)
+        fates = (
+            stats.acked
+            + stats.expired_at_drain
+            + stats.dead_lettered
+            + stats.dropped_new
+            + stats.dropped_oldest
+            + stats.deadline_shed
+            + stats.lost_on_crash
+            + getattr(stats, "discarded_on_crash", 0)
+            + stats.depth
+            + in_flight
+        )
+        assert accepted == fates, (
+            f"queue ledger imbalanced{suffix}: accepted {accepted} != fates {fates} "
+            f"(acked={stats.acked} expired={stats.expired_at_drain} "
+            f"dlq={stats.dead_lettered} dropped={stats.dropped_new}+"
+            f"{stats.dropped_oldest}+{stats.deadline_shed} "
+            f"lost={stats.lost_on_crash} "
+            f"discarded={getattr(stats, 'discarded_on_crash', 0)} "
+            f"depth={stats.depth} in_flight={in_flight})"
+        )
+        return
+    conserved = getattr(stats, "conserved", None)
+    if conserved is None:
+        raise TypeError(f"assert_conserved: unsupported stats object {stats!r}")
+    detail = stats.to_metrics() if hasattr(stats, "to_metrics") else stats
+    assert conserved, f"ledger imbalanced{suffix}: {detail}"
+
+
+@pytest.fixture(scope="session")
+def assert_conserved():
+    """Session-scoped so hypothesis ``@given`` tests can take it freely."""
+    return check_conserved

@@ -1,0 +1,95 @@
+"""The simulated disk: sync semantics and deterministic fault injection."""
+
+import pytest
+
+from repro.durability import DiskError, DiskWriteError, SimulatedDisk
+from repro.simulation import RandomStreams
+
+
+def disk(seed=0):
+    return SimulatedDisk(RandomStreams(seed))
+
+
+class TestBasics:
+    def test_append_and_read(self):
+        d = disk()
+        d.create("f")
+        assert d.append("f", b"abc") == 0
+        assert d.append("f", b"def") == 3
+        assert d.read("f") == b"abcdef"
+        assert d.length("f") == 6
+
+    def test_sync_advances_synced_length(self):
+        d = disk()
+        d.create("f")
+        d.append("f", b"abcd")
+        assert d.synced_length("f") == 0
+        d.sync("f")
+        assert d.synced_length("f") == 4
+
+    def test_snapshot_roundtrip(self):
+        d = disk()
+        d.create("f")
+        d.append("f", b"hello")
+        clone = SimulatedDisk.from_snapshot(d.snapshot())
+        assert clone.read("f") == b"hello"
+        # snapshot content counts as synced (it survived)
+        assert clone.synced_length("f") == 5
+
+    def test_unknown_file_errors(self):
+        with pytest.raises(DiskError):
+            disk().read("missing")
+
+
+class TestFaults:
+    def test_fail_writes_persists_only_a_prefix(self):
+        d = disk()
+        d.create("f")
+        d.fail_writes(1)
+        with pytest.raises(DiskWriteError):
+            d.append("f", b"0123456789")
+        assert d.length("f") < 10
+        # the next write succeeds again
+        d.append("f", b"ok")
+
+    def test_corrupt_flips_bits_in_place(self):
+        d = disk()
+        d.create("f")
+        d.append("f", b"\x00" * 8)
+        d.corrupt("f", offset=3, bits=1)
+        data = d.read("f")
+        assert len(data) == 8
+        assert data != b"\x00" * 8
+
+    def test_tear_tail_discards_only_unsynced_bytes(self):
+        d = disk()
+        d.create("f")
+        d.append("f", b"synced")
+        d.sync("f")
+        d.append("f", b"unsynced")
+        discarded = d.tear_tail("f")
+        assert 0 <= discarded <= len(b"unsynced")
+        assert d.read("f")[:6] == b"synced"
+
+    def test_crash_tears_every_unsynced_tail(self):
+        d = disk()
+        for name in ("a", "b"):
+            d.create(name)
+            d.append(name, b"persisted")
+            d.sync(name)
+            d.append(name, b"volatile")
+        report = d.crash()
+        assert report.files == 2
+        for name in ("a", "b"):
+            assert d.read(name)[:9] == b"persisted"
+            assert d.synced_length(name) == d.length(name)
+
+    def test_same_seed_same_tear(self):
+        def run():
+            d = disk(seed=7)
+            d.create("f")
+            d.append("f", b"x" * 100)
+            d.tear_tail("f")
+            return d.read("f")
+
+        assert run() == run()

@@ -1,0 +1,30 @@
+"""The crash-consistency harness itself (reduced sizes; the full run is
+``python -m repro durability`` / BENCH_durability.json)."""
+
+import pytest
+
+from repro.durability import run_crash_consistency_harness
+
+
+def test_every_crash_point_recovers_consistently():
+    report = run_crash_consistency_harness(seed=3, messages=24, intra_samples=30)
+    assert report.ok, report.violations[:5]
+    # one boundary image per committed prefix, including the empty one
+    assert report.boundary_points == report.records + 1
+    assert report.intra_points == 30
+    assert report.segments >= 2  # the workload must cross a rotation
+
+
+def test_report_shape():
+    report = run_crash_consistency_harness(seed=0, messages=10, intra_samples=5)
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["points"] == payload["boundary_points"] + payload["intra_points"]
+    assert payload["violations"] == []
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        run_crash_consistency_harness(messages=0)
+    with pytest.raises(ValueError):
+        run_crash_consistency_harness(intra_samples=-1)

@@ -1,0 +1,182 @@
+"""The write-ahead journal: wire format, rotation, sync policies, compaction."""
+
+import pytest
+
+from repro.broker.message import DeliveryMode, Message
+from repro.durability import (
+    Journal,
+    JournalWriteError,
+    RecordKind,
+    SimulatedDisk,
+    SyncPolicy,
+)
+from repro.durability.journal import (
+    SEGMENT_HEADER_SIZE,
+    decode_message,
+    durable_key,
+    encode_message,
+)
+from repro.durability.recovery import scan_disk
+from repro.simulation import RandomStreams
+
+
+def journal(**kwargs):
+    kwargs.setdefault("disk", SimulatedDisk(RandomStreams(0)))
+    return Journal(**kwargs)
+
+
+class TestWireFormat:
+    def test_message_roundtrip_preserves_identity(self):
+        message = Message(
+            topic="orders",
+            correlation_id="c-1",
+            properties={"price": 9, "region": "EU"},
+            body=b"\x00\xffpayload",
+            priority=7,
+            delivery_mode=DeliveryMode.PERSISTENT,
+            timestamp=1.5,
+            expiration=9.0,
+        )
+        restored = decode_message(encode_message(message))
+        assert restored.message_id == message.message_id
+        assert restored.topic == message.topic
+        assert restored.correlation_id == message.correlation_id
+        assert restored.properties == message.properties
+        assert restored.body == message.body
+        assert restored.priority == message.priority
+        assert restored.expiration == message.expiration
+
+    def test_appended_records_scan_back_verbatim(self):
+        j = journal()
+        message = Message(topic="q")
+        j.log_publish("queue", "q", message)
+        j.log_deliver("queue", "q", message.message_id, "c-1")
+        j.log_ack("queue", "q", message.message_id, reason="acked")
+        j.sync()
+        scan = scan_disk(j.disk, j.name)
+        assert [r.kind for r in scan.records] == [
+            RecordKind.PUBLISH,
+            RecordKind.DELIVER,
+            RecordKind.ACK,
+        ]
+        assert scan.records[0].message_id == message.message_id
+        assert scan.torn_tail is None
+        assert not scan.quarantined
+
+    def test_durable_key_is_restart_stable(self):
+        assert durable_key("alice", "audit") == "alice|audit"
+
+
+class TestRotation:
+    def test_rotates_once_segment_fills(self):
+        j = journal(segment_bytes=256)
+        for i in range(20):
+            j.log_publish("queue", "q", Message(topic="q", properties={"n": i}))
+        assert len(j.segments) > 1
+        assert j.rotations == len(j.segments) - 1
+        # every record is still recovered across the segment chain
+        j.sync()
+        assert len(scan_disk(j.disk, j.name).records) == 20
+
+    def test_segment_bytes_floor(self):
+        with pytest.raises(ValueError):
+            journal(segment_bytes=16)
+
+    def test_reopen_resumes_newest_segment(self):
+        disk = SimulatedDisk(RandomStreams(0))
+        first = Journal(disk, segment_bytes=256)
+        for i in range(20):
+            first.log_publish("queue", "q", Message(topic="q", properties={"n": i}))
+        first.close()
+        second = Journal(disk, segment_bytes=256)
+        assert second.current_segment == first.current_segment
+        second.log_publish("queue", "q", Message(topic="q"))
+        assert len(scan_disk(disk, second.name).records) == 21
+
+
+class TestSyncPolicies:
+    def test_always_leaves_nothing_unsynced(self):
+        j = journal(sync=SyncPolicy.always())
+        for _ in range(5):
+            j.log_publish("queue", "q", Message(topic="q"))
+        assert j.unsynced_bytes == 0
+        assert j.syncs >= 5
+
+    def test_group_commit_batches_syncs(self):
+        j = journal(sync=SyncPolicy.group_commit(batch=4))
+        for _ in range(3):
+            j.log_publish("queue", "q", Message(topic="q"))
+        assert j.unsynced_bytes > 0
+        j.log_publish("queue", "q", Message(topic="q"))  # 4th triggers the fsync
+        assert j.unsynced_bytes == 0
+
+    def test_never_syncs_only_on_close(self):
+        j = journal(sync=SyncPolicy.never())
+        for _ in range(5):
+            j.log_publish("queue", "q", Message(topic="q"))
+        assert j.unsynced_bytes > 0
+        j.close()
+        assert j.unsynced_bytes == 0
+
+    def test_parse(self):
+        assert SyncPolicy.parse("always").mode == "always"
+        assert SyncPolicy.parse("never").amortized_batch == float("inf")
+        assert SyncPolicy.parse("group:8").batch == 8
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("sometimes")
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("group:zero")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncPolicy(mode="group_commit", batch=0)
+        with pytest.raises(ValueError):
+            SyncPolicy(mode="group_commit", interval=-1.0)
+
+
+class TestWriteFailures:
+    def test_failed_append_raises_and_marks_tail_dirty(self):
+        j = journal()
+        j.log_publish("queue", "q", Message(topic="q"))
+        j.disk.fail_writes(1)
+        with pytest.raises(JournalWriteError):
+            j.log_publish("queue", "q", Message(topic="q"))
+        assert j.write_failures == 1
+        segments_before = len(j.segments)
+        # the next append rotates away from the possibly-partial tail
+        j.log_publish("queue", "q", Message(topic="q"))
+        assert len(j.segments) == segments_before + 1
+        # and the salvageable history is exactly the two committed records
+        j.sync()
+        scan = scan_disk(j.disk, j.name)
+        assert len(scan.records) == 2
+
+
+class TestCheckpoint:
+    def test_checkpoint_compacts_history(self):
+        j = journal(segment_bytes=256)
+        live = []
+        for i in range(12):
+            message = Message(topic="q", properties={"n": i})
+            j.log_publish("queue", "q", message)
+            if i >= 10:
+                live.append(
+                    {
+                        "domain": "queue",
+                        "dest": "q",
+                        "msg": encode_message(message),
+                        "mid": message.message_id,
+                        "delivers": 0,
+                    }
+                )
+            else:
+                j.log_ack("queue", "q", message.message_id)
+        segments_before = len(j.segments)
+        _lsn, deleted = j.checkpoint(live)
+        assert deleted == segments_before
+        assert len(j.segments) == 1
+        scan = scan_disk(j.disk, j.name)
+        assert [r.kind for r in scan.records] == [RecordKind.CHECKPOINT]
+        assert len(scan.records[0].payload["entries"]) == 2
+        assert j.checkpoints == 1
+        assert j.segments_compacted == deleted

@@ -114,3 +114,61 @@ class TestDegradations:
         assert rig.server.completed == 3
         assert rig.broker.stats.dropped_by_fault == 2
         assert rig.broker.stats.dead_lettered == 1
+
+
+class TestDiskFaults:
+    def make_disk(self):
+        from repro.durability import SimulatedDisk
+
+        disk = SimulatedDisk(RandomStreams(0))
+        disk.create("journal.00000000.seg")
+        disk.append("journal.00000000.seg", b"synced bytes")
+        disk.sync("journal.00000000.seg")
+        disk.append("journal.00000000.seg", b"unsynced tail bytes")
+        return disk
+
+    def test_arm_requires_a_disk_for_disk_kinds(self, rig):
+        schedule = FaultSchedule([FaultEvent(time=1.0, kind=FaultKind.TORN_WRITE)])
+        injector = FaultInjector(engine=rig.engine, server=rig.server, schedule=schedule)
+        with pytest.raises(ValueError, match="no SimulatedDisk is armed"):
+            injector.arm()
+
+    def test_torn_write_tears_the_unsynced_tail(self, rig):
+        disk = self.make_disk()
+        schedule = FaultSchedule([FaultEvent(time=1.0, kind=FaultKind.TORN_WRITE)])
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, disk=disk
+        )
+        injector.arm()
+        rig.engine.run()
+        assert disk.read("journal.00000000.seg")[:12] == b"synced bytes"
+        assert injector.log[0].detail.startswith("tore ")
+
+    def test_disk_fault_fails_the_next_appends(self, rig):
+        from repro.durability import DiskWriteError
+
+        disk = self.make_disk()
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.DISK_FAULT, magnitude=2.0)]
+        )
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, disk=disk
+        )
+        injector.arm()
+        rig.engine.run()
+        for _ in range(2):
+            with pytest.raises(DiskWriteError):
+                disk.append("journal.00000000.seg", b"doomed")
+        disk.append("journal.00000000.seg", b"fine again")
+
+    def test_torn_write_on_empty_disk_is_a_noop(self, rig):
+        from repro.durability import SimulatedDisk
+
+        disk = SimulatedDisk(RandomStreams(0))
+        schedule = FaultSchedule([FaultEvent(time=1.0, kind=FaultKind.TORN_WRITE)])
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, disk=disk
+        )
+        injector.arm()
+        rig.engine.run()
+        assert injector.log[0].detail == "no files on disk to tear"

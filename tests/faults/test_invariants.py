@@ -73,10 +73,10 @@ def fault_schedules(draw):
 
 @given(schedule=fault_schedules(), seed=st.integers(min_value=0, max_value=2**16))
 @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-def test_no_persistent_message_lost_under_any_schedule(schedule, seed):
+def test_no_persistent_message_lost_under_any_schedule(assert_conserved, schedule, seed):
     result = run_fault_experiment(schedule, CONFIG.with_(seed=seed))
     # Conservation: every accepted message has exactly one fate.
-    assert result.accepted == result.delivered + result.expired + result.lost
+    assert_conserved(result)
     # Persistent delivery guarantee: crashes lose nothing, the backlog drains.
     assert result.lost == 0
     assert result.backlog_at_end == 0

@@ -36,6 +36,35 @@ class TestEventValidation:
     def test_end_property(self):
         assert crash(3.0, 2.0).end == 5.0
 
+    def test_nan_time_rejected(self):
+        # NaN slips through `< 0` (every NaN comparison is False); the
+        # validator must use isfinite, not just the sign check.
+        with pytest.raises(ValueError, match="finite"):
+            FaultEvent(time=float("nan"), kind=FaultKind.MESSAGE_DROP)
+
+    def test_nan_and_infinite_duration_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                FaultEvent(time=1.0, kind=FaultKind.SERVER_CRASH, duration=bad)
+
+    def test_nan_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultEvent(
+                time=1.0,
+                kind=FaultKind.SLOW_CONSUMER,
+                duration=1.0,
+                magnitude=float("nan"),
+            )
+
+    def test_disk_fault_magnitude_is_a_count(self):
+        with pytest.raises(ValueError, match="positive integer count"):
+            FaultEvent(time=1.0, kind=FaultKind.DISK_FAULT, magnitude=0.5)
+        FaultEvent(time=1.0, kind=FaultKind.DISK_FAULT, magnitude=3.0)
+
+    def test_torn_write_is_a_point_fault(self):
+        event = FaultEvent(time=2.0, kind=FaultKind.TORN_WRITE)
+        assert event.end == 2.0
+
 
 class TestScheduleValidation:
     def test_events_sorted_by_time(self):
@@ -59,6 +88,30 @@ class TestScheduleValidation:
                 ),
             ]
         )
+
+    def test_overlap_error_names_both_events(self):
+        with pytest.raises(ValueError, match=r"event #0 .* event #1"):
+            FaultSchedule([crash(1.0, 5.0), crash(3.0, 1.0)])
+
+    def test_unknown_target_rejected_with_catalog(self):
+        disconnect = FaultEvent(
+            time=2.5, kind=FaultKind.SUBSCRIBER_DISCONNECT, duration=1.0, target="bob"
+        )
+        with pytest.raises(ValueError, match=r"unknown target 'bob'; known: alice, carol"):
+            FaultSchedule([disconnect], known_targets=["alice", "carol"])
+
+    def test_known_target_accepted(self):
+        disconnect = FaultEvent(
+            time=2.5, kind=FaultKind.SUBSCRIBER_DISCONNECT, duration=1.0, target="alice"
+        )
+        schedule = FaultSchedule([disconnect], known_targets=["alice"])
+        assert len(schedule) == 1
+
+    def test_targets_unchecked_without_catalog(self):
+        disconnect = FaultEvent(
+            time=2.5, kind=FaultKind.SUBSCRIBER_DISCONNECT, duration=1.0, target="bob"
+        )
+        assert len(FaultSchedule([disconnect])) == 1
 
 
 class TestAccounting:

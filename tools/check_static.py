@@ -41,6 +41,10 @@ IMPORT_SMOKE = (
     "repro.faults",
     "repro.overload",
     "repro.overload.experiment",
+    "repro.durability",
+    "repro.durability.journal",
+    "repro.durability.recovery",
+    "repro.durability.harness",
     "repro.analysis.overload",
     "repro.architectures.failover",
     "repro.simulation._backend",
@@ -51,6 +55,7 @@ IMPORT_SMOKE = (
 CLI_SMOKE = (
     ["overload", "--help"],
     ["bench", "--help"],
+    ["durability", "--help"],
 )
 
 

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Record the durability baseline (BENCH_durability.json).
+
+Three deterministic measurements:
+
+* **Recovery time vs journal size** — journals of 500/2000/8000 publish
+  records are scanned, folded and replayed into a fresh broker; the
+  wall-clock recovery time and throughput (records/s) are recorded so
+  future PRs can spot recovery-path slowdowns (absolute times are
+  machine-dependent; the records/s ratio across sizes should stay ~flat
+  because recovery is linear in journal size).
+* **Group-commit batch vs capacity** — the analytic λ_max(b) sweep from
+  ``t_sync / b`` added to E[B].  The acceptance block asserts that the
+  ``sync=never`` capacity matches the pre-durability
+  :func:`repro.core.capacity.server_capacity` within 0.1% (the journal
+  must cost nothing when disabled).
+* **Crash-consistency harness summary** — boundary + torn-write points
+  checked and the violation count (must be 0).
+
+Usage: PYTHONPATH=src python tools/record_bench_durability.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.broker import Broker
+from repro.broker.message import Message
+from repro.core import CORRELATION_ID_COSTS, server_capacity
+from repro.durability import (
+    Journal,
+    SimulatedDisk,
+    SyncPolicy,
+    durability_capacity_sweep,
+    run_crash_consistency_harness,
+)
+from repro.simulation import RandomStreams
+
+QUEUE = "orders"
+JOURNAL_SIZES = (500, 2000, 8000)
+T_SYNC = 2e-4
+N_FLTR = 500
+MEAN_REPLICATION = 3.0
+RHO = 0.9
+
+
+def build_journal(records: int, seed: int = 0) -> SimulatedDisk:
+    """A journal image with ``records`` committed queue publishes."""
+    disk = SimulatedDisk(RandomStreams(seed))
+    journal = Journal(disk, sync=SyncPolicy.never(), segment_bytes=64 * 1024)
+    for i in range(records):
+        message = Message(
+            topic=QUEUE,
+            properties={"seq": i},
+            body=b"x" * 64,
+            timestamp=i * 1e-3,
+        )
+        journal.log_publish("queue", QUEUE, message, now=i * 1e-3)
+    journal.sync()
+    journal.close()
+    return disk
+
+
+def time_recovery(records: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall-clock recovery of a ``records``-entry journal."""
+    snapshot = build_journal(records).snapshot()
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        disk = SimulatedDisk.from_snapshot(snapshot)
+        journal = Journal(disk, sync=SyncPolicy.never(), segment_bytes=64 * 1024)
+        broker = Broker(journal=journal)
+        start = time.perf_counter()
+        broker.recover(reconnect_subscribers=False, now=records * 1e-3)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        report = broker.last_recovery
+        journal.close()
+    assert report is not None
+    return {
+        "records": records,
+        "journal_bytes": sum(len(data) for data in snapshot.values()),
+        "segments": len(snapshot),
+        "recovery_seconds": best,
+        "records_per_second": records / best if best > 0 else float("inf"),
+        "requeued": report.requeued,
+        "clean": report.clean,
+    }
+
+
+def record() -> dict:
+    recovery_rows = [time_recovery(n) for n in JOURNAL_SIZES]
+
+    sweep = durability_capacity_sweep(
+        CORRELATION_ID_COSTS, N_FLTR, MEAN_REPLICATION, t_sync=T_SYNC, rho=RHO
+    )
+    baseline_capacity = server_capacity(
+        CORRELATION_ID_COSTS, N_FLTR, MEAN_REPLICATION, rho=RHO
+    )
+    never_row = next(p for p in sweep if p.policy == "never")
+    never_rel_err = abs(never_row.lambda_max - baseline_capacity) / baseline_capacity
+
+    harness = run_crash_consistency_harness(seed=0, messages=60, intra_samples=200)
+
+    recovery_ok = all(row["clean"] and row["requeued"] == row["records"] for row in recovery_rows)
+    acceptance = {
+        "harness_ok": harness.ok,
+        "never_matches_baseline_within_1pct": never_rel_err < 0.01,
+        "recovery_replays_every_record": recovery_ok,
+        "pass": harness.ok and never_rel_err < 0.01 and recovery_ok,
+    }
+    return {
+        "description": (
+            "Durability baseline: recovery wall-clock vs journal size, the "
+            "analytic group-commit capacity sweep (t_sync/b added to E[B]), "
+            "and the crash-consistency harness summary."
+        ),
+        "config": {
+            "t_sync": T_SYNC,
+            "n_fltr": N_FLTR,
+            "mean_replication": MEAN_REPLICATION,
+            "rho": RHO,
+            "journal_sizes": list(JOURNAL_SIZES),
+        },
+        "recovery_time": recovery_rows,
+        "capacity_sweep": [p.to_dict() for p in sweep],
+        "baseline_capacity": baseline_capacity,
+        "never_capacity_rel_err": never_rel_err,
+        "harness": harness.to_dict(),
+        "acceptance": acceptance,
+    }
+
+
+def main() -> int:
+    out = pathlib.Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parents[1] / "BENCH_durability.json"
+    )
+    payload = record()
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for row in payload["recovery_time"]:
+        print(
+            f"recovery: {row['records']:5d} records "
+            f"({row['journal_bytes'] / 1024:.0f} KiB) in {row['recovery_seconds'] * 1e3:.1f} ms "
+            f"= {row['records_per_second']:.0f} rec/s"
+        )
+    print(
+        f"capacity: never {payload['capacity_sweep'][-1]['lambda_max']:.1f}/s vs "
+        f"baseline {payload['baseline_capacity']:.1f}/s "
+        f"(rel err {payload['never_capacity_rel_err']:.2%})"
+    )
+    harness = payload["harness"]
+    print(
+        f"harness: {harness['points']} crash points, "
+        f"{len(harness['violations'])} violation(s)"
+    )
+    return 0 if payload["acceptance"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
