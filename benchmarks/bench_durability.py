@@ -127,7 +127,8 @@ def test_crash_consistency_harness():
     banner("Durability: crash-consistency harness")
     report(
         f"  {result.records} records, {result.boundary_points} boundary + "
-        f"{result.intra_points} torn-write crash points, "
+        f"{result.intra_points} torn-write + "
+        f"{result.header_points} segment-header crash points, "
         f"{len(result.violations)} violation(s)"
     )
     assert result.ok, result.violations[:5]

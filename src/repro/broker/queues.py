@@ -452,11 +452,15 @@ class PointToPointQueue:
           iff it had been delivered before the crash (exactly-once
           requeueing: recovery never duplicates a backlog entry).
 
-        Deliberately does **not** journal anything (recovery is
-        idempotent: replaying the same log twice yields the same state)
-        and does not count as a new :attr:`enqueued` — the original send
-        did.  Subsequent deliveries/acks of the restored message journal
-        normally again.
+        Restoring a message does not count as a new :attr:`enqueued` —
+        the original send did.  Replaying the same log onto two fresh
+        brokers yields identical state, but a *terminal* fate decided
+        here (expired / dead-lettered) is journalled (EXPIRE / ACK) so
+        the log converges: the next recovery over the same journal sees
+        the message as terminal instead of re-deciding — and
+        re-counting — the same fate.  A bounded queue honours
+        :attr:`capacity` during restore exactly like :meth:`send` does,
+        shedding (and journalling the drop) via the :attr:`drop_policy`.
         """
         if delivers < 0:
             raise ValueError(f"delivers must be >= 0, got {delivers}")
@@ -464,11 +468,10 @@ class PointToPointQueue:
         if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
             self._journaled.add(message.message_id)
         if message.expired(now):
-            self._journaled.discard(message.message_id)
             self._count_drain_expiry(message)
             return "expired"
         if self.max_redeliveries is not None and delivers > self.max_redeliveries:
-            self._journaled.discard(message.message_id)
+            self._journal_terminal(message.message_id, "dead_letter", now=now)
             self.dead_letters.append(message)
             self.dead_lettered += 1
             if self.stats is not None:
@@ -479,6 +482,8 @@ class PointToPointQueue:
             self._redeliveries[message.message_id] = delivers
             self.redelivered += 1
         self._backlog.append((message, message.redelivered))
+        while self.capacity is not None and len(self._backlog) > self.capacity:
+            self._shed_overflow(now)
         return "requeued"
 
     # ------------------------------------------------------------------

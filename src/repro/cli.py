@@ -520,7 +520,9 @@ def _run_durability(args: argparse.Namespace) -> int:
     )
     print(
         f"crash points: {report.boundary_points} record boundaries + "
-        f"{report.intra_points} torn-write offsets = {report.points} recoveries"
+        f"{report.intra_points} torn-write offsets + "
+        f"{report.header_points} segment-header offsets = "
+        f"{report.points} recoveries"
     )
     if report.ok:
         print("crash consistency: OK (no acked message redelivered, no committed message lost)")

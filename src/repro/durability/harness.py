@@ -7,7 +7,12 @@ interesting byte offset* and recovers each image into a fresh broker:
 - **record boundaries** — one crash point after every journal record
   (the states ``fsync`` can actually leave behind under ``sync=always``);
 - **intra-record offsets** — sampled byte positions *inside* records,
-  the torn-write states a power loss mid-append produces.
+  the torn-write states a power loss mid-append produces;
+- **segment-header offsets** — every byte position inside every
+  segment's 10-byte header, the states a power loss between rotation
+  and the first post-rotation sync produces (a headerless tail must be
+  repaired, never resumed: appending to it would commit records the
+  next scan discards wholesale).
 
 For each crash point it checks the recovered state against an
 independent oracle (a straightforward fold over the committed record
@@ -83,11 +88,12 @@ class HarnessReport:
     segments: int
     boundary_points: int = 0
     intra_points: int = 0
+    header_points: int = 0
     failures: List[CrashPointResult] = field(default_factory=list)
 
     @property
     def points(self) -> int:
-        return self.boundary_points + self.intra_points
+        return self.boundary_points + self.intra_points + self.header_points
 
     @property
     def violations(self) -> List[str]:
@@ -109,6 +115,7 @@ class HarnessReport:
             "segments": self.segments,
             "boundary_points": self.boundary_points,
             "intra_points": self.intra_points,
+            "header_points": self.header_points,
             "points": self.points,
             "ok": self.ok,
             "violations": self.violations[:50],
@@ -306,7 +313,7 @@ def _verify_point(
     broker: Broker,
     oracle: _Oracle,
     recovery_now: float,
-    expect_torn: bool,
+    mode: str,
 ) -> List[str]:
     violations: List[str] = []
     report = broker.last_recovery
@@ -316,13 +323,18 @@ def _verify_point(
 
     if report.errors:
         violations.append(f"recovery errors: {report.errors}")
-    if expect_torn and report.torn_tail is None:
+    if mode == "intra" and report.torn_tail is None:
         violations.append("intra-record crash not reported as a torn tail")
-    if not expect_torn and (report.torn_tail is not None or report.quarantined):
+    if mode == "boundary" and not report.clean:
         violations.append(
             "boundary crash needed repair: "
-            f"torn={report.torn_tail} quarantined={report.quarantined}"
+            f"torn={report.torn_tail} quarantined={report.quarantined} "
+            f"tail_repaired={report.tail_repaired}"
         )
+    # ``header`` cuts assert no particular repair shape: a 0-byte tail is
+    # recreated silently by ``Journal._open``; a partial header is left
+    # for the scan to quarantine.  The state invariants below are the
+    # contract either way.
 
     backlog = [message for message, _ in queue._backlog]
     backlog_ids = [message.message_id for message in backlog]
@@ -400,10 +412,12 @@ def run_crash_consistency_harness(
     """Crash-test recovery at every record boundary + sampled torn writes.
 
     ``messages`` workload operations produce some number of journal
-    records; the harness then recovers ``records + 1`` boundary images
-    and ``intra_samples`` torn images, verifying each against the oracle.
-    A report with ``ok=False`` carries human-readable violations — the
-    CLI and the test suite both fail on any.
+    records; the harness then recovers ``records + 1`` boundary images,
+    ``intra_samples`` torn images and every cut inside every segment
+    header (``segments × SEGMENT_HEADER_SIZE`` images), verifying each
+    against the oracle.  A report with ``ok=False`` carries
+    human-readable violations — the CLI and the test suite both fail on
+    any.
     """
     if messages < 1:
         raise ValueError(f"messages must be >= 1, got {messages}")
@@ -423,7 +437,7 @@ def run_crash_consistency_harness(
         image, segment, cut = _crash_image(snapshot, locations, committed)
         broker = _recover_image(image, seed, recovery_now, segment_bytes)
         oracle = _oracle_fold(records[:committed])
-        violations = _verify_point(broker, oracle, recovery_now, expect_torn=False)
+        violations = _verify_point(broker, oracle, recovery_now, mode="boundary")
         report.boundary_points += 1
         if violations:
             report.failures.append(
@@ -451,7 +465,7 @@ def run_crash_consistency_harness(
         )
         broker = _recover_image(image, seed, recovery_now, segment_bytes)
         oracle = _oracle_fold(records[:index])
-        violations = _verify_point(broker, oracle, recovery_now, expect_torn=True)
+        violations = _verify_point(broker, oracle, recovery_now, mode="intra")
         report.intra_points += 1
         sampled += 1
         if violations:
@@ -466,4 +480,31 @@ def run_crash_consistency_harness(
                     violations=tuple(violations),
                 )
             )
+
+    # Header cuts: a crash between segment rotation and the first
+    # post-rotation sync can leave the newest segment with anywhere from
+    # 0 to 9 of its 10 header bytes.  Every earlier segment is complete;
+    # the committed history is exactly the records they hold.
+    segment_names = sorted(snapshot)
+    for segment in segment_names:
+        committed = sum(1 for loc in locations if loc.segment < segment)
+        for cut in range(SEGMENT_HEADER_SIZE):
+            image = {s: snapshot[s] for s in segment_names if s < segment}
+            image[segment] = snapshot[segment][:cut]
+            broker = _recover_image(image, seed, recovery_now, segment_bytes)
+            oracle = _oracle_fold(records[:committed])
+            violations = _verify_point(broker, oracle, recovery_now, mode="header")
+            report.header_points += 1
+            if violations:
+                report.failures.append(
+                    CrashPointResult(
+                        kind="header",
+                        committed_records=committed,
+                        segment=segment,
+                        cut_offset=cut,
+                        torn_tail_reported=broker.last_recovery.torn_tail is not None,
+                        quarantined=len(broker.last_recovery.quarantined),
+                        violations=tuple(violations),
+                    )
+                )
     return report

@@ -317,6 +317,10 @@ class Journal:
         #: Set after a failed append: the segment tail may hold a partial
         #: record, so the next append must rotate to a clean segment.
         self._tail_dirty = False
+        #: Name of a resumed tail segment whose header was torn/missing
+        #: and that :meth:`_open` had to repair (``None`` when the resume
+        #: was clean); recovery surfaces it in the report.
+        self.tail_repaired: Optional[str] = None
         self._open()
 
     # ------------------------------------------------------------------
@@ -348,11 +352,30 @@ class Journal:
 
     def _open(self) -> None:
         existing = self.segments
-        if existing:
-            last = existing[-1]
-            self._segment_index = int(last[len(self.name) + 1 : -4])
-        else:
+        if not existing:
             self._create_segment(0)
+            return
+        last = existing[-1]
+        self._segment_index = int(last[len(self.name) + 1 : -4])
+        data = self.disk.read(last)
+        if len(data) >= SEGMENT_HEADER_SIZE and data[: len(SEGMENT_MAGIC)] == SEGMENT_MAGIC:
+            return  # valid header: resume appending at the tail
+        # The tail segment has a torn or missing header (a crash can cut
+        # inside the 10 header bytes: rotation appends them unsynced).
+        # Appending here would be fatal later — the next recovery scan
+        # rejects the whole segment on its bad header, silently
+        # discarding records that were synced and acknowledged after the
+        # resume.  Repair before the first append instead.
+        self.tail_repaired = last
+        if len(data) == 0:
+            # Nothing of the segment ever reached the platter; recreate
+            # it in place with a valid header.
+            self.disk.delete(last)
+            self._create_segment(self._segment_index)
+        else:
+            # Leave the headerless bytes for the recovery scan to
+            # quarantine (never rewrite history) and append after them.
+            self._create_segment(self._segment_index + 1)
 
     def _create_segment(self, index: int) -> None:
         name = self._segment_name(index)

@@ -30,9 +30,11 @@ Recovery proceeds in three phases, none of which may raise out of
    unacked copies come back flagged ``redelivered`` and are charged
    against the redelivery budget (dead-lettering poison messages at
    recovery, not after another crash loop); messages whose TTL elapsed
-   while the server was down are expired, not delivered late.  Live
-   topic messages are re-retained on the durable subscriptions still
-   owed them.
+   while the server was down are expired, not delivered late.  Terminal
+   fates decided here are journalled back (EXPIRE / ACK ``dead_letter``)
+   so the log converges: replaying it again does not re-decide — and
+   re-count — the same fate.  Live topic messages are re-retained on the
+   durable subscriptions still owed them.
 
 The structured :class:`RecoveryReport` records every repair decision so
 the chaos harness (and operators) can audit what recovery did.
@@ -53,6 +55,7 @@ from .journal import (
     SEGMENT_HEADER_SIZE,
     SEGMENT_MAGIC,
     Journal,
+    JournalError,
     JournalRecord,
     RecordKind,
     decode_message,
@@ -162,9 +165,11 @@ def scan_disk(disk: SimulatedDisk, name: str = "journal") -> ScanResult:
     """Scan (and repair) every journal segment on ``disk``.
 
     Repairs mutate the disk: a torn tail on the final segment is
-    truncated so subsequent appends continue from a clean boundary.
-    Mid-log corruption is *not* rewritten — the bytes stay quarantined
-    in place (rewriting history would forge a CRC over unknown data).
+    truncated so subsequent appends continue from a clean boundary, and
+    a final segment whose *header* is torn is deleted outright (a
+    headerless file must never be resumed for appending).  Mid-log
+    corruption is *not* rewritten — the bytes stay quarantined in place
+    (rewriting history would forge a CRC over unknown data).
     """
     prefix = f"{name}."
     segments = [f for f in disk.list() if f.startswith(prefix) and f.endswith(".seg")]
@@ -177,8 +182,13 @@ def scan_disk(disk: SimulatedDisk, name: str = "journal") -> ScanResult:
         # Segment header: a torn/bad header invalidates the whole file.
         if len(data) < SEGMENT_HEADER_SIZE or data[:4] != SEGMENT_MAGIC:
             if final:
+                # Delete the file rather than truncating it to 0 bytes: a
+                # leftover headerless segment would be resumed verbatim by
+                # ``Journal._open`` and every record appended (synced,
+                # acknowledged) into it would be discarded by the *next*
+                # scan's header check — silent loss of committed data.
                 result.torn_tail = TornTail(segment, 0, len(data))
-                disk.truncate(segment, 0)
+                disk.delete(segment)
             else:
                 result.quarantined.append(
                     QuarantinedRange(segment, 0, len(data), "bad segment header")
@@ -261,6 +271,10 @@ class FoldResult:
     terminal: Dict[str, int] = field(default_factory=dict)
     unmatched: int = 0
     checkpoint_used: bool = False
+    #: CRC-valid records whose JSON payload did not have the expected
+    #: schema — skipped and reported, never allowed to raise (the
+    #: ``Broker.recover`` no-raise contract covers the fold phase too).
+    malformed: List[str] = field(default_factory=list)
 
     def ordered_live(self) -> List[LiveEntry]:
         return sorted(self.live.values(), key=lambda e: e.lsn)
@@ -272,57 +286,80 @@ def fold_records(records: List[JournalRecord]) -> FoldResult:
     DELIVER/ACK/EXPIRE records whose message is unknown (its PUBLISH fell
     inside a quarantined range, or preceded a checkpoint that already
     retired it) are counted ``unmatched`` — replay is tolerant, never
-    load-bearing on corrupted history.
+    load-bearing on corrupted history.  A record whose CRC passes but
+    whose payload lacks the expected schema is skipped and reported in
+    :attr:`FoldResult.malformed` instead of raising.
     """
     result = FoldResult()
     for lsn, record in enumerate(records):
         result.records_by_kind[record.kind.name] = (
             result.records_by_kind.get(record.kind.name, 0) + 1
         )
-        if record.kind is RecordKind.CHECKPOINT:
-            result.live = {}
-            for payload in record.payload.get("entries", []):
+        try:
+            _fold_one(result, lsn, record)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            result.malformed.append(
+                f"record {lsn} ({record.kind.name}): malformed payload ({exc!r})"
+            )
+    return result
+
+
+def _fold_one(result: FoldResult, lsn: int, record: JournalRecord) -> None:
+    if record.kind is RecordKind.CHECKPOINT:
+        result.live = {}
+        entries = record.payload.get("entries", [])
+        if not isinstance(entries, list):
+            raise ValueError(
+                f"checkpoint 'entries' is {type(entries).__name__}, not a list"
+            )
+        for position, payload in enumerate(entries):
+            try:
                 entry = entry_from_payload(payload, lsn)
                 key = (entry.domain, entry.destination, int(entry.message_fields["mid"]))
-                result.live[key] = entry
-            result.checkpoint_used = True
-            continue
-        key = (record.domain, record.destination, record.message_id)
-        if record.kind is RecordKind.PUBLISH:
-            result.live[key] = LiveEntry(
-                domain=record.domain,
-                destination=record.destination,
-                message_fields=dict(record.payload["msg"]),
-                owed=[str(s) for s in record.payload.get("owed", [])],
-                lsn=lsn,
-            )
-            continue
-        entry = result.live.get(key)
-        if entry is None:
-            result.unmatched += 1
-            continue
-        if record.kind is RecordKind.DELIVER:
-            entry.delivers += 1
-            if entry.domain == "topic":
-                consumer = str(record.payload.get("consumer"))
-                try:
-                    entry.owed.remove(consumer)
-                except ValueError:
-                    pass
-                if not entry.owed:
-                    # Topic delivery is terminal: no ack cycle follows.
-                    del result.live[key]
-                    result.terminal["topic_delivered"] = (
-                        result.terminal.get("topic_delivered", 0) + 1
-                    )
-        elif record.kind is RecordKind.ACK:
-            reason = str(record.payload.get("reason", "acked"))
-            del result.live[key]
-            result.terminal[reason] = result.terminal.get(reason, 0) + 1
-        elif record.kind is RecordKind.EXPIRE:
-            del result.live[key]
-            result.terminal["expired"] = result.terminal.get("expired", 0) + 1
-    return result
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                result.malformed.append(
+                    f"record {lsn} (CHECKPOINT) entry {position}: "
+                    f"malformed ({exc!r})"
+                )
+                continue
+            result.live[key] = entry
+        result.checkpoint_used = True
+        return
+    key = (record.domain, record.destination, record.message_id)
+    if record.kind is RecordKind.PUBLISH:
+        result.live[key] = LiveEntry(
+            domain=record.domain,
+            destination=record.destination,
+            message_fields=dict(record.payload["msg"]),
+            owed=[str(s) for s in record.payload.get("owed", [])],
+            lsn=lsn,
+        )
+        return
+    entry = result.live.get(key)
+    if entry is None:
+        result.unmatched += 1
+        return
+    if record.kind is RecordKind.DELIVER:
+        entry.delivers += 1
+        if entry.domain == "topic":
+            consumer = str(record.payload.get("consumer"))
+            try:
+                entry.owed.remove(consumer)
+            except ValueError:
+                pass
+            if not entry.owed:
+                # Topic delivery is terminal: no ack cycle follows.
+                del result.live[key]
+                result.terminal["topic_delivered"] = (
+                    result.terminal.get("topic_delivered", 0) + 1
+                )
+    elif record.kind is RecordKind.ACK:
+        reason = str(record.payload.get("reason", "acked"))
+        del result.live[key]
+        result.terminal[reason] = result.terminal.get(reason, 0) + 1
+    elif record.kind is RecordKind.EXPIRE:
+        del result.live[key]
+        result.terminal["expired"] = result.terminal.get("expired", 0) + 1
 
 
 def collect_live_entries(broker: "Broker") -> List[Dict[str, Any]]:
@@ -406,16 +443,33 @@ class RecoveryReport:
     redelivered_flagged: int = 0
     expired_during_downtime: int = 0
     dead_lettered_on_recovery: int = 0
+    #: Messages shed by a bounded queue's drop policy while restoring
+    #: (recovery honours ``capacity`` like any other enqueue path).
+    dropped_on_recovery: int = 0
+    #: Terminal fates decided *during* recovery (downtime expiry,
+    #: dead-letter on exhausted budget) that were written back to the
+    #: journal so replaying the log converges instead of re-deciding the
+    #: same fate after every subsequent crash.
+    terminal_fates_journaled: int = 0
     #: Topic-domain outcomes.
     retained_restored: int = 0
     orphaned: int = 0
-    #: Apply-phase problems (unknown destinations etc.) — reported, not raised.
+    #: A resumed tail segment whose header was torn; ``Journal._open``
+    #: repaired it before the first append (see ``Journal.tail_repaired``).
+    tail_repaired: Optional[str] = None
+    #: Fold/apply-phase problems (malformed payloads, unknown
+    #: destinations etc.) — reported, not raised.
     errors: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """True when no repair (truncation/quarantine) was needed."""
-        return self.torn_tail is None and not self.quarantined and not self.errors
+        """True when no repair (truncation/quarantine/tail) was needed."""
+        return (
+            self.torn_tail is None
+            and not self.quarantined
+            and self.tail_repaired is None
+            and not self.errors
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -447,8 +501,11 @@ class RecoveryReport:
             "redelivered_flagged": self.redelivered_flagged,
             "expired_during_downtime": self.expired_during_downtime,
             "dead_lettered_on_recovery": self.dead_lettered_on_recovery,
+            "dropped_on_recovery": self.dropped_on_recovery,
+            "terminal_fates_journaled": self.terminal_fates_journaled,
             "retained_restored": self.retained_restored,
             "orphaned": self.orphaned,
+            "tail_repaired": self.tail_repaired,
             "errors": list(self.errors),
             "clean": self.clean,
         }
@@ -461,11 +518,17 @@ def recover_broker(
 
     Safe to call on a freshly-constructed broker (queues are created on
     demand) or on the same broker object after :meth:`Broker.crash`
-    (restore never double-counts ``enqueued``).  Appends nothing to the
-    journal, so replaying the same log twice onto two brokers yields
-    identical state.
+    (restore never double-counts ``enqueued``).  Replaying the same log
+    onto two fresh brokers yields identical broker state; additionally,
+    terminal fates *decided during* recovery (TTL elapsed over the
+    downtime, redelivery budget already exhausted) are journalled back so
+    the log converges — a later crash/recover cycle over the same
+    journal sees those messages as terminal instead of re-expiring or
+    re-dead-lettering them (which would double-count counters and
+    duplicate dead-letter entries on a long-lived broker).
     """
     report = RecoveryReport()
+    report.tail_repaired = journal.tail_repaired
     scan = scan_disk(journal.disk, journal.name)
     report.segments_scanned = scan.segments_scanned
     report.bytes_scanned = scan.bytes_scanned
@@ -477,6 +540,7 @@ def recover_broker(
     report.records_by_kind = fold.records_by_kind
     report.checkpoint_used = fold.checkpoint_used
     report.unmatched_records = fold.unmatched
+    report.errors.extend(f"fold: {problem}" for problem in fold.malformed)
 
     # Map durable subscriptions by their restart-stable key for topic
     # re-retention (in-memory subscription ids do not survive a restart).
@@ -499,6 +563,9 @@ def recover_broker(
         if entry.domain == "queue":
             try:
                 queue = broker.queues.create(entry.destination)
+                drops_before = (
+                    queue.dropped_new + queue.dropped_oldest + queue.deadline_shed
+                )
                 fate = queue.restore(message, delivers=entry.delivers, now=now)
             except Exception as exc:  # never raise out of recovery
                 report.errors.append(
@@ -506,10 +573,17 @@ def recover_broker(
                     f"{message.message_id}: restore failed ({exc})"
                 )
                 continue
+            report.dropped_on_recovery += (
+                queue.dropped_new + queue.dropped_oldest + queue.deadline_shed
+            ) - drops_before
             if fate == "expired":
                 report.expired_during_downtime += 1
+                if queue.journal is not None:
+                    report.terminal_fates_journaled += 1
             elif fate == "dead_letter":
                 report.dead_lettered_on_recovery += 1
+                if queue.journal is not None:
+                    report.terminal_fates_journaled += 1
             else:
                 report.requeued += 1
                 if message.redelivered:
@@ -518,6 +592,15 @@ def recover_broker(
             if message.expired(now):
                 report.expired_during_downtime += 1
                 broker.stats.expired += 1
+                # Converge the log: without this EXPIRE the PUBLISH stays
+                # live and every later recovery re-expires the message.
+                try:
+                    journal.log_expire(
+                        "topic", entry.destination, message.message_id, now=now
+                    )
+                    report.terminal_fates_journaled += 1
+                except JournalError:
+                    broker.journal_write_failures += 1
                 continue
             if not entry.owed:
                 report.errors.append(

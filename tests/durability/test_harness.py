@@ -12,6 +12,8 @@ def test_every_crash_point_recovers_consistently():
     # one boundary image per committed prefix, including the empty one
     assert report.boundary_points == report.records + 1
     assert report.intra_points == 30
+    # every byte offset inside every segment header is a crash point too
+    assert report.header_points == report.segments * 10
     assert report.segments >= 2  # the workload must cross a rotation
 
 
@@ -19,7 +21,9 @@ def test_report_shape():
     report = run_crash_consistency_harness(seed=0, messages=10, intra_samples=5)
     payload = report.to_dict()
     assert payload["ok"] is True
-    assert payload["points"] == payload["boundary_points"] + payload["intra_points"]
+    assert payload["points"] == (
+        payload["boundary_points"] + payload["intra_points"] + payload["header_points"]
+    )
     assert payload["violations"] == []
 
 

@@ -180,3 +180,50 @@ class TestCheckpoint:
         assert len(scan.records[0].payload["entries"]) == 2
         assert j.checkpoints == 1
         assert j.segments_compacted == deleted
+
+
+class TestTornHeaderResume:
+    """A resumed tail segment with a torn/missing header must be repaired.
+
+    Regression: scan used to truncate such a segment to 0 bytes and
+    ``_open`` resumed appending into the headerless file — records
+    synced and acknowledged there were then discarded wholesale by the
+    *next* scan's header check (silent loss of committed data).
+    """
+
+    def _disk_with_one_record(self):
+        disk = SimulatedDisk(RandomStreams(0))
+        first = Journal(disk)
+        first.log_publish("queue", "q", Message(topic="q", properties={"n": 0}))
+        first.close()
+        return disk
+
+    def test_resume_on_empty_tail_segment_recreates_header(self):
+        disk = self._disk_with_one_record()
+        disk.create("journal.00000001.seg")  # crash left 0 of 10 header bytes
+        second = Journal(disk)
+        assert second.tail_repaired == "journal.00000001.seg"
+        second.log_publish("queue", "q", Message(topic="q", properties={"n": 1}))
+        second.close()
+        # the committed record survives the next recovery scan
+        scan = scan_disk(disk, second.name)
+        assert len(scan.records) == 2
+        assert scan.torn_tail is None
+
+    def test_resume_on_partial_header_rotates_past_it(self):
+        disk = self._disk_with_one_record()
+        disk.create("journal.00000001.seg")
+        disk.append("journal.00000001.seg", b"RJ")  # 2 of 10 header bytes
+        second = Journal(disk)
+        assert second.tail_repaired == "journal.00000001.seg"
+        assert second.current_segment != "journal.00000001.seg"
+        second.log_publish("queue", "q", Message(topic="q", properties={"n": 1}))
+        second.close()
+        scan = scan_disk(disk, second.name)
+        assert len(scan.records) == 2
+        # the headerless bytes are quarantined in place, not replayed
+        assert [q.reason for q in scan.quarantined] == ["bad segment header"]
+
+    def test_clean_resume_reports_no_repair(self):
+        disk = self._disk_with_one_record()
+        assert Journal(disk).tail_repaired is None

@@ -227,3 +227,135 @@ class TestInProcessCrash:
         assert broker.last_recovery is not None
         assert broker.last_recovery.requeued == 2
         assert queue.depth == 2
+
+
+class TestHeaderlessFinalSegment:
+    def test_scan_deletes_headerless_final_segment(self):
+        """Deleting (not truncating to 0) prevents a later resume from
+        appending committed records into a file the next scan rejects."""
+        journal = Journal(SimulatedDisk(RandomStreams(0)))
+        journal.log_publish("queue", "q", Message(topic="q"))
+        journal.close()
+        torn = "journal.00000001.seg"
+        journal.disk.create(torn)
+        journal.disk.append(torn, b"RJN")  # 3 of 10 header bytes survived
+        scan = scan_disk(journal.disk, journal.name)
+        assert scan.torn_tail is not None
+        assert scan.torn_tail.segment == torn
+        assert torn not in journal.disk.list()
+        assert len(scan.records) == 1
+        # a journal reopened on the repaired disk appends recoverable records
+        resumed = Journal(journal.disk)
+        resumed.log_publish("queue", "q", Message(topic="q"))
+        resumed.close()
+        assert len(scan_disk(journal.disk, resumed.name).records) == 2
+
+
+class TestMalformedPayloads:
+    def test_schema_malformed_publish_reported_not_raised(self):
+        from repro.durability.journal import JournalRecord, RecordKind
+
+        journal = Journal(SimulatedDisk(RandomStreams(0)))
+        # CRC-valid PUBLISH with no 'msg' field: must not raise KeyError
+        journal.append(
+            JournalRecord(RecordKind.PUBLISH, {"domain": "queue", "dest": "q", "mid": 1})
+        )
+        broker = Broker(journal=journal)
+        broker.queues.create("q")
+        broker.recover(reconnect_subscribers=False, now=0.0)  # must not raise
+        report = broker.last_recovery
+        assert report.requeued == 0
+        assert any("malformed" in error for error in report.errors)
+
+    def test_schema_malformed_checkpoint_entry_reported_not_raised(self):
+        from repro.durability.journal import JournalRecord, RecordKind
+
+        journal = Journal(SimulatedDisk(RandomStreams(0)))
+        journal.append(
+            JournalRecord(RecordKind.CHECKPOINT, {"entries": [{"bogus": True}]})
+        )
+        broker = Broker(journal=journal)
+        broker.recover(reconnect_subscribers=False, now=0.0)  # must not raise
+        report = broker.last_recovery
+        assert any("CHECKPOINT" in error for error in report.errors)
+
+
+class TestLogConvergence:
+    def test_terminal_fates_decided_at_recovery_journal_and_converge(self):
+        """Downtime expiry / budget dead-lettering must not repeat on the
+        next crash-recover cycle over the same (long-lived) journal."""
+        broker, journal, queue, consumer = fresh(max_redeliveries=0)
+        queue.send(Message(topic="q", expiration=5.0), now=0.0)
+        queue.send(Message(topic="q"), now=0.0)
+        consumer.receive()  # delivery burns the whole budget (max=0)
+        consumer.receive()
+
+        broker.crash(now=0.5)
+        broker.recover(reconnect_subscribers=False, now=10.0)  # past the TTL
+        first = broker.last_recovery
+        assert first.expired_during_downtime == 1
+        assert first.dead_lettered_on_recovery == 1
+        assert first.terminal_fates_journaled == 2
+        assert len(queue.dead_letters) == 1
+        expired_after_first = queue.expired
+
+        broker.crash(now=11.0)
+        broker.recover(reconnect_subscribers=False, now=12.0)
+        second = broker.last_recovery
+        # the log converged: nothing is re-expired or re-dead-lettered
+        assert second.expired_during_downtime == 0
+        assert second.dead_lettered_on_recovery == 0
+        assert second.terminal_fates_journaled == 0
+        assert len(queue.dead_letters) == 1
+        assert queue.expired == expired_after_first
+
+    def test_downtime_expired_topic_message_journals_expire(self):
+        journal = Journal(SimulatedDisk(RandomStreams(0)), sync=SyncPolicy.always())
+        broker = Broker(topics=["audit"], journal=journal)
+        subscriber = broker.add_subscriber("alice")
+        broker.subscribe(subscriber, "audit", durable=True)
+        broker.disconnect(subscriber)
+        broker.publish(Message(topic="audit", expiration=5.0), now=0.0)
+
+        broker.crash(now=0.5)
+        broker.recover(reconnect_subscribers=False, now=10.0)
+        assert broker.last_recovery.expired_during_downtime == 1
+        assert broker.last_recovery.terminal_fates_journaled == 1
+        expired_after_first = broker.stats.expired
+
+        broker.crash(now=11.0)
+        broker.recover(reconnect_subscribers=False, now=12.0)
+        assert broker.last_recovery.expired_during_downtime == 0
+        assert broker.stats.expired == expired_after_first
+
+
+class TestBoundedRestore:
+    def test_restore_honours_capacity_via_drop_policy(self):
+        from repro.broker.queues import DropPolicy
+
+        broker, journal, queue, _consumer = fresh(attach=False)
+        for i in range(4):
+            queue.send(Message(topic="q", properties={"n": i}), now=0.0)
+        sent_ids = sorted(backlog_ids(queue))
+
+        broker2, journal2, queue2, _c2 = reborn(
+            journal, attach=False, capacity=2, drop_policy=DropPolicy.DROP_OLDEST
+        )
+        broker2.recover(reconnect_subscribers=False, now=1.0)
+        report = broker2.last_recovery
+        assert queue2.depth == 2  # never above the configured bound
+        assert report.dropped_on_recovery == 2
+        assert queue2.dropped_oldest == 2
+        # the freshest two survive under DROP_OLDEST
+        assert backlog_ids(queue2) == set(sent_ids[-2:])
+        # ledger: restored == depth + drops
+        assert queue2.restored == queue2.depth + queue2.dropped_oldest
+
+        # the shed messages were journalled dropped: replay converges
+        broker3, _j3, queue3, _c3 = reborn(
+            journal2, attach=False, capacity=2, drop_policy=DropPolicy.DROP_OLDEST
+        )
+        broker3.recover(reconnect_subscribers=False, now=2.0)
+        assert queue3.restored == 2
+        assert queue3.depth == 2
+        assert queue3.dropped_oldest == 0
