@@ -106,9 +106,11 @@ def _best_rate(run: Callable[[], None], ops: int, repeats: int) -> float:
     """Operations per second over the fastest of ``repeats`` passes."""
     best = float("inf")
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        # The bench harness *measures* host wall time by design; it never
+        # feeds simulation state, so determinism (SIM001) does not apply.
+        start = time.perf_counter()  # repro: ignore[SIM001]
         run()
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: ignore[SIM001]
         best = min(best, elapsed)
     return ops / best if best > 0 else float("inf")
 

@@ -68,7 +68,9 @@ _HEADER_NAMES = frozenset(
 _COMPARISON_OPS = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 _ORDERING_OPS = frozenset({"<", "<=", ">", ">="})
 
-_enabled = os.environ.get("REPRO_SELECTOR_COMPILE", "1") != "0"
+# Opt-out escape hatch only: flipping it changes *speed*, never results
+# (check_static's equivalence smoke enforces exactly that).
+_enabled = os.environ.get("REPRO_SELECTOR_COMPILE", "1") != "0"  # repro: ignore[SIM004]
 
 
 def compilation_enabled() -> bool:
@@ -446,7 +448,8 @@ def compile_ast(expr: Expr) -> CompiledSelector:
 #: the wrong key here: ``Literal(True) == Literal(1) == Literal(1.0)`` (and
 #: they hash alike), yet the three compile to different type guards and
 #: division semantics.  ``repr`` spells the literal classes apart.
-_COMPILED_CACHE: Dict[str, CompiledSelector] = {}
+# Deliberate process-wide memo: keyed on source text, value is pure.
+_COMPILED_CACHE: Dict[str, CompiledSelector] = {}  # repro: ignore[API002]
 _COMPILED_CACHE_MAXSIZE = 4096
 
 

@@ -14,6 +14,8 @@ Usage (``python -m repro ...``)::
     python -m repro bench [--fast] [--json out.json] [--check]
     python -m repro durability [--seed 0] [--messages 60] [--intra-samples 200]
     python -m repro durability --sweep --filters 500 --replication 3 [--t-sync 2e-4]
+    python -m repro check [--format json] [--rules SIM,REC,...] [--require]
+    python -m repro check --update-baseline
 
 ``report`` checks every numeric paper claim; ``figure`` prints the series
 of one reproduced figure; ``capacity`` and ``wait`` apply the model to a
@@ -32,52 +34,43 @@ gates on the recorded speedup thresholds; ``durability`` runs the
 crash-consistency harness (recover the journal at every record boundary
 plus sampled torn-write offsets, assert exactly-once requeueing) and,
 with ``--sweep``, prints the durability-vs-capacity trade-off λ_max(b)
-for group-commit batch sizes.
+for group-commit batch sizes; ``check`` runs the whole-program
+invariant analyzer (determinism, recovery no-raise, ledger
+conservation, race hazards, API hygiene) over ``src/repro``.
+
+Exit codes (uniform across ``lint`` and ``check`` so CI and editors can
+consume them): **0** clean, **1** findings (or, for experiment commands,
+a violated invariant / failed gate), **2** usage error (bad flags,
+unreadable input, malformed baseline).
+
+The analysis imports (numpy/scipy-backed) are deferred into the command
+handlers: ``lint`` and ``check`` run on the standard library alone, so
+the static gates work in minimal environments too.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, Optional, Sequence
-
-from .analysis import (
-    figure5,
-    figure6,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-    figure12,
-    figure15,
-    format_report,
-    reproduction_report,
-)
-from .core import (
-    APP_PROPERTY_COSTS,
-    CORRELATION_ID_COSTS,
-    BinomialReplication,
-    CostParameters,
-    MG1Queue,
-    ServiceTimeModel,
-    predict_throughput,
-    server_capacity,
-)
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
 
-_FIGURES: Dict[str, Callable] = {
-    "fig5": figure5,
-    "fig6": figure6,
-    "fig8": figure8,
-    "fig9": figure9,
-    "fig10": figure10,
-    "fig11": figure11,
-    "fig12": figure12,
-    "fig15": figure15,
-}
+_FIGURE_IDS = (
+    "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig15",
+)
 
 
-def _costs(kind: str) -> CostParameters:
+def _figure(figure_id: str):
+    from . import analysis
+
+    return getattr(analysis, f"figure{figure_id.removeprefix('fig')}")
+
+
+def _costs(kind: str):
+    from .core import APP_PROPERTY_COSTS, CORRELATION_ID_COSTS
+
     return APP_PROPERTY_COSTS if kind == "app" else CORRELATION_ID_COSTS
 
 
@@ -96,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     figure = commands.add_parser("figure", help="print one reproduced figure's series")
-    figure.add_argument("figure_id", choices=sorted(_FIGURES))
+    figure.add_argument("figure_id", choices=sorted(_FIGURE_IDS))
 
     def add_scenario_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--filters", type=int, required=True, help="installed filters n_fltr")
@@ -134,6 +127,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit non-zero on warnings too, not only on errors",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is stable and machine-readable)",
+    )
+
+    check = commands.add_parser(
+        "check",
+        help="whole-program invariant analyzer (SIM/REC/LEDGER/RACE/API rules)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="package roots to scan (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is byte-deterministic for a given tree)",
+    )
+    check.add_argument(
+        "--rules",
+        default=None,
+        metavar="SELECTORS",
+        help="comma-separated rule codes or families (e.g. SIM,REC001)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: STATIC_BASELINE.json at the repo root)",
+    )
+    check.add_argument(
+        "--conftest",
+        default=None,
+        metavar="PATH",
+        help="conservation conftest for LEDGER rules (default: tests/conftest.py)",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover today's findings (minimal, sorted diff)",
+    )
+    check.add_argument(
+        "--require",
+        action="store_true",
+        help="CI mode: also fail on stale baseline entries and scan errors",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     faults = commands.add_parser(
@@ -290,6 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_capacity(args: argparse.Namespace) -> int:
+    from .core import predict_throughput, server_capacity
+
     costs = _costs(args.type)
     capacity = server_capacity(costs, args.filters, args.replication, rho=args.rho)
     prediction = predict_throughput(costs, args.filters, args.replication, rho=args.rho)
@@ -300,6 +350,8 @@ def _run_capacity(args: argparse.Namespace) -> int:
 
 
 def _run_wait(args: argparse.Namespace) -> int:
+    from .core import BinomialReplication, MG1Queue, ServiceTimeModel
+
     costs = _costs(args.type)
     if args.filters <= 0:
         raise SystemExit("wait analysis needs at least one filter")
@@ -342,13 +394,65 @@ def _example_broker():
     return broker
 
 
+def _lint_finding_dict(finding) -> dict:
+    """Stable JSON shape for one audited selector."""
+    payload: dict = {
+        "selector": finding.selector,
+        "ok": finding.ok,
+        "parse_error": finding.parse_error,
+        "canonical": None,
+        "diagnostics": [],
+    }
+    if finding.analysis is not None:
+        payload["canonical"] = finding.analysis.canonical_text
+        payload["diagnostics"] = [
+            {
+                "severity": str(d.severity),
+                "code": d.code,
+                "message": d.message,
+                "span": list(d.span) if d.span is not None else None,
+            }
+            for d in finding.analysis.diagnostics
+        ]
+    return payload
+
+
 def _run_lint(args: argparse.Namespace) -> int:
+    import json
+
     from .broker.lint import audit_broker, audit_selectors, render_audit
 
     exit_code = 0
     if args.example:
         audit = audit_broker(_example_broker())
-        print(render_audit(audit))
+        if args.format == "json":
+            payload = {
+                "clean": audit.clean,
+                "dead": audit.total_dead,
+                "trivial": audit.total_trivial,
+                "duplicates": audit.total_duplicates,
+                "ill_typed": audit.total_ill_typed,
+                "topics": [
+                    {
+                        "topic": topic.topic,
+                        "subscriptions": topic.subscriptions,
+                        "filters": topic.filters,
+                        "dead": topic.dead,
+                        "trivial": topic.trivial,
+                        "duplicates": topic.duplicates,
+                        "ill_typed": topic.ill_typed,
+                        "findings": [
+                            _lint_finding_dict(f)
+                            for f in topic.findings
+                            if not f.ok
+                        ],
+                    }
+                    for topic in audit.topics
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(render_audit(audit))
         if not audit.clean:
             exit_code = 1 if args.strict or audit.total_ill_typed else 0
         return exit_code
@@ -361,29 +465,148 @@ def _run_lint(args: argparse.Namespace) -> int:
                     if line and not line.startswith("#"):
                         selectors.append(line)
         except OSError as exc:
-            raise SystemExit(f"lint: cannot read {args.file}: {exc.strerror}") from exc
+            raise _usage_error(
+                f"lint: cannot read {args.file}: {exc.strerror}"
+            ) from exc
     if not selectors:
-        raise SystemExit("lint needs selectors, --file or --example")
+        raise _usage_error("lint needs selectors, --file or --example")
     findings = audit_selectors(selectors)
     errors = warnings = 0
     for finding in findings:
         if finding.parse_error is not None:
             errors += 1
-            print(f"{finding.selector}")
-            print(f"    parse error: {finding.parse_error}")
-            continue
-        analysis = finding.analysis
-        assert analysis is not None
-        status = "ok" if analysis.ok else "FINDINGS"
-        print(f"{finding.selector}    [{status}; canonical: {analysis.canonical_text}]")
-        if analysis.diagnostics:
-            errors += len(analysis.errors)
-            warnings += len(analysis.warnings)
-            print("    " + analysis.render().replace("\n", "\n    "))
-    print(f"{len(findings)} selector(s): {errors} error(s), {warnings} warning(s)")
+        elif finding.analysis is not None:
+            errors += len(finding.analysis.errors)
+            warnings += len(finding.analysis.warnings)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "selectors": [_lint_finding_dict(f) for f in findings],
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            if finding.parse_error is not None:
+                print(f"{finding.selector}")
+                print(f"    parse error: {finding.parse_error}")
+                continue
+            analysis = finding.analysis
+            assert analysis is not None
+            status = "ok" if analysis.ok else "FINDINGS"
+            print(f"{finding.selector}    [{status}; canonical: {analysis.canonical_text}]")
+            if analysis.diagnostics:
+                print("    " + analysis.render().replace("\n", "\n    "))
+        print(f"{len(findings)} selector(s): {errors} error(s), {warnings} warning(s)")
     if errors or (args.strict and warnings):
         exit_code = 1
     return exit_code
+
+
+def _usage_error(message: str) -> SystemExit:
+    """Print a usage error and build the exit-code-2 SystemExit."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def _repo_root() -> Path:
+    """The checkout root when running from a source tree (src layout)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    from .statics import (
+        Baseline,
+        BaselineError,
+        CheckConfig,
+        build_index,
+        default_rules,
+        run_check,
+    )
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  [{rule.severity}]  {rule.description}")
+        return 0
+
+    if args.paths:
+        roots = tuple(Path(p) for p in args.paths)
+        missing = [str(p) for p in roots if not p.exists()]
+        if missing:
+            raise _usage_error(f"check: no such path(s): {', '.join(missing)}")
+        baseline = Path(args.baseline) if args.baseline else None
+        conftest = Path(args.conftest) if args.conftest else None
+    else:
+        # Default scan: the installed package, with the repo's committed
+        # baseline and conservation conftest when they are present.
+        roots = (Path(__file__).resolve().parent,)
+        root = _repo_root()
+        baseline = (
+            Path(args.baseline)
+            if args.baseline
+            else (root / "STATIC_BASELINE.json"
+                  if (root / "STATIC_BASELINE.json").exists() else None)
+        )
+        conftest = (
+            Path(args.conftest)
+            if args.conftest
+            else (root / "tests" / "conftest.py"
+                  if (root / "tests" / "conftest.py").exists() else None)
+        )
+    rules = (
+        tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        if args.rules
+        else None
+    )
+    config = CheckConfig(
+        roots=roots, conftest=conftest, baseline=baseline, rules=rules
+    )
+
+    try:
+        if args.update_baseline:
+            if baseline is None:
+                raise _usage_error("check: --update-baseline needs --baseline "
+                                   "(no repo-root STATIC_BASELINE.json found)")
+            bare = CheckConfig(
+                roots=roots, conftest=conftest, baseline=None, rules=rules
+            )
+            index = build_index(bare)
+            report = run_check(bare, index=index)
+            previous = (
+                Baseline.load(baseline.read_text(encoding="utf-8"))
+                if baseline.exists()
+                else None
+            )
+            updated = Baseline.from_findings(
+                report.findings, index.sources(), previous=previous
+            )
+            baseline.write_text(updated.dump(), encoding="utf-8")
+            before = len(previous.entries) if previous is not None else 0
+            print(
+                f"baseline: {len(updated.entries)} entr(y/ies) "
+                f"(was {before}) -> {baseline}"
+            )
+            return 0
+        index = build_index(config)
+        report = run_check(config, index=index)
+    except BaselineError as exc:
+        raise _usage_error(f"check: {exc}") from exc
+    except ValueError as exc:
+        raise _usage_error(f"check: {exc}") from exc
+
+    if args.format == "json":
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render_text(index.sources()))
+    failed = bool(report.findings)
+    if args.require and (report.stale_baseline or index.parse_errors):
+        failed = True
+    return 1 if failed else 0
 
 
 def _run_faults(args: argparse.Namespace) -> int:
@@ -558,11 +781,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "report":
+        from .analysis import format_report, reproduction_report
+
         checks = reproduction_report(include_measurements=args.measurements)
         print(format_report(checks))
         return 0 if all(c.passed for c in checks) else 1
     if args.command == "figure":
-        print(_FIGURES[args.figure_id]().format())
+        print(_figure(args.figure_id)().format())
         return 0
     if args.command == "capacity":
         return _run_capacity(args)
@@ -578,4 +803,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "durability":
         return _run_durability(args)
+    if args.command == "check":
+        return _run_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

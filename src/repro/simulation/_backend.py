@@ -30,7 +30,9 @@ __all__ = [
     "GeneratorLike",
 ]
 
-_FORCE_PURE = os.environ.get("REPRO_PURE_PYTHON", "0") == "1"
+# Backend selector: both backends are bit-identical (tested), so the
+# environment read selects an implementation, not a result.
+_FORCE_PURE = os.environ.get("REPRO_PURE_PYTHON", "0") == "1"  # repro: ignore[SIM004]
 
 np: Any = None
 HAVE_NUMPY = False

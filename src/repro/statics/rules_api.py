@@ -1,0 +1,174 @@
+"""API — hygiene rules for the public package surface.
+
+Small, classic Python foot-guns that matter more than usual here: a
+mutable default argument or a module-level mutable singleton is shared
+program-wide state (exactly what the RACE family exists to contain),
+and a swallowed exception violates the same "report, never hide"
+discipline the recovery no-raise contract encodes.
+
+* ``API001`` — mutable default argument (``def f(x=[])``).
+* ``API002`` — module-level mutable state (a list/dict/set/deque/
+  Counter/defaultdict bound at module scope).  ALL_CAPS constants are
+  exempt *unless the module itself mutates them* — ``_KEYWORDS = {...}``
+  used read-only is a lookup table, but an ALL_CAPS dict the module
+  writes into is a cache wearing a constant's name.  Deliberate
+  process-wide caches carry an inline ``# repro: ignore[API002]``
+  justification.
+* ``API003`` — a broad handler that swallows silently
+  (``except Exception: pass`` or bare ``except: pass``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from ._astutil import handler_catches
+from .engine import PackageIndex, Rule
+from .model import Finding, Severity
+
+__all__ = ["rules", "MutableDefaultRule", "ModuleStateRule", "SwallowedExceptionRule"]
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+def _mutable_value(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CONSTRUCTORS:
+            return f"{node.func.id}()"
+    return None
+
+
+class MutableDefaultRule(Rule):
+    code = "API001"
+    severity = Severity.ERROR
+    description = "mutable default argument"
+
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        for module in index.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    kind = _mutable_value(default)
+                    if kind is not None:
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.finding(
+                            module,
+                            default,
+                            f"mutable default argument ({kind}) on {name}() is "
+                            "shared across every call — default to None or a "
+                            "tuple and construct inside",
+                        )
+
+
+_CONSTANT_NAME = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+        "extend", "insert", "remove", "discard", "appendleft",
+    }
+)
+
+
+def _locally_mutated(tree: ast.Module, name: str) -> bool:
+    """True when the module writes into ``name`` after binding it."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                return True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                return True
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return True
+    return False
+
+
+class ModuleStateRule(Rule):
+    code = "API002"
+    severity = Severity.WARNING
+    description = "module-level mutable state"
+
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        for module in index.modules:
+            for statement in module.tree.body:
+                value: Optional[ast.expr] = None
+                name: Optional[str] = None
+                if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                    target = statement.targets[0]
+                    if isinstance(target, ast.Name):
+                        name, value = target.id, statement.value
+                elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                    if isinstance(statement.target, ast.Name):
+                        name, value = statement.target.id, statement.value
+                if name is None or value is None:
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends are interpreted, not mutated
+                kind = _mutable_value(value)
+                if kind is None:
+                    continue
+                if _CONSTANT_NAME.match(name) and not _locally_mutated(
+                    module.tree, name
+                ):
+                    continue  # a read-only lookup table by convention
+                yield self.finding(
+                    module,
+                    statement,
+                    f"module-level mutable state {name} ({kind}) is a "
+                    "process-wide singleton — prefer a tuple/Mapping, or "
+                    "justify the cache with an inline ignore",
+                )
+
+
+class SwallowedExceptionRule(Rule):
+    code = "API003"
+    severity = Severity.ERROR
+    description = "broad exception handler that swallows silently"
+
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        for module in index.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if "*" not in handler_catches(node):
+                    continue  # narrow handlers may legitimately drop
+                if all(self._is_silent(statement) for statement in node.body):
+                    yield self.finding(
+                        module,
+                        node,
+                        "broad except swallows the exception silently — "
+                        "narrow the type, or record what was ignored",
+                    )
+
+    @staticmethod
+    def _is_silent(statement: ast.stmt) -> bool:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            return True
+        return isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        )
+
+
+def rules() -> List[Rule]:
+    return [MutableDefaultRule(), ModuleStateRule(), SwallowedExceptionRule()]

@@ -1,0 +1,206 @@
+"""LEDGER — conservation-ledger cross-checks.
+
+The message-conservation invariant ("every accepted message has exactly
+one fate") is stated once, in ``tests/conftest.py::check_conserved``,
+and maintained by counters on
+:class:`repro.broker.queues.PointToPointQueue`.  The two drift
+independently: a new fate counter added to the queue but not to the
+ledger silently unbalances conservation the first time that fate fires,
+and a leg kept in the ledger after its counter is deleted turns the
+invariant into a tautology over ``getattr(..., 0)``.
+
+* ``LEDGER001`` — a public counter incremented (``self.X += ...``) on
+  the queue class that is not a leg of ``check_conserved`` and is not
+  in the documented informational set below.
+* ``LEDGER002`` — a leg read by ``check_conserved`` that the queue
+  class neither increments, assigns nor exposes as a property.
+
+This is a *cross-module* analysis: it parses both the package and the
+test suite's conftest, which the engine carries as
+:attr:`~repro.statics.engine.PackageIndex.conftest`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ._astutil import owned_attributes
+from .engine import PackageIndex, Rule
+from .model import Finding, Severity
+
+__all__ = ["rules", "LedgerLegRule", "StaleLegRule", "INFORMATIONAL_COUNTERS"]
+
+#: Counters that are *not* conservation legs, by design:
+#:
+#: - ``expired`` also counts send-time rejections of already-expired
+#:   messages, which never enter the accepted population (the ledger leg
+#:   is the ``expired_at_drain`` subset);
+#: - ``delivered`` tracks hand-offs, not fates — in-flight copies are
+#:   accounted via the consumers' inbox/unacked sets;
+#: - ``redelivered`` re-counts the same message on every retry;
+#: - ``journal_write_failures`` counts sends rejected *before*
+#:   acceptance (the message never joins the population).
+INFORMATIONAL_COUNTERS = frozenset(
+    {"expired", "delivered", "redelivered", "journal_write_failures"}
+)
+
+
+def _conserved_function(
+    index: PackageIndex, function_name: str
+) -> Optional[ast.FunctionDef]:
+    if index.conftest is None:
+        return None
+    for node in ast.walk(index.conftest.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == function_name:
+            return node
+    return None
+
+
+def _ledger_legs(function: ast.FunctionDef, stats_name: str) -> Dict[str, ast.AST]:
+    """Attributes read off the ``stats`` parameter, incl. getattr legs.
+
+    Method *calls* (``stats.to_metrics()``) and shape probes
+    (``getattr(stats, "conserved", None)`` — a non-numeric default) are
+    not counter legs; only plain attribute reads and ``getattr`` with a
+    numeric default (an optional leg defaulting to ``0``) count.
+    """
+    called = {
+        id(node.func)
+        for node in ast.walk(function)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+    }
+    legs: Dict[str, ast.AST] = {}
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == stats_name
+            and id(node) not in called
+        ):
+            legs.setdefault(node.attr, node)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "getattr"
+            and len(node.args) >= 2
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == stats_name
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+            and (
+                len(node.args) < 3
+                or (
+                    isinstance(node.args[2], ast.Constant)
+                    and isinstance(node.args[2].value, (int, float))
+                    and not isinstance(node.args[2].value, bool)
+                )
+            )
+        ):
+            legs.setdefault(node.args[1].value, node)
+    return legs
+
+
+class _LedgerRule(Rule):
+    """Shared configuration for both directions of the cross-check."""
+
+    def __init__(
+        self,
+        module_suffix: str = "broker/queues.py",
+        class_name: str = "PointToPointQueue",
+        conserved_function: str = "check_conserved",
+        stats_parameter: str = "stats",
+        informational: frozenset = INFORMATIONAL_COUNTERS,
+    ):
+        self.module_suffix = module_suffix
+        self.class_name = class_name
+        self.conserved_function = conserved_function
+        self.stats_parameter = stats_parameter
+        self.informational = informational
+
+    def _class_node(self, index: PackageIndex) -> Optional[ast.ClassDef]:
+        module = index.module(self.module_suffix)
+        if module is None:
+            return None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == self.class_name:
+                return node
+        return None
+
+    def _counters(self, class_node: ast.ClassDef) -> Dict[str, ast.AugAssign]:
+        """Public attributes incremented via ``self.X += ...``, in order."""
+        counters: Dict[str, ast.AugAssign] = {}
+        for node in ast.walk(class_node):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+                and not node.target.attr.startswith("_")
+            ):
+                counters.setdefault(node.target.attr, node)
+        return counters
+
+    def _exposed(self, class_node: ast.ClassDef) -> Set[str]:
+        """Every attribute or property the class defines."""
+        exposed = set(owned_attributes(class_node))
+        for node in class_node.body:
+            if isinstance(node, ast.FunctionDef) and any(
+                isinstance(d, ast.Name) and d.id == "property"
+                for d in node.decorator_list
+            ):
+                exposed.add(node.name)
+        return exposed
+
+
+class LedgerLegRule(_LedgerRule):
+    code = "LEDGER001"
+    severity = Severity.ERROR
+    description = "fate counter missing from the conservation ledger"
+
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        class_node = self._class_node(index)
+        function = _conserved_function(index, self.conserved_function)
+        if class_node is None or function is None:
+            return
+        module = index.module(self.module_suffix)
+        assert module is not None
+        legs = _ledger_legs(function, self.stats_parameter)
+        for name, node in sorted(self._counters(class_node).items()):
+            if name in legs or name in self.informational:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"counter {self.class_name}.{name} is incremented but is not "
+                f"a leg of {self.conserved_function}() — add it to the "
+                "conservation ledger or document it as informational",
+            )
+
+
+class StaleLegRule(_LedgerRule):
+    code = "LEDGER002"
+    severity = Severity.ERROR
+    description = "conservation-ledger leg with no backing counter"
+
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        class_node = self._class_node(index)
+        function = _conserved_function(index, self.conserved_function)
+        if class_node is None or function is None or index.conftest is None:
+            return
+        exposed = self._exposed(class_node)
+        for name, node in sorted(_ledger_legs(function, self.stats_parameter).items()):
+            if name in exposed:
+                continue
+            yield self.finding(
+                index.conftest,
+                node,
+                f"{self.conserved_function}() reads stats.{name} but "
+                f"{self.class_name} defines no such counter or property — "
+                "the ledger leg is stale",
+            )
+
+
+def rules() -> List[Rule]:
+    return [LedgerLegRule(), StaleLegRule()]

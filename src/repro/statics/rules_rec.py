@@ -1,0 +1,298 @@
+"""REC — no-raise rules for the crash-recovery entry points.
+
+PR 5's contract: nothing may raise out of ``Broker.recover`` — a
+recovery that dies half-applied is worse than the crash it was
+repairing.  ``REC001`` enforces the contract statically: it builds a
+per-function *raise/escape summary* (which ``raise`` statements can
+leave the function, given the ``try``/``except`` blocks lexically
+around them), links summaries through the intra-package call graph
+(module-level calls, ``self.`` method calls and imported sibling-module
+functions), and flags every raise site reachable from a recovery entry
+point (``scan_disk`` / ``fold_records`` / ``recover_broker`` in
+``durability/recovery.py``) that no broad handler intercepts.
+
+The analysis is deliberately conservative about *names*, not types: an
+``except ValueError`` guard catches a ``raise ValueError(...)`` in the
+guarded block, and bare ``except``/``except Exception`` catches
+everything, but subclass relationships between user exceptions are not
+modelled — keep recovery guards broad or name-exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ._astutil import handler_catches, import_table, iter_function_defs
+from .engine import ModuleSource, PackageIndex, Rule
+from .model import Finding, Severity
+
+__all__ = ["rules", "NoRaiseRule", "DEFAULT_ENTRY_POINTS"]
+
+#: ``(module rel-path suffix, function name)`` pairs that must not raise.
+DEFAULT_ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
+    ("durability/recovery.py", "scan_disk"),
+    ("durability/recovery.py", "fold_records"),
+    ("durability/recovery.py", "recover_broker"),
+)
+
+
+@dataclass(frozen=True)
+class _Escape:
+    """One raise that can leave a function: where, and what name."""
+
+    exception: Optional[str]  #: constructor name; None for a bare re-raise
+    module_rel: str
+    node_line: int
+    node_col: int
+    node_end_col: int
+    chain: Tuple[str, ...]  #: call chain from the summarized function
+
+
+@dataclass
+class _FunctionBody:
+    qualname: str  #: ``module_rel::Class.method`` or ``module_rel::func``
+    module: ModuleSource
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: Optional[str]
+
+
+class NoRaiseRule(Rule):
+    code = "REC001"
+    severity = Severity.ERROR
+    description = "uncaught raise reachable from a recovery entry point"
+
+    def __init__(
+        self, entry_points: Tuple[Tuple[str, str], ...] = DEFAULT_ENTRY_POINTS
+    ):
+        self.entry_points = entry_points
+
+    # ------------------------------------------------------------------
+    def run(self, index: PackageIndex) -> Iterable[Finding]:
+        functions = self._collect_functions(index)
+        resolvers = {
+            module.rel: _CallResolver(module, index, functions)
+            for module in index.modules
+        }
+        cache: Dict[str, Tuple[_Escape, ...]] = {}
+
+        for suffix, name in self.entry_points:
+            module = index.module(suffix)
+            if module is None:
+                continue
+            qualname = f"{module.rel}::{name}"
+            if qualname not in functions:
+                continue
+            for escape in self._escapes(qualname, functions, resolvers, cache, ()):
+                via = " -> ".join(
+                    q.split("::", 1)[1] for q in (qualname, *escape.chain)
+                )
+                exc = escape.exception or "a re-raised exception"
+                yield Finding(
+                    rule=self.code,
+                    severity=self.severity,
+                    path=escape.module_rel,
+                    line=escape.node_line,
+                    col=escape.node_col,
+                    end_col=escape.node_end_col,
+                    message=(
+                        f"{exc} escapes recovery entry point {name}() "
+                        f"(via {via}) — the no-raise contract requires a "
+                        "handler or a reported error"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    def _collect_functions(self, index: PackageIndex) -> Dict[str, _FunctionBody]:
+        functions: Dict[str, _FunctionBody] = {}
+        for module in index.modules:
+            for qualname, node, class_name in iter_function_defs(module.tree):
+                if "<locals>" in qualname:
+                    continue  # nested defs only matter if called; skip
+                functions[f"{module.rel}::{qualname}"] = _FunctionBody(
+                    qualname=f"{module.rel}::{qualname}",
+                    module=module,
+                    node=node,
+                    class_name=class_name,
+                )
+        return functions
+
+    def _escapes(
+        self,
+        qualname: str,
+        functions: Dict[str, _FunctionBody],
+        resolvers: Dict[str, "_CallResolver"],
+        cache: Dict[str, Tuple[_Escape, ...]],
+        stack: Tuple[str, ...],
+    ) -> Tuple[_Escape, ...]:
+        if qualname in cache:
+            return cache[qualname]
+        if qualname in stack:
+            return ()  # recursion: a cycle adds no new escape sites
+        body = functions.get(qualname)
+        if body is None:
+            return ()
+        cache[qualname] = ()  # provisional, for re-entrancy
+        escapes: List[_Escape] = []
+        walker = _EscapeWalker(body, resolvers[body.module.rel])
+        walker.visit_block(body.node.body, ())
+        escapes.extend(walker.raises)
+        for callee, call_node, guards in walker.calls:
+            for escape in self._escapes(
+                callee, functions, resolvers, cache, stack + (qualname,)
+            ):
+                if _caught(escape.exception, guards):
+                    continue
+                escapes.append(
+                    _Escape(
+                        exception=escape.exception,
+                        module_rel=escape.module_rel,
+                        node_line=escape.node_line,
+                        node_col=escape.node_col,
+                        node_end_col=escape.node_end_col,
+                        chain=(callee,) + escape.chain,
+                    )
+                )
+        result = tuple(escapes)
+        cache[qualname] = result
+        return result
+
+
+def _caught(exception: Optional[str], guards: Tuple[FrozenSet[str], ...]) -> bool:
+    for guard in guards:
+        if "*" in guard:
+            return True
+        if exception is not None and exception in guard:
+            return True
+    return False
+
+
+class _EscapeWalker:
+    """Collect escaping raises and guarded call sites of one function."""
+
+    def __init__(self, body: _FunctionBody, resolver: "_CallResolver"):
+        self.body = body
+        self.resolver = resolver
+        self.raises: List[_Escape] = []
+        #: ``(callee qualname, call node, active guards)``
+        self.calls: List[Tuple[str, ast.Call, Tuple[FrozenSet[str], ...]]] = []
+
+    def visit_block(
+        self, statements: Iterable[ast.stmt], guards: Tuple[FrozenSet[str], ...]
+    ) -> None:
+        for statement in statements:
+            self.visit(statement, guards)
+
+    def visit(self, node: ast.AST, guards: Tuple[FrozenSet[str], ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            return  # nested scopes raise only when called
+        if isinstance(node, ast.Try):
+            caught = tuple(handler_catches(h) for h in node.handlers)
+            self.visit_block(node.body, guards + caught)
+            for handler in node.handlers:
+                self.visit_block(handler.body, guards)
+            self.visit_block(node.orelse, guards)
+            self.visit_block(node.finalbody, guards)
+            return
+        if isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if not _caught(name, guards):
+                from ._astutil import node_anchor
+
+                line, col, end_col = node_anchor(node, self.body.module.lines)
+                self.raises.append(
+                    _Escape(
+                        exception=name,
+                        module_rel=self.body.module.rel,
+                        node_line=line,
+                        node_col=col,
+                        node_end_col=end_col,
+                        chain=(),
+                    )
+                )
+        if isinstance(node, ast.Call):
+            callee = self.resolver.resolve(node, self.body.class_name)
+            if callee is not None:
+                self.calls.append((callee, node, guards))
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, guards)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise: only broad guards catch it
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+class _CallResolver:
+    """Resolve call targets to qualnames within the scanned package."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        index: PackageIndex,
+        functions: Dict[str, _FunctionBody],
+    ):
+        self.module = module
+        self.functions = functions
+        self.local: Dict[str, str] = {}
+        for qualname in functions:
+            rel, _, name = qualname.partition("::")
+            if rel == module.rel and "." not in name:
+                self.local[name] = qualname
+        # Imported sibling functions/classes: ``from .journal import x``.
+        for alias, target in import_table(module.tree).items():
+            resolved = self._resolve_import(target)
+            if resolved is not None:
+                self.local[alias] = resolved
+
+    def _resolve_import(self, target: str) -> Optional[str]:
+        if "." not in target.lstrip("."):
+            return None
+        module_part, _, name = target.rpartition(".")
+        level = len(module_part) - len(module_part.lstrip("."))
+        module_part = module_part.lstrip(".")
+        if level:
+            base = self.module.rel.rsplit("/", level)[0]
+            rel = f"{base}/{module_part.replace('.', '/')}.py" if module_part else None
+        else:
+            rel = f"{module_part.replace('.', '/')}.py"
+        if rel is None:
+            return None
+        candidate = f"{rel}::{name}"
+        if candidate in self.functions:
+            return candidate
+        # a class: map to its __init__ if defined in the package
+        init = f"{rel}::{name}.__init__"
+        return init if init in self.functions else None
+
+    def resolve(self, node: ast.Call, class_name: Optional[str]) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = self.local.get(func.id)
+            if target is not None:
+                return target
+            # a module-local class constructor
+            init = f"{self.module.rel}::{func.id}.__init__"
+            return init if init in self.functions else None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and class_name is not None
+        ):
+            candidate = f"{self.module.rel}::{class_name}.{func.attr}"
+            return candidate if candidate in self.functions else None
+        return None
+
+
+def rules() -> List[Rule]:
+    return [NoRaiseRule()]

@@ -1,0 +1,238 @@
+"""Inline suppressions and the committed findings baseline.
+
+Two escape hatches keep the analyzer deployable on a living codebase:
+
+* **Inline**: a ``# repro: ignore[RULE]`` comment on the flagged line
+  silences that line for the named rule(s).  A family name (``SIM``)
+  silences every rule in the family; several codes may be listed
+  (``# repro: ignore[SIM004, API002]``).  Use it where the comment *is*
+  the justification — e.g. a deliberate module-level cache.
+
+* **Baseline**: ``STATIC_BASELINE.json`` grandfathers known findings so
+  ``repro check`` can gate on *new* violations from day one.  Every
+  entry carries a mandatory ``reason``; entries are keyed on the
+  flagged line's text (not its number) so unrelated edits do not churn
+  the file, and the file is written fully sorted so diffs are minimal
+  and deterministic.  ``--require`` fails on stale entries: the
+  baseline may only shrink as the debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .model import Finding, finding_fingerprint
+
+__all__ = [
+    "BaselineError",
+    "BaselineEntry",
+    "Baseline",
+    "suppressed_rules",
+    "is_suppressed",
+]
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def suppressed_rules(line_text: str) -> frozenset:
+    """Rule codes/families silenced by the line's inline comment."""
+    match = _IGNORE_RE.search(line_text)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip().upper() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+def is_suppressed(finding: Finding, line_text: str) -> bool:
+    codes = suppressed_rules(line_text)
+    if not codes:
+        return False
+    family = finding.rule.rstrip("0123456789")
+    return finding.rule in codes or family in codes
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (a usage error, exit code 2)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, identified by rule + file + line text."""
+
+    rule: str
+    path: str
+    text: str  #: the flagged line, stripped
+    occurrence: int  #: 0-based index among identical (rule, path, text)
+    reason: str
+
+    @property
+    def sort_key(self) -> Tuple[str, str, str, int]:
+        return (self.path, self.rule, self.text, self.occurrence)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "text": self.text,
+            "occurrence": self.occurrence,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """The set of grandfathered findings, with deterministic round-trip."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = sorted(entries, key=lambda e: e.sort_key)
+
+    @classmethod
+    def load(cls, text: str) -> "Baseline":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError("baseline must be an object with an 'entries' list")
+        entries = []
+        for position, raw in enumerate(payload["entries"]):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline entry {position} is not an object")
+            missing = {"rule", "path", "text", "reason"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"baseline entry {position} missing {sorted(missing)}"
+                )
+            if not str(raw["reason"]).strip():
+                raise BaselineError(
+                    f"baseline entry {position} ({raw['rule']} {raw['path']}): "
+                    "every grandfathered finding needs a non-empty 'reason'"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    text=str(raw["text"]),
+                    occurrence=int(raw.get("occurrence", 0)),
+                    reason=str(raw["reason"]),
+                )
+            )
+        return cls(entries)
+
+    def dump(self) -> str:
+        payload = {
+            "comment": (
+                "Grandfathered `repro check` findings. Entries may only be "
+                "removed (fix the finding, rerun with --update-baseline); "
+                "new findings must be fixed or suppressed inline."
+            ),
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+    ) -> Tuple[List[Finding], List[BaselineEntry], List[BaselineEntry]]:
+        """Split findings into (new, matched-entries, stale-entries).
+
+        Matching is by (rule, path, stripped line text, occurrence
+        index); occurrences are counted over the findings in source
+        order so two identical offending lines in one file match two
+        baseline entries, deterministically.
+        """
+        keyed: Dict[Tuple[str, str, str], List[Finding]] = {}
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            text = _line_text(sources, finding)
+            keyed.setdefault((finding.rule, finding.path, text), []).append(finding)
+        by_entry_key: Dict[Tuple[str, str, str], List[BaselineEntry]] = {}
+        for entry in self.entries:
+            by_entry_key.setdefault((entry.rule, entry.path, entry.text), []).append(
+                entry
+            )
+        new: List[Finding] = []
+        matched: List[BaselineEntry] = []
+        stale: List[BaselineEntry] = []
+        for key, group in sorted(keyed.items()):
+            entries = {e.occurrence: e for e in by_entry_key.pop(key, [])}
+            for occurrence, finding in enumerate(group):
+                entry = entries.pop(occurrence, None)
+                if entry is None:
+                    new.append(finding)
+                else:
+                    matched.append(entry)
+            stale.extend(entries.values())
+        for leftovers in by_entry_key.values():
+            stale.extend(leftovers)
+        new.sort(key=lambda f: f.sort_key)
+        stale.sort(key=lambda e: e.sort_key)
+        return new, matched, stale
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        sources: Dict[str, Sequence[str]],
+        reasons: Optional[Dict[str, str]] = None,
+        previous: Optional["Baseline"] = None,
+        default_reason: str = "grandfathered by repro check --update-baseline",
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        Reasons are preserved from ``previous`` for entries that
+        survive; ``reasons`` may map a rule code or family to the reason
+        applied to its new entries.
+        """
+        keep: Dict[Tuple[str, str, str, int], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                keep[(entry.rule, entry.path, entry.text, entry.occurrence)] = (
+                    entry.reason
+                )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        entries = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            text = _line_text(sources, finding)
+            key = (finding.rule, finding.path, text)
+            occurrence = counts.get(key, 0)
+            counts[key] = occurrence + 1
+            family = finding.rule.rstrip("0123456789")
+            reason = keep.get((*key, occurrence)) or (reasons or {}).get(
+                finding.rule, (reasons or {}).get(family, default_reason)
+            )
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    text=text,
+                    occurrence=occurrence,
+                    reason=reason,
+                )
+            )
+        return cls(entries)
+
+
+def _line_text(sources: Dict[str, Sequence[str]], finding: Finding) -> str:
+    lines = sources.get(finding.path, ())
+    if 0 <= finding.line - 1 < len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+) -> Dict[Finding, str]:
+    """Stable fingerprints for a report (same convention as baselines)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    prints: Dict[Finding, str] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        text = _line_text(sources, finding)
+        key = (finding.rule, finding.path, text)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        prints[finding] = finding_fingerprint(finding, text, occurrence)
+    return prints

@@ -1,0 +1,216 @@
+"""REC, LEDGER and RACE families: positives and negatives on tiny packages."""
+
+import textwrap
+
+from repro.statics.rules_ledger import LedgerLegRule, StaleLegRule
+from repro.statics.rules_race import CallbackMutationRule, ExternalMutationRule
+from repro.statics.rules_rec import NoRaiseRule
+
+def findings_for(rule, index):
+    return sorted(rule.run(index), key=lambda f: f.sort_key)
+
+
+
+RECOVERY = textwrap.dedent(
+    """
+    from .codec import decode
+
+    def scan(payload):
+        records = []
+        for chunk in payload:
+            records.append(decode(chunk))
+        return records
+
+    def scan_guarded(payload):
+        records = []
+        for chunk in payload:
+            try:
+                records.append(decode(chunk))
+            except ValueError:
+                continue
+        return records
+    """
+)
+
+CODEC = textwrap.dedent(
+    """
+    def decode(chunk):
+        if not chunk:
+            raise ValueError("empty chunk")
+        return chunk
+    """
+)
+
+
+class TestNoRaise:
+    def test_uncaught_raise_through_call_chain(self, make_index):
+        index = make_index({"recovery.py": RECOVERY, "codec.py": CODEC})
+        rule = NoRaiseRule(entry_points=(("pkg/recovery.py", "scan"),))
+        found = findings_for(rule, index)
+        assert [f.rule for f in found] == ["REC001"]
+        assert found[0].path == "pkg/codec.py"
+        assert "ValueError escapes recovery entry point scan()" in found[0].message
+        assert "via scan -> decode" in found[0].message
+
+    def test_guarded_call_is_clean(self, make_index):
+        index = make_index({"recovery.py": RECOVERY, "codec.py": CODEC})
+        rule = NoRaiseRule(entry_points=(("pkg/recovery.py", "scan_guarded"),))
+        assert findings_for(rule, index) == []
+
+    def test_handler_body_is_not_guarded_by_its_own_try(self, make_index):
+        source = textwrap.dedent(
+            """
+            def entry(x):
+                try:
+                    return x[0]
+                except IndexError:
+                    raise RuntimeError("empty")
+            """
+        )
+        index = make_index({"entry.py": source})
+        rule = NoRaiseRule(entry_points=(("pkg/entry.py", "entry"),))
+        found = findings_for(rule, index)
+        assert [f.rule for f in found] == ["REC001"]
+        assert "RuntimeError" in found[0].message
+
+
+QUEUE = textwrap.dedent(
+    """
+    class MiniQueue:
+        def __init__(self):
+            self.enqueued = 0
+            self.orphan = 0
+            self._private = 0
+
+        def send(self):
+            self.enqueued += 1
+            self.orphan += 1
+            self._private += 1
+
+        @property
+        def depth(self):
+            return 0
+    """
+)
+
+LEDGER_CONFTEST = textwrap.dedent(
+    """
+    def check_mini(stats):
+        assert stats.enqueued >= stats.depth + getattr(stats, "ghost", 0)
+    """
+)
+
+
+class TestLedger:
+    def _rules(self):
+        kwargs = dict(
+            module_suffix="pkg/queue.py",
+            class_name="MiniQueue",
+            conserved_function="check_mini",
+            stats_parameter="stats",
+            informational=frozenset(),
+        )
+        return LedgerLegRule(**kwargs), StaleLegRule(**kwargs)
+
+    def test_counter_missing_from_ledger(self, make_index):
+        index = make_index({"queue.py": QUEUE}, conftest=LEDGER_CONFTEST)
+        leg_rule, _ = self._rules()
+        found = findings_for(leg_rule, index)
+        assert [f.rule for f in found] == ["LEDGER001"]
+        assert "MiniQueue.orphan" in found[0].message
+        assert found[0].path == "pkg/queue.py"
+
+    def test_stale_leg_without_backing_counter(self, make_index):
+        index = make_index({"queue.py": QUEUE}, conftest=LEDGER_CONFTEST)
+        _, stale_rule = self._rules()
+        found = findings_for(stale_rule, index)
+        assert [f.rule for f in found] == ["LEDGER002"]
+        assert "stats.ghost" in found[0].message
+        assert found[0].path == "tests/conftest.py"
+
+    def test_matched_counters_and_properties_are_clean(self, make_index):
+        conftest = (
+            "def check_mini(stats):\n"
+            "    assert stats.enqueued >= stats.depth + stats.orphan\n"
+        )
+        index = make_index({"queue.py": QUEUE}, conftest=conftest)
+        leg_rule, stale_rule = self._rules()
+        assert findings_for(leg_rule, index) == []
+        assert findings_for(stale_rule, index) == []
+
+    def test_silent_without_oracle(self, make_index):
+        index = make_index({"queue.py": QUEUE})  # no conftest at all
+        leg_rule, stale_rule = self._rules()
+        assert findings_for(leg_rule, index) == []
+        assert findings_for(stale_rule, index) == []
+
+
+SHARED = textwrap.dedent(
+    """
+    class Broker:
+        def __init__(self):
+            self.depth = 0
+
+        def record(self):
+            self.depth += 1
+    """
+)
+
+
+class TestExternalMutation:
+    def test_flags_mutation_from_other_class(self, make_index):
+        other = textwrap.dedent(
+            """
+            class Harness:
+                def poke(self, broker):
+                    broker.depth += 1
+            """
+        )
+        index = make_index({"broker.py": SHARED, "harness.py": other})
+        found = findings_for(ExternalMutationRule(targets=("Broker",)), index)
+        assert [f.rule for f in found] == ["RACE001"]
+        assert "Broker.depth" in found[0].message
+        assert found[0].path == "pkg/harness.py"
+
+    def test_owner_method_is_a_serialization_point(self, make_index):
+        index = make_index({"broker.py": SHARED})
+        assert findings_for(ExternalMutationRule(targets=("Broker",)), index) == []
+
+    def test_allowlisted_serialization_point_is_clean(self, make_index):
+        other = "def shim(broker):\n    broker.depth += 1\n"
+        index = make_index({"broker.py": SHARED, "shim.py": other})
+        rule = ExternalMutationRule(
+            targets=("Broker",), serialization_points=frozenset({"shim"})
+        )
+        assert findings_for(rule, index) == []
+
+
+class TestCallbackMutation:
+    def test_flags_captured_object_mutation(self, make_index):
+        source = textwrap.dedent(
+            """
+            def install(handle):
+                def granted():
+                    handle.accepted = True
+                return granted
+            """
+        )
+        index = make_index({"cb.py": source})
+        found = findings_for(CallbackMutationRule(), index)
+        assert [f.rule for f in found] == ["RACE002"]
+        assert "granted()" in found[0].message
+        assert "handle.accepted" in found[0].message
+
+    def test_local_object_mutation_is_clean(self, make_index):
+        source = textwrap.dedent(
+            """
+            def install(factory):
+                def granted():
+                    handle = factory()
+                    handle.accepted = True
+                    return handle
+                return granted
+            """
+        )
+        index = make_index({"cb.py": source})
+        assert findings_for(CallbackMutationRule(), index) == []

@@ -1,0 +1,144 @@
+"""SIM and API rule families: one positive and one negative per rule."""
+
+import textwrap
+
+from repro.statics.rules_api import (
+    ModuleStateRule,
+    MutableDefaultRule,
+    SwallowedExceptionRule,
+)
+from repro.statics.rules_sim import (
+    EntropyRule,
+    EnvReadRule,
+    SetIterationRule,
+    WallClockRule,
+)
+
+def findings_for(rule, index):
+    return sorted(rule.run(index), key=lambda f: f.sort_key)
+
+
+
+class TestWallClock:
+    def test_flags_time_time(self, make_index):
+        index = make_index({"clock.py": "import time\nstamp = time.time()\n"})
+        found = findings_for(WallClockRule(), index)
+        assert [f.rule for f in found] == ["SIM001"]
+        assert found[0].path == "pkg/clock.py"
+        assert "time.time" in found[0].message
+
+    def test_resolves_through_aliases(self, make_index):
+        source = "from time import perf_counter as tick\nt = tick()\n"
+        index = make_index({"clock.py": source})
+        assert [f.rule for f in findings_for(WallClockRule(), index)] == ["SIM001"]
+
+    def test_virtual_clock_is_clean(self, make_index):
+        source = "def now(engine):\n    return engine.now\n"
+        index = make_index({"clock.py": source})
+        assert findings_for(WallClockRule(), index) == []
+
+
+class TestEntropy:
+    def test_flags_module_level_random(self, make_index):
+        index = make_index({"rng.py": "import random\nx = random.random()\n"})
+        found = findings_for(EntropyRule(), index)
+        assert [f.rule for f in found] == ["SIM002"]
+
+    def test_seeded_generator_is_sanctioned(self, make_index):
+        source = "import random\nrng = random.Random(7)\ny = rng.random()\n"
+        index = make_index({"rng.py": source})
+        assert findings_for(EntropyRule(), index) == []
+
+
+class TestSetIteration:
+    def test_flags_for_over_set_literal(self, make_index):
+        source = "for x in {1, 2, 3}:\n    print(x)\n"
+        index = make_index({"it.py": source})
+        found = findings_for(SetIterationRule(), index)
+        assert [f.rule for f in found] == ["SIM003"]
+        assert "PYTHONHASHSEED" in found[0].message
+
+    def test_flags_comprehension_over_set_call(self, make_index):
+        index = make_index({"it.py": "ys = [y for y in set(range(3))]\n"})
+        assert len(findings_for(SetIterationRule(), index)) == 1
+
+    def test_sorted_iteration_is_clean(self, make_index):
+        source = "for x in sorted({1, 2, 3}):\n    print(x)\n"
+        index = make_index({"it.py": source})
+        assert findings_for(SetIterationRule(), index) == []
+
+
+class TestEnvRead:
+    def test_flags_getenv_and_subscript(self, make_index):
+        source = "import os\na = os.getenv('A')\nb = os.environ['B']\n"
+        index = make_index({"env.py": source})
+        found = findings_for(EnvReadRule(), index)
+        assert [f.rule for f in found] == ["SIM004", "SIM004"]
+
+    def test_plain_dict_access_is_clean(self, make_index):
+        source = "conf = {'A': 1}\na = conf['A']\nb = conf.get('B')\n"
+        index = make_index({"env.py": source})
+        assert findings_for(EnvReadRule(), index) == []
+
+
+class TestMutableDefault:
+    def test_flags_list_default(self, make_index):
+        index = make_index({"api.py": "def push(item, acc=[]):\n    acc.append(item)\n"})
+        found = findings_for(MutableDefaultRule(), index)
+        assert [f.rule for f in found] == ["API001"]
+        assert "push()" in found[0].message
+
+    def test_none_default_is_clean(self, make_index):
+        source = "def push(item, acc=None):\n    acc = acc or []\n"
+        index = make_index({"api.py": source})
+        assert findings_for(MutableDefaultRule(), index) == []
+
+
+class TestModuleState:
+    def test_flags_module_level_dict(self, make_index):
+        index = make_index({"state.py": "registry = {}\n"})
+        found = findings_for(ModuleStateRule(), index)
+        assert [f.rule for f in found] == ["API002"]
+
+    def test_read_only_constant_table_is_exempt(self, make_index):
+        index = make_index(
+            {"state.py": "_TABLE = {'a': 1}\ndef look(k):\n    return _TABLE[k]\n"}
+        )
+        assert findings_for(ModuleStateRule(), index) == []
+
+    def test_mutated_constant_table_is_flagged(self, make_index):
+        source = "_CACHE = {}\ndef put(k, v):\n    _CACHE[k] = v\n"
+        index = make_index({"state.py": source})
+        assert [f.rule for f in findings_for(ModuleStateRule(), index)] == ["API002"]
+
+
+class TestSwallowedException:
+    def test_flags_broad_silent_handler(self, make_index):
+        source = textwrap.dedent(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+            """
+        )
+        index = make_index({"io.py": source})
+        found = findings_for(SwallowedExceptionRule(), index)
+        assert [f.rule for f in found] == ["API003"]
+
+    def test_narrow_or_reported_handlers_are_clean(self, make_index):
+        source = textwrap.dedent(
+            """
+            def load(path, log):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    pass
+                except Exception as exc:
+                    log(exc)
+                    return None
+            """
+        )
+        index = make_index({"io.py": source})
+        assert findings_for(SwallowedExceptionRule(), index) == []

@@ -1,0 +1,127 @@
+"""Inline suppressions and baseline round-tripping."""
+
+import pytest
+
+from repro.statics import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    CheckConfig,
+    run_check,
+)
+from repro.statics.suppress import suppressed_rules
+
+
+class TestInlineSuppression:
+    def test_parses_codes_and_families(self):
+        assert suppressed_rules("x = 1  # repro: ignore[SIM001]") == {"SIM001"}
+        assert suppressed_rules("y = 2  # repro: ignore[SIM004, API002]") == {
+            "SIM004",
+            "API002",
+        }
+        assert suppressed_rules("# repro: ignore[sim]") == {"SIM"}
+        assert suppressed_rules("plain line") == frozenset()
+
+    def test_engine_drops_suppressed_findings(self, make_index):
+        source = (
+            "import time\n"
+            "a = time.time()  # repro: ignore[SIM001]\n"
+            "b = time.time()\n"
+        )
+        index = make_index({"clock.py": source})
+        report = run_check(CheckConfig(roots=()), index=index)
+        assert report.suppressed == 1
+        assert [f.line for f in report.findings] == [3]
+
+    def test_family_comment_suppresses_every_family_rule(self, make_index):
+        source = "import os\ng = os.getenv('G')  # repro: ignore[SIM]\n"
+        index = make_index({"env.py": source})
+        report = run_check(CheckConfig(roots=()), index=index)
+        assert report.suppressed == 1 and report.clean
+
+
+def _write_pkg(tmp_path, body):
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "mod.py").write_text(body, encoding="utf-8")
+    return root
+
+
+VIOLATIONS = "import time\na = time.time()\nb = time.time()\nstate = dict()\n"
+
+
+class TestBaselineRoundTrip:
+    def test_grandfather_then_clean_then_stale(self, tmp_path):
+        root = _write_pkg(tmp_path, VIOLATIONS)
+        baseline_path = tmp_path / "STATIC_BASELINE.json"
+        bare = CheckConfig(roots=(root,))
+        gated = CheckConfig(roots=(root,), baseline=baseline_path)
+
+        # 1. Three findings (two identical lines -> occurrences 0 and 1).
+        report = run_check(bare)
+        assert len(report.findings) == 3
+
+        # 2. Grandfather everything; the gated run is clean.
+        from repro.statics import build_index
+
+        index = build_index(bare)
+        baseline = Baseline.from_findings(
+            report.findings, index.sources(), reasons={"SIM001": "known debt"}
+        )
+        baseline_path.write_text(baseline.dump(), encoding="utf-8")
+        gated_report = run_check(gated)
+        assert gated_report.clean
+        assert gated_report.baselined == 3
+        assert gated_report.stale_baseline == []
+
+        # 3. Fix one finding -> its entry goes stale, nothing new appears.
+        _write_pkg(tmp_path, VIOLATIONS.replace("b = time.time()\n", "b = 2\n"))
+        stale_report = run_check(gated)
+        assert stale_report.clean and stale_report.baselined == 2
+        assert len(stale_report.stale_baseline) == 1
+        assert stale_report.stale_baseline[0]["text"] == "b = time.time()"
+
+        # 4. A brand-new violation is reported even with the baseline on.
+        _write_pkg(tmp_path, VIOLATIONS + "import random\nr = random.random()\n")
+        new_report = run_check(gated)
+        assert [f.rule for f in new_report.findings] == ["SIM002"]
+
+    def test_dump_is_deterministic_and_sorted(self):
+        entries = [
+            BaselineEntry("SIM001", "pkg/b.py", "b = time.time()", 0, "why"),
+            BaselineEntry("SIM001", "pkg/a.py", "a = time.time()", 0, "why"),
+        ]
+        baseline = Baseline(entries)
+        assert baseline.dump() == Baseline(reversed(entries)).dump()
+        paths = [e.path for e in baseline.entries]
+        assert paths == sorted(paths)
+        assert Baseline.load(baseline.dump()).dump() == baseline.dump()
+
+    def test_update_preserves_previous_reasons(self, tmp_path):
+        root = _write_pkg(tmp_path, VIOLATIONS)
+        from repro.statics import build_index
+
+        config = CheckConfig(roots=(root,))
+        report = run_check(config)
+        sources = build_index(config).sources()
+        first = Baseline.from_findings(
+            report.findings, sources, reasons={"SIM001": "hand-written reason"}
+        )
+        second = Baseline.from_findings(report.findings, sources, previous=first)
+        assert {e.reason for e in second.entries if e.rule == "SIM001"} == {
+            "hand-written reason"
+        }
+
+    def test_reason_is_mandatory(self):
+        text = (
+            '{"entries": [{"rule": "SIM001", "path": "p.py", '
+            '"text": "t", "occurrence": 0, "reason": "  "}]}'
+        )
+        with pytest.raises(BaselineError, match="non-empty 'reason'"):
+            Baseline.load(text)
+
+    def test_malformed_json_is_a_baseline_error(self):
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load("{nope")
+        with pytest.raises(BaselineError, match="'entries'"):
+            Baseline.load("[]")

@@ -131,6 +131,102 @@ class TestBench:
             build_parser().parse_args(["bench", "--help"])
 
 
+class TestCheck:
+    def test_repo_default_scan_is_clean(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_findings_exit_one_with_json_report(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        assert main(["check", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "SIM001"
+        assert "fingerprint" in payload["findings"][0]
+
+    def test_rule_selection_narrows_the_run(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\ncache = {}\n")
+        assert main(["check", str(bad), "--rules", "API"]) == 1
+        out = capsys.readouterr().out
+        assert "API002" in out and "SIM001" not in out
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "ok.py"
+        bad.write_text("x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", str(bad), "--rules", "NOPE"])
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "/no/such/tree.py"])
+        assert excinfo.value.code == 2
+
+    def test_require_fails_on_stale_baseline(self, capsys, tmp_path):
+        import json
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "BASE.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "SIM001",
+                            "path": "clean.py",
+                            "text": "gone = time.time()",
+                            "occurrence": 0,
+                            "reason": "was fixed",
+                        }
+                    ]
+                }
+            )
+        )
+        args = ["check", str(clean), "--baseline", str(baseline)]
+        assert main(args) == 0  # advisory mode tolerates staleness
+        capsys.readouterr()
+        assert main(args + ["--require"]) == 1  # CI mode does not
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "REC001", "LEDGER001", "RACE001", "API001"):
+            assert code in out
+
+
+class TestLintFormats:
+    def test_json_report_counts_warnings(self, capsys):
+        import json
+
+        assert main(["lint", "price > 10 AND price < 5", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["warnings"] >= 1
+        assert len(payload["selectors"]) == 1
+
+    def test_strict_turns_warnings_into_exit_one(self):
+        assert main(["lint", "price > 10 AND price < 5", "--strict"]) == 1
+
+    def test_parse_error_exits_one(self, capsys):
+        assert main(["lint", "price >", "--format", "json"]) == 1
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+
+    def test_no_selectors_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint"])
+        assert excinfo.value.code == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -140,5 +236,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
-        for command in ("report", "figure", "capacity", "wait", "overload", "bench"):
+        for command in (
+            "report",
+            "figure",
+            "capacity",
+            "wait",
+            "overload",
+            "bench",
+            "lint",
+            "check",
+        ):
             assert command in out

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run the repo's static checks (ruff + mypy) when they are installed.
+"""Run the repo's static checks (ruff + mypy + ``repro check``).
 
 Usage::
 
@@ -9,7 +9,9 @@ Usage::
 The configuration lives in ``pyproject.toml`` (``[tool.ruff]``,
 ``[tool.mypy]``).  Environments without the tools (e.g. the minimal test
 container) skip them with a notice instead of failing, so the script is
-safe to call from CI bootstrap and from the pytest gate alike.
+safe to call from CI bootstrap and from the pytest gate alike.  The
+in-repo invariant analyzer (``repro check``) runs with the bundled
+interpreter and is therefore never skipped.
 """
 
 from __future__ import annotations
@@ -48,6 +50,8 @@ IMPORT_SMOKE = (
     "repro.analysis.overload",
     "repro.architectures.failover",
     "repro.simulation._backend",
+    "repro.statics",
+    "repro.statics.engine",
 )
 
 #: CLI invocations that must at least parse and print help in every
@@ -56,6 +60,8 @@ CLI_SMOKE = (
     ["overload", "--help"],
     ["bench", "--help"],
     ["durability", "--help"],
+    ["check", "--help"],
+    ["lint", "--help"],
 )
 
 
@@ -127,6 +133,19 @@ def cli_smoke() -> bool:
     return ok
 
 
+def repro_check() -> bool:
+    """Run the whole-program invariant analyzer as a hard CI gate.
+
+    Uses the bundled interpreter (the analyzer is stdlib-only), so this
+    stage is never skipped: any new finding, stale baseline entry, or
+    parse failure fails the gate.
+    """
+    command = [sys.executable, "-m", "repro", "check", "--require"]
+    print(f"[check_static] repro-check: {' '.join(command[2:])}")
+    result = subprocess.run(command, cwd=REPO_ROOT, env=_env_with_src())
+    return result.returncode == 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -137,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     failed = not import_smoke()
     failed = not cli_smoke() or failed
+    failed = not repro_check() or failed
     failed = not equivalence_smoke() or failed
     for name, command in CHECKS:
         if shutil.which(command[0]) is None:
