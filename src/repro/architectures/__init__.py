@@ -30,7 +30,9 @@ from .network import (
 )
 from .failover import (
     FailoverReport,
+    ReplicatedFailoverReport,
     psr_failover,
+    replicated_failover,
     simulate_degraded_survivor,
     ssr_failover,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "GIGABIT",
     "NetworkLink",
     "PublisherSideReplication",
+    "ReplicatedFailoverReport",
     "ServerLoadResult",
     "SingleServer",
     "SubscriberSideReplication",
@@ -62,6 +65,7 @@ __all__ = [
     "deployment_link_check",
     "psr_beats_ssr",
     "psr_failover",
+    "replicated_failover",
     "simulate_degraded_survivor",
     "ssr_failover",
     "simulate_psr_deployment",

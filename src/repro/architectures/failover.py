@@ -40,14 +40,17 @@ if TYPE_CHECKING:  # avoid the simulate import cycle at runtime
 
 from ..core.mg1 import MG1Queue
 from ..core.moments import Moments, shifted_scaled_moments
+from ..replication.model import ReplicationLagModel
 from .base import SystemParameters
 from .psr import PublisherSideReplication
 from .ssr import SubscriberSideReplication
 
 __all__ = [
     "FailoverReport",
+    "ReplicatedFailoverReport",
     "psr_failover",
     "ssr_failover",
+    "replicated_failover",
     "simulate_degraded_survivor",
 ]
 
@@ -179,6 +182,76 @@ def ssr_failover(
         degraded_utilization=utilization,
         sustainable=sustainable,
         degraded_mean_wait=wait,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedFailoverReport:
+    """Capacity *and* recovery figures when each server is an HA pair.
+
+    The plain :class:`FailoverReport` answers *can the survivors carry
+    the load* — steady state after the dust settles.  When every failed
+    server is the primary of a :mod:`repro.replication` pair, two more
+    quantities govern what the outage actually cost:
+
+    - **RPO** — client-acked records the promotion lost (0 in sync
+      mode, the shipped-lag window in async);
+    - **RTO** — lease-expiry detection plus promotion replay, during
+      which the failed server's share of the stream is deferred and
+      lands on the freshly promoted standby as a backlog burst.
+    """
+
+    failover: FailoverReport
+    lag: ReplicationLagModel
+    #: Mean client-acked records lost per failed server.
+    rpo_records: float
+    #: Mean seconds from each primary failure to its standby serving.
+    rto_seconds: float
+    #: Messages deferred during the blackout window (rate × RTO per
+    #: failed server; None without a system rate).
+    deferred_messages: Optional[float]
+
+    @property
+    def architecture(self) -> str:
+        return self.failover.architecture
+
+    @property
+    def mode(self) -> str:
+        return self.lag.mode
+
+
+def replicated_failover(
+    params: SystemParameters,
+    architecture: str,
+    failed: int,
+    lag: ReplicationLagModel,
+    system_rate: Optional[float] = None,
+) -> ReplicatedFailoverReport:
+    """Degraded capacity plus replication-lag-aware recovery figures.
+
+    ``lag`` describes each failed server's replication pair (typically
+    with ``rate`` set to the per-server share of ``system_rate`` and
+    ``standby_records`` to the replica backlog at failure).  The
+    blackout window of one failed server is its pair's RTO; the
+    messages arriving for it during that window (``per-server rate ×
+    RTO``) are deferred, not lost — they queue behind the promotion.
+    """
+    if architecture == "psr":
+        report = psr_failover(params, failed, system_rate)
+    elif architecture == "ssr":
+        report = ssr_failover(params, failed, system_rate)
+    else:
+        raise ValueError(f"unknown architecture {architecture!r} (want 'psr' or 'ssr')")
+    deferred: Optional[float] = None
+    if system_rate is not None and report.servers_total > 0:
+        per_server_rate = system_rate / report.servers_total
+        deferred = failed * per_server_rate * lag.rto_seconds
+    return ReplicatedFailoverReport(
+        failover=report,
+        lag=lag,
+        rpo_records=failed * lag.rpo_records,
+        rto_seconds=lag.rto_seconds,
+        deferred_messages=deferred,
     )
 
 

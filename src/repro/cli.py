@@ -14,6 +14,8 @@ Usage (``python -m repro ...``)::
     python -m repro bench [--fast] [--json out.json] [--check]
     python -m repro durability [--seed 0] [--messages 60] [--intra-samples 200]
     python -m repro durability --sweep --filters 500 --replication 3 [--t-sync 2e-4]
+    python -m repro replicate [--seed 0] [--ops 24] [--mode sync|async|both]
+    python -m repro replicate --sweep [--rate 200] [--seeds 3] [--ship-interval 0.05]
     python -m repro check [--format json] [--rules SIM,REC,...] [--require]
     python -m repro check --update-baseline
 
@@ -34,7 +36,12 @@ gates on the recorded speedup thresholds; ``durability`` runs the
 crash-consistency harness (recover the journal at every record boundary
 plus sampled torn-write offsets, assert exactly-once requeueing) and,
 with ``--sweep``, prints the durability-vs-capacity trade-off λ_max(b)
-for group-commit batch sizes; ``check`` runs the whole-program
+for group-commit batch sizes; ``replicate`` runs the HA replication
+chaos harness (crash the primary after every workload step under link
+drops/corruption/reordering/delay, assert zero sync-acked loss and no
+split-brain double-ack) and, with ``--sweep``, the RPO/RTO failover
+sweep comparing the replication-lag model against discrete-event
+measurements; ``check`` runs the whole-program
 invariant analyzer (determinism, recovery no-raise, ledger
 conservation, race hazards, API hygiene) over ``src/repro``.
 
@@ -333,6 +340,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     durability.add_argument(
         "--rho", type=float, default=0.9, help="CPU utilization budget (sweep)"
+    )
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="replication chaos harness and the RPO/RTO failover sweep",
+    )
+    replicate.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    replicate.add_argument(
+        "--ops", type=int, default=24, help="workload operations per crash-point run"
+    )
+    replicate.add_argument(
+        "--mode",
+        choices=("sync", "async", "both"),
+        default="both",
+        help="acknowledgement mode(s) to chaos-test",
+    )
+    replicate.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also run the DES failover sweep (RPO/RTO model vs measured)",
+    )
+    replicate.add_argument(
+        "--ship-interval",
+        type=float,
+        action="append",
+        default=None,
+        metavar="SECONDS",
+        help="sweep ship interval (repeatable; default 0.01 0.05 0.2)",
+    )
+    replicate.add_argument(
+        "--batch", type=int, default=16, help="records per ship frame (sweep)"
+    )
+    replicate.add_argument(
+        "--rate", type=float, default=200.0, help="publish rate msgs/s (sweep)"
+    )
+    replicate.add_argument(
+        "--seeds", type=int, default=3, help="independent runs per sweep point"
     )
     return parser
 
@@ -777,6 +821,58 @@ def _run_durability(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_replicate(args: argparse.Namespace) -> int:
+    from .replication import failover_sweep, run_replication_chaos_harness
+
+    modes = ("sync", "async") if args.mode == "both" else (args.mode,)
+    report = run_replication_chaos_harness(seed=args.seed, ops=args.ops, modes=modes)
+    print(
+        f"workload: seed={report.seed} operations={report.ops} "
+        f"modes={'/'.join(report.modes)} scenarios={'/'.join(report.scenarios)}"
+    )
+    print(
+        f"crash points: {report.points} (crash after every workload step x "
+        f"link-fault scenario x ack mode)"
+    )
+    print(
+        f"async loss bound: max {report.max_async_loss} acked record(s) lost, "
+        f"all within the shipped-lag window"
+    )
+    if report.split_brain_checked:
+        print("split-brain: lease-pause fencing verified (stale primary rejected)")
+    if report.ok:
+        print("replication chaos: OK (zero sync-acked loss, no split-brain double-ack)")
+    else:
+        print(f"replication chaos: {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations[:20]:
+            print(f"  {violation}")
+    if args.sweep:
+        ship_intervals = tuple(args.ship_interval) if args.ship_interval else (0.01, 0.05, 0.2)
+        points = failover_sweep(
+            ship_intervals=ship_intervals,
+            modes=modes,
+            batch_size=args.batch,
+            rate=args.rate,
+            seeds=args.seeds,
+        )
+        print()
+        print(
+            f"failover sweep: rate={args.rate:g} msg/s, batch={args.batch}, "
+            f"{args.seeds} seed(s) per point (RPO in records, RTO in seconds)"
+        )
+        print(
+            f"  {'mode':>6}  {'ship_ivl':>8}  {'rpo_model':>9}  {'rpo_meas':>9}  "
+            f"{'rto_model':>9}  {'rto_meas':>9}"
+        )
+        for point in points:
+            print(
+                f"  {point.mode:>6}  {point.ship_interval:8.3f}  "
+                f"{point.rpo_model:9.2f}  {point.rpo_measured:9.2f}  "
+                f"{point.rto_model:9.4f}  {point.rto_measured:9.4f}"
+            )
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -803,6 +899,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "durability":
         return _run_durability(args)
+    if args.command == "replicate":
+        return _run_replicate(args)
     if args.command == "check":
         return _run_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -68,6 +68,12 @@ class ServiceTimeModel:
     #: of the replication grade.  0 (the default) recovers the paper's
     #: original model exactly.
     sync_overhead: float = 0.0
+    #: Amortized synchronous-replication ack cost per message, ``t_ship/b``
+    #: for a shipped frame covering ``b`` records (``repro.replication``).
+    #: Like the fsync cost it is paid once per received message regardless
+    #: of the replication grade, so it lands in the deterministic part of
+    #: Eq. 1.  0 (the default, and async-mode shipping) changes nothing.
+    replication_overhead: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_fltr < 0 or int(self.n_fltr) != self.n_fltr:
@@ -76,11 +82,21 @@ class ServiceTimeModel:
             raise ValueError(
                 f"sync_overhead must be non-negative, got {self.sync_overhead}"
             )
+        if not self.replication_overhead >= 0:  # also rejects NaN
+            raise ValueError(
+                f"replication_overhead must be non-negative, got "
+                f"{self.replication_overhead}"
+            )
 
     @property
     def deterministic_part(self) -> float:
-        """``D = t_rcv + n_fltr · t_fltr + t_sync/b`` — per-message work."""
-        return self.costs.t_rcv + self.n_fltr * self.costs.t_fltr + self.sync_overhead
+        """``D = t_rcv + n_fltr · t_fltr + t_sync/b + t_ship/b`` per message."""
+        return (
+            self.costs.t_rcv
+            + self.n_fltr * self.costs.t_fltr
+            + self.sync_overhead
+            + self.replication_overhead
+        )
 
     @property
     def moments(self) -> Moments:
@@ -119,11 +135,33 @@ class ServiceTimeModel:
         return self.deterministic_part + grades * self.costs.t_tx
 
     def with_replication(self, replication: ReplicationModel) -> "ServiceTimeModel":
-        return ServiceTimeModel(self.costs, self.n_fltr, replication, self.sync_overhead)
+        return ServiceTimeModel(
+            self.costs,
+            self.n_fltr,
+            replication,
+            self.sync_overhead,
+            self.replication_overhead,
+        )
 
     def with_sync_overhead(self, sync_overhead: float) -> "ServiceTimeModel":
         """The same model paying ``sync_overhead`` per message for durability."""
-        return ServiceTimeModel(self.costs, self.n_fltr, self.replication, sync_overhead)
+        return ServiceTimeModel(
+            self.costs,
+            self.n_fltr,
+            self.replication,
+            sync_overhead,
+            self.replication_overhead,
+        )
+
+    def with_replication_overhead(self, replication_overhead: float) -> "ServiceTimeModel":
+        """The same model paying ``t_ship/b`` per message for sync shipping."""
+        return ServiceTimeModel(
+            self.costs,
+            self.n_fltr,
+            self.replication,
+            self.sync_overhead,
+            replication_overhead,
+        )
 
     @classmethod
     def with_mean_replication(

@@ -35,6 +35,7 @@ from .journal import (
     SyncPolicy,
 )
 from .recovery import (
+    IncrementalFold,
     LiveEntry,
     QuarantinedRange,
     RecoveryReport,
@@ -45,6 +46,7 @@ from .recovery import (
     recover_broker,
     scan_disk,
 )
+from .tail import JournalTailer
 
 __all__ = [
     "SimulatedDisk",
@@ -63,6 +65,8 @@ __all__ = [
     "TornTail",
     "QuarantinedRange",
     "LiveEntry",
+    "IncrementalFold",
+    "JournalTailer",
     "scan_disk",
     "fold_records",
     "collect_live_entries",

@@ -71,6 +71,7 @@ __all__ = [
     "TornTail",
     "ScanResult",
     "LiveEntry",
+    "IncrementalFold",
     "RecoveryReport",
     "scan_disk",
     "fold_records",
@@ -280,6 +281,41 @@ class FoldResult:
         return sorted(self.live.values(), key=lambda e: e.lsn)
 
 
+class IncrementalFold:
+    """Fold records one at a time — the standby's continuous-apply path.
+
+    :func:`fold_records` is this folder driven over a complete list; a
+    replication standby (:mod:`repro.replication.standby`) instead pushes
+    each shipped record as it arrives, keeping its warm state current
+    without refolding history.  A CHECKPOINT record resets the live set
+    to its snapshot exactly as in batch folding, which is what makes a
+    tail reader's compaction reposition
+    (:class:`~repro.durability.tail.JournalTailer`) lossless.
+    """
+
+    def __init__(self) -> None:
+        self.result = FoldResult()
+        self._lsn = 0
+
+    @property
+    def records_folded(self) -> int:
+        return self._lsn
+
+    def push(self, record: JournalRecord) -> None:
+        """Fold one record; malformed payloads are reported, never raised."""
+        lsn = self._lsn
+        self._lsn += 1
+        self.result.records_by_kind[record.kind.name] = (
+            self.result.records_by_kind.get(record.kind.name, 0) + 1
+        )
+        try:
+            _fold_one(self.result, lsn, record)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            self.result.malformed.append(
+                f"record {lsn} ({record.kind.name}): malformed payload ({exc!r})"
+            )
+
+
 def fold_records(records: List[JournalRecord]) -> FoldResult:
     """Reduce the record stream to the set of live messages.
 
@@ -290,18 +326,10 @@ def fold_records(records: List[JournalRecord]) -> FoldResult:
     whose payload lacks the expected schema is skipped and reported in
     :attr:`FoldResult.malformed` instead of raising.
     """
-    result = FoldResult()
-    for lsn, record in enumerate(records):
-        result.records_by_kind[record.kind.name] = (
-            result.records_by_kind.get(record.kind.name, 0) + 1
-        )
-        try:
-            _fold_one(result, lsn, record)
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            result.malformed.append(
-                f"record {lsn} ({record.kind.name}): malformed payload ({exc!r})"
-            )
-    return result
+    fold = IncrementalFold()
+    for record in records:
+        fold.push(record)
+    return fold.result
 
 
 def _fold_one(result: FoldResult, lsn: int, record: JournalRecord) -> None:

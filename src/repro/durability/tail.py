@@ -1,0 +1,191 @@
+"""Journal tailing: read a live journal incrementally, for shipping.
+
+A :class:`JournalTailer` follows a :class:`~repro.durability.journal.Journal`
+written by someone else on the same :class:`~repro.durability.disk.SimulatedDisk`
+and yields each record exactly once, in append order, as it becomes
+readable.  It is the feed side of primary→standby replication
+(:mod:`repro.replication`): the shipper polls the tailer, batches what it
+returns and puts the batches on the wire.
+
+The delicate part is staying correct while the journal mutates underneath:
+
+- **rotation** — when the current segment is exhausted and a newer one
+  exists, the reader crosses into the next segment *past its 10-byte
+  header*; a partially-written header on the newest segment means "wait",
+  never "skip";
+- **partial tail** — an incomplete record at the end of the newest
+  segment is a record still being written (or a dirty tail after a failed
+  append); the tailer waits for it to complete or for the writer to
+  rotate away from it;
+- **checkpoint compaction** — :meth:`Journal.checkpoint` may *delete* the
+  segment the tailer is positioned in.  The tailer then repositions at
+  the oldest surviving segment, whose first record is the CHECKPOINT
+  snapshot.  Because a CHECKPOINT resets any downstream fold to its
+  snapshot (see :func:`repro.durability.recovery.fold_records`), the
+  reposition loses nothing: every record the tailer skipped is subsumed
+  by the snapshot it now reads instead;
+- **sealed garbage** — unparsable bytes in a *non-newest* segment (a
+  dirty tail the writer rotated away from) are skipped with a probe, the
+  same classification the recovery scan uses.
+
+The tailer never mutates the disk and never double-reads: its position
+``(segment, offset)`` only moves forward within a segment and only moves
+to strictly newer segments across them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .disk import SimulatedDisk
+from .journal import (
+    SEGMENT_HEADER_SIZE,
+    SEGMENT_MAGIC,
+    JournalRecord,
+)
+from .recovery import _probe, _try_parse
+
+__all__ = ["JournalTailer"]
+
+
+class JournalTailer:
+    """Incremental, rotation- and compaction-safe journal reader.
+
+    Example
+    -------
+    >>> from repro.durability import Journal, SimulatedDisk
+    >>> from repro.broker.message import Message
+    >>> disk = SimulatedDisk()
+    >>> journal = Journal(disk)
+    >>> tailer = JournalTailer(disk)
+    >>> _ = journal.log_publish("queue", "orders", Message(topic="orders"))
+    >>> [record.kind.name for record in tailer.poll()]
+    ['PUBLISH']
+    >>> tailer.poll()
+    []
+    """
+
+    def __init__(self, disk: SimulatedDisk, name: str = "journal"):
+        self.disk = disk
+        self.name = name
+        #: Current read position; ``None`` segment = not yet positioned.
+        self._segment: Optional[str] = None
+        self._offset = 0
+        # -- counters ----------------------------------------------------
+        self.records_read = 0
+        self.segments_crossed = 0
+        #: Times compaction deleted the held segment and the tailer had to
+        #: reposition at the oldest survivor (the checkpoint segment).
+        self.repositions = 0
+        #: Unparsable bytes skipped in sealed segments (dirty tails the
+        #: writer rotated away from, mid-log corruption).
+        self.bytes_skipped = 0
+
+    # ------------------------------------------------------------------
+    def _segments(self) -> List[str]:
+        prefix = f"{self.name}."
+        return [
+            f for f in self.disk.list() if f.startswith(prefix) and f.endswith(".seg")
+        ]
+
+    @property
+    def position(self) -> Tuple[Optional[str], int]:
+        """Current ``(segment, offset)`` read position."""
+        return self._segment, self._offset
+
+    @property
+    def lag_bytes(self) -> int:
+        """Bytes on disk beyond the current position (yet to be read)."""
+        segments = self._segments()
+        if not segments:
+            return 0
+        if self._segment is None or self._segment not in segments:
+            return sum(self.disk.length(s) for s in segments)
+        lag = self.disk.length(self._segment) - self._offset
+        for segment in segments:
+            if segment > self._segment:
+                lag += self.disk.length(segment)
+        return max(lag, 0)
+
+    # ------------------------------------------------------------------
+    def poll(self, max_records: Optional[int] = None) -> List[JournalRecord]:
+        """Read every newly complete record (up to ``max_records``).
+
+        Returns records in append order; a later ``poll`` resumes exactly
+        where this one stopped.  An incomplete record at the tail of the
+        newest segment is left for a later poll — the tailer never
+        returns a record that could still change.
+        """
+        if max_records is not None and max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
+        out: List[JournalRecord] = []
+        while max_records is None or len(out) < max_records:
+            segments = self._segments()
+            if not segments:
+                return out
+            if self._segment is None:
+                self._segment, self._offset = segments[0], 0
+            elif self._segment not in segments:
+                # Compaction deleted the held segment.  Everything we had
+                # not read is subsumed by the CHECKPOINT at the head of
+                # the oldest survivor — reposition there.
+                self.repositions += 1
+                self._segment, self._offset = segments[0], 0
+            newest = self._segment == segments[-1]
+            data = self.disk.read(self._segment)
+            if not self._consume_header(data, newest):
+                if newest:
+                    return out  # header still being written: wait
+                continue  # skipped a sealed headerless segment
+            parsed = _try_parse(data, self._offset)
+            if parsed is not None:
+                record, end = parsed
+                self._offset = end
+                self.records_read += 1
+                out.append(record)
+                continue
+            if self._offset >= len(data) and not newest:
+                self._cross_to_next(segments)
+                continue
+            if newest:
+                return out  # exhausted, or a record still being written
+            # Sealed segment with unparsable bytes at the position: probe
+            # past the garbage (mid-log corruption) or give the remainder
+            # up (dirty tail before a rotation) and cross over.
+            resume = _probe(data, self._offset)
+            if resume is not None:
+                self.bytes_skipped += resume - self._offset
+                self._offset = resume
+                continue
+            self.bytes_skipped += len(data) - self._offset
+            self._cross_to_next(segments)
+        return out
+
+    # ------------------------------------------------------------------
+    def _consume_header(self, data: bytes, newest: bool) -> bool:
+        """Position past the segment header; False = cannot enter yet."""
+        if self._offset >= SEGMENT_HEADER_SIZE:
+            return True
+        if len(data) >= SEGMENT_HEADER_SIZE and data[:4] == SEGMENT_MAGIC:
+            self._offset = SEGMENT_HEADER_SIZE
+            return True
+        if newest:
+            return False  # torn/absent header on the tail: wait
+        # A sealed segment without a valid header holds nothing readable
+        # (the recovery scan quarantines it wholesale); skip it.
+        self.bytes_skipped += max(len(data) - self._offset, 0)
+        self._cross_to_next(self._segments())
+        return False
+
+    def _cross_to_next(self, segments: List[str]) -> None:
+        assert self._segment is not None
+        later = [s for s in segments if s > self._segment]
+        if later:
+            self._segment, self._offset = later[0], 0
+            self.segments_crossed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JournalTailer({self.name!r}, at {self._segment}:{self._offset}, "
+            f"{self.records_read} read)"
+        )

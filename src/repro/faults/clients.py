@@ -65,6 +65,7 @@ class RetryingPoissonPublisher:
         name: str = "retrying-publisher",
         stop_time: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
+        router: Optional[Callable[[], SimulatedJMSServer]] = None,
     ):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -78,12 +79,28 @@ class RetryingPoissonPublisher:
         self.name = name
         self.stop_time = stop_time
         self.breaker = breaker
+        #: Resolves the current leader before every attempt (HA failover).
+        #: The retry loop already defers messages across outages; with a
+        #: router, a *failover* redirects the same in-flight messages to
+        #: the newly promoted server instead of hammering the dead one.
+        self.router = router
         self.generated = 0
         self.accepted = 0
         self.retries = 0
         self.timeouts = 0
         self.abandoned = 0
+        #: Times an attempt found the router pointing at a new server.
+        self.failovers = 0
         self._accept_latency_sum = 0.0
+
+    def _resolve_server(self) -> SimulatedJMSServer:
+        if self.router is None:
+            return self.server
+        server = self.router()
+        if server is not self.server:
+            self.failovers += 1
+            self.server = server
+        return server
 
     # -- arrival process ------------------------------------------------
     def start(self) -> None:
@@ -106,7 +123,7 @@ class RetryingPoissonPublisher:
             # Open breaker: back off locally without an attempt on the wire.
             self._on_failure(message, attempt, born, breaker_failure=False)
             return
-        handle = self.server.submit(
+        handle = self._resolve_server().submit(
             message,
             on_accept=lambda: self._on_accept(born),
             on_reject=lambda error: self._on_failure(message, attempt, born),
@@ -169,6 +186,7 @@ class ReliablePublisher:
         retry_rng: Optional[np.random.Generator] = None,
         name: str = "reliable-publisher",
         total_messages: Optional[int] = None,
+        router: Optional[Callable[[], SimulatedJMSServer]] = None,
     ):
         self.engine = engine
         self.server = server
@@ -177,10 +195,23 @@ class ReliablePublisher:
         self.retry_rng = retry_rng
         self.name = name
         self.total_messages = total_messages
+        #: Resolves the current leader before every attempt (HA failover).
+        self.router = router
         self.sent = 0
         self.retries = 0
         self.abandoned = 0
+        #: Times an attempt found the router pointing at a new server.
+        self.failovers = 0
         self._stopped = False
+
+    def _resolve_server(self) -> SimulatedJMSServer:
+        if self.router is None:
+            return self.server
+        server = self.router()
+        if server is not self.server:
+            self.failovers += 1
+            self.server = server
+        return server
 
     def start(self) -> None:
         self._offer_next()
@@ -198,7 +229,7 @@ class ReliablePublisher:
         self._attempt(self.message_factory(), attempt=0)
 
     def _attempt(self, message: Message, attempt: int) -> None:
-        self.server.submit(
+        self._resolve_server().submit(
             message,
             on_accept=self._on_accept,
             on_reject=lambda error: self._on_reject(message, attempt),

@@ -15,10 +15,12 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..simulation import Engine
 from ..testbed.simserver import SimulatedJMSServer
-from .schedule import DISK_KINDS, FaultEvent, FaultKind, FaultSchedule
+from .schedule import DISK_KINDS, LINK_KINDS, FaultEvent, FaultKind, FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..durability.disk import SimulatedDisk
+    from ..replication.link import SimulatedLink
+    from ..replication.pair import ReplicatedPair
 
 __all__ = ["AppliedFault", "FaultInjector"]
 
@@ -41,25 +43,35 @@ class FaultInjector:
     server: SimulatedJMSServer
     schedule: FaultSchedule
     disk: Optional["SimulatedDisk"] = None
+    link: Optional["SimulatedLink"] = None
+    pair: Optional["ReplicatedPair"] = None
     log: List[AppliedFault] = field(default_factory=list)
 
     def arm(self) -> int:
         """Schedule every fault event; returns the number armed.
 
-        Raises ``ValueError`` up front if the schedule contains
-        disk-level faults (torn writes, append failures) but no
-        :class:`~repro.durability.disk.SimulatedDisk` was armed — those
-        events would otherwise fail only when they fire, mid-run.
+        Raises ``ValueError`` up front if the schedule contains faults
+        whose substrate was not armed on the injector — disk-level
+        faults without a :class:`~repro.durability.disk.SimulatedDisk`,
+        link faults without a
+        :class:`~repro.replication.link.SimulatedLink`, lease pauses
+        without a :class:`~repro.replication.pair.ReplicatedPair` —
+        those events would otherwise fail only when they fire, mid-run.
         """
-        if self.disk is None:
-            disk_events = [e for e in self.schedule if e.kind in DISK_KINDS]
-            if disk_events:
-                first = disk_events[0]
-                raise ValueError(
-                    f"schedule contains {len(disk_events)} disk fault(s) "
-                    f"(first: t={first.time:g} {first.kind.value}) but no "
-                    f"SimulatedDisk is armed on the injector"
-                )
+        for attribute, kinds, what in (
+            ("disk", DISK_KINDS, "SimulatedDisk"),
+            ("link", LINK_KINDS, "SimulatedLink"),
+            ("pair", frozenset({FaultKind.LEASE_PAUSE}), "ReplicatedPair"),
+        ):
+            if getattr(self, attribute) is None:
+                missing = [e for e in self.schedule if e.kind in kinds]
+                if missing:
+                    first = missing[0]
+                    raise ValueError(
+                        f"schedule contains {len(missing)} {attribute} fault(s) "
+                        f"(first: t={first.time:g} {first.kind.value}) but no "
+                        f"{what} is armed on the injector"
+                    )
         for event in self.schedule:
             self.engine.call_at(event.time, self._make_handler(event))
         return len(self.schedule)
@@ -106,6 +118,23 @@ class FaultInjector:
             self.disk.fail_writes(int(event.magnitude))
             record.detail = f"fail next {int(event.magnitude)} append(s)"
             record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.LINK_DROP:
+            assert self.link is not None  # arm() guards this
+            self.link.drop_next(int(event.magnitude))
+            record.detail = f"drop next {int(event.magnitude)} ship frame(s)"
+            record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.LINK_DELAY:
+            assert self.link is not None  # arm() guards this
+            self.link.add_delay(event.magnitude, until=self.engine.now + event.duration)
+            record.detail = (
+                f"+{event.magnitude:g}s link latency for {event.duration:g}s"
+            )
+            record.recovered_at = self.engine.now + event.duration
+        elif event.kind is FaultKind.LEASE_PAUSE:
+            assert self.pair is not None  # arm() guards this
+            self.pair.pause_primary(self.engine.now)
+            record.detail = f"primary lease renewal paused for {event.duration:g}s"
+            self.engine.call_in(event.duration, lambda: self._revive_primary(record))
         else:  # pragma: no cover - enum is exhaustive
             raise AssertionError(f"unknown fault kind {event.kind}")
         self.log.append(record)
@@ -124,3 +153,10 @@ class FaultInjector:
     def _restore_speed(self, record: AppliedFault) -> None:
         self.server.restore_speed()
         record.recovered_at = self.engine.now
+
+    def _revive_primary(self, record: AppliedFault) -> None:
+        assert self.pair is not None
+        self.pair.revive_primary(self.engine.now)
+        record.recovered_at = self.engine.now
+        if self.pair.primary_fenced:
+            record.detail += ", revived fenced"

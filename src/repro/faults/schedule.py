@@ -23,7 +23,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..simulation.rng import RandomStreams
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "DISK_KINDS"]
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "DISK_KINDS", "LINK_KINDS"]
 
 
 class FaultKind(enum.Enum):
@@ -50,19 +50,51 @@ class FaultKind(enum.Enum):
     #: only a random prefix (I/O error, half-written record).  Requires a
     #: disk armed on the injector.
     DISK_FAULT = "disk_fault"
+    #: The next ``magnitude`` replication ship frames vanish on the wire.
+    #: Requires a :class:`~repro.replication.link.SimulatedLink` armed on
+    #: the injector.
+    LINK_DROP = "link_drop"
+    #: Every ship frame sent during the window pays ``magnitude`` extra
+    #: seconds of latency (congestion).  Requires a link armed on the
+    #: injector.
+    LINK_DELAY = "link_delay"
+    #: The replicated pair's primary stops renewing its lease for
+    #: ``duration`` seconds (GC pause / partition) and is revived after —
+    #: possibly into a fenced world.  Requires a
+    #: :class:`~repro.replication.pair.ReplicatedPair` armed on the
+    #: injector.
+    LEASE_PAUSE = "lease_pause"
 
 
 #: Kinds that describe a window (need ``duration > 0``).
 _WINDOW_KINDS = frozenset(
-    {FaultKind.SERVER_CRASH, FaultKind.SUBSCRIBER_DISCONNECT, FaultKind.SLOW_CONSUMER}
+    {
+        FaultKind.SERVER_CRASH,
+        FaultKind.SUBSCRIBER_DISCONNECT,
+        FaultKind.SLOW_CONSUMER,
+        FaultKind.LINK_DELAY,
+        FaultKind.LEASE_PAUSE,
+    }
 )
 
 #: Kinds that need a simulated journal disk armed on the injector.
 DISK_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.DISK_FAULT})
 
+#: Kinds that need a simulated replication link armed on the injector.
+LINK_KINDS = frozenset({FaultKind.LINK_DROP, FaultKind.LINK_DELAY})
+
+#: Kinds whose windows must be disjoint: a server cannot crash while it
+#: is already down, and a primary cannot be paused while already paused.
+_EXCLUSIVE_WINDOW_KINDS = (FaultKind.SERVER_CRASH, FaultKind.LEASE_PAUSE)
+
 #: Kinds whose ``magnitude`` is a message/operation count.
 _COUNT_KINDS = frozenset(
-    {FaultKind.MESSAGE_DROP, FaultKind.MESSAGE_CORRUPT, FaultKind.DISK_FAULT}
+    {
+        FaultKind.MESSAGE_DROP,
+        FaultKind.MESSAGE_CORRUPT,
+        FaultKind.DISK_FAULT,
+        FaultKind.LINK_DROP,
+    }
 )
 
 
@@ -99,6 +131,10 @@ class FaultEvent:
             raise ValueError("subscriber_disconnect needs a target subscriber id")
         if self.kind is FaultKind.SLOW_CONSUMER and self.magnitude < 1.0:
             raise ValueError(f"slow-consumer magnitude must be >= 1, got {self.magnitude}")
+        if self.kind is FaultKind.LINK_DELAY and self.magnitude <= 0:
+            raise ValueError(
+                f"link-delay magnitude (extra seconds) must be > 0, got {self.magnitude}"
+            )
         if self.kind in _COUNT_KINDS:
             if self.magnitude < 1 or self.magnitude != int(self.magnitude):
                 raise ValueError(
@@ -109,6 +145,40 @@ class FaultEvent:
     def end(self) -> float:
         """End of the fault window (== ``time`` for point faults)."""
         return self.time + self.duration
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly."""
+        out: dict = {"time": self.time, "kind": self.kind.value}
+        if self.duration:
+            out["duration"] = self.duration
+        if self.magnitude != 1.0:
+            out["magnitude"] = self.magnitude
+        if self.target is not None:
+            out["target"] = self.target
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output (full validation)."""
+        unknown = set(data) - {"time", "kind", "duration", "magnitude", "target"}
+        if unknown:
+            raise ValueError(f"unknown fault event fields: {sorted(unknown)}")
+        if "time" not in data or "kind" not in data:
+            raise ValueError(f"fault event needs 'time' and 'kind', got {sorted(data)}")
+        try:
+            kind = FaultKind(data["kind"])
+        except ValueError:
+            known = ", ".join(k.value for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {data['kind']!r}; known: {known}"
+            ) from None
+        return cls(
+            time=float(data["time"]),
+            kind=kind,
+            duration=float(data.get("duration", 0.0)),
+            magnitude=float(data.get("magnitude", 1.0)),
+            target=data.get("target"),
+        )
 
 
 class FaultSchedule:
@@ -131,19 +201,21 @@ class FaultSchedule:
         known_targets: Optional[Sequence[str]] = None,
     ):
         ordered = sorted(events, key=lambda e: (e.time, e.kind.value, e.target or ""))
-        crashes = [
-            (index, event)
-            for index, event in enumerate(ordered)
-            if event.kind is FaultKind.SERVER_CRASH
-        ]
-        for (i, earlier), (j, later) in zip(crashes, crashes[1:]):
-            if later.time < earlier.end:
-                raise ValueError(
-                    f"overlapping crash windows: event #{i} covers "
-                    f"[{earlier.time:g}, {earlier.end:g}) and event #{j} "
-                    f"starts inside it at t={later.time:g} "
-                    f"(crash/restart windows must be disjoint)"
-                )
+        for exclusive in _EXCLUSIVE_WINDOW_KINDS:
+            label = "crash" if exclusive is FaultKind.SERVER_CRASH else exclusive.value
+            windows = [
+                (index, event)
+                for index, event in enumerate(ordered)
+                if event.kind is exclusive
+            ]
+            for (i, earlier), (j, later) in zip(windows, windows[1:]):
+                if later.time < earlier.end:
+                    raise ValueError(
+                        f"overlapping {label} windows: event #{i} covers "
+                        f"[{earlier.time:g}, {earlier.end:g}) and event #{j} "
+                        f"starts inside it at t={later.time:g} "
+                        f"({label} windows must be disjoint)"
+                    )
         if known_targets is not None:
             known = set(known_targets)
             for index, event in enumerate(ordered):
@@ -206,6 +278,30 @@ class FaultSchedule:
         return f"FaultSchedule({len(self._events)} events)"
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """JSON-ready event list; :meth:`from_dicts` round-trips it."""
+        return [event.to_dict() for event in self._events]
+
+    @classmethod
+    def from_dicts(
+        cls,
+        dicts: Iterable[dict],
+        known_targets: Optional[Sequence[str]] = None,
+    ) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dicts` output.
+
+        Every event re-runs the full :class:`FaultEvent` validation and
+        the schedule re-runs the overlap/target checks — a schedule
+        loaded from disk gets exactly the scrutiny a hand-written one
+        does.
+        """
+        return cls(
+            (FaultEvent.from_dict(d) for d in dicts), known_targets=known_targets
+        )
+
+    # ------------------------------------------------------------------
     # Builders
     # ------------------------------------------------------------------
     @classmethod
@@ -249,6 +345,12 @@ class FaultSchedule:
         corrupt_rate: float = 0.0,
         torn_rate: float = 0.0,
         disk_fail_rate: float = 0.0,
+        link_drop_rate: float = 0.0,
+        link_delay_rate: float = 0.0,
+        mean_link_delay: float = 1.0,
+        link_delay_extra: float = 0.01,
+        lease_pause_rate: float = 0.0,
+        mean_lease_pause: float = 2.0,
     ) -> "FaultSchedule":
         """Draw a schedule from seeded RNG streams.
 
@@ -305,6 +407,7 @@ class FaultSchedule:
             (FaultKind.MESSAGE_CORRUPT, corrupt_rate, "faults-corrupt"),
             (FaultKind.TORN_WRITE, torn_rate, "faults-torn"),
             (FaultKind.DISK_FAULT, disk_fail_rate, "faults-diskfail"),
+            (FaultKind.LINK_DROP, link_drop_rate, "faults-linkdrop"),
         ):
             if rate > 0:
                 rng = streams.stream(stream_name)
@@ -312,4 +415,28 @@ class FaultSchedule:
                 while t < horizon:
                     events.append(FaultEvent(time=t, kind=kind, magnitude=1.0))
                     t += float(rng.exponential(1.0 / rate))
+        if link_delay_rate > 0:
+            rng = streams.stream("faults-linkdelay")
+            t = float(rng.exponential(1.0 / link_delay_rate))
+            while t < horizon:
+                duration = max(float(rng.exponential(mean_link_delay)), 1e-9)
+                events.append(
+                    FaultEvent(
+                        time=t,
+                        kind=FaultKind.LINK_DELAY,
+                        duration=duration,
+                        magnitude=link_delay_extra,
+                    )
+                )
+                t += float(rng.exponential(1.0 / link_delay_rate))
+        if lease_pause_rate > 0:
+            # Sequential gap-then-window, like crashes: pauses never overlap.
+            rng = streams.stream("faults-leasepause")
+            t = float(rng.exponential(1.0 / lease_pause_rate))
+            while t < horizon:
+                duration = max(float(rng.exponential(mean_lease_pause)), 1e-9)
+                events.append(
+                    FaultEvent(time=t, kind=FaultKind.LEASE_PAUSE, duration=duration)
+                )
+                t += duration + float(rng.exponential(1.0 / lease_pause_rate))
         return cls(events)

@@ -35,6 +35,7 @@ from .breaker import BreakerState, CircuitBreaker
 from .health import HealthMonitor, HealthState, HealthThresholds
 from .mg1k import MG1KQueue
 from .policy import OverloadConfig
+from .survivor import SurvivorTrajectory, survivor_rho_trajectory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle exists only at runtime
     from .experiment import (
@@ -57,7 +58,9 @@ __all__ = [
     "OverloadExperimentConfig",
     "OverloadRunResult",
     "ShedEvent",
+    "SurvivorTrajectory",
     "run_overload_experiment",
+    "survivor_rho_trajectory",
     "sweep_overload",
 ]
 

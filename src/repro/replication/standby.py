@@ -1,0 +1,206 @@
+"""The warm standby: applies shipped frames, promotes on failover.
+
+A :class:`StandbyReplica` owns its **own** disk and journal replica.
+Every record that arrives in a ship frame is (a) appended verbatim to
+the local journal — the standby's durability is independent of the
+primary's — and (b) folded into a continuously maintained
+:class:`~repro.durability.recovery.IncrementalFold`, so the replica is
+*warm*: at promotion time the live state is already known and the
+scan→fold→apply recovery path over the local journal replica merely
+rebuilds it into a :class:`~repro.broker.server.Broker`.
+
+Frame protocol (receiver side of go-back-N):
+
+- frames apply strictly in sequence order; out-of-order arrivals are
+  buffered until the gap fills (the shipper retransmits dropped frames);
+- duplicates (retransmissions of already-applied frames) are counted and
+  ignored;
+- a frame whose epoch is *older* than the newest epoch ever seen is a
+  write from a fenced, stale primary and is rejected — the standby-side
+  half of the split-brain defence;
+- corrupt frames (CRC mismatch) decode to ``None`` upstream and never
+  reach the replica.
+
+Promotion (:meth:`StandbyReplica.promote`) follows the recovery no-raise
+contract: any failure lands in :attr:`PromotionReport.errors`, never in
+an exception — a standby that dies mid-promotion is strictly worse than
+one that reports why it could not take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..broker.server import Broker
+from ..durability.disk import SimulatedDisk
+from ..durability.journal import Journal, JournalError, SyncPolicy
+from ..durability.recovery import IncrementalFold, RecoveryReport, _try_parse
+from .link import ShipFrame, decode_frame
+
+__all__ = ["PromotionReport", "StandbyReplica"]
+
+
+@dataclass
+class PromotionReport:
+    """Structured account of one standby promotion attempt."""
+
+    node_id: str
+    started_at: float
+    succeeded: bool = False
+    #: Fencing epoch the promotion was authorized under.
+    epoch: int = 0
+    #: Records the replica had applied when promotion started.
+    records_applied: int = 0
+    recovery: Optional[RecoveryReport] = None
+    broker: Optional[Broker] = None
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "started_at": self.started_at,
+            "succeeded": self.succeeded,
+            "epoch": self.epoch,
+            "records_applied": self.records_applied,
+            "recovery": self.recovery.to_dict() if self.recovery else None,
+            "errors": list(self.errors),
+        }
+
+
+class StandbyReplica:
+    """Continuously folds shipped journal records into recovery state."""
+
+    def __init__(
+        self,
+        disk: Optional[SimulatedDisk] = None,
+        name: str = "journal",
+        node_id: str = "standby",
+        sync: SyncPolicy = SyncPolicy.always(),
+        segment_bytes: int = 64 * 1024,
+    ):
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.name = name
+        self.node_id = node_id
+        self.journal = Journal(
+            self.disk, name=name, sync=sync, segment_bytes=segment_bytes
+        )
+        self.fold = IncrementalFold()
+        self._next_sequence = 0
+        self._buffered: Dict[int, ShipFrame] = {}
+        self._max_epoch_seen = 0
+        # -- counters ----------------------------------------------------
+        self.frames_applied = 0
+        self.records_applied = 0
+        self.duplicates = 0
+        self.frames_buffered = 0
+        #: Frames rejected because their epoch predates the newest seen —
+        #: writes from a fenced, stale primary.
+        self.frames_fenced = 0
+        self.corrupt_frames = 0
+        self.malformed_records = 0
+        self.journal_write_failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def applied_sequence(self) -> int:
+        """Cumulative ack: every frame with ``sequence < this`` is applied."""
+        return self._next_sequence
+
+    @property
+    def max_epoch_seen(self) -> int:
+        return self._max_epoch_seen
+
+    @property
+    def live_messages(self) -> int:
+        """Messages live in the warm fold right now."""
+        return len(self.fold.result.live)
+
+    def observe_epoch(self, epoch: int) -> None:
+        """Raise the fencing floor (e.g. after this node wins the lease)."""
+        self._max_epoch_seen = max(self._max_epoch_seen, epoch)
+
+    # ------------------------------------------------------------------
+    def receive(self, payload: bytes, now: float = 0.0) -> int:
+        """Take one wire frame off the link; returns the cumulative ack."""
+        frame = decode_frame(payload)
+        if frame is None:
+            self.corrupt_frames += 1
+            return self._next_sequence
+        if frame.epoch < self._max_epoch_seen:
+            self.frames_fenced += 1
+            return self._next_sequence
+        self._max_epoch_seen = frame.epoch
+        if frame.sequence < self._next_sequence:
+            self.duplicates += 1
+            return self._next_sequence
+        if frame.sequence != self._next_sequence:
+            self.frames_buffered += 1
+        self._buffered[frame.sequence] = frame
+        while self._next_sequence in self._buffered:
+            self._apply(self._buffered.pop(self._next_sequence), now)
+            self._next_sequence += 1
+        return self._next_sequence
+
+    def _apply(self, frame: ShipFrame, now: float) -> None:
+        for raw in frame.records:
+            parsed = _try_parse(raw, 0)
+            if parsed is None or parsed[1] != len(raw):
+                self.malformed_records += 1
+                continue
+            record = parsed[0]
+            self.fold.push(record)
+            try:
+                self.journal.append(record, now=now)
+            except JournalError:
+                self.journal_write_failures += 1
+            self.records_applied += 1
+        self.frames_applied += 1
+
+    # ------------------------------------------------------------------
+    def promote(
+        self,
+        now: float,
+        epoch: int,
+        topics: Sequence[str] = (),
+    ) -> PromotionReport:
+        """Take over as leader: recover a broker from the local replica.
+
+        Runs the existing scan→fold→apply recovery path over the
+        standby's own journal — promotion exercises exactly the code a
+        single-node restart does.  ``epoch`` is the fencing token the
+        lease coordinator granted this node; it becomes the floor below
+        which late frames from the old primary are rejected.  Never
+        raises: failures are reported in :attr:`PromotionReport.errors`.
+        """
+        report = PromotionReport(
+            node_id=self.node_id,
+            started_at=now,
+            epoch=epoch,
+            records_applied=self.records_applied,
+        )
+        self.observe_epoch(epoch)
+        try:
+            self.journal.close()
+            journal = Journal(
+                self.disk,
+                name=self.name,
+                sync=self.journal.sync_policy,
+                segment_bytes=self.journal.segment_bytes,
+            )
+            broker = Broker(topics=list(topics), journal=journal)
+            broker.recover(reconnect_subscribers=False, now=now)
+        except Exception as exc:  # the no-raise promotion contract
+            report.errors.append(f"promotion failed: {exc!r}")
+            return report
+        report.recovery = broker.last_recovery
+        report.broker = broker
+        report.succeeded = True
+        self.journal = journal
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StandbyReplica({self.node_id!r}, applied={self.records_applied}, "
+            f"ack={self._next_sequence})"
+        )

@@ -41,6 +41,10 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "DispatchMemo",
     "Journal",
     "BrokerStats",
+    "StandbyReplica",
+    "LeaseCoordinator",
+    "SimulatedLink",
+    "ReplicatedPair",
 )
 
 

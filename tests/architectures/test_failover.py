@@ -104,3 +104,74 @@ class TestSsrFailover:
             simulate_degraded_survivor(
                 params(subscribers=3), "ssr", failed=1, system_rate=10.0, horizon=1.0
             )
+
+
+class TestReplicatedFailover:
+    """Capacity plus RPO/RTO when each failed server is an HA pair."""
+
+    def _lag(self, mode="sync", **overrides):
+        from repro.replication import ReplicationLagModel
+
+        defaults = dict(
+            mode=mode,
+            ship_interval=0.05,
+            batch_size=16,
+            rate=200.0,
+            link_delay=0.002,
+            lease_duration=0.25,
+            renew_interval=0.05,
+            replay_rate=5000.0,
+            standby_records=100,
+        )
+        defaults.update(overrides)
+        return ReplicationLagModel(**defaults)
+
+    def test_sync_pairs_lose_nothing(self):
+        from repro.architectures import replicated_failover
+
+        report = replicated_failover(params(), "psr", failed=1, lag=self._lag())
+        assert report.rpo_records == 0.0
+        assert report.rto_seconds == self._lag().rto_seconds
+        assert report.mode == "sync"
+        assert report.architecture == "psr"
+
+    def test_async_rpo_scales_with_failures(self):
+        from repro.architectures import replicated_failover
+
+        one = replicated_failover(params(), "ssr", failed=1, lag=self._lag("async"))
+        two = replicated_failover(params(), "ssr", failed=2, lag=self._lag("async"))
+        assert one.rpo_records > 0.0
+        assert two.rpo_records == pytest.approx(2 * one.rpo_records)
+
+    def test_deferred_messages_cover_the_blackout(self):
+        from repro.architectures import replicated_failover
+
+        p = params()
+        rate = 0.5 * psr_failover(p, failed=0).healthy_capacity
+        report = replicated_failover(
+            p, "psr", failed=1, lag=self._lag(), system_rate=rate
+        )
+        per_server = rate / report.failover.servers_total
+        assert report.deferred_messages == pytest.approx(
+            per_server * report.rto_seconds
+        )
+
+    def test_no_rate_means_no_deferred_estimate(self):
+        from repro.architectures import replicated_failover
+
+        report = replicated_failover(params(), "psr", failed=1, lag=self._lag())
+        assert report.deferred_messages is None
+
+    def test_unknown_architecture_rejected(self):
+        from repro.architectures import replicated_failover
+
+        with pytest.raises(ValueError):
+            replicated_failover(params(), "star", failed=1, lag=self._lag())
+
+    def test_capacity_figures_delegate_to_the_plain_report(self):
+        from repro.architectures import replicated_failover
+
+        plain = psr_failover(params(), failed=1)
+        wrapped = replicated_failover(params(), "psr", failed=1, lag=self._lag())
+        assert wrapped.failover.capacity_ratio == plain.capacity_ratio
+        assert wrapped.failover.survivors == plain.survivors

@@ -189,3 +189,49 @@ class TestTargetInversion:
         assert m.m1 > 0
         assert m.m2 >= m.m1**2 * (1 - 1e-12)
         assert isinstance(m, Moments)
+
+
+class TestReplicationOverhead:
+    """t_ship/b joins the deterministic part of Eq. 1 like the fsync cost."""
+
+    def test_overhead_shifts_the_deterministic_part(self):
+        base = ServiceTimeModel(
+            CORRELATION_ID_COSTS, n_fltr=10, replication=DeterministicReplication(2)
+        )
+        shipped = ServiceTimeModel(
+            CORRELATION_ID_COSTS,
+            n_fltr=10,
+            replication=DeterministicReplication(2),
+            replication_overhead=5e-6,
+        )
+        assert shipped.deterministic_part == pytest.approx(
+            base.deterministic_part + 5e-6
+        )
+        assert shipped.mean == pytest.approx(base.mean + 5e-6)
+
+    def test_amortized_ship_overhead_matches_manual_division(self):
+        from repro.replication import amortized_ship_overhead
+
+        assert amortized_ship_overhead(8e-5, 16) == pytest.approx(5e-6)
+
+    def test_overhead_stacks_with_sync_overhead(self):
+        model = ServiceTimeModel(
+            CORRELATION_ID_COSTS,
+            n_fltr=0,
+            replication=DeterministicReplication(0),
+            sync_overhead=2e-6,
+            replication_overhead=3e-6,
+        )
+        assert model.deterministic_part == pytest.approx(
+            CORRELATION_ID_COSTS.t_rcv + 5e-6
+        )
+
+    def test_negative_or_nan_overhead_rejected(self):
+        for bad in (-1e-9, float("nan")):
+            with pytest.raises(ValueError):
+                ServiceTimeModel(
+                    CORRELATION_ID_COSTS,
+                    n_fltr=0,
+                    replication=DeterministicReplication(0),
+                    replication_overhead=bad,
+                )

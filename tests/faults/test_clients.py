@@ -191,3 +191,100 @@ class TestBreakerComposition:
             assert publisher.accepted == publisher.generated
             rejected[label] = fresh.server.rejected_submits
         assert rejected["with"] < rejected["without"]
+
+
+class TestRouterFailover:
+    """Publishers re-home to a newly promoted server via the router hook."""
+
+    def _backup_server(self, rig):
+        from repro.core.params import FilterType, costs_for
+        from repro.simulation import CpuCostModel, MeasurementWindow
+        from repro.testbed.scenario import build_filter_scenario
+        from repro.testbed.simserver import SimulatedJMSServer
+
+        scenario = build_filter_scenario(
+            filter_type=FilterType.CORRELATION_ID,
+            replication_grade=1,
+            n_additional=2,
+            durable=True,
+        )
+        return SimulatedJMSServer(
+            engine=rig.engine,
+            broker=scenario.broker,
+            cpu=CpuCostModel(
+                costs=costs_for(FilterType.CORRELATION_ID).scaled(1000.0)
+            ),
+            window=MeasurementWindow(start=0.0, end=100.0),
+            buffer_capacity=4,
+        )
+
+    def test_retrying_publisher_redirects_after_failover(self, rig):
+        backup = self._backup_server(rig)
+        leader = {"server": rig.server}
+        streams = RandomStreams(seed=5)
+        publisher = RetryingPoissonPublisher(
+            engine=rig.engine,
+            server=rig.server,
+            rate=20.0,
+            message_factory=rig.make_message,
+            rng=streams.stream("arrivals"),
+            retry_rng=streams.stream("retry"),
+            policy=RetryPolicy(),
+            stop_time=4.0,
+            router=lambda: leader["server"],
+        )
+        publisher.start()
+
+        def fail_over():
+            rig.server.crash()
+            leader["server"] = backup
+
+        rig.engine.call_at(1.0, fail_over)
+        rig.engine.run()
+        assert publisher.failovers == 1
+        assert publisher.server is backup
+        assert publisher.accepted == publisher.generated
+        assert backup.accepted > 0
+        # Only crash-time rejections (messages already in the primary's
+        # buffer) hit the dead server; every post-failover attempt goes
+        # straight to the backup instead of hammering the corpse.
+        assert rig.server.rejected_submits <= 1 + 4  # in-flight + buffered
+
+    def test_reliable_publisher_drains_through_the_new_leader(self, rig):
+        backup = self._backup_server(rig)
+        leader = {"server": rig.server}
+        streams = RandomStreams(seed=5)
+        publisher = ReliablePublisher(
+            engine=rig.engine,
+            server=rig.server,
+            message_factory=rig.make_message,
+            policy=RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0),
+            retry_rng=streams.stream("retry"),
+            total_messages=10,
+            router=lambda: leader["server"],
+        )
+
+        def fail_over():
+            rig.server.crash()
+            leader["server"] = backup
+
+        rig.engine.call_at(0.05, fail_over)
+        publisher.start()
+        rig.engine.run()
+        assert publisher.done
+        assert publisher.failovers == 1
+        assert publisher.abandoned == 0
+        assert rig.server.accepted + backup.accepted >= 10
+
+    def test_no_router_keeps_the_bound_server(self, rig):
+        publisher = ReliablePublisher(
+            engine=rig.engine,
+            server=rig.server,
+            message_factory=rig.make_message,
+            policy=RetryPolicy(),
+            total_messages=3,
+        )
+        publisher.start()
+        rig.engine.run()
+        assert publisher.failovers == 0
+        assert publisher.server is rig.server

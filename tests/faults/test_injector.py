@@ -172,3 +172,84 @@ class TestDiskFaults:
         injector.arm()
         rig.engine.run()
         assert injector.log[0].detail == "no files on disk to tear"
+
+
+class TestReplicationFaults:
+    def test_arm_requires_a_link_for_link_kinds(self, rig):
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.LINK_DROP, magnitude=1.0)]
+        )
+        injector = FaultInjector(engine=rig.engine, server=rig.server, schedule=schedule)
+        with pytest.raises(ValueError, match="no SimulatedLink is armed"):
+            injector.arm()
+
+    def test_arm_requires_a_pair_for_lease_pauses(self, rig):
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.LEASE_PAUSE, duration=0.5)]
+        )
+        injector = FaultInjector(engine=rig.engine, server=rig.server, schedule=schedule)
+        with pytest.raises(ValueError, match="no ReplicatedPair is armed"):
+            injector.arm()
+
+    def test_link_drop_eats_the_next_frames(self, rig):
+        from repro.replication import SimulatedLink
+
+        link = SimulatedLink(RandomStreams(0), delay=0.0)
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.LINK_DROP, magnitude=2.0)]
+        )
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, link=link
+        )
+        injector.arm()
+        rig.engine.run()
+        assert not link.send(b"a", now=2.0)
+        assert not link.send(b"b", now=2.0)
+        assert link.send(b"c", now=2.0)
+        assert injector.log[0].detail == "drop next 2 ship frame(s)"
+
+    def test_link_delay_windows_the_extra_latency(self, rig):
+        from repro.replication import SimulatedLink
+
+        link = SimulatedLink(RandomStreams(0), delay=0.01)
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.LINK_DELAY, duration=2.0, magnitude=0.5
+                )
+            ]
+        )
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, link=link
+        )
+        injector.arm()
+        rig.engine.run()
+        link.send(b"slow", now=2.0)  # inside [1, 3): pays +0.5s
+        assert link.deliver_due(2.1) == []
+        assert link.deliver_due(2.51) == [b"slow"]
+        link.send(b"fast", now=3.5)  # window over
+        assert link.deliver_due(3.51) == [b"fast"]
+        (record,) = injector.log
+        assert record.recovered_at == pytest.approx(3.0)
+
+    def test_lease_pause_pauses_then_revives_the_primary(self, rig):
+        from repro.replication import ReplicatedPair, ReplicationConfig
+
+        pair = ReplicatedPair(
+            ReplicationConfig(lease_duration=10.0, renew_interval=1.0), seed=0
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.LEASE_PAUSE, duration=0.5)]
+        )
+        injector = FaultInjector(
+            engine=rig.engine, server=rig.server, schedule=schedule, pair=pair
+        )
+        injector.arm()
+        rig.engine.call_at(1.2, lambda: pause_flags.append(pair.primary_paused))
+        pause_flags = []
+        rig.engine.run()
+        assert pause_flags == [True]
+        assert not pair.primary_paused
+        (record,) = injector.log
+        assert record.recovered_at == pytest.approx(1.5)
+        assert "paused" in record.detail

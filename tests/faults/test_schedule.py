@@ -189,3 +189,144 @@ class TestBuilders:
             RandomStreams(seed=9), horizon=300.0, crash_rate=0.02, drop_rate=0.2
         )
         assert crashes_only.outages == with_drops.outages
+
+
+class TestLinkAndLeaseKinds:
+    def test_link_drop_magnitude_is_a_count(self):
+        with pytest.raises(ValueError, match="positive integer count"):
+            FaultEvent(time=1.0, kind=FaultKind.LINK_DROP, magnitude=1.5)
+
+    def test_link_delay_needs_a_window_and_positive_extra(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEvent(time=1.0, kind=FaultKind.LINK_DELAY, magnitude=0.01)
+        with pytest.raises(ValueError, match="extra seconds"):
+            FaultEvent(
+                time=1.0, kind=FaultKind.LINK_DELAY, duration=2.0, magnitude=0.0
+            )
+
+    def test_lease_pause_needs_a_duration(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEvent(time=1.0, kind=FaultKind.LEASE_PAUSE)
+
+    def test_nan_link_delay_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultEvent(
+                time=1.0,
+                kind=FaultKind.LINK_DELAY,
+                duration=1.0,
+                magnitude=float("nan"),
+            )
+
+    def test_overlapping_lease_pauses_rejected(self):
+        pauses = [
+            FaultEvent(time=1.0, kind=FaultKind.LEASE_PAUSE, duration=2.0),
+            FaultEvent(time=2.0, kind=FaultKind.LEASE_PAUSE, duration=1.0),
+        ]
+        with pytest.raises(ValueError, match="lease_pause windows"):
+            FaultSchedule(pauses)
+
+    def test_lease_pause_may_overlap_other_window_kinds(self):
+        # Only same-kind exclusive windows are disjoint; a pause during a
+        # link-delay window is a legitimate compound failure.
+        FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.LINK_DELAY, duration=5.0, magnitude=0.01
+                ),
+                FaultEvent(time=2.0, kind=FaultKind.LEASE_PAUSE, duration=1.0),
+            ]
+        )
+
+    def test_random_generates_link_and_lease_faults(self):
+        schedule = FaultSchedule.random(
+            RandomStreams(seed=4),
+            horizon=500.0,
+            link_drop_rate=0.05,
+            link_delay_rate=0.02,
+            lease_pause_rate=0.02,
+        )
+        assert schedule.of_kind(FaultKind.LINK_DROP)
+        assert schedule.of_kind(FaultKind.LINK_DELAY)
+        pauses = schedule.of_kind(FaultKind.LEASE_PAUSE)
+        assert pauses
+        for earlier, later in zip(pauses, pauses[1:]):
+            assert earlier.end <= later.time  # sequential: never overlap
+
+
+class TestSerialization:
+    def _sample_schedule(self):
+        return FaultSchedule(
+            [
+                FaultEvent(time=1.0, kind=FaultKind.SERVER_CRASH, duration=0.5),
+                FaultEvent(
+                    time=2.0,
+                    kind=FaultKind.SUBSCRIBER_DISCONNECT,
+                    duration=1.0,
+                    target="sub-1",
+                ),
+                FaultEvent(
+                    time=3.0, kind=FaultKind.SLOW_CONSUMER, duration=1.0, magnitude=4.0
+                ),
+                FaultEvent(time=4.0, kind=FaultKind.MESSAGE_DROP, magnitude=2.0),
+                FaultEvent(time=5.0, kind=FaultKind.TORN_WRITE),
+                FaultEvent(time=6.0, kind=FaultKind.LINK_DROP, magnitude=3.0),
+                FaultEvent(
+                    time=7.0, kind=FaultKind.LINK_DELAY, duration=2.0, magnitude=0.05
+                ),
+                FaultEvent(time=10.0, kind=FaultKind.LEASE_PAUSE, duration=1.5),
+            ]
+        )
+
+    def test_round_trip_preserves_every_event(self):
+        schedule = self._sample_schedule()
+        rebuilt = FaultSchedule.from_dicts(schedule.to_dicts())
+        assert rebuilt.events == schedule.events
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        schedule = self._sample_schedule()
+        wire = json.dumps(schedule.to_dicts())
+        rebuilt = FaultSchedule.from_dicts(json.loads(wire))
+        assert rebuilt.events == schedule.events
+
+    def test_to_dict_omits_defaults(self):
+        payload = FaultEvent(time=5.0, kind=FaultKind.TORN_WRITE).to_dict()
+        assert payload == {"time": 5.0, "kind": "torn_write"}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault event fields"):
+            FaultEvent.from_dict({"time": 1.0, "kind": "torn_write", "speed": 3})
+
+    def test_from_dict_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent.from_dict({"time": 1.0, "kind": "quantum_flux"})
+
+    def test_from_dict_requires_time_and_kind(self):
+        with pytest.raises(ValueError, match="needs 'time' and 'kind'"):
+            FaultEvent.from_dict({"kind": "torn_write"})
+
+    def test_from_dict_revalidates(self):
+        # Deserialization is not a validation bypass.
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEvent.from_dict({"time": 1.0, "kind": "lease_pause"})
+
+    def test_from_dicts_revalidates_overlaps(self):
+        dicts = [
+            {"time": 1.0, "kind": "lease_pause", "duration": 2.0},
+            {"time": 2.0, "kind": "lease_pause", "duration": 1.0},
+        ]
+        with pytest.raises(ValueError, match="lease_pause windows"):
+            FaultSchedule.from_dicts(dicts)
+
+    def test_from_dicts_honours_known_targets(self):
+        dicts = [
+            {
+                "time": 1.0,
+                "kind": "subscriber_disconnect",
+                "duration": 1.0,
+                "target": "ghost",
+            }
+        ]
+        with pytest.raises(ValueError, match="unknown target"):
+            FaultSchedule.from_dicts(dicts, known_targets=["sub-1"])

@@ -1,0 +1,104 @@
+"""Tests for the survivor utilization-jump health trajectory."""
+
+import pytest
+
+from repro.overload import HealthState, HealthThresholds
+from repro.overload.survivor import SurvivorTrajectory, survivor_rho_trajectory
+
+
+class TestStepJump:
+    def test_failover_jump_escalates_immediately(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=1.0, failover_at=2.0, horizon=10.0
+        )
+        # 1.0 is past the 0.9 overloaded threshold: escalation is one
+        # immediate jump, not a walk through DEGRADED.
+        assert trajectory.final_state is HealthState.OVERLOADED
+        assert trajectory.escalations == 1
+        delay = trajectory.detection_delay(HealthState.OVERLOADED)
+        assert delay is not None
+        assert delay <= 0.1  # first observation after the jump
+
+    def test_modest_jump_stays_healthy(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.3, rho_after=0.5, failover_at=2.0, horizon=10.0
+        )
+        assert trajectory.final_state is HealthState.HEALTHY
+        assert trajectory.transitions == ()
+        assert trajectory.detection_delay(HealthState.DEGRADED) is None
+
+    def test_unsustainable_survivor_reaches_shedding(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.6, rho_after=1.4, failover_at=1.0, horizon=10.0
+        )
+        assert trajectory.final_state is HealthState.SHEDDING
+
+    def test_time_to_state_records_first_entry(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=0.8, failover_at=3.0, horizon=10.0
+        )
+        assert trajectory.time_to_state["HEALTHY"] == 0.0
+        assert trajectory.time_to_state["DEGRADED"] == pytest.approx(3.0)
+
+
+class TestRamp:
+    def test_ramp_delays_the_escalation(self):
+        step = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=1.0, failover_at=2.0, horizon=20.0
+        )
+        ramped = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=1.0, failover_at=2.0, horizon=20.0, ramp=4.0
+        )
+        assert ramped.final_state is step.final_state
+        step_delay = step.detection_delay(HealthState.OVERLOADED)
+        ramp_delay = ramped.detection_delay(HealthState.OVERLOADED)
+        assert ramp_delay > step_delay
+
+    def test_ramp_walks_through_degraded(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=1.0, failover_at=2.0, horizon=20.0, ramp=4.0
+        )
+        states = [new.name for _t, _old, new in trajectory.transitions]
+        assert states[0] == "DEGRADED"
+        assert "OVERLOADED" in states
+
+
+class TestTransientJump:
+    def test_custom_thresholds_change_the_verdict(self):
+        thresholds = HealthThresholds(degraded=0.95, overloaded=1.05, shedding=1.2)
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.5,
+            rho_after=0.9,
+            failover_at=2.0,
+            horizon=10.0,
+            thresholds=thresholds,
+        )
+        assert trajectory.final_state is HealthState.HEALTHY
+
+
+class TestValidation:
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError):
+            survivor_rho_trajectory(-0.1, 1.0, 1.0, 10.0)
+
+    def test_failover_must_be_inside_the_horizon(self):
+        with pytest.raises(ValueError):
+            survivor_rho_trajectory(0.5, 1.0, 10.0, 10.0)
+
+    def test_bad_ramp_and_dt_rejected(self):
+        with pytest.raises(ValueError):
+            survivor_rho_trajectory(0.5, 1.0, 1.0, 10.0, ramp=-1.0)
+        with pytest.raises(ValueError):
+            survivor_rho_trajectory(0.5, 1.0, 1.0, 10.0, dt=0.0)
+
+
+class TestSerialization:
+    def test_to_dict_shape(self):
+        trajectory = survivor_rho_trajectory(
+            rho_before=0.5, rho_after=1.0, failover_at=2.0, horizon=10.0
+        )
+        payload = trajectory.to_dict()
+        assert payload["final_state"] == "OVERLOADED"
+        assert payload["escalations"] == 1
+        assert payload["transitions"][0]["from"] == "HEALTHY"
+        assert isinstance(trajectory, SurvivorTrajectory)

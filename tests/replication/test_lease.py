@@ -1,0 +1,96 @@
+"""Tests for lease-based leader election and fencing tokens."""
+
+import pytest
+
+from repro.replication import LeaseCoordinator
+
+
+class TestAcquire:
+    def test_fresh_coordinator_grants_epoch_one(self):
+        lease = LeaseCoordinator(duration=1.0)
+        grant = lease.acquire("primary", now=0.0)
+        assert grant is not None
+        assert grant.holder == "primary"
+        assert grant.epoch == 1
+        assert grant.expires_at == 1.0
+        assert lease.grants == 1
+
+    def test_renewal_keeps_the_epoch(self):
+        lease = LeaseCoordinator(duration=1.0)
+        first = lease.acquire("primary", now=0.0)
+        renewed = lease.acquire("primary", now=0.5)
+        assert renewed is not None
+        assert renewed.epoch == first.epoch
+        assert renewed.expires_at == 1.5
+        assert lease.renewals == 1
+
+    def test_contended_acquire_refused_while_lease_live(self):
+        lease = LeaseCoordinator(duration=1.0)
+        lease.acquire("primary", now=0.0)
+        assert lease.acquire("standby", now=0.5) is None
+        assert lease.contended == 1
+        assert lease.holder_at(0.5) == "primary"
+
+    def test_expired_lease_taken_bumps_the_epoch(self):
+        lease = LeaseCoordinator(duration=1.0)
+        lease.acquire("primary", now=0.0)
+        taken = lease.acquire("standby", now=1.5)
+        assert taken is not None
+        assert taken.epoch == 2
+        assert lease.holder_at(1.6) == "standby"
+
+    def test_own_reacquire_after_expiry_also_bumps(self):
+        # An expired leader may already have been superseded by writes it
+        # never saw; its own re-grant must not look like a renewal.
+        lease = LeaseCoordinator(duration=1.0)
+        lease.acquire("primary", now=0.0)
+        regrant = lease.acquire("primary", now=2.0)
+        assert regrant is not None
+        assert regrant.epoch == 2
+
+    def test_holder_at_none_when_expired_or_free(self):
+        lease = LeaseCoordinator(duration=1.0)
+        assert lease.holder_at(0.0) is None
+        lease.acquire("primary", now=0.0)
+        assert lease.holder_at(1.0) is None  # expiry is exclusive
+
+    def test_non_positive_duration_rejected(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                LeaseCoordinator(duration=bad)
+
+
+class TestValidate:
+    def test_live_holder_with_matching_epoch_passes(self):
+        lease = LeaseCoordinator(duration=1.0)
+        grant = lease.acquire("primary", now=0.0)
+        assert lease.validate("primary", epoch=grant.epoch, now=0.5)
+        assert lease.fencing_rejections == 0
+
+    def test_stale_epoch_is_fenced(self):
+        lease = LeaseCoordinator(duration=1.0)
+        lease.acquire("primary", now=0.0)
+        lease.acquire("standby", now=1.5)  # epoch 2
+        assert not lease.validate("primary", epoch=1, now=1.6)
+        assert lease.fencing_rejections == 1
+
+    def test_expired_lease_is_fenced_even_for_the_holder(self):
+        lease = LeaseCoordinator(duration=1.0)
+        grant = lease.acquire("primary", now=0.0)
+        assert not lease.validate("primary", epoch=grant.epoch, now=1.0)
+
+    def test_forged_future_epoch_is_fenced(self):
+        lease = LeaseCoordinator(duration=1.0)
+        lease.acquire("primary", now=0.0)
+        assert not lease.validate("primary", epoch=99, now=0.5)
+
+    def test_epoch_is_monotonic_across_holdership_changes(self):
+        lease = LeaseCoordinator(duration=1.0)
+        seen = []
+        now = 0.0
+        for node in ("a", "b", "a", "c"):
+            grant = lease.acquire(node, now=now)
+            seen.append(grant.epoch)
+            now += 2.0  # always past expiry
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)

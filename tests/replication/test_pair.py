@@ -1,0 +1,249 @@
+"""Tests for the replicated pair: shipping, acks, promotion, fencing."""
+
+import pytest
+
+from repro.broker.message import Message
+from repro.broker.queues import QueueConsumer
+from repro.replication import (
+    FencingError,
+    ReplicatedPair,
+    ReplicationConfig,
+)
+
+QUEUE = "orders"
+DT = 0.01
+
+
+def make_pair(mode="sync", **overrides):
+    defaults = dict(
+        mode=mode,
+        ship_interval=2 * DT,
+        batch_size=4,
+        lease_duration=20 * DT,
+        renew_interval=5 * DT,
+        link_delay=DT / 5,
+        retransmit_timeout=3 * DT,
+        segment_bytes=2048,
+    )
+    defaults.update(overrides)
+    return ReplicatedPair(ReplicationConfig(**defaults), seed=0)
+
+
+def publish(pair, n, start_step=0):
+    """``n`` persistent sends, ticking the pair after each."""
+    queue = pair.primary.queues.create(QUEUE)
+    for i in range(start_step, start_step + n):
+        now = (i + 1) * DT
+        queue.send(Message(topic=QUEUE, properties={"n": i}), now=now)
+        pair.tick(now)
+    return (start_step + n) * DT
+
+
+def settle(pair, now, ticks=10):
+    for _ in range(ticks):
+        now += DT
+        pair.tick(now)
+    return now
+
+
+class TestShipping:
+    def test_sync_acks_trail_standby_application(self):
+        pair = make_pair("sync")
+        now = settle(pair, publish(pair, 10))
+        assert pair.standby.records_applied == pair.journal.records_appended
+        assert pair.client_acked_records == pair.journal.records_appended
+        assert pair.shipped_lag_records == 0
+        assert pair.unshipped_acked_records == 0
+
+    def test_async_acks_on_local_fsync(self):
+        pair = make_pair("async", ship_interval=50 * DT, batch_size=1000)
+        publish(pair, 5)
+        # Nothing shipped yet (interval not elapsed, batch not full) but
+        # every local append is already client-acked.
+        assert pair.client_acked_records == pair.journal.records_appended == 5
+        assert pair.standby.records_applied == 0
+        assert pair.unshipped_acked_records == 5
+
+    def test_full_batch_ships_immediately(self):
+        pair = make_pair("sync", batch_size=3, ship_interval=100 * DT)
+        now = settle(pair, publish(pair, 3), ticks=3)
+        assert pair.frames_shipped >= 1
+        assert pair.standby.records_applied >= 3
+
+    def test_dropped_frames_are_retransmitted(self):
+        pair = make_pair("sync")
+        pair.link.drop_next(1)
+        now = settle(pair, publish(pair, 6), ticks=20)
+        assert pair.retransmits >= 1
+        assert pair.standby.records_applied == pair.journal.records_appended
+        assert pair.client_acked_records == pair.journal.records_appended
+
+    def test_corrupt_frames_are_retransmitted(self):
+        pair = make_pair("sync")
+        pair.link.corrupt_next(1)
+        settle(pair, publish(pair, 6), ticks=20)
+        assert pair.standby.records_applied == pair.journal.records_appended
+
+    def test_acked_records_visible_through_fencing_gate(self):
+        pair = make_pair("sync")
+        now = settle(pair, publish(pair, 4))
+        assert pair.acked_records(now) == pair.client_acked_records
+
+
+class TestFailover:
+    def test_crash_then_standby_promotes_with_backlog(self):
+        pair = make_pair("sync")
+        crash_at = settle(pair, publish(pair, 9))
+        pair.crash_primary(crash_at)
+        now = crash_at
+        while not pair.promoted and now < crash_at + 5 * pair.config.lease_duration:
+            now += DT
+            pair.tick(now)
+            pair.maybe_promote(now)
+        assert pair.promoted
+        report = pair.promotion
+        assert report.succeeded and not report.errors
+        assert report.epoch > 1
+        # Every sync-acked message survives into the promoted backlog.
+        broker = pair.leader_broker
+        assert broker is report.broker
+        consumer = QueueConsumer("verifier")
+        broker.queues.create(QUEUE).attach(consumer)
+        drained = 0
+        while consumer.receive() is not None:
+            drained += 1
+        assert drained == 9
+
+    def test_detection_waits_for_lease_expiry(self):
+        pair = make_pair("sync")
+        crash_at = settle(pair, publish(pair, 3))
+        pair.crash_primary(crash_at)
+        # Immediately after the crash the lease is still live: no takeover.
+        assert pair.maybe_promote(crash_at + DT) is None
+        assert not pair.promoted
+
+    def test_promote_is_idempotent(self):
+        pair = make_pair("sync")
+        crash_at = settle(pair, publish(pair, 3))
+        pair.crash_primary(crash_at)
+        now = crash_at + pair.config.lease_duration + DT
+        pair.tick(now)
+        assert pair.maybe_promote(now) is not None
+        assert pair.maybe_promote(now + DT) is None
+
+    def test_crash_primary_twice_is_a_noop(self):
+        pair = make_pair("sync")
+        pair.crash_primary(1.0)
+        first = pair.crashed_at
+        pair.crash_primary(2.0)
+        assert pair.crashed_at == first
+
+
+class TestFencing:
+    def _pause_and_fail_over(self, pair, now):
+        pair.pause_primary(now)
+        deadline = now + 5 * pair.config.lease_duration
+        while not pair.promoted and now < deadline:
+            now += DT
+            pair.tick(now)
+            pair.maybe_promote(now)
+        assert pair.promoted
+        return now
+
+    def test_revived_primary_is_fenced(self):
+        pair = make_pair("sync")
+        now = self._pause_and_fail_over(pair, settle(pair, publish(pair, 6)))
+        pair.revive_primary(now)
+        now += DT
+        pair.tick(now)  # renewal attempt observes the superseding lease
+        assert pair.primary_fenced
+        with pytest.raises(FencingError):
+            pair.acked_records(now)
+        assert pair.fencing_errors >= 1
+        assert pair.lease.fencing_rejections >= 1
+
+    def test_fenced_primary_watermark_frozen(self):
+        pair = make_pair("sync")
+        watermark = None
+        now = self._pause_and_fail_over(pair, settle(pair, publish(pair, 6)))
+        watermark = pair.client_acked_records
+        pair.revive_primary(now)
+        # Local sends on the zombie primary must never become client acks.
+        queue = pair.primary.queues.create(QUEUE)
+        for i in range(3):
+            now += DT
+            queue.send(Message(topic=QUEUE, properties={"z": i}), now=now)
+            pair.tick(now)
+        assert pair.client_acked_records == watermark
+
+    def test_late_frames_from_old_epoch_rejected_by_standby(self):
+        pair = make_pair("sync")
+        now = self._pause_and_fail_over(pair, settle(pair, publish(pair, 6)))
+        applied_before = pair.standby.records_applied
+        pair.revive_primary(now)
+        queue = pair.primary.queues.create(QUEUE)
+        for i in range(4):
+            now += DT
+            queue.send(Message(topic=QUEUE, properties={"late": i}), now=now)
+            pair.tick(now)
+        assert pair.standby.records_applied == applied_before
+
+    def test_dead_primary_ack_raises(self):
+        pair = make_pair("sync")
+        pair.crash_primary(1.0)
+        with pytest.raises(FencingError):
+            pair.acked_records(1.1)
+
+
+class TestCheckpointUnderShipping:
+    def test_checkpoint_compaction_does_not_lose_replicated_state(self):
+        pair = make_pair("sync", segment_bytes=512)
+        queue = pair.primary.queues.create(QUEUE)
+        consumer = QueueConsumer("worker")
+        queue.attach(consumer)
+        now = 0.0
+        for i in range(12):
+            now += DT
+            queue.send(Message(topic=QUEUE, properties={"n": i}), now=now)
+            delivery = consumer.receive()
+            if delivery is not None:
+                consumer.ack(delivery)
+            pair.tick(now)
+            if i == 6:
+                pair.checkpoint_primary(now)
+        settle(pair, now, ticks=20)
+        # The tailer survived the compaction and the standby converged.
+        assert pair.standby.records_applied > 0
+        assert pair.shipped_lag_records == 0
+
+
+class TestConfigValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(mode="semi-sync")
+
+    def test_renew_must_be_below_lease(self):
+        with pytest.raises(ValueError, match="renew_interval"):
+            ReplicationConfig(lease_duration=1.0, renew_interval=1.0)
+
+    def test_non_positive_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(ship_interval=0.0)
+        with pytest.raises(ValueError):
+            ReplicationConfig(ship_interval=float("nan"))
+
+    def test_batch_size_must_be_positive_integer(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(batch_size=0)
+
+    def test_negative_link_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(link_delay=-0.001)
+
+    def test_to_dict_keys(self):
+        pair = make_pair("sync")
+        settle(pair, publish(pair, 3))
+        payload = pair.to_dict()
+        assert payload["mode"] == "sync"
+        assert payload["records_appended"] == 3
+        assert payload["promoted"] is False

@@ -47,6 +47,10 @@ IMPORT_SMOKE = (
     "repro.durability.journal",
     "repro.durability.recovery",
     "repro.durability.harness",
+    "repro.durability.tail",
+    "repro.replication",
+    "repro.replication.pair",
+    "repro.replication.harness",
     "repro.analysis.overload",
     "repro.architectures.failover",
     "repro.simulation._backend",
@@ -60,6 +64,7 @@ CLI_SMOKE = (
     ["overload", "--help"],
     ["bench", "--help"],
     ["durability", "--help"],
+    ["replicate", "--help"],
     ["check", "--help"],
     ["lint", "--help"],
 )
