@@ -4,14 +4,16 @@ The primary's shipper puts :class:`ShipFrame` batches on a
 :class:`SimulatedLink`; the standby takes whatever :meth:`deliver_due`
 hands it.  Wire framing (big-endian)::
 
-    frame := u32 sequence | u32 epoch | u32 body_len | u32 crc32(body) | body
+    frame := u32 sequence | u32 epoch | u32 body_len | u32 crc | body
+    crc   := crc32(sequence | epoch | body_len | body)
     body  := (u32 record_len | record_bytes)*
 
 where each ``record_bytes`` is a full journal record in the
 :func:`repro.durability.journal.encode_record` format.  The CRC covers
-the body, so a corrupted frame decodes to ``None`` and the receiver
-simply discards it — retransmission (go-back-N over cumulative acks)
-lives in the shipper, not here.
+the header fields *and* the body — a bit flip anywhere in the frame,
+including the sequence or the fencing epoch, makes it decode to ``None``
+and the receiver simply discards it — retransmission (go-back-N over
+cumulative acks) lives in the shipper, not here.
 
 The link is a time-stepped model, deliberately engine-free: ``send``
 stamps a delivery time, ``deliver_due(now)`` releases everything whose
@@ -37,7 +39,10 @@ from ..simulation.rng import RandomStreams
 
 __all__ = ["ShipFrame", "SimulatedLink", "encode_frame", "decode_frame"]
 
-_FRAME_HEADER = struct.Struct(">IIII")
+#: The CRC-protected header prefix: sequence, epoch, body length.
+_FRAME_PREFIX = struct.Struct(">III")
+_FRAME_CRC = struct.Struct(">I")
+_FRAME_HEADER_SIZE = _FRAME_PREFIX.size + _FRAME_CRC.size
 _RECORD_LEN = struct.Struct(">I")
 
 #: Guard against absurd body lengths produced by corrupted headers.
@@ -61,25 +66,31 @@ class ShipFrame:
 
 
 def encode_frame(frame: ShipFrame) -> bytes:
-    """Serialize a frame to its checksummed wire format."""
+    """Serialize a frame to its checksummed wire format.
+
+    The CRC is computed over the header prefix (sequence, epoch, body
+    length) *and* the body: the sequence and the fencing epoch are
+    integrity-protected, so a bit flip in either cannot masquerade as a
+    different valid frame or poison the standby's fencing floor.
+    """
     body = b"".join(
         _RECORD_LEN.pack(len(record)) + record for record in frame.records
     )
-    return (
-        _FRAME_HEADER.pack(frame.sequence, frame.epoch, len(body), zlib.crc32(body))
-        + body
-    )
+    prefix = _FRAME_PREFIX.pack(frame.sequence, frame.epoch, len(body))
+    crc = zlib.crc32(body, zlib.crc32(prefix))
+    return prefix + _FRAME_CRC.pack(crc) + body
 
 
 def decode_frame(data: bytes) -> Optional[ShipFrame]:
     """Parse one wire frame; ``None`` on any structural or CRC failure."""
-    if len(data) < _FRAME_HEADER.size:
+    if len(data) < _FRAME_HEADER_SIZE:
         return None
-    sequence, epoch, length, crc = _FRAME_HEADER.unpack_from(data, 0)
-    if length > _MAX_FRAME_BYTES or _FRAME_HEADER.size + length != len(data):
+    sequence, epoch, length = _FRAME_PREFIX.unpack_from(data, 0)
+    (crc,) = _FRAME_CRC.unpack_from(data, _FRAME_PREFIX.size)
+    if length > _MAX_FRAME_BYTES or _FRAME_HEADER_SIZE + length != len(data):
         return None
-    body = data[_FRAME_HEADER.size :]
-    if zlib.crc32(body) != crc:
+    body = data[_FRAME_HEADER_SIZE:]
+    if zlib.crc32(body, zlib.crc32(data[: _FRAME_PREFIX.size])) != crc:
         return None
     records: List[bytes] = []
     offset = 0

@@ -136,7 +136,11 @@ class ReplicatedPair:
         self._last_renew = 0.0
         # -- shipper state ------------------------------------------------
         self._pending: List[bytes] = []
-        self._unacked: Dict[int, Tuple[bytes, float]] = {}
+        #: ``sequence -> (records, last_sent)``.  Records, not wire bytes:
+        #: retransmissions re-encode under the *current* epoch, so a frame
+        #: built before a lease re-acquisition is never replayed with a
+        #: stale fencing token.
+        self._unacked: Dict[int, Tuple[Tuple[bytes, ...], float]] = {}
         self._frame_records: Dict[int, int] = {}
         self._next_sequence = 0
         self._acked_sequence = 0
@@ -229,10 +233,17 @@ class ReplicatedPair:
             self._send_frame(self._pending, now)
             self._pending = []
         for sequence in sorted(self._unacked):
-            wire, last_sent = self._unacked[sequence]
+            records, last_sent = self._unacked[sequence]
             if now - last_sent >= self.config.retransmit_timeout:
+                wire = encode_frame(
+                    ShipFrame(
+                        sequence=sequence,
+                        epoch=self._primary_epoch,
+                        records=records,
+                    )
+                )
                 self.link.send(wire, now)
-                self._unacked[sequence] = (wire, now)
+                self._unacked[sequence] = (records, now)
                 self.retransmits += 1
 
     def _send_frame(self, records: List[bytes], now: float) -> None:
@@ -243,7 +254,7 @@ class ReplicatedPair:
         )
         wire = encode_frame(frame)
         self._frame_records[frame.sequence] = len(records)
-        self._unacked[frame.sequence] = (wire, now)
+        self._unacked[frame.sequence] = (frame.records, now)
         self._next_sequence += 1
         self._records_shipped += len(records)
         self.frames_shipped += 1

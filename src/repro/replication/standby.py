@@ -15,11 +15,18 @@ Frame protocol (receiver side of go-back-N):
   buffered until the gap fills (the shipper retransmits dropped frames);
 - duplicates (retransmissions of already-applied frames) are counted and
   ignored;
-- a frame whose epoch is *older* than the newest epoch ever seen is a
-  write from a fenced, stale primary and is rejected — the standby-side
-  half of the split-brain defence;
-- corrupt frames (CRC mismatch) decode to ``None`` upstream and never
-  reach the replica.
+- a frame whose epoch is below the **fencing floor** is a write from a
+  fenced, stale primary and is rejected — the standby-side half of the
+  split-brain defence.  The floor is only ever raised by
+  :meth:`StandbyReplica.observe_epoch` — an *authenticated* event (a
+  lease grant, this node's own promotion) — never by a received frame:
+  frame contents are untrusted input, and trusting them would let a
+  single bogus epoch stall replication forever;
+- frames whose sequence is beyond the bounded reorder window are
+  discarded (go-back-N retransmits them once the gap fills), so a
+  garbage sequence cannot grow the reorder buffer without bound;
+- corrupt frames (CRC mismatch anywhere in the frame, header included)
+  decode to ``None`` upstream and never reach the replica.
 
 Promotion (:meth:`StandbyReplica.promote`) follows the recovery no-raise
 contract: any failure lands in :attr:`PromotionReport.errors`, never in
@@ -78,7 +85,12 @@ class StandbyReplica:
         node_id: str = "standby",
         sync: SyncPolicy = SyncPolicy.always(),
         segment_bytes: int = 64 * 1024,
+        reorder_window: int = 1024,
     ):
+        if reorder_window < 1:
+            raise ValueError(
+                f"reorder window must be >= 1, got {reorder_window}"
+            )
         self.disk = disk if disk is not None else SimulatedDisk()
         self.name = name
         self.node_id = node_id
@@ -88,15 +100,19 @@ class StandbyReplica:
         self.fold = IncrementalFold()
         self._next_sequence = 0
         self._buffered: Dict[int, ShipFrame] = {}
+        self._reorder_window = reorder_window
         self._max_epoch_seen = 0
         # -- counters ----------------------------------------------------
         self.frames_applied = 0
         self.records_applied = 0
         self.duplicates = 0
         self.frames_buffered = 0
-        #: Frames rejected because their epoch predates the newest seen —
+        #: Frames rejected because their epoch predates the fencing floor —
         #: writes from a fenced, stale primary.
         self.frames_fenced = 0
+        #: Frames rejected because their sequence is beyond the reorder
+        #: window; go-back-N retransmission resends them later.
+        self.frames_out_of_window = 0
         self.corrupt_frames = 0
         self.malformed_records = 0
         self.journal_write_failures = 0
@@ -117,7 +133,12 @@ class StandbyReplica:
         return len(self.fold.result.live)
 
     def observe_epoch(self, epoch: int) -> None:
-        """Raise the fencing floor (e.g. after this node wins the lease)."""
+        """Raise the fencing floor from an *authenticated* epoch.
+
+        Only lease-coordinator events call this (a grant this node
+        witnessed, its own promotion).  Epochs carried by received
+        frames never raise the floor — see :meth:`receive`.
+        """
         self._max_epoch_seen = max(self._max_epoch_seen, epoch)
 
     # ------------------------------------------------------------------
@@ -130,9 +151,14 @@ class StandbyReplica:
         if frame.epoch < self._max_epoch_seen:
             self.frames_fenced += 1
             return self._next_sequence
-        self._max_epoch_seen = frame.epoch
+        # Deliberately NOT raising _max_epoch_seen here: a frame's epoch
+        # is untrusted input, and the floor must only move on events the
+        # coordinator authenticated (observe_epoch).
         if frame.sequence < self._next_sequence:
             self.duplicates += 1
+            return self._next_sequence
+        if frame.sequence >= self._next_sequence + self._reorder_window:
+            self.frames_out_of_window += 1
             return self._next_sequence
         if frame.sequence != self._next_sequence:
             self.frames_buffered += 1

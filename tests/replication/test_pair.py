@@ -8,6 +8,7 @@ from repro.replication import (
     FencingError,
     ReplicatedPair,
     ReplicationConfig,
+    decode_frame,
 )
 
 QUEUE = "orders"
@@ -83,6 +84,41 @@ class TestShipping:
         pair.link.corrupt_next(1)
         settle(pair, publish(pair, 6), ticks=20)
         assert pair.standby.records_applied == pair.journal.records_appended
+
+    def test_retransmits_reencode_with_current_epoch(self):
+        # A lease re-acquisition mid-window bumps the epoch; frames built
+        # before the bump must be retransmitted under the *new* epoch,
+        # not replayed as stale wire bytes (regression: old-epoch
+        # retransmissions were fenced forever and the gap never filled).
+        pair = make_pair("sync")
+        epoch_before = pair.primary_epoch
+        pair.link.drop_next(1)
+        now = publish(pair, 4)  # one full batch ships and is dropped
+        assert pair._unacked
+        # The lease lapses with nobody taking it; revival re-acquires it
+        # at a bumped epoch while the dropped frame is still unacked.
+        pair.pause_primary(now)
+        now += pair.config.lease_duration + DT
+        pair.revive_primary(now)
+        pair.tick(now)
+        assert pair.primary_epoch > epoch_before
+        assert pair.retransmits >= 1
+        frames = [decode_frame(p) for p in pair.link.deliver_due(now + 1.0)]
+        assert frames
+        assert all(f is not None for f in frames)
+        assert all(f.epoch == pair.primary_epoch for f in frames)
+
+    def test_replication_converges_after_lease_reacquisition(self):
+        pair = make_pair("sync")
+        pair.link.drop_next(1)
+        now = publish(pair, 4)
+        pair.pause_primary(now)
+        now += pair.config.lease_duration + DT
+        pair.revive_primary(now)
+        settle(pair, now, ticks=30)
+        assert pair.standby.records_applied == pair.journal.records_appended
+        assert pair.standby.frames_fenced == 0
+        assert pair.client_acked_records == pair.journal.records_appended
 
     def test_acked_records_visible_through_fencing_gate(self):
         pair = make_pair("sync")
