@@ -52,7 +52,27 @@ __all__ = [
     "ssr_failover",
     "replicated_failover",
     "simulate_degraded_survivor",
+    "worst_survivor_absorption",
 ]
+
+
+def worst_survivor_absorption(total: int, survivors: int) -> int:
+    """Orphaned-work multiplier at the most-loaded survivor: ⌈total/survivors⌉.
+
+    When ``total`` servers' worth of subscribers re-home onto
+    ``survivors`` servers, the rehoming is integral — some survivor hosts
+    ``ceil(total / survivors)`` subscribers' filters and replication.
+    Simulating that worst survivor bounds the degraded system from
+    above; when ``survivors`` divides ``total`` every survivor is the
+    worst one and this reduces to the exact absorption factor.
+    """
+    if survivors < 1:
+        raise ValueError(f"survivor count must be >= 1, got {survivors}")
+    if total < survivors:
+        raise ValueError(
+            f"survivor count {survivors} exceeds server count {total}"
+        )
+    return -(-total // survivors)
 
 
 @dataclass(frozen=True)
@@ -273,7 +293,10 @@ def simulate_degraded_survivor(
     it under Poisson load via
     :func:`~repro.architectures.simulate.simulate_server_under_load`.
     The returned utilization and mean wait cross-check the corresponding
-    :class:`FailoverReport` (SSR needs an integral ``f`` and ``E[R]``).
+    :class:`FailoverReport` exactly when the survivors divide ``m`` and
+    bound it from above otherwise — the simulated server is the
+    *worst-loaded* survivor, absorbing ``⌈m/(m−k)⌉`` subscribers (SSR
+    still needs the degraded ``E[R]`` to come out integral).
     ``cpu_scale`` slows the simulated server down, so ``system_rate`` is
     converted to scaled time units and the measured waiting time comes
     back ``cpu_scale`` times the formula's (utilization is scale-free).
@@ -300,12 +323,10 @@ def simulate_degraded_survivor(
         ssr = SubscriberSideReplication(params)
         _check_failed(failed, ssr.server_count(), "subscriber-side server")
         survivors = ssr.server_count() - failed
-        if ssr.server_count() % survivors != 0:
-            raise ValueError(
-                f"simulation needs an integral absorption factor, got "
-                f"{ssr.server_count()}/{survivors}"
-            )
-        absorb = ssr.server_count() // survivors
+        # The worst-loaded survivor hosts ⌈m/(m−k)⌉ subscribers — exact
+        # when survivors divide m, a conservative upper bound otherwise
+        # (earlier revisions refused non-divisible cases outright).
+        absorb = worst_survivor_absorption(ssr.server_count(), survivors)
         scaled_replication = params.effective_mean_replication * absorb
         if not float(scaled_replication).is_integer():
             raise ValueError(

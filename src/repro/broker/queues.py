@@ -238,6 +238,17 @@ class PointToPointQueue:
         self.discarded_on_crash = 0
         #: Sends rejected because the write-ahead append failed.
         self.journal_write_failures = 0
+        #: Messages handed off to another shard by a mesh rebalance —
+        #: they left this queue's population with the terminal fate
+        #: "transferred" (journalled as an ACK so recovery agrees).
+        self.transferred_out = 0
+        #: Messages accepted from another shard by a mesh rebalance —
+        #: the receiving-side accepted leg (mirrors :attr:`restored`:
+        #: the original send counted ``enqueued`` on the *source*).
+        self.transferred_in = 0
+        #: Transferred-in messages that could not be applied live
+        #: (expired while the handoff was in flight).
+        self.dropped_on_handoff = 0
 
     # ------------------------------------------------------------------
     @property
@@ -487,6 +498,83 @@ class PointToPointQueue:
         return "requeued"
 
     # ------------------------------------------------------------------
+    def has_message(self, message_id: int) -> bool:
+        """Is ``message_id`` live here (backlog, in flight, or journaled)?"""
+        if message_id in self._journaled:
+            return True
+        if any(m.message_id == message_id for m, _ in self._backlog):
+            return True
+        for consumer in self._consumers:
+            if message_id in consumer.unacked:
+                return True
+            if any(d.message.message_id == message_id for d in consumer.inbox):
+                return True
+        return False
+
+    def transfer_out(self, message_id: int, now: float = 0.0) -> Optional[Message]:
+        """Remove one backlog message whose ownership moved to another shard.
+
+        The mesh rebalancer calls this at handoff commit (and during
+        roll-forward recovery, when a crashed source restarts after the
+        partition table already flipped).  The message's terminal fate
+        here is "transferred": journalled like an ack so a later replay
+        of this shard's log does not resurrect a copy the new owner
+        already has.  Returns the message, or ``None`` when it is not in
+        the backlog (already delivered, or never here).
+        """
+        for index, (message, _redelivered) in enumerate(self._backlog):
+            if message.message_id == message_id:
+                del self._backlog[index]
+                self._redeliveries.pop(message_id, None)
+                self._journal_terminal(message_id, "transferred", now=now)
+                self.transferred_out += 1
+                return message
+        return None
+
+    def transfer_in(self, message: Message, delivers: int = 0, now: float = 0.0) -> str:
+        """Accept one message handed off from another shard.
+
+        The receiving half of a mesh handoff: like :meth:`restore`, the
+        message does not re-count as ``enqueued`` (the original send on
+        the source shard did) — it lands in :attr:`transferred_in`.  The
+        journal write happens *before* the message becomes visible, so a
+        destination crash after apply replays it from this shard's own
+        log.  Returns the fate:
+
+        - ``"duplicate"`` — already live here (an idempotent re-apply of
+          a retried transfer); nothing counted, nothing changed;
+        - ``"rejected"`` — the write-ahead append failed; the message
+          never entered this queue and stays owned by the source;
+        - ``"dropped"`` — its TTL elapsed while the handoff was in
+          flight; counted in :attr:`dropped_on_handoff`;
+        - ``"applied"`` — live in the backlog (flagged redelivered when
+          the source had delivered it before).
+        """
+        if delivers < 0:
+            raise ValueError(f"delivers must be >= 0, got {delivers}")
+        if self.has_message(message.message_id):
+            return "duplicate"
+        if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
+            if not self._journal_safe("log_publish", "queue", self.name, message, now=now):
+                return "rejected"
+            self._journaled.add(message.message_id)
+        self.transferred_in += 1
+        if message.expired(now):
+            self.expired += 1
+            self._journal_terminal(message.message_id, "expired", now=now)
+            self.dropped_on_handoff += 1
+            return "dropped"
+        if delivers > 0:
+            # per-message flag, not the BrokerStats.redelivered counter
+            message.redelivered = True  # repro: ignore[RACE001]
+            self._redeliveries[message.message_id] = delivers
+            self.redelivered += 1
+        self._backlog.append((message, message.redelivered))
+        while self.capacity is not None and len(self._backlog) > self.capacity:
+            self._shed_overflow(now)
+        self._drain(now)
+        return "applied"
+
     def _on_ack(self, message_id: int) -> None:
         self.acked += 1
         self._redeliveries.pop(message_id, None)

@@ -16,6 +16,7 @@ Usage (``python -m repro ...``)::
     python -m repro durability --sweep --filters 500 --replication 3 [--t-sync 2e-4]
     python -m repro replicate [--seed 0] [--ops 24] [--mode sync|async|both]
     python -m repro replicate --sweep [--rate 200] [--seeds 3] [--ship-interval 0.05]
+    python -m repro mesh [--seed 0] [--ops 36] [--queues 16] [--soak] [--capacity]
     python -m repro check [--format json] [--rules SIM,REC,...] [--require]
     python -m repro check --update-baseline
 
@@ -41,7 +42,12 @@ chaos harness (crash the primary after every workload step under link
 drops/corruption/reordering/delay, assert zero sync-acked loss and no
 split-brain double-ack) and, with ``--sweep``, the RPO/RTO failover
 sweep comparing the replication-lag model against discrete-event
-measurements; ``check`` runs the whole-program
+measurements; ``mesh`` runs the sharded-mesh chaos harness (every fault
+kind at every rebalance protocol step of every membership event, assert
+zero acked-message loss, zero double-ownership, mesh-wide conservation)
+and, with ``--capacity``, the superposed-M/G/1 capacity model with its
+DES cross-check (numpy-backed; skipped gracefully without numpy);
+``check`` runs the whole-program
 invariant analyzer (determinism, recovery no-raise, ledger
 conservation, race hazards, API hygiene) over ``src/repro``.
 
@@ -377,6 +383,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replicate.add_argument(
         "--seeds", type=int, default=3, help="independent runs per sweep point"
+    )
+
+    mesh = commands.add_parser(
+        "mesh",
+        help="sharded-mesh rebalance chaos harness and capacity model",
+    )
+    mesh.add_argument("--seed", type=int, default=0, help="workload seed")
+    mesh.add_argument(
+        "--ops", type=int, default=36, help="workload sends per chaos point"
+    )
+    mesh.add_argument(
+        "--queues", type=int, default=16, help="queues spread across the mesh"
+    )
+    mesh.add_argument(
+        "--soak",
+        action="store_true",
+        help="heavier matrix: two seeds, larger workload",
+    )
+    mesh.add_argument(
+        "--capacity",
+        action="store_true",
+        help="also validate the capacity model against the DES (needs numpy)",
     )
     return parser
 
@@ -873,6 +901,71 @@ def _run_replicate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_mesh(args: argparse.Namespace) -> int:
+    from .mesh import run_mesh_chaos_harness
+
+    ok = True
+    runs = [(args.seed, args.ops)]
+    if args.soak:
+        runs.append((args.seed + 1, args.ops * 2))
+    total_points = 0
+    for seed, ops in runs:
+        report = run_mesh_chaos_harness(seed=seed, ops=ops, queues=args.queues)
+        total_points += len(report.points)
+        print(
+            f"mesh chaos: seed={seed} ops={ops} queues={args.queues} "
+            f"points={len(report.points)} "
+            f"(join/leave/crash x fault kind x protocol step)"
+        )
+        if report.ok:
+            print(
+                "  OK (zero acked-message loss, zero double-ownership, "
+                "ledger conserved at every point)"
+            )
+        else:
+            ok = False
+            print(f"  {len(report.failures)} FAILING POINT(S)")
+            for point in report.failures[:20]:
+                print(
+                    f"    {point.event}/{point.fault}@{point.step}: "
+                    f"{'; '.join(point.violations)}"
+                )
+    print(f"total chaos points: {total_points}")
+    if args.capacity:
+        try:
+            from .architectures import SystemParameters
+            from .core import CORRELATION_ID_COSTS
+            from .mesh.capacity import mesh_capacity_curve, validate_mesh_capacity
+        except ImportError as exc:
+            print(f"capacity model skipped (numpy stack unavailable: {exc})")
+        else:
+            params = SystemParameters(
+                costs=CORRELATION_ID_COSTS,
+                publishers=2,
+                subscribers=8,
+                filters_per_subscriber=10,
+                mean_replication=1.0,
+                rho=0.9,
+            )
+            curve = mesh_capacity_curve(params, [1, 2, 4, 8])
+            print("\ncapacity vs shard count (partitioned placement, uniform ring):")
+            for count, point in sorted(curve.items()):
+                print(
+                    f"  N={count}: {point.capacity:10.1f} msg/s "
+                    f"(skew={point.skew:.3f})"
+                )
+            validation = validate_mesh_capacity(params, horizon=100.0)
+            print(
+                f"DES cross-check: max rel err "
+                f"{validation.max_rel_err * 100:.2f}% over N={{1,2,4,8}} "
+                f"(tolerance {validation.tolerance * 100:.0f}%)"
+            )
+            if not validation.ok:
+                ok = False
+                print("  capacity VALIDATION FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -901,6 +994,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_durability(args)
     if args.command == "replicate":
         return _run_replicate(args)
+    if args.command == "mesh":
+        return _run_mesh(args)
     if args.command == "check":
         return _run_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,280 @@
+"""Mesh membership, the partition table, and the transfer log.
+
+Three pieces of *control plane* live here, deliberately separated from
+the data plane (`mesh.sharded`) the way a real mesh keeps its metadata
+in a consensus-backed store:
+
+- :class:`MeshMembership` — shard lifecycle (ACTIVE / JOINING / LEAVING
+  / DEAD), the consistent-hash ring, and the fencing
+  :class:`~repro.replication.lease.LeaseCoordinator` reused from the HA
+  pairs.  Join / leave / crash events diff the ring before and after the
+  change and emit the exact set of :class:`PartitionMove` handoffs the
+  rebalancer must run.
+- :class:`PartitionTable` — the authoritative ``key -> owner`` map.
+  Routing consults the table first and falls back to the ring for keys
+  never assigned; a handoff *commits* by flipping the table entry, so a
+  crash on either side of the flip leaves ownership unambiguous: before
+  the flip the source still owns the key, after it the destination does
+  and a recovered source rolls its copies forward (discards them as
+  ``transferred_out``).
+- :class:`TransferLog` — the idempotency ledger for handoff applies,
+  keyed ``(placement key, message id)``.  The destination records an
+  apply *after* journalling it, so a crash between the two replays the
+  apply from the destination's own journal while a completed apply is
+  never re-applied by a retried transfer ("never double-applied").
+
+The control plane survives data-plane crashes (it models external
+metadata storage); shard *brokers* crash and recover, the table does
+not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..replication.lease import LeaseCoordinator
+from .ring import HashRing
+
+__all__ = [
+    "MembershipEvent",
+    "MeshMembership",
+    "PartitionMove",
+    "PartitionTable",
+    "ShardState",
+    "TransferLog",
+]
+
+
+class ShardState(enum.Enum):
+    """Lifecycle of one shard in the mesh."""
+
+    JOINING = "joining"
+    ACTIVE = "active"
+    LEAVING = "leaving"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class PartitionMove:
+    """One key whose ownership a membership change reassigns."""
+
+    key: str
+    source: str
+    dest: str
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """A join/leave/crash and the handoffs it mandates."""
+
+    kind: str
+    shard_id: str
+    version: int
+    moves: Tuple[PartitionMove, ...]
+
+    @property
+    def sessions(self) -> Tuple[Tuple[str, str], ...]:
+        """Distinct ``(source, dest)`` pairs, in deterministic order."""
+        return tuple(sorted({(m.source, m.dest) for m in self.moves}))
+
+
+class PartitionTable:
+    """Authoritative ``placement key -> owner shard`` map."""
+
+    def __init__(self) -> None:
+        self._owners: Dict[str, str] = {}
+        self._migrating: Set[str] = set()
+        self.version = 0
+        self.flips = 0
+
+    def owner(self, key: str) -> Optional[str]:
+        return self._owners.get(key)
+
+    # -- migration guard -------------------------------------------------
+    # While a key is mid-handoff (tailer drained, table not yet flipped)
+    # a fresh send routed to the source would be stranded on a partition
+    # about to be retired.  Routing refuses migrating keys instead; the
+    # rebalance engine marks them at fence time and clears them after
+    # retire, so the refusal window is exactly the handoff.
+    def begin_migration(self, keys: Sequence[str]) -> None:
+        self._migrating.update(keys)
+
+    def end_migration(self, keys: Sequence[str]) -> None:
+        self._migrating.difference_update(keys)
+
+    def is_migrating(self, key: str) -> bool:
+        return key in self._migrating
+
+    @property
+    def migrating_keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._migrating))
+
+    def assign(self, key: str, shard_id: str) -> None:
+        """First assignment of a fresh key (destination creation)."""
+        if key in self._owners:
+            raise ValueError(f"key {key!r} already assigned")
+        self._owners[key] = shard_id
+        self.version += 1
+
+    def flip(self, key: str, shard_id: str) -> None:
+        """Commit a handoff: ownership changes hands atomically."""
+        if key not in self._owners:
+            raise ValueError(f"key {key!r} was never assigned")
+        if self._owners[key] != shard_id:
+            self._owners[key] = shard_id
+            self.version += 1
+            self.flips += 1
+
+    def owned_by(self, shard_id: str) -> Tuple[str, ...]:
+        return tuple(
+            sorted(key for key, owner in self._owners.items() if owner == shard_id)
+        )
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._owners))
+
+    def snapshot(self) -> Dict[str, str]:
+        return dict(sorted(self._owners.items()))
+
+
+class TransferLog:
+    """Which ``(key, message id)`` applies a destination has committed."""
+
+    def __init__(self) -> None:
+        self._applied: Set[Tuple[str, int]] = set()
+        self.recorded = 0
+        #: Apply attempts skipped because the pair was already recorded.
+        self.suppressed = 0
+
+    def seen(self, key: str, message_id: int) -> bool:
+        return (key, message_id) in self._applied
+
+    def record(self, key: str, message_id: int) -> None:
+        self._applied.add((key, message_id))
+        self.recorded += 1
+
+    def suppress(self) -> None:
+        self.suppressed += 1
+
+    def __len__(self) -> int:
+        return len(self._applied)
+
+
+class MeshMembership:
+    """Shard lifecycle + ring + fencing lease (the mesh control plane)."""
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        vnodes: int = 32,
+        lease_duration: float = 0.5,
+    ):
+        if not shard_ids:
+            raise ValueError("mesh needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError(f"duplicate shard ids in {list(shard_ids)!r}")
+        self.ring = HashRing(shard_ids, vnodes=vnodes)
+        self.table = PartitionTable()
+        self.transfers = TransferLog()
+        #: Fencing epochs for handoff sessions — the same monotonic
+        #: lease tokens the HA pairs use, so a stale source resuming a
+        #: pre-crash transfer is rejected by epoch comparison alone.
+        self.lease = LeaseCoordinator(duration=lease_duration)
+        self._states: Dict[str, ShardState] = {
+            shard_id: ShardState.ACTIVE for shard_id in shard_ids
+        }
+        self.version = 0
+        self.events: List[MembershipEvent] = []
+
+    # ------------------------------------------------------------------
+    def state(self, shard_id: str) -> ShardState:
+        if shard_id not in self._states:
+            raise ValueError(f"unknown shard {shard_id!r}")
+        return self._states[shard_id]
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._states))
+
+    @property
+    def live_shards(self) -> Tuple[str, ...]:
+        """Shards that can own partitions (everything but DEAD)."""
+        return tuple(
+            sorted(
+                shard_id
+                for shard_id, state in self._states.items()
+                if state is not ShardState.DEAD
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _moves_for(self, target: HashRing) -> Tuple[PartitionMove, ...]:
+        """Diff current table ownership against ``target`` ring owners."""
+        moves: List[PartitionMove] = []
+        for key in self.table.keys():
+            current = self.table.owner(key)
+            wanted = target.owner(key)
+            if current is not None and current != wanted:
+                moves.append(PartitionMove(key=key, source=current, dest=wanted))
+        return tuple(moves)
+
+    def _event(
+        self, kind: str, shard_id: str, moves: Tuple[PartitionMove, ...]
+    ) -> MembershipEvent:
+        self.version += 1
+        event = MembershipEvent(
+            kind=kind, shard_id=shard_id, version=self.version, moves=moves
+        )
+        self.events.append(event)
+        return event
+
+    def join(self, shard_id: str) -> MembershipEvent:
+        """A new shard joins; returns the handoffs that rebalance onto it."""
+        if shard_id in self._states and self._states[shard_id] is not ShardState.DEAD:
+            raise ValueError(f"shard {shard_id!r} already in the mesh")
+        target = self.ring.copy()
+        target.add_node(shard_id)
+        moves = self._moves_for(target)
+        self.ring.add_node(shard_id)
+        self._states[shard_id] = ShardState.JOINING
+        return self._event("join", shard_id, moves)
+
+    def leave(self, shard_id: str) -> MembershipEvent:
+        """A shard leaves gracefully; its keys hand off before it goes."""
+        if self.state(shard_id) is ShardState.DEAD:
+            raise ValueError(f"shard {shard_id!r} is already dead")
+        if len(self.live_shards) <= 1:
+            raise ValueError("cannot drain the last live shard")
+        target = self.ring.copy()
+        target.remove_node(shard_id)
+        moves = self._moves_for(target)
+        self.ring.remove_node(shard_id)
+        self._states[shard_id] = ShardState.LEAVING
+        return self._event("leave", shard_id, moves)
+
+    def crash(self, shard_id: str) -> MembershipEvent:
+        """A shard died; survivors adopt its keys from its journal."""
+        if self.state(shard_id) is ShardState.DEAD:
+            raise ValueError(f"shard {shard_id!r} is already dead")
+        if len(self.live_shards) <= 1:
+            raise ValueError("cannot crash the last live shard")
+        target = self.ring.copy()
+        target.remove_node(shard_id)
+        moves = self._moves_for(target)
+        self.ring.remove_node(shard_id)
+        self._states[shard_id] = ShardState.DEAD
+        return self._event("crash", shard_id, moves)
+
+    def activate(self, shard_id: str) -> None:
+        """A JOINING shard finished rebalancing and serves normally."""
+        if self.state(shard_id) is not ShardState.JOINING:
+            raise ValueError(f"shard {shard_id!r} is not joining")
+        self._states[shard_id] = ShardState.ACTIVE
+
+    def retire(self, shard_id: str) -> None:
+        """A LEAVING shard finished draining and departs the mesh."""
+        if self.state(shard_id) is not ShardState.LEAVING:
+            raise ValueError(f"shard {shard_id!r} is not leaving")
+        self._states[shard_id] = ShardState.DEAD

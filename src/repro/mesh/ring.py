@@ -1,0 +1,226 @@
+"""Consistent-hash ring with virtual nodes and deterministic placement.
+
+The mesh places destinations (queues and topics) on shards by hashing
+their :func:`~repro.durability.journal.durable_key`-shaped placement key
+(``"{domain}|{name}"``) onto a 32-bit ring populated with ``vnodes``
+virtual points per shard.  A key is owned by the first virtual point at
+or clockwise after its hash.
+
+Everything here is deterministic by construction — the statics SIM rules
+ban ``hash()`` (salted per process) and entropy, so points come from
+``zlib.crc32`` over UTF-8 bytes and every iteration order is sorted.
+Two processes building a ring from the same shard ids therefore agree on
+every placement, which is what lets the chaos harness treat the ring as
+the mesh's coordination plane.
+
+Placement *proofs* make the two properties rebalancing relies on
+checkable artifacts rather than folklore:
+
+- :func:`prove_placement` — the mapping is a pure function of
+  ``(shard ids, vnodes, keys)``: an independently rebuilt ring produces
+  a byte-identical placement (reported as a CRC digest);
+- :func:`prove_minimal_disruption` — adding a shard only moves keys
+  *onto* the new shard, removing one only moves keys *off* it; every
+  other key stays put.  The moved set is exactly the handoff work list.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..durability.journal import durable_key
+
+__all__ = [
+    "HashRing",
+    "PlacementProof",
+    "placement_key",
+    "prove_minimal_disruption",
+    "prove_placement",
+    "ring_point",
+]
+
+#: Size of the hash space (crc32 is 32-bit).
+RING_SPACE = 1 << 32
+
+
+def ring_point(data: str) -> int:
+    """Deterministic 32-bit ring coordinate of a string."""
+    return zlib.crc32(data.encode("utf-8")) & 0xFFFFFFFF
+
+
+def placement_key(domain: str, name: str) -> str:
+    """The ring key of a destination — PR 5's durable-key shape.
+
+    ``durable_key`` already defines the stable ``"a|b"`` identity format
+    the journal uses for durable subscriptions; reusing it means a
+    destination's placement identity and its journal identity agree.
+    """
+    if domain not in ("queue", "topic"):
+        raise ValueError(f"domain must be 'queue' or 'topic', got {domain!r}")
+    if not name:
+        raise ValueError("destination name must be non-empty")
+    return durable_key(domain, name)
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to shard ids."""
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 32):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        #: Sorted ``(point, node)`` pairs; ties broken by node id so the
+        #: ring is a pure function of its membership.
+        self._ring: List[Tuple[int, str]] = []
+        self._points: List[int] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for node in self._nodes:
+            for replica in range(self.vnodes):
+                points.append((ring_point(f"{node}#vn{replica}"), node))
+        points.sort()
+        self._ring = points
+        self._points = [point for point, _node in points]
+
+    def add_node(self, node: str) -> None:
+        if not node:
+            raise ValueError("node id must be non-empty")
+        if "|" in node:
+            raise ValueError(f"node id must not contain '|', got {node!r}")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        self._nodes.sort()
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def copy(self) -> "HashRing":
+        return HashRing(self._nodes, vnodes=self.vnodes)
+
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first virtual point clockwise."""
+        if not self._ring:
+            raise ValueError("ring has no nodes")
+        index = bisect.bisect_left(self._points, ring_point(key))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Owner of every key, in sorted-key order."""
+        return {key: self.owner(key) for key in sorted(set(keys))}
+
+    def weights(self) -> Dict[str, float]:
+        """Fraction of the hash space each node owns (arc lengths)."""
+        if not self._ring:
+            return {}
+        totals: Dict[str, int] = {node: 0 for node in self._nodes}
+        previous = self._ring[-1][0] - RING_SPACE
+        for point, node in self._ring:
+            totals[node] += point - previous
+            previous = point
+        return {node: totals[node] / RING_SPACE for node in self._nodes}
+
+
+@dataclass(frozen=True)
+class PlacementProof:
+    """Checkable evidence about a placement (see module docstring)."""
+
+    keys: int
+    #: CRC digest of the sorted ``key -> owner`` mapping.
+    digest: str
+    #: ``(key, owner_before, owner_after)`` for every key that moved
+    #: (empty for a pure determinism proof).
+    moved: Tuple[Tuple[str, str, str], ...]
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _digest(mapping: Dict[str, str]) -> str:
+    text = "\n".join(f"{key}={owner}" for key, owner in sorted(mapping.items()))
+    return f"{zlib.crc32(text.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def prove_placement(ring: HashRing, keys: Iterable[str]) -> PlacementProof:
+    """Prove placement is a pure function of (membership, vnodes, keys).
+
+    Rebuilds an independent ring from the same node ids and checks the
+    two placements agree key-for-key.
+    """
+    wanted = sorted(set(keys))
+    first = ring.placement(wanted)
+    rebuilt = HashRing(ring.nodes, vnodes=ring.vnodes).placement(wanted)
+    violations = tuple(
+        f"key {key!r}: {first[key]!r} != rebuilt {rebuilt[key]!r}"
+        for key in wanted
+        if first[key] != rebuilt[key]
+    )
+    return PlacementProof(
+        keys=len(wanted), digest=_digest(first), moved=(), violations=violations
+    )
+
+
+def prove_minimal_disruption(
+    before: HashRing, after: HashRing, keys: Iterable[str]
+) -> PlacementProof:
+    """Prove a membership change only moves keys it had to move.
+
+    For joined nodes every moved key must land *on* a joined node; for
+    removed nodes every moved key must come *off* a removed node.  The
+    returned ``moved`` tuple is exactly the rebalancer's work list.
+    """
+    wanted = sorted(set(keys))
+    old = before.placement(wanted)
+    new = after.placement(wanted)
+    joined = set(after.nodes) - set(before.nodes)
+    removed = set(before.nodes) - set(after.nodes)
+    moved: List[Tuple[str, str, str]] = []
+    violations: List[str] = []
+    for key in wanted:
+        if old[key] == new[key]:
+            continue
+        moved.append((key, old[key], new[key]))
+        if joined and new[key] not in joined and old[key] not in removed:
+            violations.append(
+                f"key {key!r} moved {old[key]!r}->{new[key]!r} without "
+                f"touching a joined node {sorted(joined)}"
+            )
+        if removed and old[key] not in removed and new[key] not in joined:
+            violations.append(
+                f"key {key!r} moved {old[key]!r}->{new[key]!r} though its "
+                f"owner did not leave {sorted(removed)}"
+            )
+    return PlacementProof(
+        keys=len(wanted),
+        digest=_digest(new),
+        moved=tuple(moved),
+        violations=tuple(violations),
+    )

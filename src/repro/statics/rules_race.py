@@ -45,6 +45,10 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "LeaseCoordinator",
     "SimulatedLink",
     "ReplicatedPair",
+    "ShardedBroker",
+    "MeshMembership",
+    "PartitionTable",
+    "HashRing",
 )
 
 

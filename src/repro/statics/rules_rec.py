@@ -36,6 +36,7 @@ DEFAULT_ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
     ("durability/recovery.py", "fold_records"),
     ("durability/recovery.py", "recover_broker"),
     ("replication/standby.py", "StandbyReplica.promote"),
+    ("mesh/sharded.py", "ShardedBroker.recover"),
 )
 
 

@@ -99,11 +99,40 @@ class TestSsrFailover:
             report.degraded_mean_wait, rel=0.25
         )
 
-    def test_fractional_absorption_rejected_in_simulation(self):
-        with pytest.raises(ValueError, match="integral"):
-            simulate_degraded_survivor(
-                params(subscribers=3), "ssr", failed=1, system_rate=10.0, horizon=1.0
-            )
+    def test_fractional_absorption_simulates_worst_survivor(self):
+        # 3 subscribers, 1 failure: f = 3/2 is fractional, so the
+        # simulation runs the worst-loaded survivor (absorbs ⌈3/2⌉ = 2
+        # subscribers) and bounds the exact fractional formula from above.
+        p = params(subscribers=3)
+        rate = 0.4 * ssr_failover(p, failed=0).healthy_capacity
+        report = ssr_failover(p, failed=1, system_rate=rate)
+        sim = simulate_degraded_survivor(
+            p, "ssr", failed=1, system_rate=rate, horizon=50.0, seed=3, cpu_scale=100.0
+        )
+        assert sim.utilization >= report.degraded_utilization * 0.95
+
+    def test_two_server_pair_regression(self):
+        # The original two-server case (m=2, one fails, the survivor
+        # absorbs everything): ⌈2/1⌉ = 2 is the exact absorption factor,
+        # so the simulation still matches the closed form as before.
+        p = params(subscribers=2)
+        rate = 0.35 * ssr_failover(p, failed=0).healthy_capacity
+        report = ssr_failover(p, failed=1, system_rate=rate)
+        sim = simulate_degraded_survivor(
+            p, "ssr", failed=1, system_rate=rate, horizon=50.0, seed=3, cpu_scale=100.0
+        )
+        assert sim.utilization == pytest.approx(report.degraded_utilization, rel=0.05)
+
+    def test_worst_survivor_absorption_helper(self):
+        from repro.architectures.failover import worst_survivor_absorption
+
+        assert worst_survivor_absorption(4, 2) == 2
+        assert worst_survivor_absorption(3, 2) == 2
+        assert worst_survivor_absorption(5, 5) == 1
+        with pytest.raises(ValueError):
+            worst_survivor_absorption(2, 0)
+        with pytest.raises(ValueError):
+            worst_survivor_absorption(2, 3)
 
 
 class TestReplicatedFailover:

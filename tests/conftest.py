@@ -33,6 +33,8 @@ if not _HAVE_NUMPY:  # pragma: no cover - depends on environment
         "integration",
         "overload",
         "testbed",
+        # the mesh itself is numpy-free; only its capacity model is not
+        "mesh/test_mesh_capacity.py",
         # the CLI wires in the (numpy-backed) analysis layer at import
         "test_cli.py",
         "test_doctests.py",
@@ -44,12 +46,17 @@ def check_conserved(stats, consumers=(), context=""):
 
     Two shapes are understood:
 
-    * a :class:`~repro.broker.queues.PointToPointQueue` — checks
-      ``enqueued + restored == acked + expired + dropped + dead-lettered
-      + lost-on-crash + discarded-on-crash + depth +
+    * a :class:`~repro.broker.queues.PointToPointQueue` (or the mesh's
+      aggregated ledger, which has the same shape) — checks
+      ``enqueued + restored + transferred_in == acked + expired + dropped
+      + dead-lettered + lost-on-crash + discarded-on-crash +
+      transferred_out + dropped_on_handoff + depth +
       in-flight(consumers)`` (``restored``/``discarded_on_crash`` are the
       journal-recovery legs: a journalled crash discards in-memory
-      copies, replay reinstates the committed ones);
+      copies, replay reinstates the committed ones;
+      ``transferred_in``/``transferred_out``/``dropped_on_handoff`` are
+      the mesh-handoff legs: a rebalanced message leaves its source shard
+      as transferred-out and enters the destination as transferred-in);
     * an experiment result exposing a boolean ``conserved`` property
       (``repro.faults`` / ``repro.overload``) — asserts it, surfacing
       ``to_metrics()`` in the failure message when available.
@@ -57,7 +64,11 @@ def check_conserved(stats, consumers=(), context=""):
     suffix = f" [{context}]" if context else ""
     if hasattr(stats, "enqueued") and hasattr(stats, "depth"):
         in_flight = sum(len(c.inbox) + len(c.unacked) for c in consumers)
-        accepted = stats.enqueued + getattr(stats, "restored", 0)
+        accepted = (
+            stats.enqueued
+            + getattr(stats, "restored", 0)
+            + getattr(stats, "transferred_in", 0)
+        )
         fates = (
             stats.acked
             + stats.expired_at_drain
@@ -67,8 +78,14 @@ def check_conserved(stats, consumers=(), context=""):
             + stats.deadline_shed
             + stats.lost_on_crash
             + getattr(stats, "discarded_on_crash", 0)
+            + getattr(stats, "transferred_out", 0)
+            + getattr(stats, "dropped_on_handoff", 0)
             + stats.depth
             + in_flight
+            # The mesh ledger pre-aggregates its consumers' in-flight
+            # deliveries (plain queues carry no such attribute — pass
+            # ``consumers`` for those instead, never both).
+            + getattr(stats, "in_flight", 0)  # repro: ignore[LEDGER002]
         )
         assert accepted == fates, (
             f"queue ledger imbalanced{suffix}: accepted {accepted} != fates {fates} "
@@ -77,6 +94,9 @@ def check_conserved(stats, consumers=(), context=""):
             f"{stats.dropped_oldest}+{stats.deadline_shed} "
             f"lost={stats.lost_on_crash} "
             f"discarded={getattr(stats, 'discarded_on_crash', 0)} "
+            f"transferred={getattr(stats, 'transferred_in', 0)}in/"
+            f"{getattr(stats, 'transferred_out', 0)}out "
+            f"handoff_dropped={getattr(stats, 'dropped_on_handoff', 0)} "
             f"depth={stats.depth} in_flight={in_flight})"
         )
         return

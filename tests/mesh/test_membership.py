@@ -1,0 +1,125 @@
+"""Tests for the mesh control plane: lifecycle, table, transfer log."""
+
+import pytest
+
+from repro.mesh.membership import MeshMembership, PartitionTable, ShardState, TransferLog
+
+
+class TestPartitionTable:
+    def test_assign_then_flip(self):
+        table = PartitionTable()
+        table.assign("queue|a", "s0")
+        assert table.owner("queue|a") == "s0"
+        table.flip("queue|a", "s1")
+        assert table.owner("queue|a") == "s1"
+        assert table.flips == 1
+
+    def test_double_assign_rejected(self):
+        table = PartitionTable()
+        table.assign("queue|a", "s0")
+        with pytest.raises(ValueError):
+            table.assign("queue|a", "s1")
+
+    def test_flip_requires_prior_assignment(self):
+        with pytest.raises(ValueError):
+            PartitionTable().flip("queue|a", "s0")
+
+    def test_same_owner_flip_is_a_noop(self):
+        table = PartitionTable()
+        table.assign("queue|a", "s0")
+        version = table.version
+        table.flip("queue|a", "s0")
+        assert table.version == version and table.flips == 0
+
+    def test_migration_guard(self):
+        table = PartitionTable()
+        table.assign("queue|a", "s0")
+        table.begin_migration(["queue|a"])
+        assert table.is_migrating("queue|a")
+        assert table.migrating_keys == ("queue|a",)
+        table.end_migration(["queue|a"])
+        assert not table.is_migrating("queue|a")
+
+
+class TestTransferLog:
+    def test_idempotency_bookkeeping(self):
+        log = TransferLog()
+        assert not log.seen("queue|a", 7)
+        log.record("queue|a", 7)
+        assert log.seen("queue|a", 7)
+        assert not log.seen("queue|a", 8)
+        log.suppress()
+        assert (log.recorded, log.suppressed, len(log)) == (1, 1, 1)
+
+
+class TestMeshMembership:
+    def test_initial_states_active(self):
+        mesh = MeshMembership(["s0", "s1"])
+        assert mesh.live_shards == ("s0", "s1")
+        assert mesh.state("s0") is ShardState.ACTIVE
+
+    def test_join_emits_moves_onto_the_new_shard(self):
+        mesh = MeshMembership(["s0", "s1"])
+        for i in range(24):
+            key = f"queue|q-{i}"
+            mesh.table.assign(key, mesh.ring.owner(key))
+        event = mesh.join("s2")
+        assert event.kind == "join"
+        assert mesh.state("s2") is ShardState.JOINING
+        assert all(move.dest == "s2" for move in event.moves)
+        mesh.activate("s2")
+        assert mesh.state("s2") is ShardState.ACTIVE
+
+    def test_leave_moves_everything_off_the_leaver(self):
+        mesh = MeshMembership(["s0", "s1", "s2"])
+        for i in range(24):
+            key = f"queue|q-{i}"
+            mesh.table.assign(key, mesh.ring.owner(key))
+        owned = mesh.table.owned_by("s2")
+        event = mesh.leave("s2")
+        assert {move.key for move in event.moves} == set(owned)
+        assert all(move.source == "s2" for move in event.moves)
+        mesh.retire("s2")
+        assert mesh.state("s2") is ShardState.DEAD
+
+    def test_crash_is_leave_without_grace(self):
+        mesh = MeshMembership(["s0", "s1"])
+        event = mesh.crash("s1")
+        assert event.kind == "crash"
+        assert mesh.state("s1") is ShardState.DEAD
+        assert mesh.live_shards == ("s0",)
+
+    def test_last_live_shard_cannot_go(self):
+        mesh = MeshMembership(["s0", "s1"])
+        mesh.crash("s1")
+        with pytest.raises(ValueError):
+            mesh.crash("s0")
+        with pytest.raises(ValueError):
+            mesh.leave("s0")
+
+    def test_dead_shard_may_rejoin(self):
+        mesh = MeshMembership(["s0", "s1"])
+        mesh.crash("s1")
+        event = mesh.join("s1")
+        assert event.kind == "join"
+        assert mesh.state("s1") is ShardState.JOINING
+
+    def test_lifecycle_guards(self):
+        mesh = MeshMembership(["s0", "s1"])
+        with pytest.raises(ValueError):
+            mesh.activate("s0")  # not joining
+        with pytest.raises(ValueError):
+            mesh.retire("s0")  # not leaving
+        with pytest.raises(ValueError):
+            mesh.join("s0")  # already a live member
+        with pytest.raises(ValueError):
+            MeshMembership([])
+        with pytest.raises(ValueError):
+            MeshMembership(["a", "a"])
+
+    def test_event_log_versions_monotonic(self):
+        mesh = MeshMembership(["s0", "s1"])
+        mesh.join("s2")
+        mesh.leave("s1")
+        versions = [event.version for event in mesh.events]
+        assert versions == sorted(versions) == list(set(versions))

@@ -1,0 +1,127 @@
+"""Tests for the superposed-M/G/1 mesh capacity model."""
+
+import pytest
+
+from repro.architectures.base import SystemParameters
+from repro.architectures.psr import PublisherSideReplication
+from repro.architectures.ssr import SubscriberSideReplication
+from repro.core import CORRELATION_ID_COSTS
+from repro.mesh.capacity import (
+    mesh_capacity,
+    mesh_capacity_curve,
+    validate_mesh_capacity,
+)
+from repro.mesh.ring import HashRing
+
+PARAMS = SystemParameters(
+    costs=CORRELATION_ID_COSTS,
+    publishers=2,
+    subscribers=8,
+    filters_per_subscriber=10,
+    mean_replication=1.0,
+    rho=0.9,
+)
+
+
+class TestFig15Equivalences:
+    def test_psr_at_two_uniform_shards_recovers_eq21(self):
+        report = mesh_capacity(PARAMS, ["s0", "s1"], placement="psr")
+        expected = PublisherSideReplication(PARAMS).system_capacity()
+        assert report.capacity == pytest.approx(expected)
+        assert report.skew == pytest.approx(1.0)
+
+    def test_psr_scales_like_eq21_for_any_n(self):
+        params = SystemParameters(
+            costs=CORRELATION_ID_COSTS,
+            publishers=5,
+            subscribers=8,
+            filters_per_subscriber=10,
+        )
+        report = mesh_capacity(params, [f"s{i}" for i in range(5)], placement="psr")
+        assert report.capacity == pytest.approx(
+            PublisherSideReplication(params).system_capacity()
+        )
+
+    def test_ssr_at_m_uniform_shards_recovers_eq22(self):
+        shard_ids = [f"s{i}" for i in range(PARAMS.subscribers)]
+        report = mesh_capacity(PARAMS, shard_ids, placement="ssr")
+        expected = SubscriberSideReplication(PARAMS).system_capacity()
+        assert report.capacity == pytest.approx(expected)
+
+
+class TestCapacityModel:
+    def test_partitioned_capacity_grows_with_shard_count(self):
+        curve = mesh_capacity_curve(PARAMS, [1, 2, 4, 8])
+        capacities = [curve[n].capacity for n in (1, 2, 4, 8)]
+        assert capacities == sorted(capacities)
+        assert capacities[0] < capacities[-1]
+
+    def test_real_ring_weights_cost_skew(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=16)
+        report = mesh_capacity(PARAMS, ring)
+        assert 0.0 < report.skew <= 1.0
+        # a real ring is never perfectly balanced at low vnode counts
+        assert report.skew < 1.0
+        assert report.bottleneck.weight == max(s.weight for s in report.shards)
+
+    def test_uniform_weights_have_no_skew(self):
+        report = mesh_capacity(PARAMS, {"s0": 0.5, "s1": 0.5})
+        assert report.skew == pytest.approx(1.0)
+
+    def test_weights_are_normalized(self):
+        doubled = mesh_capacity(PARAMS, {"s0": 1.0, "s1": 1.0})
+        uniform = mesh_capacity(PARAMS, {"s0": 0.5, "s1": 0.5})
+        assert doubled.capacity == pytest.approx(uniform.capacity)
+
+    def test_mean_waits_at_offered_rate(self):
+        report = mesh_capacity(
+            PARAMS, ["s0", "s1"], system_rate=0.5 * mesh_capacity(
+                PARAMS, ["s0", "s1"]
+            ).capacity,
+        )
+        assert report.mean_waits is not None
+        assert all(w is not None and w > 0 for w in report.mean_waits)
+
+    def test_unstable_shard_reports_none_wait(self):
+        base = mesh_capacity(PARAMS, ["s0", "s1"])
+        report = mesh_capacity(
+            PARAMS, ["s0", "s1"], system_rate=2.0 * base.capacity
+        )
+        assert report.mean_waits is not None
+        assert all(w is None for w in report.mean_waits)
+
+    def test_report_to_dict_shape(self):
+        report = mesh_capacity(PARAMS, ["s0", "s1"])
+        payload = report.to_dict()
+        assert payload["shard_count"] == 2
+        assert payload["placement"] == "partitioned"
+        assert len(payload["shards"]) == 2
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            mesh_capacity(PARAMS, [])
+        with pytest.raises(ValueError):
+            mesh_capacity(PARAMS, {"s0": 0.0})
+        with pytest.raises(ValueError):
+            mesh_capacity(PARAMS, ["s0"], placement="mesh-of-dreams")
+        with pytest.raises(ValueError):
+            mesh_capacity_curve(PARAMS, [0])
+
+
+class TestDESValidation:
+    def test_closed_form_within_five_percent_of_des(self):
+        validation = validate_mesh_capacity(PARAMS, shard_counts=(1, 2, 4, 8))
+        assert validation.ok, validation.to_dict()
+        assert validation.max_rel_err <= 0.05
+        assert [row.shard_count for row in validation.rows] == [1, 2, 4, 8]
+
+    def test_fractional_per_shard_replication_rejected(self):
+        params = SystemParameters(
+            costs=CORRELATION_ID_COSTS,
+            publishers=2,
+            subscribers=4,
+            filters_per_subscriber=10,
+            mean_replication=1.5,
+        )
+        with pytest.raises(ValueError):
+            validate_mesh_capacity(params, shard_counts=(2,))

@@ -1,0 +1,97 @@
+"""Tests for the consistent-hash ring and its placement proofs."""
+
+import pytest
+
+from repro.mesh.ring import (
+    RING_SPACE,
+    HashRing,
+    placement_key,
+    prove_minimal_disruption,
+    prove_placement,
+    ring_point,
+)
+
+KEYS = [placement_key("queue", f"orders-{i}") for i in range(40)] + [
+    placement_key("topic", f"news.sport.{i}") for i in range(10)
+]
+
+
+class TestRingPoint:
+    def test_deterministic_and_bounded(self):
+        assert ring_point("queue|orders-1") == ring_point("queue|orders-1")
+        assert 0 <= ring_point("anything") < RING_SPACE
+
+    def test_placement_key_shape(self):
+        assert placement_key("queue", "orders") == "queue|orders"
+        with pytest.raises(ValueError):
+            placement_key("mailbox", "orders")
+        with pytest.raises(ValueError):
+            placement_key("queue", "")
+
+
+class TestHashRing:
+    def test_owner_is_deterministic(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        again = HashRing(["s2", "s1", "s0"])  # construction order irrelevant
+        for key in KEYS:
+            assert ring.owner(key) == again.owner(key)
+
+    def test_placement_covers_every_key(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        placement = ring.placement(KEYS)
+        assert sorted(placement) == sorted(KEYS)
+        assert set(placement.values()) <= {"s0", "s1", "s2"}
+
+    def test_weights_sum_to_one(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        weights = ring.weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        # vnodes keep the split reasonably balanced
+        assert all(0.1 < w < 0.7 for w in weights.values())
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([]).owner("queue|x")
+
+    def test_node_validation(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.add_node("s0")
+        with pytest.raises(ValueError):
+            ring.add_node("bad|name")
+        with pytest.raises(ValueError):
+            ring.remove_node("missing")
+
+
+class TestPlacementProofs:
+    def test_prove_placement_passes(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        proof = prove_placement(ring, KEYS)
+        assert proof.ok, proof.violations
+        assert proof.digest == prove_placement(ring, KEYS).digest
+
+    def test_digest_changes_with_membership(self):
+        before = prove_placement(HashRing(["s0", "s1"]), KEYS)
+        after = prove_placement(HashRing(["s0", "s1", "s2"]), KEYS)
+        assert before.digest != after.digest
+
+    def test_minimal_disruption_on_join(self):
+        before = HashRing(["s0", "s1", "s2"])
+        after = before.copy()
+        after.add_node("s3")
+        proof = prove_minimal_disruption(before, after, KEYS)
+        assert proof.ok, proof.violations
+        # every moved key lands on the joining node, nothing reshuffles
+        for _key, _old, new_owner in proof.moved:
+            assert new_owner == "s3"
+        # consistent hashing moves roughly 1/4 of the keys, never most
+        assert len(proof.moved) < len(KEYS) / 2
+
+    def test_minimal_disruption_on_leave(self):
+        before = HashRing(["s0", "s1", "s2"])
+        after = before.copy()
+        after.remove_node("s1")
+        proof = prove_minimal_disruption(before, after, KEYS)
+        assert proof.ok, proof.violations
+        for _key, old_owner, _new in proof.moved:
+            assert old_owner == "s1"

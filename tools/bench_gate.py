@@ -1,20 +1,21 @@
 #!/usr/bin/env python
-"""Record the hot-path perf baseline (BENCH_hotpath.json) and gate on it.
+"""Record a perf/robustness baseline and gate on its acceptance block.
 
-Runs the three hot-path benchmarks — compiled selector evaluation vs.
-the tree-walking interpreter, memoized dispatch planning vs. cold
-filter scans, and engine events/s with single-draw vs. batched RNG
-sampling — then writes the payload and exits non-zero unless
+Two suites:
 
-* compiled selector evaluation is >= 3x the interpreter,
-* warm memoized dispatch is >= 5x cold planning,
-* the compiled/interpreted verdicts agree on every (selector, message)
-  pair and the cold/warm ``DispatchPlan.matches`` are identical.
+* ``--suite hotpath`` (default) — BENCH_hotpath.json: compiled selector
+  evaluation vs. the tree-walking interpreter, memoized dispatch
+  planning vs. cold filter scans, and engine events/s with single-draw
+  vs. batched RNG sampling.  Gates on the speedup ratios (>= 3x
+  compiled selectors, >= 5x warm dispatch) and the compiled/interpreted
+  equivalence counters; absolute rates are machine-dependent context.
+* ``--suite mesh`` — BENCH_mesh.json via
+  :mod:`tools.record_bench_mesh`: capacity vs shard count (DES-checked
+  to 5%), clean rebalance cost, and the cross-shard chaos matrix (zero
+  violations, >= 200 points in full mode).
 
-Absolute rates in the JSON are machine-dependent and recorded for
-context only; the gate asserts the ratios and equivalence counters.
-
-Usage: PYTHONPATH=src python tools/bench_gate.py [output.json] [--fast]
+Usage: PYTHONPATH=src python tools/bench_gate.py [output.json]
+           [--fast] [--suite hotpath|mesh]
 """
 
 from __future__ import annotations
@@ -25,22 +26,46 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench import format_hotpath_report, run_hotpath_bench
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _run_hotpath(fast: bool) -> dict:
+    from repro.bench import format_hotpath_report, run_hotpath_bench
+
+    payload = run_hotpath_bench(fast=fast)
+    print(format_hotpath_report(payload))
+    return payload
+
+
+def _run_mesh(fast: bool) -> dict:
+    from record_bench_mesh import record
+
+    return record(fast=fast)
 
 
 def main(argv: list[str]) -> int:
     fast = "--fast" in argv
-    positional = [arg for arg in argv if not arg.startswith("-")]
+    suite = "hotpath"
+    if "--suite" in argv:
+        suite = argv[argv.index("--suite") + 1]
+    positional = [
+        arg
+        for i, arg in enumerate(argv)
+        if not arg.startswith("-") and (i == 0 or argv[i - 1] != "--suite")
+    ]
+    if suite not in ("hotpath", "mesh"):
+        print(f"unknown suite {suite!r} (want hotpath or mesh)", file=sys.stderr)
+        return 2
     out = pathlib.Path(
-        positional[0]
-        if positional
-        else pathlib.Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+        positional[0] if positional else REPO / f"BENCH_{suite}.json"
     )
-    payload = run_hotpath_bench(fast=fast)
+    payload = _run_hotpath(fast) if suite == "hotpath" else _run_mesh(fast)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
-    print(format_hotpath_report(payload))
-    return 0 if payload["acceptance"]["pass"] else 1  # type: ignore[index]
+    acceptance = payload["acceptance"]
+    for name, ok in acceptance.items():
+        print(f"acceptance: {name} = {ok}")
+    return 0 if acceptance["pass"] else 1
 
 
 if __name__ == "__main__":

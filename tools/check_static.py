@@ -51,6 +51,9 @@ IMPORT_SMOKE = (
     "repro.replication",
     "repro.replication.pair",
     "repro.replication.harness",
+    "repro.mesh",
+    "repro.mesh.rebalance",
+    "repro.mesh.harness",
     "repro.analysis.overload",
     "repro.architectures.failover",
     "repro.simulation._backend",
