@@ -56,6 +56,66 @@ def test_zero_body_is_the_paper_model(size_sweep):
     assert size_sweep[0].mean_service_time_equivalent == pytest.approx(expected, rel=1e-9)
 
 
+@pytest.fixture(scope="module")
+def segmentation_sweep():
+    """Batch-size axis: one application payload split into b segments.
+
+    Ikegawa-style segmentation turns a 10 kB publish into a *batch* of b
+    wire messages of 10 kB / b each, arriving back-to-back at the server
+    — an M^X/G/1 arrival stream with X == b.  Each segment pays the
+    fixed per-message cost plus its share of the per-byte cost, so
+    finer segmentation trades smaller service quanta against more
+    fixed overhead *and* the batch-arrival waiting penalty.
+    """
+    from repro.core import DeterministicBatchSize, MXG1Queue, Moments
+
+    payload_bytes = 10_000
+    base_cost = 200e-6  # fixed per-segment service (header parse, dispatch)
+    publish_rate = 100.0  # application messages (batch epochs) per second
+    results = {}
+    rows = []
+    for segments in (1, 2, 4, 8, 16, 32):
+        per_segment = base_cost + (payload_bytes / segments) * PER_BYTE
+        service = Moments(per_segment, per_segment**2, per_segment**3)
+        model = MXG1Queue(
+            batch_rate=publish_rate,
+            batch=DeterministicBatchSize(segments),
+            service=service,
+        )
+        results[segments] = model
+        rows.append(
+            [
+                segments,
+                f"{per_segment * 1e6:.1f}",
+                f"{model.utilization:.3f}",
+                f"{model.mean_wait * 1e3:.3f}",
+                f"{model.batching_penalty:.2f}",
+            ]
+        )
+    banner("Ablation: payload segmentation (batch arrivals, 10 kB payload)")
+    report(
+        format_table(
+            ["segments", "E[B]/seg (us)", "rho", "E[W] (ms)", "batch penalty"],
+            rows,
+        )
+    )
+    return results
+
+
+def test_single_segment_is_plain_mg1(segmentation_sweep):
+    model = segmentation_sweep[1]
+    mg1 = model.as_mg1()
+    assert model.mean_wait == pytest.approx(mg1.mean_wait, rel=1e-12)
+    assert model.batching_penalty == pytest.approx(1.0)
+
+
+def test_segmentation_inflates_waits(segmentation_sweep):
+    """Fixed overhead + batch arrivals: finer segments wait longer."""
+    waits = [segmentation_sweep[b].mean_wait for b in (1, 2, 4, 8, 16, 32)]
+    assert waits == sorted(waits)
+    assert segmentation_sweep[32].batching_penalty > segmentation_sweep[2].batching_penalty
+
+
 def test_bench_sized_run(benchmark, size_sweep, measurement_base):
     config = measurement_base.with_(
         replication_grade=5, n_additional=20, body_size=10_000, per_byte_cost=PER_BYTE

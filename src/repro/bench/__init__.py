@@ -7,6 +7,15 @@ engine throughput with and without batched RNG sampling.  Run via
 ``python -m repro bench`` or ``tools/bench_gate.py``.
 """
 
+from .batch import (
+    BatchAcceptance,
+    batch_message_corpus,
+    bench_batch_degeneration,
+    bench_batch_model,
+    bench_batch_publish,
+    format_batch_report,
+    run_batch_bench,
+)
 from .hotpath import (
     HotpathAcceptance,
     bench_dispatch,
@@ -17,10 +26,17 @@ from .hotpath import (
 )
 
 __all__ = [
+    "BatchAcceptance",
     "HotpathAcceptance",
+    "batch_message_corpus",
+    "bench_batch_degeneration",
+    "bench_batch_model",
+    "bench_batch_publish",
     "bench_dispatch",
     "bench_selector_eval",
     "bench_simulation",
+    "format_batch_report",
     "format_hotpath_report",
+    "run_batch_bench",
     "run_hotpath_bench",
 ]

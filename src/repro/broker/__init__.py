@@ -9,8 +9,8 @@ scan per message, matching the measured (un-optimized) FioranoMQ
 behaviour.
 """
 
-from .dispatch import DispatchPlan, plan_dispatch
-from .dispatch_cache import DispatchMemo
+from .dispatch import DispatchPlan, plan_dispatch, plan_dispatch_batch
+from .dispatch_cache import DispatchMemo, message_fingerprint
 from .filter_index import FilterIndex
 from .hierarchy import TopicPattern, TopicTrie, split_topic
 from .queues import (
@@ -36,12 +36,19 @@ from .flow_control import FlowController
 from .lint import DeploymentAudit, TopicAudit, audit_broker, audit_selectors, render_audit
 from .message import DeliveredMessage, DeliveryMode, Message
 from .selector import Selector, SelectorAnalysis, analyze
-from .server import SELECTOR_POLICIES, Broker, BrokerCrashReport, PublishResult
+from .server import (
+    SELECTOR_POLICIES,
+    BatchPublishResult,
+    Broker,
+    BrokerCrashReport,
+    PublishResult,
+)
 from .stats import BrokerStats
 from .subscriptions import Subscriber, Subscription
 from .topics import Topic, TopicRegistry
 
 __all__ = [
+    "BatchPublishResult",
     "Broker",
     "BrokerCrashReport",
     "BrokerStats",
@@ -86,6 +93,8 @@ __all__ = [
     "analyze",
     "audit_broker",
     "audit_selectors",
+    "message_fingerprint",
     "plan_dispatch",
+    "plan_dispatch_batch",
     "render_audit",
 ]

@@ -17,7 +17,7 @@ from typing import List, Sequence
 from .message import Message
 from .subscriptions import Subscription
 
-__all__ = ["DispatchPlan", "plan_dispatch"]
+__all__ = ["DispatchPlan", "plan_dispatch", "plan_dispatch_batch"]
 
 
 @dataclass(frozen=True)
@@ -67,3 +67,37 @@ def plan_dispatch(message: Message, subscriptions: Sequence[Subscription]) -> Di
         matches=tuple(matches),
         filters_evaluated=filters_evaluated,
     )
+
+
+def plan_dispatch_batch(
+    messages: Sequence[Message], subscriptions: Sequence[Subscription]
+) -> List[DispatchPlan]:
+    """Plan a batch of messages with the subscription loop inverted.
+
+    Subscription-outer / message-inner: each subscription's filter check
+    (the bound ``matches`` of its filter, usually a compiled selector
+    closure) is resolved once and run over the whole batch, instead of
+    re-resolving it per message.  The verdicts — and the per-message
+    ``filters_evaluated`` bill — are exactly those of calling
+    :func:`plan_dispatch` on each message.
+    """
+    per_message: List[List[Subscription]] = [[] for _ in messages]
+    filters_evaluated = 0
+    for subscription in subscriptions:
+        if subscription.filter.is_trivial:
+            for matches in per_message:
+                matches.append(subscription)
+            continue
+        filters_evaluated += 1
+        accepts = subscription.filter.matches
+        for index, message in enumerate(messages):
+            if accepts(message):
+                per_message[index].append(subscription)
+    return [
+        DispatchPlan(
+            message=message,
+            matches=tuple(matches),
+            filters_evaluated=filters_evaluated,
+        )
+        for message, matches in zip(messages, per_message)
+    ]

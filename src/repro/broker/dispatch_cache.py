@@ -40,7 +40,7 @@ from .dispatch import DispatchPlan
 from .message import Message
 from .subscriptions import Subscription
 
-__all__ = ["DispatchMemo", "VOLATILE_HEADERS"]
+__all__ = ["DispatchMemo", "VOLATILE_HEADERS", "message_fingerprint"]
 
 #: Headers a selector may reference that are NOT already part of the
 #: fingerprint key (topic covers ``JMSDestination``; the correlation ID
@@ -55,6 +55,24 @@ VOLATILE_HEADERS = frozenset(
         "JMSRedelivered",
     }
 )
+
+
+def message_fingerprint(message: Message, header_fields: Tuple[str, ...] = ()) -> object:
+    """Everything a topic's filters can observe, as a hashable key.
+
+    Module-level so the batched publish path can group a message batch by
+    ``(topic, property-shape)`` even when no memo is installed: messages
+    sharing a fingerprint provably share a match-set, so one plan serves
+    the whole group.  Property names are unique, so sorting the triples
+    never compares the (unorderable) type or value slots.
+    """
+    props = tuple(
+        sorted((name, value.__class__, value) for name, value in message.properties.items())
+    )
+    if header_fields:
+        headers = tuple(message.header(name) for name in header_fields)
+        return (message.topic, message.correlation_id, props, headers)
+    return (message.topic, message.correlation_id, props)
 
 
 class DispatchMemo:
@@ -80,15 +98,7 @@ class DispatchMemo:
 
     def fingerprint(self, message: Message) -> object:
         """Everything the topic's filters can observe, as a hashable key."""
-        # Property names are unique, so sorting the triples never compares
-        # the (unorderable) type or value slots.
-        props = tuple(
-            sorted((name, value.__class__, value) for name, value in message.properties.items())
-        )
-        if self.header_fields:
-            headers = tuple(message.header(name) for name in self.header_fields)
-            return (message.topic, message.correlation_id, props, headers)
-        return (message.topic, message.correlation_id, props)
+        return message_fingerprint(message, self.header_fields)
 
     def lookup(self, message: Message) -> Optional[DispatchPlan]:
         """A warm plan for ``message``, or None on a miss.
@@ -105,6 +115,20 @@ class DispatchMemo:
         cache.move_to_end(key)
         self.hits += 1
         return DispatchPlan(message=message, matches=matches, filters_evaluated=0)
+
+    def lookup_batch(self, message: Message, count: int) -> Optional[DispatchPlan]:
+        """One warm probe serving ``count`` same-fingerprint messages.
+
+        The batched publish path groups its batch by fingerprint and
+        probes the memo once per *group*, so a warm group of ``count``
+        messages counts a single hit (and a cold one a single miss) —
+        the probe work happened once, and the accounting says so.  The
+        returned plan bills ``filters_evaluated=0`` once for the whole
+        group, not per message.
+        """
+        if count < 1:
+            raise ValueError(f"batch group count must be >= 1, got {count}")
+        return self.lookup(message)
 
     def store(self, plan: DispatchPlan) -> None:
         """Remember a cold plan's match-set under its message fingerprint."""

@@ -79,9 +79,12 @@ def _validate_property_value(name: str, value: Any) -> Any:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One JMS message.
+
+    Slotted: the testbed allocates one of these per simulated publish, so
+    the per-instance ``__dict__`` is measurable overhead at bench scale.
 
     Example
     -------
@@ -187,7 +190,7 @@ def _value_size(value: Any) -> int:
     return len(str(value).encode("utf-8"))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveredMessage:
     """One dispatched copy of a message, addressed to one subscriber."""
 

@@ -28,7 +28,7 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Set
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from ..durability.journal import Journal
@@ -73,7 +73,7 @@ class DropPolicy(enum.Enum):
 _consumer_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueueDelivery:
     """One message handed to one consumer, awaiting acknowledgement."""
 
@@ -340,6 +340,45 @@ class PointToPointQueue:
         while self.capacity is not None and len(self._backlog) > self.capacity:
             self._shed_overflow(now)
         return self.delivered > before
+
+    def send_batch(self, messages: Sequence[Message], now: float = 0.0) -> int:
+        """Enqueue a batch of messages in one ledger transaction.
+
+        Returns the number of messages delivered to a consumer inbox
+        during the call.  Observable per-message fates (delivery order,
+        expiry, journal rejection, overflow shedding) are exactly those
+        of calling :meth:`send` once per message in order; what batching
+        changes is the journal write pattern: all write-ahead PUBLISH
+        appends happen back to back *before* any backlog mutation, so
+        under a group-commit sync policy the whole batch shares fsyncs
+        (the ``t_sync/b`` amortization) instead of paying one per send.
+
+        The drain/shed pass still runs per message — draining once at
+        the end would shed arrivals a sequential sender's consumers
+        would have absorbed between sends on a bounded queue.
+        """
+        delivered_before = self.delivered
+        admitted: List[Message] = []
+        for message in messages:
+            if message.expired(now):
+                self.expired += 1
+                if self.stats is not None:
+                    self.stats.expired += 1
+                continue
+            if self.journal is not None and message.delivery_mode is DeliveryMode.PERSISTENT:
+                if not self._journal_safe(
+                    "log_publish", "queue", self.name, message, now=now
+                ):
+                    continue  # never committed; queue state untouched
+                self._journaled.add(message.message_id)
+            admitted.append(message)
+        for message in admitted:
+            self.enqueued += 1
+            self._backlog.append((message, False))
+            self._drain(now)
+            while self.capacity is not None and len(self._backlog) > self.capacity:
+                self._shed_overflow(now)
+        return self.delivered - delivered_before
 
     def _shed_overflow(self, now: float) -> None:
         """Drop one backlog entry according to :attr:`drop_policy`."""

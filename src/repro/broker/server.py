@@ -16,8 +16,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from .dispatch import DispatchPlan, plan_dispatch
-from .dispatch_cache import VOLATILE_HEADERS, DispatchMemo
+from .dispatch import DispatchPlan, plan_dispatch, plan_dispatch_batch
+from .dispatch_cache import VOLATILE_HEADERS, DispatchMemo, message_fingerprint
 from .errors import SubscriptionError
 from .filters import MatchAllFilter, MessageFilter, PropertyFilter
 from .message import DeliveredMessage, DeliveryMode, Message
@@ -30,7 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from ..durability.journal import Journal
     from ..durability.recovery import RecoveryReport
 
-__all__ = ["Broker", "BrokerCrashReport", "PublishResult", "SELECTOR_POLICIES"]
+__all__ = [
+    "BatchPublishResult",
+    "Broker",
+    "BrokerCrashReport",
+    "PublishResult",
+    "SELECTOR_POLICIES",
+]
 
 #: How the broker treats selector static-analysis findings at subscribe
 #: time: ``"off"`` skips analysis, ``"warn"`` records findings in
@@ -60,6 +66,46 @@ class PublishResult:
     @property
     def replication_grade(self) -> int:
         return self.copies_delivered + self.copies_retained + self.copies_dropped
+
+
+@dataclass(frozen=True)
+class BatchPublishResult:
+    """Outcome of one ``publish_batch`` call.
+
+    ``results`` holds one :class:`PublishResult` per input message, in
+    input order — observably the same results a sequential ``publish``
+    loop would have produced.  ``groups`` is how many distinct
+    ``(topic, property-shape)`` fingerprint groups the batch collapsed
+    into (each group was planned at most once); ``warm_groups`` of them
+    were served by a single memo probe.
+    """
+
+    results: tuple[PublishResult, ...]
+    groups: int = 0
+    warm_groups: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def filters_evaluated(self) -> int:
+        return sum(result.filters_evaluated for result in self.results)
+
+    @property
+    def copies_delivered(self) -> int:
+        return sum(result.copies_delivered for result in self.results)
+
+    @property
+    def copies_retained(self) -> int:
+        return sum(result.copies_retained for result in self.results)
+
+    @property
+    def copies_dropped(self) -> int:
+        return sum(result.copies_dropped for result in self.results)
+
+    @property
+    def expired(self) -> int:
+        return sum(1 for result in self.results if result.expired)
 
 
 @dataclass(frozen=True)
@@ -429,17 +475,18 @@ class Broker:
         delivered = retained = dropped = 0
         for subscription in plan.matches:
             if subscription.active:
-                self.stats.inbox_dropped += subscription.subscriber.deliver(
+                evicted = subscription.subscriber.deliver(
                     message.copy_for(subscription.subscriber.subscriber_id), now=now
                 )
+                self.stats.record_delivery_outcome(inbox_dropped=evicted)
                 delivered += 1
             elif subscription.durable:
                 subscription.retain(message)
                 retained += 1
-                self.stats.retained += 1
+                self.stats.record_delivery_outcome(retained=1)
             else:
                 dropped += 1
-                self.stats.dropped_offline += 1
+                self.stats.record_delivery_outcome(dropped_offline=1)
         self.stats.record_dispatch(
             message.topic, copies=delivered + retained, filters_evaluated=plan.filters_evaluated
         )
@@ -451,6 +498,177 @@ class Broker:
             copies_dropped=dropped,
         )
 
+    def publish_batch(
+        self, messages: Sequence[Message], now: float = 0.0
+    ) -> BatchPublishResult:
+        """Route a batch of messages through one amortized pipeline pass.
+
+        Observably equivalent to calling :meth:`publish` on each message
+        in order — same per-inbox delivery order, same retention, same
+        ledger legs — but the per-message costs are amortized:
+
+        1. the batch is grouped by ``(topic, property-shape)``
+           fingerprint; every group is *planned once* (one memo probe,
+           or one filter evaluation pass over the group representative)
+           and the plan fans out to all its messages, so a cold group of
+           ``n`` messages bills ``filters_evaluated`` once, not ``n``
+           times, and a warm one bills a single probe
+           (``stats.batch_hits`` / ``stats.batch_messages``);
+        2. cold groups are evaluated through the *batched* planners
+           (:meth:`FilterIndex.plan_batch` / :func:`plan_dispatch_batch`)
+           with the subscription loop inverted over the group
+           representatives;
+        3. write-ahead journal appends for retained persistent copies
+           happen back to back, riding the journal's group-commit sync
+           policy;
+        4. delivery walks the batch in input order, coalescing contiguous
+           same-plan runs into slice appends
+           (:meth:`Subscriber.deliver_many`) — contiguity, not grouping,
+           so interleaved shapes never reorder any subscriber's inbox.
+
+        A single-message batch delegates to :meth:`publish` outright and
+        is bit-identical to it, counters included.
+        """
+        count = len(messages)
+        if count == 0:
+            return BatchPublishResult(results=())
+        if count == 1:
+            return BatchPublishResult(results=(self.publish(messages[0], now=now),), groups=1)
+
+        results: List[Optional[PublishResult]] = [None] * count
+        live: List[int] = []
+        for index, message in enumerate(messages):
+            self.topics.get(message.topic)
+            self.stats.record_receive(message.topic)
+            if message.expired(now):
+                self.stats.expired += 1
+                results[index] = PublishResult(message, 0, 0, 0, 0, expired=True)
+            else:
+                live.append(index)
+
+        # -- group by (topic, property-shape) fingerprint --------------
+        use_memo = self._memo_maxsize is not None
+        header_fields: Dict[str, tuple] = {}
+        groups: "OrderedDict[object, List[int]]" = OrderedDict()
+        for index in live:
+            message = messages[index]
+            topic_name = message.topic
+            fields = header_fields.get(topic_name)
+            if fields is None:
+                if use_memo:
+                    fields = self._memo_for(topic_name).header_fields
+                else:
+                    fields = self._referenced_headers(topic_name)
+                header_fields[topic_name] = fields
+            groups.setdefault(message_fingerprint(message, fields), []).append(index)
+
+        # -- plan each group once (memo probe, then batched cold path) --
+        group_members = list(groups.values())
+        matches_by: Dict[int, tuple] = {}
+        bills: Dict[int, int] = {}
+        cold_by_topic: "OrderedDict[str, List[int]]" = OrderedDict()
+        warm_groups = 0
+        for position, members in enumerate(group_members):
+            representative = messages[members[0]]
+            if use_memo:
+                memo = self._memo_for(representative.topic)
+                if len(members) == 1:
+                    plan = memo.lookup(representative)
+                else:
+                    plan = memo.lookup_batch(representative, len(members))
+                if plan is not None:
+                    warm_groups += 1
+                    if len(members) > 1:
+                        self.stats.record_batch_hit(len(members))
+                    shared = plan.matches
+                    for index in members:
+                        matches_by[index] = shared
+                        bills[index] = 0
+                    continue
+            cold_by_topic.setdefault(representative.topic, []).append(position)
+        for topic_name, positions in cold_by_topic.items():
+            representatives = [messages[group_members[p][0]] for p in positions]
+            plans = self._plan_cold_batch(topic_name, representatives)
+            for position, plan in zip(positions, plans):
+                if use_memo:
+                    self._memo_for(topic_name).store(plan)
+                members = group_members[position]
+                shared = plan.matches
+                for index in members:
+                    matches_by[index] = shared
+                    bills[index] = 0
+                # The evaluation happened once, for the representative:
+                # the group's first message carries the whole bill.
+                bills[members[0]] = plan.filters_evaluated
+
+        # -- write-ahead journaling, back to back (group-commit ride) --
+        if self.journal is not None:
+            from ..durability.journal import JournalWriteError, durable_key
+
+            for index in live:
+                message = messages[index]
+                if message.delivery_mode is not DeliveryMode.PERSISTENT:
+                    continue
+                owed = [
+                    durable_key(s.subscriber.subscriber_id, message.topic)
+                    for s in matches_by[index]
+                    if not s.active and s.durable
+                ]
+                if owed:
+                    try:
+                        self.journal.log_publish(
+                            "topic", message.topic, message, owed=owed, now=now
+                        )
+                    except JournalWriteError:
+                        self.journal_write_failures += 1
+
+        # -- coalesced delivery: contiguous same-plan runs in input order
+        cursor = 0
+        while cursor < len(live):
+            start = cursor
+            shared = matches_by[live[cursor]]
+            cursor += 1
+            while cursor < len(live) and matches_by[live[cursor]] is shared:
+                cursor += 1
+            run_indices = live[start:cursor]
+            run = [messages[index] for index in run_indices]
+            delivered = retained = dropped = 0  # per message, uniform in a run
+            for subscription in shared:
+                if subscription.active:
+                    subscriber = subscription.subscriber
+                    evicted = subscriber.deliver_many(
+                        [m.copy_for(subscriber.subscriber_id) for m in run], now=now
+                    )
+                    self.stats.record_delivery_outcome(inbox_dropped=evicted)
+                    delivered += 1
+                elif subscription.durable:
+                    for message in run:
+                        subscription.retain(message)
+                    retained += 1
+                    self.stats.record_delivery_outcome(retained=len(run))
+                else:
+                    dropped += 1
+                    self.stats.record_delivery_outcome(dropped_offline=len(run))
+            for index in run_indices:
+                message = messages[index]
+                bill = bills[index]
+                self.stats.record_dispatch(
+                    message.topic, copies=delivered + retained, filters_evaluated=bill
+                )
+                results[index] = PublishResult(
+                    message=message,
+                    filters_evaluated=bill,
+                    copies_delivered=delivered,
+                    copies_retained=retained,
+                    copies_dropped=dropped,
+                )
+
+        final = tuple(result for result in results if result is not None)
+        assert len(final) == count  # every message got a result
+        return BatchPublishResult(
+            results=final, groups=len(group_members), warm_groups=warm_groups
+        )
+
     def dry_run(self, message: Message) -> DispatchPlan:
         """Match without delivering (used by tests and what-if tools)."""
         self.topics.get(message.topic)
@@ -459,24 +677,41 @@ class Broker:
     def _plan(self, message: Message) -> DispatchPlan:
         if self._memo_maxsize is None:
             return self._plan_cold(message)
-        topic_name = message.topic
-        memo = self._memos.get(topic_name)
-        if memo is None:
-            memo = self._memos[topic_name] = DispatchMemo(
-                self._memo_maxsize,
-                header_fields=self._referenced_headers(topic_name),
-            )
+        memo = self._memo_for(message.topic)
         plan = memo.lookup(message)
         if plan is None:
             plan = self._plan_cold(message)
             memo.store(plan)
         return plan
 
+    def _memo_for(self, topic_name: str) -> DispatchMemo:
+        """The topic's memo, lazily built (memoization must be on)."""
+        memo = self._memos.get(topic_name)
+        if memo is None:
+            assert self._memo_maxsize is not None
+            memo = self._memos[topic_name] = DispatchMemo(
+                self._memo_maxsize,
+                header_fields=self._referenced_headers(topic_name),
+            )
+        return memo
+
     def _plan_cold(self, message: Message) -> DispatchPlan:
         index = self._indices.get(message.topic)
         if index is not None:
             return index.plan(message)  # type: ignore[attr-defined]
         return plan_dispatch(message, self.subscriptions(message.topic))
+
+    def _plan_cold_batch(
+        self, topic_name: str, messages: Sequence[Message]
+    ) -> List[DispatchPlan]:
+        """Cold-plan a list of distinct-shape messages on one topic with
+        the batched (loop-inverted) planners."""
+        if len(messages) == 1:
+            return [self._plan_cold(messages[0])]
+        index = self._indices.get(topic_name)
+        if index is not None:
+            return index.plan_batch(messages)  # type: ignore[attr-defined]
+        return plan_dispatch_batch(messages, self.subscriptions(topic_name))
 
     def _referenced_headers(self, topic_name: str) -> tuple:
         """Volatile headers the topic's selectors can observe — these must

@@ -58,6 +58,12 @@ class BrokerStats:
     #: Copies evicted from a bounded subscriber inbox (per-subscription
     #: queue overflow).
     inbox_dropped: int = 0
+    # -- batched publish ledger (see Broker.publish_batch) -------------
+    #: Multi-message fingerprint groups served warm by one memo probe.
+    batch_hits: int = 0
+    #: Messages covered by those warm group probes (each skipped its
+    #: entire filter evaluation AND its individual memo probe).
+    batch_messages: int = 0
     #: Current broker health state (written by the health monitor of
     #: :class:`repro.testbed.simserver.SimulatedJMSServer`).
     health: str = "healthy"
@@ -94,6 +100,23 @@ class BrokerStats:
         self.filters_evaluated += filters_evaluated
         self.per_topic_dispatched[topic] += copies
 
+    def record_batch_hit(self, messages: int) -> None:
+        """One warm memo probe served a whole ``messages``-strong group."""
+        self.batch_hits += 1
+        self.batch_messages += messages
+
+    def record_delivery_outcome(
+        self, inbox_dropped: int = 0, retained: int = 0, dropped_offline: int = 0
+    ) -> None:
+        """Fold one subscription's delivery outcome into the counters.
+
+        Serialization point for the dispatch stage: mutating these counters
+        only here keeps the hot path safe to hand to an m-worker pool later.
+        """
+        self.inbox_dropped += inbox_dropped
+        self.retained += retained
+        self.dropped_offline += dropped_offline
+
     def snapshot(self) -> Dict[str, "float | str"]:
         """Plain-dict view (for logging and result tables)."""
         return {
@@ -115,6 +138,8 @@ class BrokerStats:
             "deadline_shed": self.deadline_shed,
             "admission_rejected": self.admission_rejected,
             "inbox_dropped": self.inbox_dropped,
+            "batch_hits": self.batch_hits,
+            "batch_messages": self.batch_messages,
             "health": self.health,
             "health_transitions": self.health_transitions,
             "mean_replication_grade": self.mean_replication_grade,

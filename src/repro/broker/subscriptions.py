@@ -39,6 +39,17 @@ class Subscriber:
     growing without bound.
     """
 
+    __slots__ = (
+        "subscriber_id",
+        "on_message",
+        "inbox",
+        "inbox_capacity",
+        "inbox_policy",
+        "connected",
+        "received_count",
+        "inbox_dropped",
+    )
+
     def __init__(
         self,
         subscriber_id: str,
@@ -94,6 +105,24 @@ class Subscriber:
             self.on_message(delivery)
         return evicted
 
+    def deliver_many(self, deliveries: List[DeliveredMessage], now: float = 0.0) -> int:
+        """Deliver a coalesced run of copies; returns total evictions.
+
+        The fast path — unbounded inbox, no callback, the bench and
+        measurement configuration — appends the whole slice with one
+        ``deque.extend`` instead of ``len(deliveries)`` method calls.
+        Bounded or callback-bearing inboxes fall back to the per-copy
+        path so eviction policy and callback order are untouched.
+        """
+        if self.inbox_capacity is None and self.on_message is None:
+            self.received_count += len(deliveries)
+            self.inbox.extend(deliveries)
+            return 0
+        evicted = 0
+        for delivery in deliveries:
+            evicted += self.deliver(delivery, now=now)
+        return evicted
+
     def receive(self) -> Optional[DeliveredMessage]:
         """Pop the oldest delivery, or ``None`` when the inbox is empty."""
         return self.inbox.popleft() if self.inbox else None
@@ -109,7 +138,7 @@ class Subscriber:
         return f"Subscriber({self.subscriber_id!r}, {state}, inbox={len(self.inbox)})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """The binding of one subscriber to one topic through one filter."""
 

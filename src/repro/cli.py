@@ -17,6 +17,7 @@ Usage (``python -m repro ...``)::
     python -m repro replicate [--seed 0] [--ops 24] [--mode sync|async|both]
     python -m repro replicate --sweep [--rate 200] [--seeds 3] [--ship-interval 0.05]
     python -m repro mesh [--seed 0] [--ops 36] [--queues 16] [--soak] [--capacity]
+    python -m repro batch [--fast] [--json out.json] [--check]
     python -m repro check [--format json] [--rules SIM,REC,...] [--require]
     python -m repro check --update-baseline
 
@@ -47,6 +48,10 @@ kind at every rebalance protocol step of every membership event, assert
 zero acked-message loss, zero double-ownership, mesh-wide conservation)
 and, with ``--capacity``, the superposed-M/G/1 capacity model with its
 DES cross-check (numpy-backed; skipped gracefully without numpy);
+``batch`` runs the batched hot-path bench (one-call ``publish_batch``
+vs. the sequential publish loop, the M^X/G/1 batch-arrival model vs.
+the DES, and the b=1 degeneration to Eqs. 4-5) and, with ``--check``,
+gates on the recorded thresholds;
 ``check`` runs the whole-program
 invariant analyzer (determinism, recovery no-raise, ledger
 conservation, race hazards, API hygiene) over ``src/repro``.
@@ -405,6 +410,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity",
         action="store_true",
         help="also validate the capacity model against the DES (needs numpy)",
+    )
+
+    batch = commands.add_parser(
+        "batch",
+        help="batched publish bench and the M^X/G/1 batch-arrival validation",
+    )
+    batch.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced sweep grid and repeats for a quick run",
+    )
+    batch.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full results as JSON (BENCH_batch.json format)",
+    )
+    batch.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the speedup and model-error bars hold",
     )
     return parser
 
@@ -966,6 +992,23 @@ def _run_mesh(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import format_batch_report, run_batch_bench
+
+    payload = run_batch_bench(fast=args.fast)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print(format_batch_report(payload))
+    if args.check and not payload["acceptance"]["pass"]:  # type: ignore[index]
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -996,6 +1039,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_replicate(args)
     if args.command == "mesh":
         return _run_mesh(args)
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "check":
         return _run_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

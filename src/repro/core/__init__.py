@@ -14,6 +14,12 @@ Public surface:
   :func:`filters_increase_capacity`, …
 """
 
+from .batch import (
+    BatchSizeLaw,
+    DeterministicBatchSize,
+    GeometricBatchSize,
+    MXG1Queue,
+)
 from .capacity import (
     ThroughputPrediction,
     equivalent_filters,
@@ -55,15 +61,19 @@ from .service_time import (
 __all__ = [
     "APP_PROPERTY_COSTS",
     "CORRELATION_ID_COSTS",
+    "BatchSizeLaw",
     "BinomialReplication",
     "CostParameters",
+    "DeterministicBatchSize",
     "DeterministicReplication",
     "FilterType",
     "FittedGamma",
     "GG1Approximation",
     "GeneralDiscreteReplication",
+    "GeometricBatchSize",
     "GeometricReplication",
     "MG1Queue",
+    "MXG1Queue",
     "Moments",
     "PriorityClass",
     "PriorityMG1",

@@ -42,6 +42,7 @@ from ..broker.hierarchy import TopicPattern, TopicTrie
 from ..broker.message import Message
 from ..broker.queues import PointToPointQueue, QueueConsumer
 from ..broker.server import Broker, PublishResult
+from collections import OrderedDict
 from ..durability.disk import SimulatedDisk
 from ..durability.journal import Journal, SyncPolicy
 from ..overload.health import HealthState
@@ -350,6 +351,31 @@ class ShardedBroker:
         self.routed_sends += 1
         return shard.broker.queues.create(name).send(message, now=now)
 
+    def send_batch(self, name: str, messages: Sequence[Message], now: float = 0.0) -> int:
+        """Route a whole batch to one queue with a single routing decision.
+
+        The migration check, owner lookup and availability check run once
+        for the batch instead of once per message; the owner queue then
+        ingests the batch through
+        :meth:`~repro.broker.queues.PointToPointQueue.send_batch` (one
+        ledger transaction, journal appends riding group-commit).
+        Refusal counters still count *messages*, matching what a
+        sequential :meth:`send` loop would have recorded.  Returns the
+        number of messages delivered to a consumer during the call.
+        """
+        count = len(messages)
+        if count == 0:
+            return 0
+        if self.membership.table.is_migrating(placement_key("queue", name)):
+            self.deferred_migrating += count
+            return 0
+        shard = self.owner_shard("queue", name)
+        if not shard.available:
+            self.shed_unavailable += count
+            return 0
+        self.routed_sends += count
+        return shard.broker.queues.create(name).send_batch(messages, now=now)
+
     def attach_consumer(
         self, name: str, consumer: QueueConsumer, now: float = 0.0
     ) -> None:
@@ -381,6 +407,55 @@ class ShardedBroker:
         self._install_wildcards(shard, message.topic)
         self.routed_publishes += 1
         return shard.broker.publish(message, now=now)
+
+    def publish_batch(
+        self, messages: Sequence[Message], now: float = 0.0
+    ) -> List[Optional[PublishResult]]:
+        """Route a batch of topic publishes, one decision per topic/shard.
+
+        Messages are grouped by owner shard; each distinct topic pays its
+        migration check, owner lookup, availability check and wildcard
+        install *once* for the whole batch, and each shard ingests its
+        slice through :meth:`~repro.broker.server.Broker.publish_batch`
+        (grouped planning, coalesced delivery).  Returns per-message
+        results in input order, ``None`` where the scalar :meth:`publish`
+        would have refused (owner migrating or unavailable); the refusal
+        counters count messages, matching the sequential loop.
+        """
+        results: List[Optional[PublishResult]] = [None] * len(messages)
+        routes: Dict[str, "Shard | str"] = {}
+        shard_slices: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, message in enumerate(messages):
+            topic_name = message.topic
+            decision = routes.get(topic_name)
+            if decision is None:
+                if self.membership.table.is_migrating(placement_key("topic", topic_name)):
+                    decision = "migrating"
+                else:
+                    shard = self.owner_shard("topic", topic_name)
+                    if not shard.available:
+                        decision = "unavailable"
+                    else:
+                        # First route materializes the topic on its owner.
+                        shard.broker.topics.create(topic_name)
+                        self._install_wildcards(shard, topic_name)
+                        decision = shard
+                routes[topic_name] = decision
+            if decision == "migrating":
+                self.deferred_migrating += 1
+            elif decision == "unavailable":
+                self.shed_unavailable += 1
+            else:
+                assert isinstance(decision, Shard)
+                self.routed_publishes += 1
+                shard_slices.setdefault(decision.shard_id, []).append(index)
+        for shard_id, indices in shard_slices.items():
+            batch = self._shards[shard_id].broker.publish_batch(
+                [messages[i] for i in indices], now=now
+            )
+            for index, result in zip(indices, batch.results):
+                results[index] = result
+        return results
 
     def subscribe(
         self,

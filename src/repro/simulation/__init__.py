@@ -7,6 +7,7 @@ tracking), a G/G/1 queueing station for M/G/1 cross-validation, and the
 virtual CPU cost model that stands in for the paper's 3.2 GHz server.
 """
 
+from .batch_queueing import simulate_mxg1
 from .cpu import CostBreakdown, CpuCostModel
 from .distributions import (
     BatchSampler,
@@ -69,6 +70,7 @@ __all__ = [
     "WindowedCounter",
     "simulate_gg1",
     "simulate_mg1",
+    "simulate_mxg1",
     "simulate_priority_mg1",
     "stable_hash",
 ]

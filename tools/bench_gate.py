@@ -13,9 +13,14 @@ Two suites:
   :mod:`tools.record_bench_mesh`: capacity vs shard count (DES-checked
   to 5%), clean rebalance cost, and the cross-shard chaos matrix (zero
   violations, >= 200 points in full mode).
+* ``--suite batch`` — BENCH_batch.json via :mod:`repro.bench.batch`:
+  one-call ``publish_batch`` vs. the sequential publish loop (>= 3x at
+  batch size 64, observably equivalent), the M^X/G/1 closed form vs.
+  the DES on a batch-size x utilisation grid (every cell within 5%),
+  and the b=1 degeneration to the paper's Eqs. 4-5 (1e-12).
 
 Usage: PYTHONPATH=src python tools/bench_gate.py [output.json]
-           [--fast] [--suite hotpath|mesh]
+           [--fast] [--suite hotpath|mesh|batch]
 """
 
 from __future__ import annotations
@@ -43,6 +48,14 @@ def _run_mesh(fast: bool) -> dict:
     return record(fast=fast)
 
 
+def _run_batch(fast: bool) -> dict:
+    from repro.bench import format_batch_report, run_batch_bench
+
+    payload = run_batch_bench(fast=fast)
+    print(format_batch_report(payload))
+    return payload
+
+
 def main(argv: list[str]) -> int:
     fast = "--fast" in argv
     suite = "hotpath"
@@ -53,13 +66,17 @@ def main(argv: list[str]) -> int:
         for i, arg in enumerate(argv)
         if not arg.startswith("-") and (i == 0 or argv[i - 1] != "--suite")
     ]
-    if suite not in ("hotpath", "mesh"):
-        print(f"unknown suite {suite!r} (want hotpath or mesh)", file=sys.stderr)
+    runners = {"hotpath": _run_hotpath, "mesh": _run_mesh, "batch": _run_batch}
+    if suite not in runners:
+        print(
+            f"unknown suite {suite!r} (want hotpath, mesh or batch)",
+            file=sys.stderr,
+        )
         return 2
     out = pathlib.Path(
         positional[0] if positional else REPO / f"BENCH_{suite}.json"
     )
-    payload = _run_hotpath(fast) if suite == "hotpath" else _run_mesh(fast)
+    payload = runners[suite](fast)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     acceptance = payload["acceptance"]

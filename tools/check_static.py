@@ -40,6 +40,9 @@ IMPORT_SMOKE = (
     "repro.broker.dispatch_cache",
     "repro.bench",
     "repro.bench.hotpath",
+    "repro.bench.batch",
+    "repro.core.batch",
+    "repro.simulation.batch_queueing",
     "repro.faults",
     "repro.overload",
     "repro.overload.experiment",
@@ -66,6 +69,7 @@ IMPORT_SMOKE = (
 CLI_SMOKE = (
     ["overload", "--help"],
     ["bench", "--help"],
+    ["batch", "--help"],
     ["durability", "--help"],
     ["replicate", "--help"],
     ["check", "--help"],
@@ -80,6 +84,7 @@ CLI_SMOKE = (
 EQUIVALENCE_SUITES = (
     "tests/broker/test_selector_compile.py::TestCompiledEquivalence",
     "tests/broker/test_dispatch_memo.py::TestMemoizedEquivalence",
+    "tests/broker/test_publish_batch.py::TestBatchPublishEquivalence",
 )
 
 
