@@ -22,6 +22,7 @@ from .queues import (
     QueueManager,
 )
 from .errors import (
+    ClientTimeoutError,
     FlowControlError,
     InvalidDestinationError,
     InvalidSelectorError,
@@ -52,6 +53,7 @@ __all__ = [
     "Broker",
     "BrokerCrashReport",
     "BrokerStats",
+    "ClientTimeoutError",
     "CorrelationIdFilter",
     "DeliveredMessage",
     "DeliveryMode",

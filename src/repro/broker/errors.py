@@ -11,6 +11,7 @@ __all__ = [
     "FlowControlError",
     "ServerUnavailableError",
     "ServerOverloadedError",
+    "ClientTimeoutError",
 ]
 
 
@@ -66,4 +67,16 @@ class ServerOverloadedError(JMSError):
     server is up, it is just saturated — a circuit breaker should back
     off *more* aggressively, not probe harder (see
     :mod:`repro.overload.breaker`).
+    """
+
+
+class ClientTimeoutError(JMSError):
+    """The *client* gave up on a blocked send (``CLIENT_TIMEOUT`` fault).
+
+    Raised to ``on_reject`` when an injected client-timeout fault fails a
+    submit still waiting on push-back credits: the publisher's patience —
+    not the server — is what expired.  Retrying after a client timeout is
+    exactly the retry-amplification channel the fixed-point model of
+    :mod:`repro.core.resilience` prices, so budgeted clients must charge
+    these retries against their :class:`repro.resilience.RetryBudget`.
     """

@@ -249,6 +249,11 @@ class PointToPointQueue:
         #: Transferred-in messages that could not be applied live
         #: (expired while the handoff was in flight).
         self.dropped_on_handoff = 0
+        #: Deliveries reaped from consumer inboxes because their deadline
+        #: passed before the consumer took them (:meth:`reap_expired`) —
+        #: the deadline-propagation fate for work already handed off the
+        #: backlog but not yet consumed.
+        self.expired_in_flight = 0
 
     # ------------------------------------------------------------------
     @property
@@ -613,6 +618,43 @@ class PointToPointQueue:
             self._shed_overflow(now)
         self._drain(now)
         return "applied"
+
+    def reap_expired(self, now: float = 0.0) -> int:
+        """Shed expired deliveries parked in consumer inboxes.
+
+        Deadline propagation's last stage: a delivery whose deadline
+        passed after it left the backlog but before its consumer took it
+        is dead work — reap it (journalled terminal ``expired``, counted
+        :attr:`expired_in_flight`) instead of letting the consumer
+        process a message that is already worthless.  Unacked messages
+        are *not* reaped: they are with the consumer, mid-processing,
+        and their fate is the ack/redelivery contract's to decide.
+
+        Returns the number of deliveries reaped.
+        """
+        reaped = 0
+        for consumer in self._consumers:
+            survivors = [
+                delivery
+                for delivery in consumer.inbox
+                if not delivery.message.expired(now)
+            ]
+            if len(survivors) == len(consumer.inbox):
+                continue
+            for delivery in consumer.inbox:
+                if delivery.message.expired(now):
+                    self.expired += 1
+                    self.expired_in_flight += 1
+                    self._redeliveries.pop(delivery.message.message_id, None)
+                    self._journal_terminal(
+                        delivery.message.message_id, "expired", now=now
+                    )
+                    if self.stats is not None:
+                        self.stats.record_expired_in_flight()
+                    reaped += 1
+            consumer.inbox.clear()
+            consumer.inbox.extend(survivors)
+        return reaped
 
     def _on_ack(self, message_id: int) -> None:
         self.acked += 1

@@ -226,6 +226,10 @@ class Broker:
         except KeyError:
             raise SubscriptionError(f"unknown subscriber {subscriber_id!r}") from None
 
+    def subscriber_ids(self) -> List[str]:
+        """Ids of every registered subscriber, in registration order."""
+        return list(self._subscribers)
+
     def subscribe(
         self,
         subscriber: Subscriber | str,

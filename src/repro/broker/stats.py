@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles, types only
+    from ..overload.breaker import CircuitBreaker
+    from ..resilience.budget import RetryBudget
 
 __all__ = ["BrokerStats"]
 
@@ -58,6 +62,27 @@ class BrokerStats:
     #: Copies evicted from a bounded subscriber inbox (per-subscription
     #: queue overflow).
     inbox_dropped: int = 0
+    # -- resilience ledger (see repro.resilience) ----------------------
+    #: Accepted messages shed *unserved* because their deadline budget
+    #: ran out while they were in flight (queued at ingress, parked in a
+    #: consumer inbox, or crossing a mesh hop) — deadline propagation's
+    #: fate, distinct from ``expired_on_drain`` (shed at queue drain)
+    #: and ``deadline_shed`` (shed predictively by the backlog model).
+    expired_in_flight: int = 0
+    #: Hedge duplicates dropped at the service boundary — losing copies
+    #: of hedged races; zero double-deliveries is the hedging invariant.
+    hedge_duplicates: int = 0
+    #: Circuit-breaker posture mirrored from the publisher side
+    #: (:meth:`observe_breaker`), so harnesses can assert on storm
+    #: entry/exit without reaching into client internals.
+    breaker_state: str = "closed"
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    breaker_short_circuited: int = 0
+    #: Retry-budget counters mirrored from :meth:`observe_retry_budget`.
+    retry_budget_granted: int = 0
+    retry_budget_denied: int = 0
+    retry_budget_deposited: float = 0.0
     # -- batched publish ledger (see Broker.publish_batch) -------------
     #: Multi-message fingerprint groups served warm by one memo probe.
     batch_hits: int = 0
@@ -105,6 +130,37 @@ class BrokerStats:
         self.batch_hits += 1
         self.batch_messages += messages
 
+    def record_expired_in_flight(self, count: int = 1) -> None:
+        """``count`` in-flight messages shed because their deadline
+        passed before service (deadline propagation).
+
+        Like ``expired_on_drain``, deliberately *not* folded into
+        :attr:`expired` — that counter tracks send-time expiry only.
+        """
+        self.expired_in_flight += count
+
+    def record_hedge_duplicate(self, count: int = 1) -> None:
+        """``count`` hedge copies lost their race and were deduplicated."""
+        self.hedge_duplicates += count
+
+    def observe_breaker(self, breaker: "CircuitBreaker") -> None:
+        """Mirror a publisher-side circuit breaker into the snapshot.
+
+        Counters are absolute (copied, not accumulated), so observing
+        the same breaker repeatedly is idempotent.
+        """
+        self.breaker_state = breaker.state.value
+        self.breaker_opens = breaker.opened_count
+        self.breaker_probes = breaker.probes
+        self.breaker_short_circuited = breaker.short_circuited
+
+    def observe_retry_budget(self, budget: "RetryBudget") -> None:
+        """Mirror a client-side retry budget into the snapshot
+        (absolute copies — idempotent, like :meth:`observe_breaker`)."""
+        self.retry_budget_granted = budget.granted
+        self.retry_budget_denied = budget.denied
+        self.retry_budget_deposited = budget.deposited
+
     def record_delivery_outcome(
         self, inbox_dropped: int = 0, retained: int = 0, dropped_offline: int = 0
     ) -> None:
@@ -138,6 +194,15 @@ class BrokerStats:
             "deadline_shed": self.deadline_shed,
             "admission_rejected": self.admission_rejected,
             "inbox_dropped": self.inbox_dropped,
+            "expired_in_flight": self.expired_in_flight,
+            "hedge_duplicates": self.hedge_duplicates,
+            "breaker_state": self.breaker_state,
+            "breaker_opens": self.breaker_opens,
+            "breaker_probes": self.breaker_probes,
+            "breaker_short_circuited": self.breaker_short_circuited,
+            "retry_budget_granted": self.retry_budget_granted,
+            "retry_budget_denied": self.retry_budget_denied,
+            "retry_budget_deposited": self.retry_budget_deposited,
             "batch_hits": self.batch_hits,
             "batch_messages": self.batch_messages,
             "health": self.health,

@@ -432,6 +432,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero unless the speedup and model-error bars hold",
     )
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="retry-storm fixed points, DES validation, and the storm harness",
+    )
+    resilience.add_argument(
+        "--rho", type=float, default=0.9, help="fresh offered load rho"
+    )
+    resilience.add_argument(
+        "--capacity", type=int, default=80, help="system size K of the M/G/1/K server"
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=6, help="per-message retry limit r"
+    )
+    resilience.add_argument(
+        "--timeout",
+        type=float,
+        default=40.0,
+        help="client timeout in service-time multiples (0 = patient clients)",
+    )
+    resilience.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="BETA",
+        help="retry-budget ratio (omit for unbudgeted clients)",
+    )
+    resilience.add_argument(
+        "--region",
+        action="store_true",
+        help="classify the (rho, timeout, budget) neighbourhood of the scenario",
+    )
+    resilience.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate lambda_eff against the DES retry cells (slow)",
+    )
+    resilience.add_argument(
+        "--storm",
+        action="store_true",
+        help="run the metastable-storm chaos harness (slowest)",
+    )
     return parser
 
 
@@ -1009,6 +1051,104 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_resilience(args: argparse.Namespace) -> int:
+    from .core.params import FilterType, costs_for
+    from .core.replication import DeterministicReplication
+    from .core.resilience import RetryAmplificationModel, storm_region
+    from .core.service_time import ServiceTimeModel
+
+    service = ServiceTimeModel(
+        costs_for(FilterType.CORRELATION_ID).scaled(100.0),
+        n_fltr=4,
+        replication=DeterministicReplication(4),
+    )
+    timeout = args.timeout * service.mean if args.timeout > 0 else None
+    model = RetryAmplificationModel.from_service_model(
+        args.rho,
+        service,
+        args.capacity,
+        max_retries=args.retries,
+        timeout=timeout,
+        late_retry=timeout is not None,
+        budget_ratio=args.budget,
+        budget_min_rate=0.5 if args.budget is not None else 0.0,
+    )
+    info = model.describe()
+    timeout_label = "patient" if timeout is None else f"{timeout * 1e3:.1f} ms"
+    budget_label = "none" if args.budget is None else f"beta={args.budget:g}"
+    print(
+        f"scenario: rho={args.rho:g}, K={args.capacity}, r={args.retries}, "
+        f"timeout={timeout_label}, budget={budget_label}"
+    )
+    print(
+        f"fresh rate: {model.base_rate:.2f} msgs/s "
+        f"(E[B] = {service.mean * 1e3:.3f} ms)"
+    )
+    print(f"classification: {info['classification']}")
+    for point in model.fixed_points():
+        label = "stable" if point.stable else "unstable"
+        print(
+            f"  fixed point: lambda_eff = {point.rate:8.2f} msgs/s "
+            f"({point.rate / model.base_rate:5.2f}x, {label}; "
+            f"loss {point.loss:.3f}, late {point.late:.3f})"
+        )
+    print(
+        f"goodput fraction: normal {info['goodput_fraction']:.3f}, "
+        f"storm {info['storm_goodput_fraction']:.3f}"
+    )
+    status = 0
+    if args.region:
+        mean = service.mean
+        cells = storm_region(
+            service,
+            capacity=args.capacity,
+            rhos=(0.7, 0.8, 0.9, 1.0),
+            timeouts=(None, 20 * mean, 40 * mean, 60 * mean),
+            budgets=(None, args.budget if args.budget is not None else 0.1),
+            max_retries=args.retries,
+            budget_min_rate=0.5,
+        )
+        print("\n(rho, timeout, budget) -> classification:")
+        for cell in cells:
+            cell_timeout = (
+                "  patient"
+                if cell.timeout is None
+                else f"{cell.timeout / mean:4.0f}xE[B]"
+            )
+            cell_budget = "none " if cell.budget_ratio is None else f"b={cell.budget_ratio:<4g}"
+            print(
+                f"  rho={cell.rho:4.2f}  timeout={cell_timeout:>9}  {cell_budget} "
+                f"{cell.classification:10}  lambda_eff={cell.lambda_eff:8.2f}  "
+                f"storm={cell.storm_lambda_eff:8.2f}"
+            )
+    if args.validate:
+        from .resilience.experiment import validate_amplification
+
+        print("\nDES validation (model vs simulated lambda_eff):")
+        worst = 0.0
+        for result in validate_amplification():
+            worst = max(worst, result.lambda_rel_err)
+            beta = result.config.budget_ratio
+            print(
+                f"  rho={result.config.rho:4.2f} K={result.config.capacity:3d} "
+                f"r={result.config.max_retries} beta={0 if beta is None else beta:g}: "
+                f"model {result.lambda_eff_model:8.2f} sim {result.lambda_eff_sim:8.2f} "
+                f"({result.lambda_rel_err * 100:5.2f}% err, {result.classification})"
+            )
+        print(f"  worst cell error: {worst * 100:.2f}%")
+        if worst > 0.05:
+            status = 1
+    if args.storm:
+        from .resilience.harness import run_storm_harness
+
+        print("\nstorm harness:")
+        report = run_storm_harness()
+        print(report.describe())
+        if not report.passed:
+            status = 1
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1041,6 +1181,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_mesh(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "resilience":
+        return _run_resilience(args)
     if args.command == "check":
         return _run_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

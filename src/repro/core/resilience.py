@@ -1,0 +1,449 @@
+"""Retry-amplification fixed-point model — when do retries become a storm?
+
+The paper's waiting-time analysis (Eqs. 4–5, 19–20) takes the offered
+load λ as a given.  Once clients *retry*, λ is not a given: every failed
+attempt comes back, so the rate the server actually sees is the solution
+of a fixed-point equation
+
+    λ_eff = λ · (1 + Σ_{k=1}^{r} q(λ_eff)^k · g)
+
+where ``q`` is the per-attempt failure probability at offered rate
+``λ_eff``, ``r`` is the per-message retry allowance and ``g`` the
+fraction of failures actually retried (``retry_gain``).  ``q`` is
+evaluated against the exact M/G/1/K loss model of
+:class:`repro.overload.mg1k.MG1KQueue` (PR 3) over the paper's discrete
+Eq. 1 service support, through two channels:
+
+- **loss** — the tail-drop probability ``p_K``, exact;
+- **lateness** — clients that give up after ``timeout`` seconds and
+  (when ``late_retry`` is set) resend work that was *accepted but not
+  served in time*.  An accepted arrival that finds ``n`` messages in the
+  system waits roughly ``n·E[B]``; the late probability is the occupancy
+  tail ``P(n > timeout/E[B] | accepted)`` — a first-moment cut of the
+  wait distribution, deliberately crude but monotone in load, which is
+  all the fixed-point topology needs.
+
+The map ``T(x) = λ·(1 + Σ q(x)^k·g)`` is increasing and bounded, so it
+always has a fixed point; with the lateness channel switched on it can
+cross the diagonal **three** times — a low (stable) point, an unstable
+threshold and a high (stable) *storm* point.  That is the metastable
+failure mode of production retry loops: a transient slowdown pushes the
+state over the threshold and the system then *stays* at the storm point
+after the fault clears, serving almost entirely dead work.  A **retry
+budget** (token bucket: retries ≤ ``budget_ratio`` · successes +
+``budget_min_rate``) clips the top of the map, capping amplification at
+``λ·(1+β)`` regardless of how many clients time out at once — the storm
+point either disappears or collapses onto the capped line.
+
+``classify()`` names the regime (``"stable"`` / ``"metastable"``),
+``storm_region`` sweeps the (ρ, timeout, budget) space, and
+:mod:`repro.resilience.experiment` validates ``solve()`` against the
+DES to ≤5 % worst cell (see ``BENCH_resilience.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..overload.mg1k import MG1KQueue
+from .service_time import ServiceTimeModel
+
+__all__ = [
+    "RetryAmplificationModel",
+    "RetryFixedPoint",
+    "StormCell",
+    "storm_region",
+]
+
+#: Grid resolution of the fixed-point scan (crossing detection).
+_SCAN_POINTS = 160
+#: Convergence tolerance of the Picard iteration, relative to λ.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RetryFixedPoint:
+    """One crossing of the retry map with the diagonal."""
+
+    rate: float  #: λ_eff at the crossing
+    stable: bool  #: slope of the map < 1 at the crossing
+    loss: float  #: per-attempt tail-drop probability at the crossing
+    late: float  #: per-attempt lateness probability at the crossing
+
+    @property
+    def failure(self) -> float:
+        """Per-attempt failure probability ``q = p + (1−p)·p_late``."""
+        return self.loss + (1.0 - self.loss) * self.late
+
+
+@dataclass(frozen=True)
+class RetryAmplificationModel:
+    """The retry-amplification fixed point over an M/G/1/K loss queue.
+
+    Parameters
+    ----------
+    base_rate:
+        λ — fresh (first-attempt) message generation rate.
+    capacity:
+        ``K`` of the loss queue (in service + waiting).
+    service:
+        Discrete service support ``((b_i, p_i), …)`` — the Eq. 1 support
+        from :meth:`ServiceTimeModel.service_distribution`.
+    max_retries:
+        ``r`` — retry attempts allowed per message after the first.
+    retry_gain:
+        Fraction of failed attempts actually retried (1.0 = every one).
+    timeout:
+        Client patience in seconds; ``None`` disables the lateness
+        channel entirely.
+    late_retry:
+        When True, a timed-out *accepted* message is also retried (the
+        duplicate-work channel that makes storms possible); when False
+        the timeout only degrades goodput, never λ_eff.
+    budget_ratio:
+        β of the retry budget: steady-state retries ≤ β · successes
+        (+ ``budget_min_rate``).  ``None`` = unbudgeted.
+    budget_min_rate:
+        Token-bucket floor in retries/second, so a quiet client is not
+        starved of its first retry.
+    """
+
+    base_rate: float
+    capacity: int
+    service: Tuple[Tuple[float, float], ...]
+    max_retries: int = 3
+    retry_gain: float = 1.0
+    timeout: Optional[float] = None
+    late_retry: bool = False
+    budget_ratio: Optional[float] = None
+    budget_min_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if self.capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {self.capacity}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.retry_gain <= 1.0:
+            raise ValueError(f"retry_gain must be in [0, 1], got {self.retry_gain}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.budget_ratio is not None and self.budget_ratio < 0:
+            raise ValueError(f"budget_ratio must be >= 0, got {self.budget_ratio}")
+        if self.budget_min_rate < 0:
+            raise ValueError(
+                f"budget_min_rate must be >= 0, got {self.budget_min_rate}"
+            )
+        object.__setattr__(
+            self, "service", tuple((float(b), float(p)) for b, p in self.service)
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_service_model(
+        cls,
+        rho: float,
+        model: ServiceTimeModel,
+        capacity: int,
+        **kwargs: object,
+    ) -> "RetryAmplificationModel":
+        """Build from a target fresh offered load ``ρ = λ·E[B]``."""
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        return cls(
+            base_rate=rho / model.mean,
+            capacity=capacity,
+            service=tuple(model.service_distribution()),
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # The one-attempt failure channels
+    # ------------------------------------------------------------------
+    @property
+    def mean_service_time(self) -> float:
+        return sum(b * p for b, p in self.service)
+
+    @property
+    def fresh_load(self) -> float:
+        """ρ of the fresh arrivals alone, ``λ·E[B]``."""
+        return self.base_rate * self.mean_service_time
+
+    def _queue_at(self, rate: float) -> MG1KQueue:
+        return _mg1k_cached(rate, self.capacity, self.service)
+
+    def loss_at(self, rate: float) -> float:
+        """Tail-drop probability seen by attempts at offered rate ``rate``."""
+        return self._queue_at(rate).loss_probability
+
+    def late_at(self, rate: float) -> float:
+        """P(accepted attempt waits > timeout) — occupancy-tail cut.
+
+        An accepted arrival finding ``n`` in the system waits about
+        ``n·E[B]``, so it is late iff ``n > timeout/E[B]``.  By PASTA the
+        accepted-arrival occupancy is ``p_n/(1−p_K)`` for ``n < K``.
+        """
+        if self.timeout is None:
+            return 0.0
+        queue = self._queue_at(rate)
+        occupancy = queue.occupancy
+        threshold = self.timeout / self.mean_service_time
+        accepted_mass = 1.0 - queue.loss_probability
+        if accepted_mass <= 0.0:
+            return 1.0
+        late_mass = sum(
+            float(occupancy[n])
+            for n in range(self.capacity)  # n = K means lost, not late
+            if n > threshold
+        )
+        return min(1.0, late_mass / accepted_mass)
+
+    def failure_at(self, rate: float) -> float:
+        """Per-attempt failure probability ``q`` at offered rate ``rate``."""
+        loss = self.loss_at(rate)
+        if not self.late_retry:
+            return loss
+        return loss + (1.0 - loss) * self.late_at(rate)
+
+    # ------------------------------------------------------------------
+    # The retry map and its fixed points
+    # ------------------------------------------------------------------
+    def amplification_cap(self) -> float:
+        """Upper bound of the attempts-per-message multiplier."""
+        return 1.0 + self.retry_gain * self.max_retries
+
+    def offered_map(self, rate: float) -> float:
+        """``T(x)``: offered rate the clients produce when the queue runs
+        at offered rate ``x`` — the map whose fixed point is λ_eff."""
+        q = self.failure_at(rate)
+        gain = self.retry_gain * sum(
+            q**k for k in range(1, self.max_retries + 1)
+        )
+        target = self.base_rate * (1.0 + gain)
+        if self.budget_ratio is not None:
+            successes = rate * (1.0 - self.loss_at(rate))
+            allowed = self.budget_ratio * successes + self.budget_min_rate
+            target = min(target, self.base_rate + allowed)
+        return target
+
+    def fixed_points(self) -> List[RetryFixedPoint]:
+        """Every crossing of ``T`` with the diagonal, low to high.
+
+        ``T`` is increasing and bounded on ``[λ, λ·cap]`` with
+        ``T(λ) ≥ λ`` and ``T(λ·cap) ≤ λ·cap``, so at least one crossing
+        exists; the scan-then-bisect finds them all at the grid
+        resolution (an S-shaped lateness channel yields up to three).
+        """
+        lo = self.base_rate
+        hi = self.base_rate * self.amplification_cap()
+        if self.budget_ratio is not None:
+            hi = min(
+                hi,
+                self.base_rate * (1.0 + self.budget_ratio)
+                + self.budget_min_rate,
+            )
+        if hi <= lo * (1.0 + 1e-12):
+            return [self._point(lo)]
+        xs = [
+            lo + (hi - lo) * i / _SCAN_POINTS for i in range(_SCAN_POINTS + 1)
+        ]
+        gaps = [self.offered_map(x) - x for x in xs]
+        crossings: List[float] = []
+        for i in range(_SCAN_POINTS):
+            if gaps[i] == 0.0:
+                crossings.append(xs[i])
+            elif gaps[i] > 0.0 > gaps[i + 1]:
+                crossings.append(self._bisect(xs[i], xs[i + 1]))
+            elif gaps[i] < 0.0 < gaps[i + 1]:
+                crossings.append(self._bisect(xs[i], xs[i + 1]))
+        if gaps[-1] == 0.0:
+            crossings.append(xs[-1])
+        if not crossings:
+            # Map hugs the diagonal below grid resolution; fall back to
+            # the Picard solution from λ.
+            crossings.append(self._iterate(lo))
+        deduped: List[float] = []
+        for x in sorted(crossings):
+            if not deduped or x - deduped[-1] > 1e-6 * self.base_rate:
+                deduped.append(x)
+        return [self._point(x) for x in deduped]
+
+    def _bisect(self, lo: float, hi: float) -> float:
+        f_lo = self.offered_map(lo) - lo
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            f_mid = self.offered_map(mid) - mid
+            if abs(f_mid) <= _TOL * self.base_rate:
+                return mid
+            if (f_mid > 0) == (f_lo > 0):
+                lo, f_lo = mid, f_mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def _iterate(self, start: float) -> float:
+        x = start
+        for _ in range(500):
+            nxt = self.offered_map(x)
+            if abs(nxt - x) <= _TOL * self.base_rate:
+                return nxt
+            x = nxt
+        return x
+
+    def _point(self, rate: float) -> RetryFixedPoint:
+        h = max(1e-6 * self.base_rate, 1e-12)
+        slope = (self.offered_map(rate + h) - self.offered_map(rate - h)) / (
+            2.0 * h
+        )
+        return RetryFixedPoint(
+            rate=rate,
+            stable=slope < 1.0,
+            loss=self.loss_at(rate),
+            late=self.late_at(rate),
+        )
+
+    # ------------------------------------------------------------------
+    # Solutions and classification
+    # ------------------------------------------------------------------
+    def solve(self) -> RetryFixedPoint:
+        """The fixed point reached from a cold start (lowest stable)."""
+        points = self.fixed_points()
+        for point in points:
+            if point.stable:
+                return point
+        return points[0]
+
+    def stormed(self) -> RetryFixedPoint:
+        """The fixed point reached from saturation (highest stable)."""
+        points = self.fixed_points()
+        for point in reversed(points):
+            if point.stable:
+                return point
+        return points[-1]
+
+    def classify(self) -> str:
+        """``"stable"`` (one attractor) or ``"metastable"`` (two)."""
+        stable = [p for p in self.fixed_points() if p.stable]
+        if len(stable) >= 2 and (
+            stable[-1].rate - stable[0].rate > 1e-3 * self.base_rate
+        ):
+            return "metastable"
+        return "stable"
+
+    def goodput_fraction(self, rate: Optional[float] = None) -> float:
+        """Fraction of fresh messages eventually delivered *useful*.
+
+        A message succeeds if any of its ``1 + r`` attempts is accepted
+        and served within the timeout; attempts fail independently with
+        probability ``q`` at the operating point.
+        """
+        operating = self.solve().rate if rate is None else rate
+        q = self.failure_at(operating)
+        return 1.0 - q ** (1 + self.max_retries)
+
+    def describe(self) -> Dict[str, object]:
+        low, high = self.solve(), self.stormed()
+        return {
+            "base_rate": self.base_rate,
+            "fresh_load": self.fresh_load,
+            "capacity": self.capacity,
+            "max_retries": self.max_retries,
+            "timeout": self.timeout,
+            "late_retry": self.late_retry,
+            "budget_ratio": self.budget_ratio,
+            "classification": self.classify(),
+            "lambda_eff": low.rate,
+            "amplification": low.rate / self.base_rate,
+            "loss": low.loss,
+            "late": low.late,
+            "goodput_fraction": self.goodput_fraction(),
+            "storm_lambda_eff": high.rate,
+            "storm_amplification": high.rate / self.base_rate,
+            "storm_goodput_fraction": self.goodput_fraction(high.rate),
+        }
+
+
+@lru_cache(maxsize=4096)
+def _mg1k_cached(
+    rate: float, capacity: int, service: Tuple[Tuple[float, float], ...]
+) -> MG1KQueue:
+    """The scan evaluates the same queue at many nearby rates; cache it."""
+    return MG1KQueue(arrival_rate=rate, capacity=capacity, service=service)
+
+
+@dataclass(frozen=True)
+class StormCell:
+    """One cell of the (ρ, timeout, budget) classification grid."""
+
+    rho: float
+    timeout: Optional[float]
+    budget_ratio: Optional[float]
+    classification: str
+    lambda_eff: float
+    storm_lambda_eff: float
+    goodput_fraction: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rho": self.rho,
+            "timeout": self.timeout,
+            "budget_ratio": self.budget_ratio,
+            "classification": self.classification,
+            "lambda_eff": self.lambda_eff,
+            "storm_lambda_eff": self.storm_lambda_eff,
+            "goodput_fraction": self.goodput_fraction,
+        }
+
+
+def storm_region(
+    model: ServiceTimeModel,
+    capacity: int,
+    rhos: Sequence[float],
+    timeouts: Sequence[Optional[float]],
+    budgets: Sequence[Optional[float]],
+    max_retries: int = 3,
+    retry_gain: float = 1.0,
+    late_retry: bool = True,
+    budget_min_rate: float = 0.0,
+) -> List[StormCell]:
+    """Classify every (ρ, timeout, budget) cell into stable/metastable.
+
+    ``timeouts`` entries are *absolute seconds* (or ``None`` for patient
+    clients); scale them from the service mean for portable sweeps.
+    """
+    cells: List[StormCell] = []
+    for rho in rhos:
+        for timeout in timeouts:
+            for budget in budgets:
+                fp = RetryAmplificationModel.from_service_model(
+                    rho,
+                    model,
+                    capacity,
+                    max_retries=max_retries,
+                    retry_gain=retry_gain,
+                    timeout=timeout,
+                    late_retry=late_retry and timeout is not None,
+                    budget_ratio=budget,
+                    budget_min_rate=budget_min_rate,
+                )
+                low = fp.solve()
+                high = fp.stormed()
+                cells.append(
+                    StormCell(
+                        rho=rho,
+                        timeout=timeout,
+                        budget_ratio=budget,
+                        classification=fp.classify(),
+                        lambda_eff=low.rate,
+                        storm_lambda_eff=high.rate,
+                        goodput_fraction=fp.goodput_fraction(),
+                    )
+                )
+    return cells
+
+

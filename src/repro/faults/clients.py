@@ -16,7 +16,9 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..broker import Message
+from ..broker.stats import BrokerStats
 from ..overload import CircuitBreaker
+from ..resilience.budget import RetryBudget
 from ..simulation import Engine
 from ..testbed.simserver import SimulatedJMSServer, SubmitHandle
 from .retry import RetryPolicy
@@ -51,6 +53,14 @@ class RetryingPoissonPublisher:
     server is not hammered by every backlogged message at once.  Accepted
     submits record a success, rejections (including credit timeouts)
     record a failure.
+
+    An optional :class:`~repro.resilience.budget.RetryBudget` caps the
+    aggregate retry rate at ``β · successes + min_rate`` — the clip that
+    removes the storm fixed point of :mod:`repro.core.resilience`.  A
+    failed attempt whose retry the bucket denies is *abandoned* (counted
+    in both ``abandoned`` and ``budget_denied``) instead of amplified.
+    Pass ``stats`` to mirror breaker/budget counters into
+    :meth:`BrokerStats.snapshot` after every attempt outcome.
     """
 
     def __init__(
@@ -66,6 +76,8 @@ class RetryingPoissonPublisher:
         stop_time: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
         router: Optional[Callable[[], SimulatedJMSServer]] = None,
+        budget: Optional[RetryBudget] = None,
+        stats: Optional[BrokerStats] = None,
     ):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -79,6 +91,8 @@ class RetryingPoissonPublisher:
         self.name = name
         self.stop_time = stop_time
         self.breaker = breaker
+        self.budget = budget
+        self.stats = stats
         #: Resolves the current leader before every attempt (HA failover).
         #: The retry loop already defers messages across outages; with a
         #: router, a *failover* redirects the same in-flight messages to
@@ -89,6 +103,8 @@ class RetryingPoissonPublisher:
         self.retries = 0
         self.timeouts = 0
         self.abandoned = 0
+        #: Subset of ``abandoned`` forced by an empty retry budget.
+        self.budget_denied = 0
         #: Times an attempt found the router pointing at a new server.
         self.failovers = 0
         self._accept_latency_sum = 0.0
@@ -137,8 +153,11 @@ class RetryingPoissonPublisher:
     def _on_accept(self, born: float) -> None:
         if self.breaker is not None:
             self.breaker.record_success(self.engine.now)
+        if self.budget is not None:
+            self.budget.record_success(self.engine.now)
         self.accepted += 1
         self._accept_latency_sum += self.engine.now - born
+        self._mirror_stats()
 
     def _on_timeout(self, handle: SubmitHandle, attempt: int, born: float) -> None:
         if handle.cancel():
@@ -150,12 +169,29 @@ class RetryingPoissonPublisher:
     ) -> None:
         if breaker_failure and self.breaker is not None:
             self.breaker.record_failure(self.engine.now)
-        if self.policy.exhausted(attempt):
+        if self.policy.exhausted(attempt, elapsed=self.engine.now - born):
             self.abandoned += 1
+            self._mirror_stats()
+            return
+        if self.budget is not None and not self.budget.allow_retry(self.engine.now):
+            # Empty bucket: abandon instead of amplifying — this is the
+            # cap that keeps λ_eff at the stable fixed point.
+            self.budget_denied += 1
+            self.abandoned += 1
+            self._mirror_stats()
             return
         self.retries += 1
         delay = self.policy.delay(attempt, self.retry_rng)
         self.engine.call_in(delay, lambda: self._attempt(message, attempt + 1, born))
+        self._mirror_stats()
+
+    def _mirror_stats(self) -> None:
+        if self.stats is None:
+            return
+        if self.breaker is not None:
+            self.stats.observe_breaker(self.breaker)
+        if self.budget is not None:
+            self.stats.observe_retry_budget(self.budget)
 
     @property
     def in_flight(self) -> int:
@@ -187,6 +223,7 @@ class ReliablePublisher:
         name: str = "reliable-publisher",
         total_messages: Optional[int] = None,
         router: Optional[Callable[[], SimulatedJMSServer]] = None,
+        budget: Optional[RetryBudget] = None,
     ):
         self.engine = engine
         self.server = server
@@ -197,9 +234,12 @@ class ReliablePublisher:
         self.total_messages = total_messages
         #: Resolves the current leader before every attempt (HA failover).
         self.router = router
+        self.budget = budget
         self.sent = 0
         self.retries = 0
         self.abandoned = 0
+        #: Subset of ``abandoned`` forced by an empty retry budget.
+        self.budget_denied = 0
         #: Times an attempt found the router pointing at a new server.
         self.failovers = 0
         self._stopped = False
@@ -236,11 +276,18 @@ class ReliablePublisher:
         )
 
     def _on_accept(self) -> None:
+        if self.budget is not None:
+            self.budget.record_success(self.engine.now)
         self.sent += 1
         self._offer_next()
 
     def _on_reject(self, message: Message, attempt: int) -> None:
         if self.policy.exhausted(attempt):
+            self.abandoned += 1
+            self._offer_next()
+            return
+        if self.budget is not None and not self.budget.allow_retry(self.engine.now):
+            self.budget_denied += 1
             self.abandoned += 1
             self._offer_next()
             return

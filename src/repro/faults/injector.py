@@ -135,6 +135,16 @@ class FaultInjector:
             self.pair.pause_primary(self.engine.now)
             record.detail = f"primary lease renewal paused for {event.duration:g}s"
             self.engine.call_in(event.duration, lambda: self._revive_primary(record))
+        elif event.kind is FaultKind.CLIENT_TIMEOUT:
+            timed_out = self.server.timeout_waiters(int(event.magnitude))
+            record.detail = (
+                f"timed out {timed_out}/{int(event.magnitude)} blocked submit(s)"
+            )
+            record.recovered_at = self.engine.now
+        elif event.kind is FaultKind.PROCESS_PAUSE:
+            self.server.pause()
+            record.detail = f"process frozen for {event.duration:g}s"
+            self.engine.call_in(event.duration, lambda: self._resume_process(record))
         else:  # pragma: no cover - enum is exhaustive
             raise AssertionError(f"unknown fault kind {event.kind}")
         self.log.append(record)
@@ -152,6 +162,14 @@ class FaultInjector:
 
     def _restore_speed(self, record: AppliedFault) -> None:
         self.server.restore_speed()
+        record.recovered_at = self.engine.now
+
+    def _resume_process(self, record: AppliedFault) -> None:
+        # A crash during the pause window clears the paused state (and
+        # SERVER_CRASH/PROCESS_PAUSE windows of one schedule may overlap
+        # each other's kind); resume only what is still frozen.
+        if self.server.paused:
+            self.server.resume()
         record.recovered_at = self.engine.now
 
     def _revive_primary(self, record: AppliedFault) -> None:

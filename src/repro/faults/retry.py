@@ -44,6 +44,11 @@ class RetryPolicy:
     credit_timeout:
         Cancel a submit still blocked on push-back after this long and
         treat it as a failed attempt; ``None`` waits indefinitely.
+    max_elapsed:
+        Deadline awareness: abandon a message once this much time has
+        passed since it was generated, regardless of retries left — a
+        retry fired after the message's deadline can only deliver dead
+        work (see :mod:`repro.resilience`).  ``None`` disables it.
     """
 
     base_delay: float = 0.05
@@ -52,6 +57,7 @@ class RetryPolicy:
     jitter: float = 0.1
     max_retries: Optional[int] = None
     credit_timeout: Optional[float] = None
+    max_elapsed: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.base_delay <= 0:
@@ -66,6 +72,8 @@ class RetryPolicy:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.credit_timeout is not None and self.credit_timeout <= 0:
             raise ValueError(f"credit_timeout must be positive, got {self.credit_timeout}")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ValueError(f"max_elapsed must be positive, got {self.max_elapsed}")
 
     def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
         """Backoff delay before retry number ``attempt`` (0-based)."""
@@ -76,6 +84,13 @@ class RetryPolicy:
             raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
         return raw
 
-    def exhausted(self, attempt: int) -> bool:
-        """True once ``attempt`` retries have already been spent."""
-        return self.max_retries is not None and attempt >= self.max_retries
+    def exhausted(self, attempt: int, elapsed: Optional[float] = None) -> bool:
+        """True once ``attempt`` retries have already been spent — or the
+        message's age ``elapsed`` exceeds :attr:`max_elapsed`."""
+        if self.max_retries is not None and attempt >= self.max_retries:
+            return True
+        return (
+            self.max_elapsed is not None
+            and elapsed is not None
+            and elapsed >= self.max_elapsed
+        )

@@ -64,6 +64,16 @@ class FaultKind(enum.Enum):
     #: :class:`~repro.replication.pair.ReplicatedPair` armed on the
     #: injector.
     LEASE_PAUSE = "lease_pause"
+    #: ``magnitude`` publishers blocked on push-back give up at ``time``
+    #: (their client-side send timeout fires): each blocked submit fails
+    #: with :class:`~repro.broker.errors.ClientTimeoutError`, feeding the
+    #: retry loops the fixed-point model of :mod:`repro.core.resilience`
+    #: prices.  A point fault; no-op when nobody is blocked.
+    CLIENT_TIMEOUT = "client_timeout"
+    #: The server's process freezes for ``duration`` seconds (GC-style
+    #: stall): the CPU stops mid-service and resumes with the remaining
+    #: cost intact, while arrivals keep piling into the ingress queue.
+    PROCESS_PAUSE = "process_pause"
 
 
 #: Kinds that describe a window (need ``duration > 0``).
@@ -74,6 +84,7 @@ _WINDOW_KINDS = frozenset(
         FaultKind.SLOW_CONSUMER,
         FaultKind.LINK_DELAY,
         FaultKind.LEASE_PAUSE,
+        FaultKind.PROCESS_PAUSE,
     }
 )
 
@@ -84,8 +95,13 @@ DISK_KINDS = frozenset({FaultKind.TORN_WRITE, FaultKind.DISK_FAULT})
 LINK_KINDS = frozenset({FaultKind.LINK_DROP, FaultKind.LINK_DELAY})
 
 #: Kinds whose windows must be disjoint: a server cannot crash while it
-#: is already down, and a primary cannot be paused while already paused.
-_EXCLUSIVE_WINDOW_KINDS = (FaultKind.SERVER_CRASH, FaultKind.LEASE_PAUSE)
+#: is already down, and a process (or lease-holding primary) cannot be
+#: paused while already paused.
+_EXCLUSIVE_WINDOW_KINDS = (
+    FaultKind.SERVER_CRASH,
+    FaultKind.LEASE_PAUSE,
+    FaultKind.PROCESS_PAUSE,
+)
 
 #: Kinds whose ``magnitude`` is a message/operation count.
 _COUNT_KINDS = frozenset(
@@ -94,6 +110,7 @@ _COUNT_KINDS = frozenset(
         FaultKind.MESSAGE_CORRUPT,
         FaultKind.DISK_FAULT,
         FaultKind.LINK_DROP,
+        FaultKind.CLIENT_TIMEOUT,
     }
 )
 
@@ -351,6 +368,10 @@ class FaultSchedule:
         link_delay_extra: float = 0.01,
         lease_pause_rate: float = 0.0,
         mean_lease_pause: float = 2.0,
+        client_timeout_rate: float = 0.0,
+        client_timeout_burst: int = 1,
+        process_pause_rate: float = 0.0,
+        mean_process_pause: float = 1.0,
     ) -> "FaultSchedule":
         """Draw a schedule from seeded RNG streams.
 
@@ -408,12 +429,18 @@ class FaultSchedule:
             (FaultKind.TORN_WRITE, torn_rate, "faults-torn"),
             (FaultKind.DISK_FAULT, disk_fail_rate, "faults-diskfail"),
             (FaultKind.LINK_DROP, link_drop_rate, "faults-linkdrop"),
+            (FaultKind.CLIENT_TIMEOUT, client_timeout_rate, "faults-clienttimeout"),
         ):
             if rate > 0:
+                magnitude = (
+                    float(client_timeout_burst)
+                    if kind is FaultKind.CLIENT_TIMEOUT
+                    else 1.0
+                )
                 rng = streams.stream(stream_name)
                 t = float(rng.exponential(1.0 / rate))
                 while t < horizon:
-                    events.append(FaultEvent(time=t, kind=kind, magnitude=1.0))
+                    events.append(FaultEvent(time=t, kind=kind, magnitude=magnitude))
                     t += float(rng.exponential(1.0 / rate))
         if link_delay_rate > 0:
             rng = streams.stream("faults-linkdelay")
@@ -439,4 +466,15 @@ class FaultSchedule:
                     FaultEvent(time=t, kind=FaultKind.LEASE_PAUSE, duration=duration)
                 )
                 t += duration + float(rng.exponential(1.0 / lease_pause_rate))
+        if process_pause_rate > 0:
+            # Sequential gap-then-window: a process cannot pause while
+            # already paused.
+            rng = streams.stream("faults-processpause")
+            t = float(rng.exponential(1.0 / process_pause_rate))
+            while t < horizon:
+                duration = max(float(rng.exponential(mean_process_pause)), 1e-9)
+                events.append(
+                    FaultEvent(time=t, kind=FaultKind.PROCESS_PAUSE, duration=duration)
+                )
+                t += duration + float(rng.exponential(1.0 / process_pause_rate))
         return cls(events)

@@ -168,6 +168,7 @@ class MeshLedger:
     transferred_in: int = 0
     acked: int = 0
     expired_at_drain: int = 0
+    expired_in_flight: int = 0
     dead_lettered: int = 0
     dropped_new: int = 0
     dropped_oldest: int = 0
@@ -188,6 +189,7 @@ class MeshLedger:
         self.transferred_in += queue.transferred_in
         self.acked += queue.acked
         self.expired_at_drain += queue.expired_at_drain
+        self.expired_in_flight += queue.expired_in_flight
         self.dead_lettered += queue.dead_lettered
         self.dropped_new += queue.dropped_new
         self.dropped_oldest += queue.dropped_oldest
@@ -207,6 +209,7 @@ class MeshLedger:
         fates = (
             self.acked
             + self.expired_at_drain
+            + self.expired_in_flight
             + self.dead_lettered
             + self.dropped_new
             + self.dropped_oldest
@@ -246,7 +249,10 @@ class ShardedBroker:
         sync: Optional[SyncPolicy] = None,
         segment_bytes: int = 4096,
         lease_duration: float = 0.5,
+        hop_latency: float = 0.0,
     ):
+        if hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
         self.membership = MeshMembership(
             shard_ids, vnodes=vnodes, lease_duration=lease_duration
         )
@@ -260,9 +266,17 @@ class ShardedBroker:
             )
         self._wildcards: TopicTrie[WildcardSubscription] = TopicTrie()
         self._wildcard_subs: List[WildcardSubscription] = []
+        #: Seconds one routing hop (ingress router → owner shard) takes;
+        #: deadline propagation charges every routed message this much
+        #: before it reaches the owner's queue/topic.
+        self.hop_latency = hop_latency
         # -- counters ----------------------------------------------------
         self.routed_sends = 0
         self.routed_publishes = 0
+        #: Messages shed mid-hop: their deadline expired during the
+        #: routing latency, so the owner shard never saw them (deadline
+        #: propagation's mesh stage; they never enter a queue ledger).
+        self.expired_on_hop = 0
         #: Sends/publishes refused because the owner shard is SHEDDING
         #: or crashed — the shard sheds only its own partitions.
         self.shed_unavailable = 0
@@ -349,7 +363,11 @@ class ShardedBroker:
             self.shed_unavailable += 1
             return False
         self.routed_sends += 1
-        return shard.broker.queues.create(name).send(message, now=now)
+        arrival = now + self.hop_latency
+        if self.hop_latency > 0.0 and message.expired(arrival):
+            self.expired_on_hop += 1
+            return False
+        return shard.broker.queues.create(name).send(message, now=arrival)
 
     def send_batch(self, name: str, messages: Sequence[Message], now: float = 0.0) -> int:
         """Route a whole batch to one queue with a single routing decision.
@@ -374,7 +392,14 @@ class ShardedBroker:
             self.shed_unavailable += count
             return 0
         self.routed_sends += count
-        return shard.broker.queues.create(name).send_batch(messages, now=now)
+        arrival = now + self.hop_latency
+        if self.hop_latency > 0.0:
+            survivors = [m for m in messages if not m.expired(arrival)]
+            self.expired_on_hop += count - len(survivors)
+            messages = survivors
+            if not messages:
+                return 0
+        return shard.broker.queues.create(name).send_batch(messages, now=arrival)
 
     def attach_consumer(
         self, name: str, consumer: QueueConsumer, now: float = 0.0
@@ -406,7 +431,13 @@ class ShardedBroker:
         shard.broker.topics.create(message.topic)
         self._install_wildcards(shard, message.topic)
         self.routed_publishes += 1
-        return shard.broker.publish(message, now=now)
+        arrival = now + self.hop_latency
+        if self.hop_latency > 0.0 and message.expired(arrival):
+            # Dead on arrival at the owner shard: shed mid-hop instead
+            # of paying a full dispatch for an expired message.
+            self.expired_on_hop += 1
+            return None
+        return shard.broker.publish(message, now=arrival)
 
     def publish_batch(
         self, messages: Sequence[Message], now: float = 0.0

@@ -122,6 +122,21 @@ class ReplicationLagModel:
         """Mean failover time: detection plus promotion replay."""
         return self.detection_seconds + self.replay_seconds
 
+    @property
+    def ack_wait_seconds(self) -> float:
+        """Mean time a *sync-mode* send waits for the standby's ack.
+
+        The record joins a frame that flushes after half a flush period
+        on average, then pays the link both ways; async mode acks the
+        client immediately (the deadline pipeline of
+        :mod:`repro.resilience.deadline` charges this stage against the
+        message's budget, so under-provisioned deadlines die here
+        instead of at the consumer).
+        """
+        if self.mode != "sync":
+            return 0.0
+        return self.flush_period / 2 + 2 * self.link_delay
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "mode": self.mode,
@@ -134,6 +149,7 @@ class ReplicationLagModel:
             "detection_seconds": self.detection_seconds,
             "replay_seconds": self.replay_seconds,
             "rto_seconds": self.rto_seconds,
+            "ack_wait_seconds": self.ack_wait_seconds,
         }
 
 

@@ -1,0 +1,96 @@
+"""End-to-end resilience: deadlines, retry budgets, hedged requests.
+
+The paper's clients wait forever and never retry; real JMS clients time
+out, retry, and — past a tipping point — *retry-storm*: each timed-out
+attempt spawns another, the extra load makes more attempts time out, and
+the system locks into a self-sustaining overload that persists after the
+original trigger clears (a metastable failure).  This package is the
+production answer, in four pieces:
+
+- :mod:`~repro.resilience.deadline` — a per-message deadline budget and
+  the stage pipeline that spends it (ingress wait, journal append, mesh
+  hops, replication ack-wait, service), so dead work is shed at the
+  first stage that exhausts it;
+- :mod:`~repro.resilience.budget` — the token-bucket retry budget that
+  caps aggregate retries at ``β · successes + min_rate``;
+- :mod:`~repro.resilience.hedge` — speculative duplicates after a
+  p99-derived delay, exactly-once via the server's dedup memo;
+- :mod:`~repro.resilience.clients` / :mod:`~repro.resilience.experiment`
+  / :mod:`~repro.resilience.harness` — the deadline-aware client, the
+  DES validation of the retry-amplification fixed-point model
+  (:mod:`repro.core.resilience`), and the storm chaos harness proving
+  budgeted clients recover from a transient slowdown while unbudgeted
+  ones stay stormed.
+
+The client/experiment/harness symbols are exported lazily: they pull in
+:mod:`repro.testbed` (numpy), while the three primitives stay importable
+on a bare stdlib.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .budget import RetryBudget
+from .deadline import DeadlineBudget, DeadlinePipeline, StageCrossing
+from .hedge import HedgePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - numpy-backed, import for types only
+    from .clients import DeadlineRetryPublisher, DeliveryLog
+    from .experiment import (
+        ResilienceCellConfig,
+        ResilienceCellResult,
+        run_resilience_cell,
+        validate_amplification,
+    )
+    from .harness import (
+        StormHarnessConfig,
+        StormHarnessReport,
+        StormRunResult,
+        run_storm_harness,
+    )
+
+__all__ = [
+    "DeadlineBudget",
+    "DeadlinePipeline",
+    "DeadlineRetryPublisher",
+    "DeliveryLog",
+    "HedgePolicy",
+    "ResilienceCellConfig",
+    "ResilienceCellResult",
+    "RetryBudget",
+    "StageCrossing",
+    "StormHarnessConfig",
+    "StormHarnessReport",
+    "StormRunResult",
+    "run_resilience_cell",
+    "run_storm_harness",
+    "validate_amplification",
+]
+
+_LAZY = {
+    "DeadlineRetryPublisher": "clients",
+    "DeliveryLog": "clients",
+    "ResilienceCellConfig": "experiment",
+    "ResilienceCellResult": "experiment",
+    "run_resilience_cell": "experiment",
+    "validate_amplification": "experiment",
+    "StormHarnessConfig": "harness",
+    "StormHarnessReport": "harness",
+    "StormRunResult": "harness",
+    "run_storm_harness": "harness",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

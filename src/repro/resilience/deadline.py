@@ -1,0 +1,177 @@
+"""Per-message deadline budgets and their propagation across stages.
+
+A deadline is attached once, at the publisher, as a *budget* of seconds
+(:class:`DeadlineBudget`).  Every stage the message crosses — broker
+ingress wait, journal append, mesh hop, replication ack-wait — spends
+from that budget; a stage that would finish after the budget runs out
+sheds the message instead of doing dead work.  At runtime the budget
+rides on ``Message.expiration`` (absolute simulation time), so every
+existing TTL check in the broker/queue/mesh stack already honours it;
+this module adds the *accounting* view: :class:`DeadlinePipeline` walks
+a budget through a named stage sequence and reports exactly where an
+under-provisioned deadline dies, which the conservation tests cross-check
+against the runtime ``expired_in_flight`` / ``deadline_shed`` /
+``expired_at_drain`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DeadlineBudget", "DeadlinePipeline", "StageCrossing"]
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """A message's remaining time allowance, decremented per stage."""
+
+    total: float  #: seconds granted at the publisher
+    spent: float = 0.0  #: seconds consumed by stages crossed so far
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ValueError(f"total must be positive, got {self.total}")
+        if self.spent < 0:
+            raise ValueError(f"spent must be >= 0, got {self.spent}")
+
+    @property
+    def remaining(self) -> float:
+        return self.total - self.spent
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    def spend(self, seconds: float) -> "DeadlineBudget":
+        """Charge one stage crossing (negative charges are rejected)."""
+        if seconds < 0:
+            raise ValueError(f"cannot spend a negative duration ({seconds})")
+        return replace(self, spent=self.spent + seconds)
+
+    def expiration(self, born: float) -> float:
+        """Absolute deadline for a message created at ``born`` — this is
+        the value the publisher writes into ``Message.expiration``."""
+        return born + self.total
+
+
+@dataclass(frozen=True)
+class StageCrossing:
+    """One stage's entry in a budget's travel ledger."""
+
+    stage: str
+    latency: float
+    remaining_after: float
+    expired: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "latency": self.latency,
+            "remaining_after": self.remaining_after,
+            "expired": self.expired,
+        }
+
+
+@dataclass(frozen=True)
+class DeadlinePipeline:
+    """The stage sequence a message crosses, with per-stage latencies.
+
+    The canonical end-to-end path is built by :meth:`from_components`
+    from the same models the DES uses — ingress wait from the queue
+    model, journal append from the durability sync cost, replication
+    ack-wait from :attr:`ReplicationLagModel.ack_wait_seconds`, and one
+    entry per mesh hop — so the analytical shed stage and the simulated
+    one can be compared like for like.
+    """
+
+    stages: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+        for name, latency in self.stages:
+            if not name:
+                raise ValueError("stage names must be non-empty")
+            if latency < 0:
+                raise ValueError(f"stage {name!r} has negative latency {latency}")
+        object.__setattr__(
+            self,
+            "stages",
+            tuple((str(n), float(latency)) for n, latency in self.stages),
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        ingress_wait: float,
+        journal_append: float = 0.0,
+        mesh_hops: int = 0,
+        hop_latency: float = 0.0,
+        replication_ack_wait: float = 0.0,
+        service: float = 0.0,
+    ) -> "DeadlinePipeline":
+        stages: List[Tuple[str, float]] = [("ingress", ingress_wait)]
+        if journal_append > 0:
+            stages.append(("journal", journal_append))
+        for hop in range(mesh_hops):
+            stages.append((f"mesh-hop-{hop + 1}", hop_latency))
+        if replication_ack_wait > 0:
+            stages.append(("replication-ack", replication_ack_wait))
+        if service > 0:
+            stages.append(("service", service))
+        return cls(stages=tuple(stages))
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Seconds a message needs to clear every stage — the minimum
+        budget that survives the pipeline."""
+        return sum(latency for _, latency in self.stages)
+
+    def propagate(self, budget: DeadlineBudget) -> List[StageCrossing]:
+        """Walk ``budget`` through the stages; stops at the shed point.
+
+        A stage crossing is *expired* when the budget runs out before
+        the stage completes — the runtime analogue is the stage shedding
+        the message (``expired_in_flight``) instead of forwarding it.
+        """
+        ledger: List[StageCrossing] = []
+        for name, latency in self.stages:
+            budget = budget.spend(latency)
+            crossing = StageCrossing(
+                stage=name,
+                latency=latency,
+                remaining_after=budget.remaining,
+                expired=budget.expired,
+            )
+            ledger.append(crossing)
+            if crossing.expired:
+                break
+        return ledger
+
+    def shed_stage(self, budget: DeadlineBudget) -> Optional[str]:
+        """Name of the stage that sheds ``budget``, or ``None`` if it
+        survives end-to-end."""
+        ledger = self.propagate(budget)
+        last = ledger[-1]
+        return last.stage if last.expired else None
+
+    def survivable(self, budget: DeadlineBudget) -> bool:
+        return self.shed_stage(budget) is None
+
+    def describe(self, budgets: Sequence[DeadlineBudget]) -> Dict[str, object]:
+        """Shed-stage histogram over a collection of budgets."""
+        histogram: Dict[str, int] = {}
+        survived = 0
+        for budget in budgets:
+            stage = self.shed_stage(budget)
+            if stage is None:
+                survived += 1
+            else:
+                histogram[stage] = histogram.get(stage, 0) + 1
+        return {
+            "stages": list(self.stages),
+            "end_to_end_latency": self.end_to_end_latency,
+            "survived": survived,
+            "shed_by_stage": histogram,
+        }

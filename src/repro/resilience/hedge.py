@@ -1,0 +1,85 @@
+"""Hedged requests — a speculative duplicate after a p99-derived delay.
+
+The classic tail-latency trade (Dean & Barroso's "tail at scale"): if an
+attempt has not completed after roughly the 99th percentile latency, the
+odds are it is stuck behind a slow outlier, so a duplicate sent now will
+very likely finish first — at the cost of ~1 % extra load.  The policy
+here derives its delay from the paper's own wait model
+(:meth:`repro.core.mg1.MG1Queue.wait_quantile`), so the hedge fires only
+in the genuine tail of Eqs. 19–20 rather than at an arbitrary timer.
+
+Correctness is the broker's job, not the client's: hedge copies share
+the primary's ``message_id``, the simulated server recognises a
+duplicate of an already-completed id (``hedge_dedup``) and drops it at
+the service boundary, and the dispatch memo keeps per-subscriber
+delivery exactly-once.  First-wins cancellation is cooperative — the
+loser is withdrawn if still queued at the flow-control gate, and
+discarded by dedup if it already slipped past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - numpy-backed, import for types only
+    from ..core.mg1 import MG1Queue
+
+__all__ = ["HedgePolicy"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When (and how often) to send a speculative duplicate.
+
+    Parameters
+    ----------
+    delay:
+        Seconds to wait for the primary before hedging — derive it from
+        a wait quantile via :meth:`from_queue` rather than guessing.
+    max_hedges:
+        Speculative copies allowed per message (1 is almost always
+        right; each extra copy buys vanishing tail for linear load).
+    """
+
+    delay: float
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ValueError(f"delay must be positive, got {self.delay}")
+        if self.max_hedges < 1:
+            raise ValueError(f"max_hedges must be >= 1, got {self.max_hedges}")
+
+    @classmethod
+    def from_queue(
+        cls,
+        queue: "MG1Queue",
+        quantile: float = 0.99,
+        max_hedges: int = 1,
+        floor: float = 1e-9,
+    ) -> "HedgePolicy":
+        """Set the hedge delay to the queue's ``quantile`` *sojourn* time
+        (wait + one mean service), the point past which an outstanding
+        attempt is in the tail by construction."""
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        delay = queue.wait_quantile(quantile) + queue.service.m1
+        return cls(delay=max(delay, floor), max_hedges=max_hedges)
+
+    def hedge_times(self, sent_at: float) -> tuple:
+        """Absolute times the hedges fire for a primary sent at
+        ``sent_at`` (evenly spaced at ``delay`` intervals)."""
+        return tuple(sent_at + self.delay * (k + 1) for k in range(self.max_hedges))
+
+    def expected_extra_load(self, tail_probability: float) -> float:
+        """Expected hedge copies per message if an attempt is still
+        outstanding at the hedge point with ``tail_probability``."""
+        if not 0.0 <= tail_probability <= 1.0:
+            raise ValueError(
+                f"tail_probability must be in [0, 1], got {tail_probability}"
+            )
+        return sum(tail_probability ** (k + 1) for k in range(self.max_hedges))
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"delay": self.delay, "max_hedges": float(self.max_hedges)}

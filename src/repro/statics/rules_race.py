@@ -49,6 +49,8 @@ DEFAULT_TARGETS: Tuple[str, ...] = (
     "MeshMembership",
     "PartitionTable",
     "HashRing",
+    "RetryBudget",
+    "DeliveryLog",
 )
 
 

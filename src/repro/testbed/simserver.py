@@ -29,10 +29,14 @@ inflation, message drop/corruption) are also applied here.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from ..broker import Broker, FlowController, Message, PublishResult
-from ..broker.errors import ServerOverloadedError, ServerUnavailableError
+from ..broker.errors import (
+    ClientTimeoutError,
+    ServerOverloadedError,
+    ServerUnavailableError,
+)
 from ..broker.message import DeliveryMode
 from ..broker.queues import DropPolicy
 from ..overload.admission import AdmissionController
@@ -124,6 +128,24 @@ class SimulatedJMSServer:
         push-back semantics but adds admission control and prompt waiter
         shedding; the drop policies replace push-back with a bounded
         ingress buffer that sheds server-side — the M/G/1/K regime.
+    report_drops:
+        In drop-policy mode, surface a tail drop of the *arriving*
+        message to its publisher as a synchronous rejection
+        (``on_reject`` with :class:`ServerOverloadedError`) instead of
+        the default fire-and-forget silence.  The server-side shed
+        ledger is unchanged; this only lets loss-retry clients observe
+        the loss channel the M/G/1/K model prices
+        (:mod:`repro.core.resilience`).
+    shed_expired_before_service:
+        Deadline propagation at the service boundary: a popped message
+        whose ``expiration`` already passed is shed at (virtual) zero
+        CPU cost and counted ``expired_in_flight`` instead of being
+        served as dead work.  Off by default — the paper's model serves
+        everything it accepted.
+    hedge_dedup:
+        Recognise a message whose ``message_id`` already completed and
+        drop it at the service boundary — the broker half of hedged
+        requests (the losing duplicate must never dispatch twice).
     """
 
     def __init__(
@@ -134,12 +156,18 @@ class SimulatedJMSServer:
         window: MeasurementWindow,
         buffer_capacity: int = 64,
         overload: Optional[OverloadConfig] = None,
+        report_drops: bool = False,
+        shed_expired_before_service: bool = False,
+        hedge_dedup: bool = False,
     ):
         self.engine = engine
         self.broker = broker
         self.cpu = cpu
         self.window = window
         self.overload = overload
+        self.report_drops = report_drops
+        self.shed_expired_before_service = shed_expired_before_service
+        self.hedge_dedup = hedge_dedup
         if overload is not None and overload.blocking:
             # Credits bound the whole system (in service + waiting) = K.
             buffer_capacity = overload.capacity
@@ -183,10 +211,24 @@ class SimulatedJMSServer:
         self.lost_messages = 0
         self.rejected_submits = 0
         self.dropped_by_fault = 0
+        #: Accepted messages shed unserved because their deadline passed
+        #: while they queued (``shed_expired_before_service``).
+        self.expired_in_flight = 0
+        #: Hedge duplicates dropped at the service boundary
+        #: (``hedge_dedup``) — the losing copies of hedged races.
+        self.hedge_duplicates_dropped = 0
+        #: Blocked submits failed by an injected CLIENT_TIMEOUT fault.
+        self.client_timeouts = 0
         #: Corrupted messages quarantined at receive (server-side DLQ).
         self.dead_letters: List[Message] = []
         self._drop_next = 0
         self._corrupt_next = 0
+        #: PROCESS_PAUSE state: a paused server accepts messages but its
+        #: CPU is frozen (GC-style stall); the interrupted service
+        #: resumes with its remaining cost intact.
+        self.paused = False
+        self._pause_remaining: Optional[float] = None
+        self._completed_ids: Set[int] = set()
         self._service_event: Optional[ScheduledEvent] = None
         self._in_service: Optional[PublishResult] = None
         self._pending: Dict[Callable[[], None], SubmitHandle] = {}
@@ -233,9 +275,19 @@ class SimulatedJMSServer:
         if self._ingress is not None:
             # Drop-policy mode: the submit completes immediately — any
             # shedding happens server-side and is visible in the ledger,
-            # not to the publisher (fire-and-forget send semantics).
+            # not to the publisher (fire-and-forget send semantics),
+            # unless ``report_drops`` surfaces a tail drop of this very
+            # message as a synchronous rejection for loss-retry clients.
+            survived = self._accept(message)
+            if self.report_drops and not survived:
+                self._reject(
+                    handle,
+                    ServerOverloadedError(
+                        f"ingress buffer full at t={self.engine.now:g}"
+                    ),
+                )
+                return handle
             handle.accepted = True
-            self._accept(message)
             if on_accept is not None:
                 on_accept()
             return handle
@@ -280,7 +332,9 @@ class SimulatedJMSServer:
         if handle._on_reject is not None:
             handle._on_reject(error)
 
-    def _accept(self, message: Message) -> None:
+    def _accept(self, message: Message) -> bool:
+        """Admit one message; ``False`` means *this* arrival was shed
+        (tail-dropped by the bounded ingress buffer)."""
         now = self.engine.now
         if self._drop_next > 0:
             # Injected network fault: the message vanishes after the
@@ -290,7 +344,7 @@ class SimulatedJMSServer:
             self.broker.stats.dropped_by_fault += 1
             if self._ingress is None:
                 self.flow.release()
-            return
+            return True
         if self._corrupt_next > 0:
             # Injected corruption: quarantined to the server-side DLQ.
             self._corrupt_next -= 1
@@ -298,18 +352,22 @@ class SimulatedJMSServer:
             self.broker.stats.dead_lettered += 1
             if self._ingress is None:
                 self.flow.release()
-            return
+            return True
         message.timestamp = now
         self.accepted += 1
         self.received.record(now)
+        survived = True
         if self._ingress is not None:
             shed = self._ingress.offer((message, now), now, deadline=message.expiration)
             if shed is not None:
                 self._record_shed(shed)
+                if shed.was_new and shed.item[0] is message:
+                    survived = False
         else:
             self._queue.append((message, now))
-        if not self._serving and self._backlog_depth() > 0:
+        if not self._serving and not self.paused and self._backlog_depth() > 0:
             self._start_service()
+        return survived
 
     def _record_shed(self, shed: ShedEvent) -> None:
         stats = self.broker.stats
@@ -335,9 +393,37 @@ class SimulatedJMSServer:
     # ------------------------------------------------------------------
     def _start_service(self) -> None:
         now = self.engine.now
-        message, arrival_time = self._pop_next()
-        self.waiting_times.record(now - arrival_time, time=arrival_time)
+        # Claim the CPU before popping: shedding an expired head may
+        # release a credit whose hand-off synchronously admits a blocked
+        # publisher, and that admission must queue, not start a second
+        # concurrent service.
         self._serving = True
+        while True:
+            if self._backlog_depth() == 0:
+                self._serving = False
+                self.busy.idle(now)
+                return
+            message, arrival_time = self._pop_next()
+            if self.shed_expired_before_service and message.expired(now):
+                # Deadline propagation: the budget ran out while the
+                # message queued — shed it unserved instead of burning a
+                # full service on dead work.
+                self.expired_in_flight += 1
+                self.broker.stats.record_expired_in_flight()
+                if self._ingress is None:
+                    self.flow.release()
+                continue
+            if self.hedge_dedup and message.message_id in self._completed_ids:
+                # A hedge duplicate lost the race: its primary already
+                # completed, so it is dropped at the service boundary —
+                # the dispatch memo never sees it twice.
+                self.hedge_duplicates_dropped += 1
+                self.broker.stats.record_hedge_duplicate()
+                if self._ingress is None:
+                    self.flow.release()
+                continue
+            break
+        self.waiting_times.record(now - arrival_time, time=arrival_time)
         self.busy.busy(now)
         result = self.broker.publish(message, now=now)
         cost = self.cpu.message_cost(
@@ -389,6 +475,8 @@ class SimulatedJMSServer:
             self.delivered_messages += 1
         if result.message.redelivered:
             self.redelivered_messages += 1
+        if self.hedge_dedup:
+            self._completed_ids.add(result.message.message_id)
 
     # ------------------------------------------------------------------
     # Overload control: health tracking and waiter shedding
@@ -459,15 +547,19 @@ class SimulatedJMSServer:
         now = self.engine.now
         self.up = False
         self.crashes += 1
-        # 1. the message in service completes atomically at crash time.
+        # 1. the message in service completes atomically at crash time
+        #    (also the paused case: PROCESS_PAUSE parks the in-service
+        #    message with its event cancelled, but it already published).
         if self._service_event is not None:
             self._service_event.cancel()
             self._service_event = None
+        if self._in_service is not None:
             result = self._in_service
             self._in_service = None
-            assert result is not None
             self.dispatched.record(now, count=result.replication_grade)
             self._count_completion(result)
+        self.paused = False
+        self._pause_remaining = None
         self._serving = False
         self.busy.idle(now)
         # 2. blocked publishers fail fast; their credits died with the
@@ -513,7 +605,7 @@ class SimulatedJMSServer:
             raise ServerUnavailableError("restart() on a server that is already up")
         self.up = True
         self.broker.recover()
-        if self._backlog_depth() > 0 and not self._serving:
+        if self._backlog_depth() > 0 and not self._serving and not self.paused:
             self._start_service()
 
     def degrade(self, slowdown: float) -> None:
@@ -537,6 +629,65 @@ class SimulatedJMSServer:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         self._corrupt_next += count
+
+    def timeout_waiters(self, count: int = 1) -> int:
+        """Fail the oldest ``count`` blocked submits with a client
+        timeout (the ``CLIENT_TIMEOUT`` fault: impatient publishers give
+        up on push-back all at once).
+
+        Only BLOCK-mode waiters can time out — drop-policy submits
+        complete immediately.  Returns how many were actually failed.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        now = self.engine.now
+        timed_out = 0
+        for grant in list(self._pending):
+            if timed_out >= count:
+                break
+            handle = self._pending.get(grant)
+            if handle is None or not handle.pending or handle._withdraw is None:
+                continue
+            if handle._withdraw():
+                self._pending.pop(grant, None)
+                self.client_timeouts += 1
+                timed_out += 1
+                self._reject(
+                    handle,
+                    ClientTimeoutError(f"client timed out at t={now:g}"),
+                )
+        return timed_out
+
+    def pause(self) -> None:
+        """Freeze the CPU mid-step (``PROCESS_PAUSE``, a GC-style stall).
+
+        The ingress keeps accepting — arrivals pile up — but no service
+        starts or finishes until :meth:`resume`; an interrupted service
+        keeps its remaining cost and picks up where it stopped.
+        """
+        if self.paused:
+            raise ServerUnavailableError("pause() on a server that is already paused")
+        self.paused = True
+        now = self.engine.now
+        if self._service_event is not None:
+            self._pause_remaining = max(0.0, self._service_event.time - now)
+            self._service_event.cancel()
+            self._service_event = None
+
+    def resume(self) -> None:
+        """End a process pause; the interrupted service resumes."""
+        if not self.paused:
+            raise ServerUnavailableError("resume() on a server that is not paused")
+        self.paused = False
+        if self._in_service is not None:
+            result = self._in_service
+            remaining = self._pause_remaining or 0.0
+            self._pause_remaining = None
+            self._service_event = self.engine.call_in(
+                remaining, lambda: self._finish_service(result)
+            )
+        elif self.up and not self._serving and self._backlog_depth() > 0:
+            self._start_service()
 
     # ------------------------------------------------------------------
     @property

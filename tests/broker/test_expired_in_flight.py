@@ -1,0 +1,234 @@
+"""Deadline propagation's last stage: reaping expired in-flight work.
+
+A delivery whose deadline passes after it left the backlog but before its
+consumer took it is dead work; :meth:`PointToPointQueue.reap_expired`
+sheds it with the ``expired_in_flight`` fate.  The stateful machine at
+the bottom is the PR's conservation property: **every deadline-carrying
+message has exactly one fate** under any interleaving of sends,
+receives, acks, reaps, crash/recovery and mesh handoffs.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.broker import Message, PointToPointQueue, QueueConsumer
+from repro.broker.stats import BrokerStats
+
+
+def make(ttl=None, now=0.0):
+    return Message(topic="q", expiration=None if ttl is None else now + ttl)
+
+
+class TestReapExpired:
+    def test_reaps_expired_inbox_deliveries(self, assert_conserved):
+        queue = PointToPointQueue("q", stats=BrokerStats())
+        consumer = QueueConsumer("c0")
+        queue.attach(consumer)
+        queue.send(make(ttl=1.0), now=0.0)
+        queue.send(make(ttl=5.0), now=0.0)
+        queue.send(make(), now=0.0)  # no deadline — immortal
+        assert len(consumer.inbox) == 3
+        assert queue.reap_expired(now=2.0) == 1
+        assert queue.expired_in_flight == 1
+        assert queue.expired == 1
+        assert queue.stats.expired_in_flight == 1
+        # Survivors stay deliverable, in order.
+        assert [d.message.expiration for d in consumer.inbox] == [5.0, None]
+        assert_conserved(queue, consumers=[consumer], context="after reap")
+
+    def test_unacked_deliveries_are_not_reaped(self):
+        # A message the consumer already took is mid-processing; its fate
+        # belongs to the ack/redelivery contract, not the reaper.
+        queue = PointToPointQueue("q")
+        consumer = QueueConsumer("c0")
+        queue.attach(consumer)
+        queue.send(make(ttl=1.0), now=0.0)
+        delivery = consumer.receive()
+        assert delivery is not None
+        assert queue.reap_expired(now=2.0) == 0
+        assert queue.expired_in_flight == 0
+        consumer.ack(delivery)
+        assert queue.acked == 1
+
+    def test_nothing_expired_is_a_noop(self):
+        queue = PointToPointQueue("q")
+        consumer = QueueConsumer("c0")
+        queue.attach(consumer)
+        queue.send(make(ttl=10.0), now=0.0)
+        assert queue.reap_expired(now=1.0) == 0
+        assert len(consumer.inbox) == 1
+
+    def test_reaped_message_is_terminally_dead(self):
+        # Reaping removes the redelivery record: the message cannot come
+        # back through detach-requeue or any other path.
+        queue = PointToPointQueue("q")
+        consumer = QueueConsumer("c0")
+        queue.attach(consumer)
+        message = make(ttl=1.0)
+        queue.send(message, now=0.0)
+        queue.reap_expired(now=2.0)
+        assert not queue.has_message(message.message_id)
+        assert queue.detach(consumer) == 0  # nothing left to requeue
+
+    def test_reaps_across_all_consumers(self):
+        queue = PointToPointQueue("q")
+        consumers = [QueueConsumer(f"c{i}") for i in range(3)]
+        for consumer in consumers:
+            queue.attach(consumer)
+        for _ in range(6):  # round-robins two per inbox
+            queue.send(make(ttl=1.0), now=0.0)
+        assert queue.reap_expired(now=2.0) == 6
+        assert all(not c.inbox for c in consumers)
+        assert queue.expired_in_flight == 6
+
+
+class DeadlineFateMachine(RuleBasedStateMachine):
+    """Chaos over two shards' queues with deadline-carrying messages.
+
+    Fate uniqueness is tracked explicitly for the terminal fates the
+    machine can observe from outside (ack, in-flight reap, handoff drop);
+    the per-queue ledgers assert the rest — nothing vanishes, nothing is
+    double-counted, under any interleaving hypothesis finds.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+        self.source = PointToPointQueue("shard-a")
+        self.dest = PointToPointQueue("shard-b")
+        self.consumers = {self.source: [], self.dest: []}
+        self.next_consumer_id = 0
+        self.sent_ids = set()
+        self.fates = {}
+
+    def record_fate(self, message_id, fate):
+        assert message_id not in self.fates, (
+            f"message {message_id} got fate {fate!r} after {self.fates[message_id]!r}"
+        )
+        self.fates[message_id] = fate
+
+    # ------------------------------------------------------------------
+    @rule(dt=st.floats(min_value=0.1, max_value=2.0))
+    def advance_time(self, dt):
+        self.now += dt
+
+    @rule(ttl=st.sampled_from([0.5, 1.5, 4.0]))
+    def send(self, ttl):
+        message = make(ttl=ttl, now=self.now)
+        self.sent_ids.add(message.message_id)
+        self.source.send(message, now=self.now)
+
+    @rule(data=st.data())
+    def attach_consumer(self, data):
+        queue = data.draw(st.sampled_from([self.source, self.dest]))
+        if len(self.consumers[queue]) >= 3:
+            return
+        consumer = QueueConsumer(f"c{self.next_consumer_id}")
+        self.next_consumer_id += 1
+        queue.attach(consumer, now=self.now)
+        self.consumers[queue].append(consumer)
+
+    @precondition(lambda self: any(self.consumers.values()))
+    @rule(data=st.data())
+    def receive_and_ack(self, data):
+        everyone = self.consumers[self.source] + self.consumers[self.dest]
+        consumer = data.draw(st.sampled_from(everyone))
+        delivery = consumer.receive()
+        if delivery is not None:
+            consumer.ack(delivery)
+            self.record_fate(delivery.message.message_id, "acked")
+
+    @precondition(lambda self: any(self.consumers.values()))
+    @rule(data=st.data())
+    def receive_without_ack(self, data):
+        everyone = self.consumers[self.source] + self.consumers[self.dest]
+        consumer = data.draw(st.sampled_from(everyone))
+        consumer.receive()  # taken, never acked — may crash later
+
+    @rule(data=st.data())
+    def reap(self, data):
+        queue = data.draw(st.sampled_from([self.source, self.dest]))
+        dead = {
+            d.message.message_id
+            for c in self.consumers[queue]
+            for d in c.inbox
+            if d.message.expired(self.now)
+        }
+        assert queue.reap_expired(now=self.now) == len(dead)
+        for message_id in dead:
+            self.record_fate(message_id, "expired_in_flight")
+
+    @precondition(lambda self: any(self.consumers.values()))
+    @rule(data=st.data())
+    def crash_consumer(self, data):
+        queue = data.draw(st.sampled_from([self.source, self.dest]))
+        if not self.consumers[queue]:
+            return
+        consumer = data.draw(st.sampled_from(self.consumers[queue]))
+        self.consumers[queue].remove(consumer)
+        queue.detach(consumer, now=self.now)
+
+    @rule(data=st.data())
+    def crash_queue(self, data):
+        # Server crash: consumers die, persistent messages requeue from
+        # memory (the unjournalled emulation) — no fate is consumed.
+        queue = data.draw(st.sampled_from([self.source, self.dest]))
+        queue.crash(now=self.now)
+        self.consumers[queue] = []
+
+    @precondition(lambda self: self.sent_ids)
+    @rule(data=st.data())
+    def handoff(self, data):
+        # Mesh rebalance: ownership moves shard-a → shard-b.  Only
+        # backlog messages move; transfer_out returns None otherwise.
+        message_id = data.draw(st.sampled_from(sorted(self.sent_ids)))
+        message = self.source.transfer_out(message_id, now=self.now)
+        if message is None:
+            return
+        fate = self.dest.transfer_in(message, now=self.now)
+        assert fate in ("applied", "dropped")
+        if fate == "dropped":
+            self.record_fate(message_id, "expired_on_handoff")
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def every_message_has_exactly_one_fate(self):
+        for queue in (self.source, self.dest):
+            consumers = self.consumers[queue]
+            in_flight = sum(len(c.inbox) + len(c.unacked) for c in consumers)
+            accepted = queue.enqueued + queue.restored + queue.transferred_in
+            fates = (
+                queue.acked
+                + queue.expired_at_drain
+                + queue.expired_in_flight
+                + queue.dead_lettered
+                + queue.dropped_new
+                + queue.dropped_oldest
+                + queue.deadline_shed
+                + queue.lost_on_crash
+                + queue.discarded_on_crash
+                + queue.transferred_out
+                + queue.dropped_on_handoff
+                + queue.depth
+                + in_flight
+            )
+            assert accepted == fates, (
+                f"{queue.name}: accepted {accepted} != fates {fates}"
+            )
+
+    @invariant()
+    def transfers_balance(self):
+        assert self.source.transferred_out == (
+            self.dest.transferred_in
+        ), "a handed-off message must land on exactly one shard"
+
+    @invariant()
+    def observed_fates_are_sent_messages(self):
+        assert set(self.fates) <= self.sent_ids
+
+
+TestDeadlineFates = DeadlineFateMachine.TestCase
+TestDeadlineFates.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

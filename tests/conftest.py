@@ -35,6 +35,12 @@ if not _HAVE_NUMPY:  # pragma: no cover - depends on environment
         "testbed",
         # the mesh itself is numpy-free; only its capacity model is not
         "mesh/test_mesh_capacity.py",
+        # resilience primitives (budget/deadline/hedge) are numpy-free;
+        # the fixed-point model and the DES harnesses are not
+        "resilience/test_fixed_point.py",
+        "resilience/test_amplification.py",
+        "resilience/test_storm_harness.py",
+        "resilience/test_deadline_propagation.py",
         # the CLI wires in the (numpy-backed) analysis layer at import
         "test_cli.py",
         "test_doctests.py",
@@ -72,6 +78,9 @@ def check_conserved(stats, consumers=(), context=""):
         fates = (
             stats.acked
             + stats.expired_at_drain
+            # deadline propagation: deliveries reaped from consumer
+            # inboxes because their deadline passed in flight
+            + getattr(stats, "expired_in_flight", 0)
             + stats.dead_lettered
             + stats.dropped_new
             + stats.dropped_oldest
@@ -90,6 +99,7 @@ def check_conserved(stats, consumers=(), context=""):
         assert accepted == fates, (
             f"queue ledger imbalanced{suffix}: accepted {accepted} != fates {fates} "
             f"(acked={stats.acked} expired={stats.expired_at_drain} "
+            f"expired_in_flight={getattr(stats, 'expired_in_flight', 0)} "
             f"dlq={stats.dead_lettered} dropped={stats.dropped_new}+"
             f"{stats.dropped_oldest}+{stats.deadline_shed} "
             f"lost={stats.lost_on_crash} "

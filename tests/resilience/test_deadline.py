@@ -1,0 +1,96 @@
+"""Deadline budgets and stage-pipeline propagation (stdlib-only)."""
+
+import pytest
+
+from repro.resilience import DeadlineBudget, DeadlinePipeline
+
+
+class TestDeadlineBudget:
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ValueError, match="total"):
+            DeadlineBudget(total=0.0)
+
+    def test_spend_is_immutable_and_accumulates(self):
+        budget = DeadlineBudget(total=1.0)
+        spent = budget.spend(0.4).spend(0.3)
+        assert budget.spent == 0.0
+        assert spent.remaining == pytest.approx(0.3)
+        assert not spent.expired
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            DeadlineBudget(total=1.0).spend(-0.1)
+
+    def test_expired_at_exhaustion(self):
+        assert DeadlineBudget(total=1.0).spend(1.0).expired
+
+    def test_expiration_is_absolute(self):
+        assert DeadlineBudget(total=2.5).expiration(born=10.0) == pytest.approx(12.5)
+
+
+class TestDeadlinePipeline:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            DeadlinePipeline(stages=())
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="negative latency"):
+            DeadlinePipeline(stages=(("ingress", -1.0),))
+
+    def test_from_components_stage_names(self):
+        pipeline = DeadlinePipeline.from_components(
+            ingress_wait=0.1,
+            journal_append=0.02,
+            mesh_hops=2,
+            hop_latency=0.05,
+            replication_ack_wait=0.03,
+            service=0.01,
+        )
+        assert [name for name, _ in pipeline.stages] == [
+            "ingress",
+            "journal",
+            "mesh-hop-1",
+            "mesh-hop-2",
+            "replication-ack",
+            "service",
+        ]
+        assert pipeline.end_to_end_latency == pytest.approx(0.26)
+
+    def test_propagate_stops_at_shed_stage(self):
+        pipeline = DeadlinePipeline.from_components(
+            ingress_wait=0.1, mesh_hops=2, hop_latency=0.2, service=0.1
+        )
+        ledger = pipeline.propagate(DeadlineBudget(total=0.35))
+        assert [c.stage for c in ledger] == ["ingress", "mesh-hop-1", "mesh-hop-2"]
+        assert ledger[-1].expired
+        assert pipeline.shed_stage(DeadlineBudget(total=0.35)) == "mesh-hop-2"
+
+    def test_survivable_budget_crosses_everything(self):
+        pipeline = DeadlinePipeline.from_components(ingress_wait=0.1, service=0.05)
+        budget = DeadlineBudget(total=0.2)
+        assert pipeline.survivable(budget)
+        ledger = pipeline.propagate(budget)
+        assert len(ledger) == 2
+        assert ledger[-1].remaining_after == pytest.approx(0.05)
+        crossing = ledger[0].to_dict()
+        assert crossing["stage"] == "ingress"
+        assert crossing["expired"] is False
+
+    def test_exact_budget_is_shed_at_the_last_stage(self):
+        # remaining <= 0 is expired: arriving with nothing left is dead.
+        pipeline = DeadlinePipeline.from_components(ingress_wait=0.1, service=0.1)
+        assert pipeline.shed_stage(DeadlineBudget(total=0.2)) == "service"
+
+    def test_describe_histogram(self):
+        pipeline = DeadlinePipeline.from_components(
+            ingress_wait=0.1, mesh_hops=1, hop_latency=0.1, service=0.1
+        )
+        budgets = [
+            DeadlineBudget(total=0.05),  # dies at ingress
+            DeadlineBudget(total=0.15),  # dies at the hop
+            DeadlineBudget(total=0.15),
+            DeadlineBudget(total=1.0),  # survives
+        ]
+        summary = pipeline.describe(budgets)
+        assert summary["survived"] == 1
+        assert summary["shed_by_stage"] == {"ingress": 1, "mesh-hop-1": 2}

@@ -18,9 +18,14 @@ Two suites:
   batch size 64, observably equivalent), the M^X/G/1 closed form vs.
   the DES on a batch-size x utilisation grid (every cell within 5%),
   and the b=1 degeneration to the paper's Eqs. 4-5 (1e-12).
+* ``--suite resilience`` — BENCH_resilience.json via
+  :mod:`tools.record_bench_resilience`: retry-amplification fixed
+  points vs the DES cells (<= 5% worst cell) and the metastable-storm
+  chaos harness (control storms, budgeted+deadline client recovers
+  >= 95% goodput, exactly-once hedging, zero expired deliveries).
 
 Usage: PYTHONPATH=src python tools/bench_gate.py [output.json]
-           [--fast] [--suite hotpath|mesh|batch]
+           [--fast] [--suite hotpath|mesh|batch|resilience]
 """
 
 from __future__ import annotations
@@ -56,6 +61,12 @@ def _run_batch(fast: bool) -> dict:
     return payload
 
 
+def _run_resilience(fast: bool) -> dict:
+    from record_bench_resilience import record
+
+    return record(fast=fast)
+
+
 def main(argv: list[str]) -> int:
     fast = "--fast" in argv
     suite = "hotpath"
@@ -66,10 +77,15 @@ def main(argv: list[str]) -> int:
         for i, arg in enumerate(argv)
         if not arg.startswith("-") and (i == 0 or argv[i - 1] != "--suite")
     ]
-    runners = {"hotpath": _run_hotpath, "mesh": _run_mesh, "batch": _run_batch}
+    runners = {
+        "hotpath": _run_hotpath,
+        "mesh": _run_mesh,
+        "batch": _run_batch,
+        "resilience": _run_resilience,
+    }
     if suite not in runners:
         print(
-            f"unknown suite {suite!r} (want hotpath, mesh or batch)",
+            f"unknown suite {suite!r} (want hotpath, mesh, batch or resilience)",
             file=sys.stderr,
         )
         return 2

@@ -62,6 +62,9 @@ IMPORT_SMOKE = (
     "repro.simulation._backend",
     "repro.statics",
     "repro.statics.engine",
+    "repro.resilience",
+    "repro.resilience.harness",
+    "repro.core.resilience",
 )
 
 #: CLI invocations that must at least parse and print help in every
@@ -74,6 +77,7 @@ CLI_SMOKE = (
     ["replicate", "--help"],
     ["check", "--help"],
     ["lint", "--help"],
+    ["resilience", "--help"],
 )
 
 
